@@ -1,0 +1,77 @@
+//! Criterion benchmarks behind Figures 5–12: DAPC/GBPC pointer chases at
+//! reduced scale (the full paper axes are produced by the `repro_figures`
+//! binary; here each measured unit is one chase of a representative depth so
+//! regressions in the simulation or the chaser pipeline show up quickly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_simnet::Platform;
+use tc_workloads::{ChaseConfig, ChaseMode, DapcExperiment};
+
+fn bench_depth_sweep_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dapc_depth_sweep");
+    group.sample_size(10);
+    let modes = [
+        ChaseMode::Get,
+        ChaseMode::ActiveMessage,
+        ChaseMode::CachedBitcode,
+        ChaseMode::CachedBitcodeChainlang,
+    ];
+    for mode in modes {
+        group.bench_with_input(
+            BenchmarkId::new("thor_bf2_8srv_depth256", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter_batched(
+                    || {
+                        let config = ChaseConfig {
+                            servers: 8,
+                            shard_size: 128,
+                            depth: 256,
+                            chases: 1,
+                            seed: 1,
+                        };
+                        let mut exp = DapcExperiment::new(Platform::thor_bf2(), &config);
+                        exp.warm_caches(mode);
+                        exp
+                    },
+                    |mut exp| exp.measure(mode, 256, 1),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dapc_scaling");
+    group.sample_size(10);
+    for servers in [2usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("ookami_depth512_cached_bitcode", servers),
+            &servers,
+            |b, &servers| {
+                b.iter_batched(
+                    || {
+                        let config = ChaseConfig {
+                            servers,
+                            shard_size: 128,
+                            depth: 512,
+                            chases: 1,
+                            seed: 2,
+                        };
+                        let mut exp = DapcExperiment::new(Platform::ookami(), &config);
+                        exp.warm_caches(ChaseMode::CachedBitcode);
+                        exp
+                    },
+                    |mut exp| exp.measure(ChaseMode::CachedBitcode, 512, 1),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth_sweep_unit, bench_scaling_unit);
+criterion_main!(benches);

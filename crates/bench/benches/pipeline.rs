@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the reproduction's own pipeline stages: frame
+//! encoding, bitcode encode/decode, JIT compilation, binary object
+//! build/load, and interpreter execution.  These measure real wall-clock
+//! time (not virtual time) and guard against performance regressions in the
+//! framework itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tc_binfmt::{load_object, LoadOptions, MapResolver};
+use tc_bitir::{decode_module, encode_module, lower_for_target, FatBitcode, TargetTriple};
+use tc_core::{CodeRepr, MessageFrame};
+use tc_jit::{build_object, CompileOptions, Engine, MemoryExt, NoExternals, VecMemory};
+use tc_workloads::{chaser_module, tsi_module};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    let fat = FatBitcode::from_module_default_targets(&tsi_module()).unwrap();
+    let frame = MessageFrame::new("tsi", CodeRepr::Bitcode, vec![1], fat.encode(), vec![]);
+    group.throughput(Throughput::Bytes(frame.full_size() as u64));
+    group.bench_function("encode_full", |b| b.iter(|| frame.encode_full()));
+    group.bench_function("encode_truncated", |b| b.iter(|| frame.encode_truncated()));
+    let full = frame.encode_full();
+    group.bench_function("decode_full", |b| b.iter(|| MessageFrame::decode(&full).unwrap()));
+    group.finish();
+}
+
+fn bench_bitcode_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitcode_codec");
+    let module = lower_for_target(&chaser_module("chaser"), TargetTriple::THOR_BF2).unwrap();
+    let bytes = encode_module(&module);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| encode_module(&module)));
+    group.bench_function("decode", |b| b.iter(|| decode_module(&bytes).unwrap()));
+    group.finish();
+}
+
+fn bench_jit_and_binary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jit_and_binary");
+    let module = tsi_module();
+    group.bench_function("jit_compile_tsi", |b| {
+        b.iter(|| {
+            tc_jit::lower_and_compile(&module, TargetTriple::OOKAMI_A64FX, CompileOptions::default())
+                .unwrap()
+        });
+    });
+    group.bench_function("aot_build_and_load_tsi", |b| {
+        b.iter(|| {
+            let obj = build_object(&module, TargetTriple::THOR_XEON, CompileOptions::default())
+                .unwrap();
+            let image = load_object(
+                &obj,
+                "x86_64-xeon-e5-sim",
+                &MapResolver::new(),
+                LoadOptions::default(),
+            )
+            .unwrap();
+            tc_jit::module_from_image(&image).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    let compiled = tc_jit::lower_and_compile(
+        &tsi_module(),
+        TargetTriple::THOR_XEON,
+        CompileOptions::default(),
+    )
+    .unwrap();
+    group.bench_function("tsi_execute", |b| {
+        let mut mem = VecMemory::new(0, 4096);
+        mem.write_u64(2048, 0).unwrap();
+        mem.write_u64(0, 3).unwrap();
+        let engine = Engine::new();
+        b.iter(|| {
+            engine
+                .run(&compiled.module, "main", &[0, 1, 2048], &[], &mut mem, &mut NoExternals)
+                .unwrap()
+                .cycles
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_bitcode_codec,
+    bench_jit_and_binary,
+    bench_interpreter
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerate Figures 5–12 of the paper: DAPC/GBPC pointer-chase depth sweeps
+//! and server-count scaling, on the three simulated platforms.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tc-bench --release --bin repro_figures -- all
+//! cargo run -p tc-bench --release --bin repro_figures -- fig5 fig9
+//! cargo run -p tc-bench --release --bin repro_figures -- all --fast
+//! cargo run -p tc-bench --release --bin repro_figures -- fig5 --csv
+//! ```
+//!
+//! `--fast` shrinks the pointer table and the per-point chase count so the
+//! whole set finishes in seconds; the qualitative shape (who wins, how the
+//! curves move) is unchanged.  `--csv` additionally prints a CSV block per
+//! figure for plotting.
+
+use tc_bench::figure_specs;
+use tc_workloads::{depth_sweep, render_figure, render_figure_csv, scaling_sweep, SweepPoint};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv = args.iter().any(|a| a == "--csv");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want_all = selected.is_empty() || selected.iter().any(|a| a.as_str() == "all");
+    let wanted = |id: &str| want_all || selected.iter().any(|a| a.as_str() == id);
+
+    // Paper-scale runs chase a few times per point; --fast uses tiny shards
+    // and fewer chases.
+    let (shard_size, chases) = if fast { (128, 2) } else { (1024, 4) };
+
+    println!("=== Three-Chains reproduction: DAPC/GBPC figures (virtual time on the calibrated model) ===");
+    println!(
+        "(shard_size = {shard_size} entries/server, {chases} chases per point{})\n",
+        if fast { ", --fast" } else { "" }
+    );
+
+    for spec in figure_specs() {
+        if !wanted(spec.id) {
+            continue;
+        }
+        let is_scaling = spec.server_counts.len() > 1;
+        let (xs, points): (Vec<u64>, Vec<SweepPoint>) = if is_scaling {
+            let sweep = scaling_sweep(
+                spec.platform,
+                &spec.server_counts,
+                shard_size,
+                spec.depths[0],
+                &spec.modes,
+                chases,
+            );
+            (
+                sweep.iter().map(|(s, _)| *s as u64).collect(),
+                sweep.into_iter().map(|(_, p)| p).collect(),
+            )
+        } else {
+            let points = depth_sweep(
+                spec.platform,
+                spec.server_counts[0],
+                shard_size,
+                &spec.depths,
+                &spec.modes,
+                chases,
+            );
+            (spec.depths.clone(), points)
+        };
+        let x_label = if is_scaling { "Number of Servers" } else { "Pointer Chase Depth" };
+        println!(
+            "{}",
+            render_figure(
+                &format!("{} — {}", spec.id.to_uppercase(), spec.caption),
+                x_label,
+                &xs,
+                &points,
+                &spec.modes
+            )
+        );
+        if csv {
+            println!("{}", render_figure_csv(&xs, &points, &spec.modes));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerate Tables I–VI of the paper: the TSI overhead breakdown and the
+//! TSI latency / message-rate tables for the Ookami, Thor-BF2 and Thor-Xeon
+//! platforms.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tc-bench --release --bin repro_tables -- all
+//! cargo run -p tc-bench --release --bin repro_tables -- table3 table6
+//! ```
+//!
+//! `tableN` for N in 1..=3 selects the overhead-breakdown tables, N in 4..=6
+//! the latency/rate tables (both are produced from the same run, as in the
+//! paper).
+
+use tc_bench::table_platforms;
+use tc_workloads::{render_overhead_table, render_rate_table, run_tsi};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let wanted = |id: &str| want_all || args.iter().any(|a| a == id);
+
+    println!("=== Three-Chains reproduction: TSI tables (virtual time on the calibrated model) ===\n");
+
+    for (idx, (id, caption, platform)) in table_platforms().into_iter().enumerate() {
+        let rate_id = format!("table{}", idx + 4);
+        if !wanted(id) && !wanted(&rate_id) {
+            continue;
+        }
+        let results = run_tsi(platform, 200);
+        if wanted(id) {
+            println!(
+                "{}",
+                render_overhead_table(&format!("{caption} overhead breakdown ({})", platform.name), &results)
+            );
+        }
+        if wanted(&rate_id) {
+            println!(
+                "{}",
+                render_rate_table(
+                    &format!("Table {} — {} TSI latencies and message rates", idx + 4, platform.name),
+                    &results
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the binary object format.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or loading binary objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinfmtError {
+    /// The byte stream is not a valid object file.
+    Decode(String),
+    /// A relocation or GOT entry references a symbol the resolver does not
+    /// know about (the remote-dynamic-linking failure mode).
+    UndefinedSymbol {
+        /// Name of the missing symbol.
+        symbol: String,
+    },
+    /// A relocation points outside its section.
+    BadRelocation(String),
+    /// The object targets a different ISA than the loading process.
+    IncompatibleTarget {
+        /// Triple recorded in the object.
+        object_triple: String,
+        /// Triple of the loading process.
+        host_triple: String,
+    },
+    /// The object has no entry symbol.
+    NoEntry,
+}
+
+impl fmt::Display for BinfmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinfmtError::Decode(msg) => write!(f, "object decode failed: {msg}"),
+            BinfmtError::UndefinedSymbol { symbol } => {
+                write!(f, "undefined symbol `{symbol}` during remote dynamic linking")
+            }
+            BinfmtError::BadRelocation(msg) => write!(f, "bad relocation: {msg}"),
+            BinfmtError::IncompatibleTarget {
+                object_triple,
+                host_triple,
+            } => write!(
+                f,
+                "binary object built for {object_triple} cannot be loaded on {host_triple}"
+            ),
+            BinfmtError::NoEntry => write!(f, "object has no entry symbol"),
+        }
+    }
+}
+
+impl std::error::Error for BinfmtError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, BinfmtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_symbol_and_triples() {
+        let e = BinfmtError::UndefinedSymbol {
+            symbol: "omp_get_num_threads".into(),
+        };
+        assert!(e.to_string().contains("omp_get_num_threads"));
+
+        let e = BinfmtError::IncompatibleTarget {
+            object_triple: "x86_64-xeon-e5-sim".into(),
+            host_triple: "aarch64-cortex-a72-sim".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("x86_64"));
+        assert!(s.contains("aarch64"));
+    }
+}

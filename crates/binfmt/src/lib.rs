@@ -1,0 +1,32 @@
+//! # tc-binfmt — ELF-like objects for binary ifuncs
+//!
+//! The paper's *binary* ifunc representation ships the `.text` and `.data`
+//! sections of a pre-compiled shared library and performs remote dynamic
+//! linking on the target by reconstructing the Global Offset Table
+//! (Section III-B).  This crate models that container and its loader:
+//!
+//! * [`object::ObjectFile`] — sections, symbols, relocations, GOT symbol
+//!   list, dependency list, and a compact wire encoding;
+//! * [`loader::load_object`] — the target-side loader: ISA compatibility
+//!   check, GOT construction through a [`loader::SymbolResolver`], relocation
+//!   patching, and the "pure ifunc" fast path that skips linking entirely.
+//!
+//! The machine code stored in `.text` is produced by `tc-jit`'s ahead-of-time
+//! path; this crate is agnostic to its contents.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod loader;
+pub mod object;
+
+pub use error::{BinfmtError, Result};
+pub use loader::{
+    load_object, section_base, ChainResolver, LoadOptions, LoadedImage, MapResolver,
+    SymbolResolver, DATA_BASE, RODATA_BASE, TEXT_BASE,
+};
+pub use object::{
+    ObjectFile, RelocKind, Relocation, Section, SectionKind, Symbol, SymbolKind, OBJECT_MAGIC,
+    OBJECT_VERSION,
+};

@@ -1,0 +1,60 @@
+//! Error types shared across the IR crate.
+
+use std::fmt;
+
+/// Errors produced while verifying, lowering, encoding or decoding IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitirError {
+    /// Structural or type verification failed.
+    Verify(String),
+    /// Bitcode decoding failed (corrupt or truncated stream).
+    Decode(String),
+    /// The fat-bitcode archive has no entry for the requested target.
+    NoBitcodeForTarget {
+        /// Target that was requested.
+        requested: String,
+        /// Targets that are present in the archive.
+        available: Vec<String>,
+    },
+    /// Lowering could not be performed for the requested target.
+    Lower(String),
+}
+
+impl fmt::Display for BitirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitirError::Verify(msg) => write!(f, "IR verification failed: {msg}"),
+            BitirError::Decode(msg) => write!(f, "bitcode decode failed: {msg}"),
+            BitirError::NoBitcodeForTarget { requested, available } => write!(
+                f,
+                "fat-bitcode has no entry for target {requested}; available: [{}]",
+                available.join(", ")
+            ),
+            BitirError::Lower(msg) => write!(f, "lowering failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BitirError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, BitirError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BitirError::Verify("bad block".into());
+        assert!(e.to_string().contains("bad block"));
+
+        let e = BitirError::NoBitcodeForTarget {
+            requested: "aarch64-a64fx-sim".into(),
+            available: vec!["x86_64-xeon-e5-sim".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("aarch64-a64fx-sim"));
+        assert!(s.contains("x86_64-xeon-e5-sim"));
+    }
+}

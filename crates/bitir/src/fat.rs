@@ -1,0 +1,284 @@
+//! Fat-bitcode archives.
+//!
+//! A fat-bitcode archive packs the per-target bitcode files produced by the
+//! toolchain (one per supported triple) together with the module's dependency
+//! list, exactly as the paper's Section III-C describes: "all the bitcode
+//! files will be packed into a bitcode archive […] the fat-bitcode is shipped
+//! with the payload and list of bitcode dependencies".  The receiving process
+//! extracts the entry matching its local target and JIT-compiles it.
+
+use crate::bitcode::{decode_module, encode_module, Reader, Writer};
+use crate::error::{BitirError, Result};
+use crate::ir::Module;
+use crate::lower::lower_for_target;
+use crate::types::TargetTriple;
+
+/// Magic bytes at the start of a fat-bitcode archive (`TCFB` = Three-Chains
+/// Fat Bitcode).
+pub const FAT_MAGIC: [u8; 4] = *b"TCFB";
+/// Current archive format version.
+pub const FAT_VERSION: u16 = 1;
+
+/// One entry of a fat-bitcode archive: the bitcode for a single triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FatEntry {
+    /// Target the bitcode was lowered for.
+    pub triple: TargetTriple,
+    /// Encoded bitcode bytes.
+    pub bitcode: Vec<u8>,
+}
+
+/// A fat-bitcode archive: per-target bitcode plus the shared dependency list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FatBitcode {
+    /// Ifunc library name (must match across entries).
+    pub name: String,
+    /// Per-target bitcode entries.
+    pub entries: Vec<FatEntry>,
+    /// Shared-library dependencies (contents of the `.deps` file).
+    pub deps: Vec<String>,
+}
+
+impl FatBitcode {
+    /// Build a fat archive from a portable module by lowering and encoding it
+    /// for every triple in `targets`.
+    pub fn from_module(module: &Module, targets: &[TargetTriple]) -> Result<Self> {
+        if targets.is_empty() {
+            return Err(BitirError::Lower(
+                "fat-bitcode requires at least one target triple".into(),
+            ));
+        }
+        let mut entries = Vec::with_capacity(targets.len());
+        let mut seen = Vec::new();
+        for &t in targets {
+            if seen.contains(&t) {
+                continue;
+            }
+            seen.push(t);
+            let lowered = lower_for_target(module, t)?;
+            entries.push(FatEntry {
+                triple: t,
+                bitcode: encode_module(&lowered),
+            });
+        }
+        Ok(FatBitcode {
+            name: module.name.clone(),
+            entries,
+            deps: module.deps.clone(),
+        })
+    }
+
+    /// Build a fat archive for the default toolchain target set.
+    pub fn from_module_default_targets(module: &Module) -> Result<Self> {
+        Self::from_module(module, &TargetTriple::default_toolchain_targets())
+    }
+
+    /// Triples present in the archive.
+    pub fn triples(&self) -> Vec<TargetTriple> {
+        self.entries.iter().map(|e| e.triple).collect()
+    }
+
+    /// Select the bitcode entry for a target.  An exact (ISA, µarch) match is
+    /// preferred; otherwise any entry with the same ISA is acceptable (the
+    /// generic-tuned bitcode still runs, just without µarch specialisation) —
+    /// mirroring how a `x86_64-pc-linux-gnu` bitcode serves any x86-64 host.
+    pub fn select(&self, target: TargetTriple) -> Result<&FatEntry> {
+        if let Some(exact) = self.entries.iter().find(|e| e.triple == target) {
+            return Ok(exact);
+        }
+        if let Some(isa_match) = self.entries.iter().find(|e| e.triple.isa == target.isa) {
+            return Ok(isa_match);
+        }
+        Err(BitirError::NoBitcodeForTarget {
+            requested: target.name(),
+            available: self.entries.iter().map(|e| e.triple.name()).collect(),
+        })
+    }
+
+    /// Select and decode the module for a target.
+    pub fn select_module(&self, target: TargetTriple) -> Result<Module> {
+        let entry = self.select(target)?;
+        decode_module(&entry.bitcode)
+    }
+
+    /// Total encoded size of the archive in bytes (what actually travels in
+    /// the BITCODE + DEPS fields of an uncached ifunc message).
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Serialize the archive.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        for b in FAT_MAGIC {
+            w.u8(b);
+        }
+        w.u16(FAT_VERSION);
+        w.string(&self.name);
+        w.varint(self.deps.len() as u64);
+        for d in &self.deps {
+            w.string(d);
+        }
+        w.varint(self.entries.len() as u64);
+        for e in &self.entries {
+            w.u8(e.triple.isa.tag());
+            w.u8(e.triple.march.tag());
+            w.bytes(&e.bitcode);
+        }
+        w.finish()
+    }
+
+    /// Deserialize an archive.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let mut magic = [0u8; 4];
+        for m in &mut magic {
+            *m = r.u8()?;
+        }
+        if magic != FAT_MAGIC {
+            return Err(BitirError::Decode(format!(
+                "bad fat-bitcode magic {:02x?}",
+                magic
+            )));
+        }
+        let version = r.u16()?;
+        if version != FAT_VERSION {
+            return Err(BitirError::Decode(format!(
+                "unsupported fat-bitcode version {version}"
+            )));
+        }
+        let name = r.string()?;
+        let ndeps = r.varint()? as usize;
+        let mut deps = Vec::with_capacity(ndeps.min(256));
+        for _ in 0..ndeps {
+            deps.push(r.string()?);
+        }
+        let nentries = r.varint()? as usize;
+        let mut entries = Vec::with_capacity(nentries.min(64));
+        for _ in 0..nentries {
+            let isa_tag = r.u8()?;
+            let march_tag = r.u8()?;
+            let isa = crate::types::Isa::from_tag(isa_tag)
+                .ok_or_else(|| BitirError::Decode(format!("bad ISA tag {isa_tag}")))?;
+            let march = crate::types::Microarch::from_tag(march_tag)
+                .ok_or_else(|| BitirError::Decode(format!("bad march tag {march_tag}")))?;
+            let triple = TargetTriple::new(isa, march)
+                .ok_or_else(|| BitirError::Decode("inconsistent triple in archive".into()))?;
+            let bitcode = r.bytes()?;
+            entries.push(FatEntry { triple, bitcode });
+        }
+        Ok(FatBitcode { name, entries, deps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::{Isa, ScalarType};
+
+    fn tsi_module() -> Module {
+        let mut mb = ModuleBuilder::new("tsi");
+        mb.add_dep("libc.so");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let target = f.param(2);
+            let delta = f.load(ScalarType::U8, payload, 0);
+            let counter = f.load(ScalarType::U64, target, 0);
+            let sum = f.bin(crate::ir::BinOp::Add, ScalarType::U64, counter, delta);
+            f.store(ScalarType::U64, sum, target, 0);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        mb.build()
+    }
+
+    #[test]
+    fn build_and_select_exact_target() {
+        let fat = FatBitcode::from_module_default_targets(&tsi_module()).unwrap();
+        assert_eq!(fat.entries.len(), 5);
+        let entry = fat.select(TargetTriple::OOKAMI_A64FX).unwrap();
+        assert_eq!(entry.triple, TargetTriple::OOKAMI_A64FX);
+        let module = fat.select_module(TargetTriple::OOKAMI_A64FX).unwrap();
+        assert_eq!(module.triple, Some(TargetTriple::OOKAMI_A64FX));
+    }
+
+    #[test]
+    fn isa_fallback_selection() {
+        // Archive built only with generic triples still serves a specific
+        // µarch of the same ISA.
+        let fat = FatBitcode::from_module(
+            &tsi_module(),
+            &[TargetTriple::X86_64_GENERIC, TargetTriple::AARCH64_GENERIC],
+        )
+        .unwrap();
+        let entry = fat.select(TargetTriple::THOR_BF2).unwrap();
+        assert_eq!(entry.triple.isa, Isa::Aarch64);
+    }
+
+    #[test]
+    fn missing_target_reports_available() {
+        let fat = FatBitcode::from_module(&tsi_module(), &[TargetTriple::THOR_XEON]).unwrap();
+        let err = fat.select(TargetTriple::OOKAMI_A64FX).unwrap_err();
+        match err {
+            BitirError::NoBitcodeForTarget { requested, available } => {
+                assert!(requested.contains("a64fx"));
+                assert_eq!(available.len(), 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_targets_deduplicated() {
+        let fat = FatBitcode::from_module(
+            &tsi_module(),
+            &[TargetTriple::THOR_XEON, TargetTriple::THOR_XEON],
+        )
+        .unwrap();
+        assert_eq!(fat.entries.len(), 1);
+    }
+
+    #[test]
+    fn empty_target_list_rejected() {
+        assert!(FatBitcode::from_module(&tsi_module(), &[]).is_err());
+    }
+
+    #[test]
+    fn archive_roundtrip() {
+        let fat = FatBitcode::from_module_default_targets(&tsi_module()).unwrap();
+        let bytes = fat.encode();
+        let decoded = FatBitcode::decode(&bytes).unwrap();
+        assert_eq!(fat, decoded);
+    }
+
+    #[test]
+    fn archive_size_is_multi_kilobyte_like_the_paper() {
+        // Paper: ~5 KiB of fat-bitcode for a two-ISA TSI archive.  Our default
+        // target set has five triples, so a couple of KiB up to ~20 KiB is the
+        // right order of magnitude.
+        let fat = FatBitcode::from_module_default_targets(&tsi_module()).unwrap();
+        let size = fat.encoded_size();
+        assert!(size > 2000, "archive unexpectedly small: {size}");
+        assert!(size < 32 * 1024, "archive unexpectedly large: {size}");
+    }
+
+    #[test]
+    fn corrupted_archive_rejected() {
+        let fat = FatBitcode::from_module_default_targets(&tsi_module()).unwrap();
+        let mut bytes = fat.encode();
+        bytes[0] = b'Z';
+        assert!(FatBitcode::decode(&bytes).is_err());
+        let fat2 = FatBitcode::decode(&fat.encode()).unwrap();
+        assert_eq!(fat2.deps, vec!["libc.so".to_string()]);
+    }
+
+    #[test]
+    fn truncated_archive_rejected() {
+        let fat = FatBitcode::from_module_default_targets(&tsi_module()).unwrap();
+        let bytes = fat.encode();
+        assert!(FatBitcode::decode(&bytes[..bytes.len() / 3]).is_err());
+    }
+}

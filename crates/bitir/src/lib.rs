@@ -1,0 +1,45 @@
+//! # tc-bitir — portable IR and bitcode for the Three-Chains reproduction
+//!
+//! This crate is the reproduction's stand-in for LLVM IR and LLVM bitcode in
+//! the paper *"Bring the BitCODE — Moving Compute and Data in Distributed
+//! Heterogeneous Systems"* (CLUSTER 2022).  It provides:
+//!
+//! * a typed, register-based, basic-block IR ([`ir`]) expressive enough for
+//!   the paper's workloads (target-side increment, distributed pointer
+//!   chasing, recursive ifunc forwarding, vectorisable kernels);
+//! * an ergonomic [`builder`] API — the "write your ifunc in C" path;
+//! * a structural/type [`verify`]er run before shipping and before JIT;
+//! * per-target [`lower`]ing that records SIMD width, atomics flavour and
+//!   pointer width for the JIT (the analogue of Clang's `-target` flag);
+//! * a compact binary [`bitcode`] encoding — what actually travels inside an
+//!   ifunc message frame;
+//! * [`fat`]-bitcode archives packing one bitcode entry per target triple
+//!   together with the dependency list, exactly as in Figure 3 of the paper.
+//!
+//! Higher layers: `tc-jit` compiles and executes bitcode, `tc-core` ships it
+//! inside ifunc messages, `tc-chainlang` (the Julia analogue) generates it
+//! from a high-level language.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitcode;
+pub mod builder;
+pub mod error;
+pub mod fat;
+pub mod ir;
+pub mod lower;
+pub mod types;
+pub mod verify;
+
+pub use bitcode::{decode_module, encode_module};
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use error::{BitirError, Result};
+pub use fat::{FatBitcode, FatEntry};
+pub use ir::{
+    AtomicOp, BinOp, Block, BlockId, ExtSymId, FuncId, Function, Global, GlobalId, Inst, LowerInfo,
+    Module, Reg, UnOp, VecOp,
+};
+pub use lower::{lower_for_target, lower_for_targets};
+pub use types::{AtomicsExt, Isa, IsaFeatures, Microarch, ScalarType, TargetTriple, VectorExt};
+pub use verify::verify_module;

@@ -1,0 +1,200 @@
+//! Abstract syntax tree and source types for Chainlang.
+
+/// Scalar types available in the language.  Chainlang deliberately has a
+/// small, fully static type system — the analogue of the type-stable Julia
+/// subset GPUCompiler.jl accepts for offloading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Unsigned 64-bit integer (also used for addresses).
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// Double-precision float.
+    F64,
+}
+
+impl Ty {
+    /// Parse a type name.
+    pub fn parse(s: &str) -> Option<Ty> {
+        match s {
+            "u64" => Some(Ty::U64),
+            "i64" => Some(Ty::I64),
+            "f64" => Some(Ty::F64),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::U64 => "u64",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (logical, non-short-circuit)
+    And,
+    /// `||` (logical, non-short-circuit)
+    Or,
+}
+
+impl BinOpKind {
+    /// True when the result of the operator is a 0/1 boolean-like value.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOpKind::Eq
+                | BinOpKind::Ne
+                | BinOpKind::Lt
+                | BinOpKind::Le
+                | BinOpKind::Gt
+                | BinOpKind::Ge
+        )
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOpKind,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call (user function, builtin, or framework external).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name: ty = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initialiser.
+        value: Expr,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `if cond { .. } else { .. }`
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while cond { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Expr),
+    /// Expression statement (typically a call for its side effects).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters: `(name, type)` pairs.
+    pub params: Vec<(String, Ty)>,
+    /// Return type (`None` = no return value).
+    pub ret: Option<Ty>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed Chainlang program (one ifunc library).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Function definitions.
+    pub functions: Vec<FnDef>,
+    /// Declared shared-library dependencies (`dep "libm.so";`).
+    pub deps: Vec<String>,
+}
+
+impl Program {
+    /// Find a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(Ty::parse("u64"), Some(Ty::U64));
+        assert_eq!(Ty::parse("i64"), Some(Ty::I64));
+        assert_eq!(Ty::parse("f64"), Some(Ty::F64));
+        assert_eq!(Ty::parse("String"), None);
+        assert_eq!(Ty::U64.name(), "u64");
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOpKind::Eq.is_comparison());
+        assert!(BinOpKind::Ge.is_comparison());
+        assert!(!BinOpKind::Add.is_comparison());
+        assert!(!BinOpKind::And.is_comparison());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the Chainlang front-end.
+
+use std::fmt;
+
+/// Errors produced while parsing, checking, or compiling Chainlang source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainlangError {
+    /// Syntax error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Type error or use of an undefined name.
+    Check(String),
+    /// Restriction violation: the program uses a feature outside the
+    /// offloadable subset (the GPUCompiler.jl analogue of rejecting
+    /// type-unstable or runtime-dependent Julia code).
+    Restriction(String),
+    /// Code generation failed (bubbled up from the IR layer).
+    Codegen(String),
+}
+
+impl fmt::Display for ChainlangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainlangError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            ChainlangError::Check(msg) => write!(f, "check error: {msg}"),
+            ChainlangError::Restriction(msg) => {
+                write!(f, "restricted-subset violation: {msg}")
+            }
+            ChainlangError::Codegen(msg) => write!(f, "code generation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainlangError {}
+
+impl From<tc_bitir::BitirError> for ChainlangError {
+    fn from(e: tc_bitir::BitirError) -> Self {
+        ChainlangError::Codegen(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ChainlangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ChainlangError::Parse {
+            line: 7,
+            message: "expected `;`".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(ChainlangError::Restriction("dynamic dispatch".into())
+            .to_string()
+            .contains("dynamic dispatch"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # tc-chainlang — the high-level-language front-end (Julia analogue)
+//!
+//! The paper integrates Three-Chains with Julia by using GPUCompiler.jl to
+//! lower a *restricted, statically analysable subset* of Julia to an LLVM IR
+//! module, which then flows through the unchanged ifunc pipeline.  This crate
+//! reproduces that integration point with **Chainlang**, a tiny statically
+//! typed language:
+//!
+//! ```text
+//! fn main(payload: u64, len: u64, target: u64) -> i64 {
+//!     let delta: u64 = load_u8(payload, 0);
+//!     let counter: u64 = load_u64(target, 0);
+//!     store_u64(target, 0, counter + delta);
+//!     return 0;
+//! }
+//! ```
+//!
+//! * [`parser`] — lexer and recursive-descent parser;
+//! * [`ast`] — the surface syntax tree;
+//! * [`compile`] — the restriction checker (no dynamic dispatch, explicit
+//!   types, whitelisted externals only — the GPUCompiler constraint set) and
+//!   the code generator targeting `tc-bitir`;
+//! * the output [`tc_bitir::Module`] is consumed by `tc-core` exactly like a
+//!   module built through the builder API, so Chainlang ifuncs and "C"
+//!   ifuncs interoperate freely — matching the paper's observation that a
+//!   Julia application can drive C ifuncs and vice versa.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod parser;
+
+pub use ast::{BinOpKind, Expr, FnDef, Program, Stmt, Ty};
+pub use compile::{compile_program, compile_source};
+pub use error::{ChainlangError, Result};
+pub use parser::parse;

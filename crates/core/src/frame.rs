@@ -1,0 +1,351 @@
+//! Ifunc message frames.
+//!
+//! The wire layout follows Figures 2 and 3 of the paper: a fixed HEADER, the
+//! user PAYLOAD, a MAGIC delimiter, then the code section (BINARY for binary
+//! ifuncs, BITCODE + DEPS for bitcode ifuncs) and a trailing MAGIC.  The
+//! caching protocol exploits the layout: the frame is always *constructed* in
+//! full, but when the sender knows the target has already registered this
+//! ifunc type it simply transmits a prefix of the frame that stops after the
+//! first MAGIC — "we control what to send by simply passing different message
+//! size arguments to the UCP PUT interface".  The receiver decides how to
+//! interpret what arrived by checking its own registration table, not by
+//! trusting the sender.
+
+use crate::error::{CoreError, Result};
+
+/// The MAGIC delimiter bytes (one before the code section, one after it).
+pub const FRAME_MAGIC: [u8; 4] = *b"3CMG";
+/// Frame format version.
+pub const FRAME_VERSION: u8 = 2;
+
+/// Code representation carried by a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRepr {
+    /// LLVM-bitcode-analogue (fat-bitcode archive).
+    Bitcode,
+    /// Pre-compiled machine code (ELF-like object).
+    Binary,
+}
+
+impl CodeRepr {
+    /// Stable tag for serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            CodeRepr::Bitcode => 0,
+            CodeRepr::Binary => 1,
+        }
+    }
+
+    /// Inverse of [`CodeRepr::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(CodeRepr::Bitcode),
+            1 => Some(CodeRepr::Binary),
+            _ => None,
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodeRepr::Bitcode => "bitcode",
+            CodeRepr::Binary => "binary",
+        }
+    }
+}
+
+/// A fully materialised ifunc message frame.
+///
+/// The user creates one per logical message; it is never modified by sending
+/// (so it can be re-sent to other endpoints), and the caching layer chooses
+/// how much of its encoding actually travels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageFrame {
+    /// Ifunc library name (the registration key).
+    pub ifunc_name: String,
+    /// Code representation of the code section.
+    pub repr: CodeRepr,
+    /// User payload handed to the ifunc entry function on the target.
+    pub payload: Vec<u8>,
+    /// Encoded code section (fat-bitcode archive or binary object bytes).
+    pub code: Vec<u8>,
+    /// Shared-library dependency names (bitcode frames only; binary objects
+    /// embed their own dependency list).
+    pub deps: Vec<String>,
+}
+
+impl MessageFrame {
+    /// Construct a frame.
+    pub fn new(
+        ifunc_name: impl Into<String>,
+        repr: CodeRepr,
+        payload: Vec<u8>,
+        code: Vec<u8>,
+        deps: Vec<String>,
+    ) -> Self {
+        MessageFrame {
+            ifunc_name: ifunc_name.into(),
+            repr,
+            payload,
+            code,
+            deps,
+        }
+    }
+
+    fn header_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.ifunc_name.len());
+        out.push(FRAME_VERSION);
+        out.push(self.repr.tag());
+        let name = self.ifunc_name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.deps.len() as u16).to_le_bytes());
+        out
+    }
+
+    /// Encode the *full* frame: HEADER | PAYLOAD | MAGIC | CODE | DEPS | MAGIC.
+    pub fn encode_full(&self) -> Vec<u8> {
+        let mut out = self.header_bytes();
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&self.code);
+        for d in &self.deps {
+            let b = d.as_bytes();
+            out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        out.extend_from_slice(&FRAME_MAGIC);
+        out
+    }
+
+    /// Encode the *truncated* frame sent when the target has already cached
+    /// this ifunc type: everything up to and including the first MAGIC, i.e.
+    /// the code section and trailer are elided.
+    pub fn encode_truncated(&self) -> Vec<u8> {
+        let mut out = self.header_bytes();
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out
+    }
+
+    /// Size in bytes of the full encoding.
+    pub fn full_size(&self) -> usize {
+        self.encode_full().len()
+    }
+
+    /// Size in bytes of the truncated encoding.
+    pub fn truncated_size(&self) -> usize {
+        self.encode_truncated().len()
+    }
+
+    /// Decode a frame from received bytes.  Returns the frame contents plus a
+    /// flag saying whether the code section was present (full frame) or
+    /// elided (truncated frame).
+    pub fn decode(bytes: &[u8]) -> Result<DecodedFrame> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if bytes.len() < *pos + n {
+                return Err(CoreError::Frame(format!(
+                    "truncated header: need {n} bytes at offset {pos}",
+                    pos = *pos
+                )));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+
+        let version = take(&mut pos, 1)?[0];
+        if version != FRAME_VERSION {
+            return Err(CoreError::Frame(format!("unsupported frame version {version}")));
+        }
+        let repr_tag = take(&mut pos, 1)?[0];
+        let repr = CodeRepr::from_tag(repr_tag)
+            .ok_or_else(|| CoreError::Frame(format!("bad code representation tag {repr_tag}")))?;
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+            .map_err(|_| CoreError::Frame("ifunc name is not UTF-8".into()))?;
+        let payload_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let code_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let deps_count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let payload = take(&mut pos, payload_len)?.to_vec();
+        let magic = take(&mut pos, 4)?;
+        if magic != FRAME_MAGIC {
+            return Err(CoreError::Frame("missing payload/code MAGIC delimiter".into()));
+        }
+
+        if pos == bytes.len() {
+            // Truncated frame: code section elided by the sender-side cache.
+            return Ok(DecodedFrame {
+                ifunc_name: name,
+                repr,
+                payload,
+                code: None,
+                deps: Vec::new(),
+            });
+        }
+
+        let code = take(&mut pos, code_len)?.to_vec();
+        let mut deps = Vec::with_capacity(deps_count);
+        for _ in 0..deps_count {
+            let dlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let dep = String::from_utf8(take(&mut pos, dlen)?.to_vec())
+                .map_err(|_| CoreError::Frame("dependency name is not UTF-8".into()))?;
+            deps.push(dep);
+        }
+        let trailer = take(&mut pos, 4)?;
+        if trailer != FRAME_MAGIC {
+            return Err(CoreError::Frame("missing trailer MAGIC delimiter".into()));
+        }
+        if pos != bytes.len() {
+            return Err(CoreError::Frame(format!(
+                "{} trailing bytes after trailer MAGIC",
+                bytes.len() - pos
+            )));
+        }
+        Ok(DecodedFrame {
+            ifunc_name: name,
+            repr,
+            payload,
+            code: Some(code),
+            deps,
+        })
+    }
+}
+
+/// A decoded frame as seen by the receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame {
+    /// Ifunc library name.
+    pub ifunc_name: String,
+    /// Code representation.
+    pub repr: CodeRepr,
+    /// User payload.
+    pub payload: Vec<u8>,
+    /// Code section bytes; `None` when the sender elided them (cached path).
+    pub code: Option<Vec<u8>>,
+    /// Dependency names (empty for truncated frames).
+    pub deps: Vec<String>,
+}
+
+impl DecodedFrame {
+    /// True when the code section was elided by the sender.
+    pub fn is_truncated(&self) -> bool {
+        self.code.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> MessageFrame {
+        MessageFrame::new(
+            "tsi",
+            CodeRepr::Bitcode,
+            vec![1],
+            vec![0xAB; 5000],
+            vec!["libc.so".into(), "libm.so".into()],
+        )
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let f = frame();
+        let decoded = MessageFrame::decode(&f.encode_full()).unwrap();
+        assert_eq!(decoded.ifunc_name, "tsi");
+        assert_eq!(decoded.repr, CodeRepr::Bitcode);
+        assert_eq!(decoded.payload, vec![1]);
+        assert_eq!(decoded.code.as_deref(), Some(&[0xABu8; 5000][..]));
+        assert_eq!(decoded.deps.len(), 2);
+        assert!(!decoded.is_truncated());
+    }
+
+    #[test]
+    fn truncated_roundtrip() {
+        let f = frame();
+        let decoded = MessageFrame::decode(&f.encode_truncated()).unwrap();
+        assert!(decoded.is_truncated());
+        assert_eq!(decoded.payload, vec![1]);
+        assert!(decoded.deps.is_empty());
+    }
+
+    #[test]
+    fn truncated_is_dramatically_smaller() {
+        // Paper: 26 bytes cached vs 5185 bytes uncached for the TSI ifunc.
+        let f = frame();
+        assert!(f.truncated_size() < 64);
+        assert!(f.full_size() > 5000);
+        assert!(f.full_size() > f.truncated_size() * 50);
+    }
+
+    #[test]
+    fn truncated_size_close_to_paper_for_one_byte_payload() {
+        // Header (1+1+2+3 name) + lens (4+4+2) + payload (1) + magic (4) = 22
+        // for a 3-character name — the same order as the paper's 26 bytes.
+        let f = MessageFrame::new("tsi", CodeRepr::Bitcode, vec![7], vec![0; 5159], vec![]);
+        let sz = f.truncated_size();
+        assert!((20..=34).contains(&sz), "truncated size {sz}");
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let f = frame();
+        let mut bytes = f.encode_full();
+        // Find and damage the first MAGIC (right after header+payload).
+        let hdr = f.encode_truncated().len();
+        bytes[hdr - 1] ^= 0xff;
+        assert!(MessageFrame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_and_repr_rejected() {
+        let f = frame();
+        let mut bytes = f.encode_full();
+        bytes[0] = 99;
+        assert!(MessageFrame::decode(&bytes).is_err());
+
+        let mut bytes = f.encode_full();
+        bytes[1] = 9;
+        assert!(MessageFrame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_in_the_middle_rejected() {
+        let f = frame();
+        let bytes = f.encode_full();
+        // Anything between the truncated length and the full length is a
+        // malformed frame (decode must not panic and must error).
+        for cut in [f.truncated_size() + 1, f.truncated_size() + 100, bytes.len() - 1] {
+            assert!(MessageFrame::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let f = frame();
+        let mut bytes = f.encode_full();
+        bytes.push(0);
+        assert!(MessageFrame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn binary_repr_frames_work_too() {
+        let f = MessageFrame::new("two_chains", CodeRepr::Binary, vec![9; 16], vec![1; 75], vec![]);
+        let decoded = MessageFrame::decode(&f.encode_full()).unwrap();
+        assert_eq!(decoded.repr, CodeRepr::Binary);
+        assert_eq!(decoded.code.unwrap().len(), 75);
+    }
+
+    #[test]
+    fn empty_payload_and_empty_code_frames() {
+        let f = MessageFrame::new("noop", CodeRepr::Bitcode, vec![], vec![], vec![]);
+        let full = MessageFrame::decode(&f.encode_full()).unwrap();
+        assert!(!full.is_truncated());
+        assert_eq!(full.code.unwrap().len(), 0);
+        let trunc = MessageFrame::decode(&f.encode_truncated()).unwrap();
+        assert!(trunc.is_truncated());
+    }
+}

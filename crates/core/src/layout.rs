@@ -1,0 +1,119 @@
+//! Node memory-layout conventions and X-RDMA result-return plumbing.
+//!
+//! Every simulated process element owns a sparse 64-bit address space.  The
+//! framework reserves a few well-known regions in it:
+//!
+//! | region | base | purpose |
+//! |---|---|---|
+//! | payload staging | [`PAYLOAD_STAGING_BASE`] | where an arriving ifunc's payload is placed before `main(payload_ptr, len, target_ptr)` is invoked |
+//! | target region | [`TARGET_REGION_BASE`] | the "user-defined target pointer" handed to every ifunc (the TSI counter lives at its first word) |
+//! | result mailbox | [`RESULT_MAILBOX_BASE`] | where X-RDMA `ReturnResult` operations PUT their `(flag, value)` pairs |
+//! | data region | [`DATA_REGION_BASE`] | workload data such as the DAPC pointer-table shard |
+//!
+//! The result mailbox implements the paper's *ReturnResult* X-RDMA operation:
+//! the final ifunc in a chase PUTs the result into the requesting client's
+//! mailbox slot; the client discovers completion by polling the slot's flag
+//! word — a pure one-sided completion path.
+
+/// Base address of the payload staging buffer.
+pub const PAYLOAD_STAGING_BASE: u64 = 0x1000_0000;
+/// Base address of the user target region.
+pub const TARGET_REGION_BASE: u64 = 0x2000_0000;
+/// Base address of the X-RDMA result mailbox.
+pub const RESULT_MAILBOX_BASE: u64 = 0x3000_0000;
+/// Number of result mailbox slots.
+pub const RESULT_MAILBOX_SLOTS: u64 = 4096;
+/// Bytes per result mailbox slot: a completion flag word and a value word.
+pub const RESULT_SLOT_BYTES: u64 = 16;
+/// Base address of the workload data region (pointer-table shards, etc.).
+pub const DATA_REGION_BASE: u64 = 0x4000_0000;
+
+/// Address of result-mailbox slot `slot`.
+pub fn result_slot_addr(slot: u64) -> u64 {
+    RESULT_MAILBOX_BASE + (slot % RESULT_MAILBOX_SLOTS) * RESULT_SLOT_BYTES
+}
+
+/// True when `addr` falls inside the result mailbox region.
+pub fn is_result_mailbox_addr(addr: u64) -> bool {
+    (RESULT_MAILBOX_BASE..RESULT_MAILBOX_BASE + RESULT_MAILBOX_SLOTS * RESULT_SLOT_BYTES)
+        .contains(&addr)
+}
+
+/// Slot index of a result-mailbox address.
+pub fn result_slot_of_addr(addr: u64) -> Option<u64> {
+    if is_result_mailbox_addr(addr) {
+        Some((addr - RESULT_MAILBOX_BASE) / RESULT_SLOT_BYTES)
+    } else {
+        None
+    }
+}
+
+/// Encode a result-mailbox record: flag word (1 = complete) followed by the
+/// value word.
+pub fn encode_result_record(value: u64) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&1u64.to_le_bytes());
+    out[8..].copy_from_slice(&value.to_le_bytes());
+    out
+}
+
+/// Decode a result-mailbox record, returning the value if the flag says the
+/// record is complete.
+pub fn decode_result_record(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 16 {
+        return None;
+    }
+    let flag = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+    if flag == 1 {
+        Some(u64::from_le_bytes(bytes[8..16].try_into().ok()?))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let regions = [
+            PAYLOAD_STAGING_BASE,
+            TARGET_REGION_BASE,
+            RESULT_MAILBOX_BASE,
+            DATA_REGION_BASE,
+        ];
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(a.abs_diff(*b) >= 0x1000_0000);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_addressing_roundtrips() {
+        for slot in [0u64, 1, 17, RESULT_MAILBOX_SLOTS - 1] {
+            let addr = result_slot_addr(slot);
+            assert!(is_result_mailbox_addr(addr));
+            assert_eq!(result_slot_of_addr(addr), Some(slot));
+        }
+        assert!(!is_result_mailbox_addr(TARGET_REGION_BASE));
+        assert_eq!(result_slot_of_addr(DATA_REGION_BASE), None);
+    }
+
+    #[test]
+    fn slot_index_wraps_instead_of_escaping_the_region() {
+        let addr = result_slot_addr(RESULT_MAILBOX_SLOTS + 3);
+        assert!(is_result_mailbox_addr(addr));
+        assert_eq!(result_slot_of_addr(addr), Some(3));
+    }
+
+    #[test]
+    fn result_record_roundtrip() {
+        let rec = encode_result_record(0xdead_beef);
+        assert_eq!(decode_result_record(&rec), Some(0xdead_beef));
+        let incomplete = [0u8; 16];
+        assert_eq!(decode_result_record(&incomplete), None);
+        assert_eq!(decode_result_record(&[1, 2, 3]), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! # tc-core — the Three-Chains framework
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! user-space framework for moving *compute and data* between processing
+//! elements of a distributed heterogeneous system.
+//!
+//! * [`ifunc`] — ifunc libraries, the toolchain (fat-bitcode archives and
+//!   per-target binary objects), registration and message creation;
+//! * [`frame`] — the message frame layout of Figures 2 and 3, including the
+//!   truncated (code-elided) encoding the caching protocol transmits;
+//! * [`cache`] — the sender-side `(ifunc, endpoint)` code cache;
+//! * [`runtime`] — the per-node runtime: polling, auto-registration,
+//!   JIT-or-load, invocation, recursive propagation, X-RDMA result return and
+//!   the Active-Message baseline;
+//! * [`layout`] — node memory-layout conventions (payload staging, target
+//!   region, X-RDMA result mailbox, data region);
+//! * [`metrics`] — processing outcomes and counters consumed by the cost
+//!   model;
+//! * [`sim`] — the timed cluster simulation driving node runtimes over the
+//!   calibrated `tc-simnet` fabric/CPU models — the engine behind every
+//!   table and figure reproduction.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tc_core::prelude::*;
+//! use tc_bitir::{ModuleBuilder, ScalarType, BinOp};
+//!
+//! // 1. Write an ifunc library (the "C path"): add the payload's first byte
+//! //    to a counter behind the target pointer.
+//! let mut mb = ModuleBuilder::new("quick_tsi");
+//! {
+//!     let mut f = mb.entry_function();
+//!     let payload = f.param(0);
+//!     let target = f.param(2);
+//!     let delta = f.load(ScalarType::U8, payload, 0);
+//!     let counter = f.load(ScalarType::U64, target, 0);
+//!     let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+//!     f.store(ScalarType::U64, sum, target, 0);
+//!     let zero = f.const_i64(0);
+//!     f.ret(zero);
+//!     f.finish();
+//! }
+//! let module = mb.build();
+//!
+//! // 2. Run the toolchain and register the library.
+//! let library = build_ifunc_library(&module, &ToolchainOptions::default()).unwrap();
+//!
+//! // 3. Spin up a simulated heterogeneous cluster (Xeon client, DPU servers)
+//! //    and inject the ifunc.
+//! let mut sim = ClusterSim::new(tc_simnet::Platform::thor_bf2(), 2);
+//! let handle = sim.register_on_client(library);
+//! let msg = sim.client_mut().create_bitcode_message(handle, vec![5]).unwrap();
+//! sim.client_send_ifunc(&msg, 1);
+//! sim.run_until_idle(1_000);
+//! assert_eq!(sim.node(1).stats.ifuncs_executed, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod error;
+pub mod frame;
+pub mod ifunc;
+pub mod layout;
+pub mod metrics;
+pub mod runtime;
+pub mod sim;
+
+pub use cache::{SendDecision, SenderCache};
+pub use error::{CoreError, Result};
+pub use frame::{CodeRepr, DecodedFrame, MessageFrame, FRAME_MAGIC};
+pub use ifunc::{
+    build_ifunc_library, IfuncHandle, IfuncLibrary, IfuncMessage, IfuncRegistry, ToolchainOptions,
+};
+pub use metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
+pub use runtime::{AmContext, Completion, HostAction, NativeAmHandler, NodeRuntime};
+pub use sim::{ClusterSim, DeliveryRecord, TimingLog};
+
+/// Commonly used items, re-exported for examples and downstream crates.
+pub mod prelude {
+    pub use crate::cache::{SendDecision, SenderCache};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::frame::{CodeRepr, MessageFrame};
+    pub use crate::ifunc::{
+        build_ifunc_library, IfuncHandle, IfuncLibrary, IfuncMessage, IfuncRegistry,
+        ToolchainOptions,
+    };
+    pub use crate::layout::{
+        DATA_REGION_BASE, PAYLOAD_STAGING_BASE, RESULT_MAILBOX_BASE, TARGET_REGION_BASE,
+    };
+    pub use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
+    pub use crate::runtime::{AmContext, Completion, HostAction, NativeAmHandler, NodeRuntime};
+    pub use crate::sim::{ClusterSim, DeliveryRecord, TimingLog};
+}

@@ -1,0 +1,108 @@
+//! Processing outcomes and runtime counters.
+//!
+//! The runtime reports *what happened* (an ifunc was JIT-compiled, a cached
+//! ifunc was launched, an AM handler ran, …) together with the raw quantities
+//! a cost model needs (bitcode bytes compiled, interpreter cycles retired).
+//! The discrete-event simulator converts those into virtual time using the
+//! platform's CPU profile, which keeps all calibration outside the runtime —
+//! the same split the paper uses when it decomposes end-to-end latency into
+//! transmission, lookup, JIT and execution (Tables I–III).
+
+/// What kind of work handling one delivered message involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// A one-sided PUT was applied to local memory.
+    PutApplied,
+    /// A GET request was served (reply posted).
+    GetServed,
+    /// A previously posted GET completed locally.
+    GetCompleted,
+    /// A predeployed Active-Message handler executed.
+    AmExecuted,
+    /// An ifunc executed from the local code cache (truncated or re-sent
+    /// frame, no compilation).
+    IfuncExecutedCached,
+    /// An ifunc arrived as a full frame, was registered/compiled, then
+    /// executed.
+    IfuncExecutedFirstArrival,
+}
+
+/// The runtime's report about handling one delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessOutcome {
+    /// What happened.
+    pub kind: OutcomeKind,
+    /// Interpreter cycles retired by ifunc/AM execution (0 otherwise).
+    pub exec_cycles: u64,
+    /// Bytes of bitcode that were JIT-compiled (None when no JIT ran).
+    pub jit_bitcode_bytes: Option<usize>,
+    /// True when a binary ifunc was loaded (GOT patch + buffer setup).
+    pub binary_loaded: bool,
+    /// Number of follow-on actions (recursive ifunc sends, PUTs, result
+    /// returns) the handled message emitted.
+    pub actions_emitted: usize,
+    /// Payload bytes delivered to the executed code (0 when nothing ran).
+    pub payload_bytes: usize,
+}
+
+impl ProcessOutcome {
+    /// An outcome with no execution component.
+    pub fn passive(kind: OutcomeKind) -> Self {
+        ProcessOutcome {
+            kind,
+            exec_cycles: 0,
+            jit_bitcode_bytes: None,
+            binary_loaded: false,
+            actions_emitted: 0,
+            payload_bytes: 0,
+        }
+    }
+}
+
+/// Cumulative counters kept by each node runtime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Ifunc frames received with the code section present.
+    pub full_frames_received: u64,
+    /// Ifunc frames received with the code section elided.
+    pub truncated_frames_received: u64,
+    /// Ifunc executions (both cached and first-arrival).
+    pub ifuncs_executed: u64,
+    /// JIT compilations performed.
+    pub jit_compilations: u64,
+    /// Binary ifunc loads performed.
+    pub binary_loads: u64,
+    /// Active-Message handler executions.
+    pub ams_executed: u64,
+    /// GET requests served for remote clients.
+    pub gets_served: u64,
+    /// One-sided PUTs applied to local memory.
+    pub puts_applied: u64,
+    /// Ifunc frames sent (full).
+    pub ifunc_full_sends: u64,
+    /// Ifunc frames sent (truncated).
+    pub ifunc_truncated_sends: u64,
+    /// Total bytes posted to the fabric by this node.
+    pub bytes_sent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_outcome_has_no_costs() {
+        let o = ProcessOutcome::passive(OutcomeKind::PutApplied);
+        assert_eq!(o.exec_cycles, 0);
+        assert_eq!(o.jit_bitcode_bytes, None);
+        assert!(!o.binary_loaded);
+        assert_eq!(o.actions_emitted, 0);
+    }
+
+    #[test]
+    fn stats_default_to_zero() {
+        let s = RuntimeStats::default();
+        assert_eq!(s.ifuncs_executed, 0);
+        assert_eq!(s.bytes_sent, 0);
+    }
+}

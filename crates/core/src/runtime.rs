@@ -1,0 +1,1074 @@
+//! The per-node Three-Chains runtime.
+//!
+//! Every process element (host CPU process or DPU Arm-core process) owns a
+//! [`NodeRuntime`]: the UCP-like worker, the node's memory, the ORC-like JIT
+//! session, the sender-side code cache, the target-side registration table,
+//! and the Active-Message handler table used by the baseline mode.
+//!
+//! The runtime implements both halves of the paper's workflow:
+//!
+//! * **source side** — register ifunc libraries, create messages, send them
+//!   with transparent code-section caching ([`NodeRuntime::send_ifunc`]);
+//! * **target side** — poll for delivered messages
+//!   ([`NodeRuntime::poll`]), auto-register ifuncs on first arrival (JIT the
+//!   bitcode or load the binary), invoke the entry function with the payload
+//!   and the target pointer, and carry out any follow-on actions the running
+//!   ifunc requested (recursive forwards, PUTs, result returns) — the X-RDMA
+//!   behaviour.
+//!
+//! Framework services are exposed to running ifuncs as external symbols
+//! (`tc_node_id`, `tc_put`, `tc_forward_self`, `tc_return_result`, …)
+//! resolved through the execution engine's host interface, mirroring how the
+//! real system lets injected code call back into UCX.
+
+use crate::cache::{SendDecision, SenderCache};
+use crate::error::{CoreError, Result};
+use crate::frame::{CodeRepr, DecodedFrame, MessageFrame};
+use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage, IfuncRegistry};
+use crate::layout::{
+    decode_result_record, encode_result_record, is_result_mailbox_addr, result_slot_addr,
+    result_slot_of_addr, PAYLOAD_STAGING_BASE, TARGET_REGION_BASE,
+};
+use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tc_bitir::{FatBitcode, TargetTriple};
+use tc_jit::{
+    Engine, ExternalHost, JitError, MachModule, Memory, OptLevel, OrcJit, SparseMemory,
+};
+use tc_ucx::{
+    AmHandlerId, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent,
+};
+
+/// Follow-on work requested by executing code (ifunc externals or native AM
+/// handlers); the runtime converts these into posted fabric operations after
+/// the execution completes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostAction {
+    /// One-sided PUT of `data` into `remote_addr` on node `dst`.
+    Put {
+        /// Destination node.
+        dst: WorkerAddr,
+        /// Destination address in the remote node's memory.
+        remote_addr: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Re-send the currently executing ifunc (same code) to `dst` with a new
+    /// payload — the recursive-propagation primitive behind X-RDMA.
+    ForwardSelf {
+        /// Destination node.
+        dst: WorkerAddr,
+        /// New payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Send a (different) registered ifunc by name.
+    SendIfunc {
+        /// Registered ifunc name.
+        name: String,
+        /// Destination node.
+        dst: WorkerAddr,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Send an Active Message to a predeployed handler.
+    SendAm {
+        /// Handler name (must be predeployed on the destination).
+        handler: String,
+        /// Destination node.
+        dst: WorkerAddr,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// X-RDMA ReturnResult: deliver `value` into result-mailbox `slot` on
+    /// node `dst`.
+    ReturnResult {
+        /// Destination (requesting) node.
+        dst: WorkerAddr,
+        /// Mailbox slot index.
+        slot: u64,
+        /// Result value.
+        value: u64,
+    },
+}
+
+/// Execution context handed to native Active-Message handlers.
+pub struct AmContext<'a> {
+    /// This node's rank.
+    pub node_id: u32,
+    /// Number of nodes in the job.
+    pub num_nodes: u32,
+    /// The node's memory.
+    pub memory: &'a mut SparseMemory,
+    /// Follow-on actions the handler wants performed.
+    pub actions: &'a mut Vec<HostAction>,
+}
+
+/// A native (predeployed) Active-Message handler.  Returns an estimated
+/// cycle count for the work it did, used by the cost model.
+pub type NativeAmHandler = Arc<dyn Fn(&mut AmContext<'_>, &[u8]) -> u64 + Send + Sync>;
+
+/// A completion event surfaced to the local application (client-side logic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completion {
+    /// A posted GET finished.
+    Get {
+        /// The GET's request id.
+        request: RequestId,
+        /// Fetched bytes.
+        data: Vec<u8>,
+    },
+    /// An X-RDMA result arrived in the local mailbox.
+    Result {
+        /// Mailbox slot.
+        slot: u64,
+        /// Result value.
+        value: u64,
+    },
+}
+
+/// Target-side record of an ifunc that has been received and registered.
+struct ReceivedIfunc {
+    repr: CodeRepr,
+    /// The code section as originally received (kept so this node can itself
+    /// forward the ifunc to peers that have not seen it — recursive
+    /// propagation).
+    code: Vec<u8>,
+    deps: Vec<String>,
+    /// Loaded machine module for binary ifuncs (bitcode ifuncs live in the
+    /// JIT cache keyed by name).
+    binary: Option<Arc<MachModule>>,
+}
+
+/// The per-node Three-Chains runtime.
+pub struct NodeRuntime {
+    node_id: WorkerAddr,
+    num_nodes: u32,
+    triple: TargetTriple,
+    /// The UCP-like worker owning this node's mailboxes.
+    pub worker: Worker,
+    /// The node's memory.
+    pub memory: SparseMemory,
+    jit: OrcJit,
+    engine: Engine,
+    registry: IfuncRegistry,
+    sender_cache: SenderCache,
+    received: HashMap<String, ReceivedIfunc>,
+    am_handlers: HashMap<String, NativeAmHandler>,
+    am_names: Vec<String>,
+    am_ids: HashMap<String, AmHandlerId>,
+    completions: Vec<Completion>,
+    /// Cumulative counters.
+    pub stats: RuntimeStats,
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("node_id", &self.node_id)
+            .field("num_nodes", &self.num_nodes)
+            .field("triple", &self.triple.name())
+            .field("registered", &self.registry.names())
+            .field("received", &self.received.keys().collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl NodeRuntime {
+    /// Create a runtime for node `node_id` of a `num_nodes`-node job running
+    /// on the given target triple.
+    pub fn new(node_id: WorkerAddr, num_nodes: u32, triple: TargetTriple) -> Self {
+        NodeRuntime {
+            node_id,
+            num_nodes,
+            triple,
+            worker: Worker::new(node_id),
+            memory: SparseMemory::new(),
+            jit: OrcJit::new(triple, OptLevel::O2),
+            engine: Engine::new(),
+            registry: IfuncRegistry::new(),
+            sender_cache: SenderCache::new(),
+            received: HashMap::new(),
+            am_handlers: HashMap::new(),
+            am_names: Vec::new(),
+            am_ids: HashMap::new(),
+            completions: Vec::new(),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// This node's rank.
+    pub fn node_id(&self) -> WorkerAddr {
+        self.node_id
+    }
+
+    /// Number of nodes in the job.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Target triple of this node.
+    pub fn triple(&self) -> TargetTriple {
+        self.triple
+    }
+
+    /// Statistics of the embedded JIT session.
+    pub fn jit_stats(&self) -> tc_jit::JitStats {
+        self.jit.stats()
+    }
+
+    /// Sender-cache statistics `(full_sends, truncated_sends)`.
+    pub fn sender_cache_stats(&self) -> (u64, u64) {
+        (self.sender_cache.full_sends, self.sender_cache.truncated_sends)
+    }
+
+    // --- source-side API ----------------------------------------------------
+
+    /// Register an ifunc library (source side), returning its handle.
+    pub fn register_library(&mut self, library: IfuncLibrary) -> IfuncHandle {
+        self.registry.register(library)
+    }
+
+    /// Look up a registered library handle by name.
+    pub fn library_handle(&self, name: &str) -> Option<IfuncHandle> {
+        self.registry.handle(name)
+    }
+
+    /// Create a bitcode-representation message for a registered library.
+    pub fn create_bitcode_message(
+        &self,
+        handle: IfuncHandle,
+        payload: Vec<u8>,
+    ) -> Result<IfuncMessage> {
+        let lib = self.registry.get(handle)?;
+        Ok(IfuncMessage::bitcode(handle, lib, payload))
+    }
+
+    /// Create a binary-representation message for a registered library,
+    /// targeted at a destination triple.
+    pub fn create_binary_message(
+        &self,
+        handle: IfuncHandle,
+        target_triple: &str,
+        payload: Vec<u8>,
+    ) -> Result<IfuncMessage> {
+        let lib = self.registry.get(handle)?;
+        IfuncMessage::binary(handle, lib, target_triple, payload)
+    }
+
+    /// Send an ifunc message to `dst`, applying the sender-side code cache.
+    /// Returns the number of bytes actually posted to the fabric.
+    pub fn send_ifunc(&mut self, message: &IfuncMessage, dst: WorkerAddr) -> usize {
+        let bytes = match self.sender_cache.on_send(&message.frame.ifunc_name, dst) {
+            SendDecision::SendFull => {
+                self.stats.ifunc_full_sends += 1;
+                message.frame.encode_full()
+            }
+            SendDecision::SendTruncated => {
+                self.stats.ifunc_truncated_sends += 1;
+                message.frame.encode_truncated()
+            }
+        };
+        let len = bytes.len();
+        self.stats.bytes_sent += len as u64;
+        self.worker.post(dst, UcpOp::IfuncFrame { bytes });
+        len
+    }
+
+    /// Post a one-sided GET of `len` bytes at `addr` on node `dst`.
+    pub fn post_get(&mut self, dst: WorkerAddr, addr: u64, len: u64) -> RequestId {
+        self.stats.bytes_sent += 32;
+        self.worker.post(dst, UcpOp::Get { remote_addr: addr, len })
+    }
+
+    /// Post a one-sided PUT of `data` at `addr` on node `dst`.
+    pub fn post_put(&mut self, dst: WorkerAddr, addr: u64, data: Vec<u8>) -> RequestId {
+        self.stats.bytes_sent += (24 + data.len()) as u64;
+        self.worker.post(dst, UcpOp::Put { remote_addr: addr, data })
+    }
+
+    /// Send an Active Message to a predeployed handler on `dst`.  Returns the
+    /// wire size posted.
+    pub fn send_am(&mut self, handler: &str, dst: WorkerAddr, payload: Vec<u8>) -> Result<usize> {
+        let id = self
+            .am_ids
+            .get(handler)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownAmHandler {
+                name: handler.to_string(),
+            })?;
+        let op = UcpOp::ActiveMessage {
+            handler: id,
+            payload,
+        };
+        let size = op.wire_size();
+        self.stats.bytes_sent += size as u64;
+        self.worker.post(dst, op);
+        Ok(size)
+    }
+
+    // --- Active-Message baseline (predeployed code) --------------------------
+
+    /// Predeploy a native Active-Message handler.  Handlers must be deployed
+    /// on every node in the same order so the ids agree cluster-wide, exactly
+    /// like a collectively pre-registered AM table.
+    pub fn deploy_am_handler(&mut self, name: impl Into<String>, handler: NativeAmHandler) -> AmHandlerId {
+        let name = name.into();
+        if let Some(&id) = self.am_ids.get(&name) {
+            self.am_handlers.insert(name, handler);
+            return id;
+        }
+        let id = self.worker.register_am_handler(name.clone());
+        self.am_ids.insert(name.clone(), id);
+        self.am_names.push(name.clone());
+        self.am_handlers.insert(name, handler);
+        id
+    }
+
+    /// Names of predeployed AM handlers, in id order.
+    pub fn am_handler_names(&self) -> &[String] {
+        &self.am_names
+    }
+
+    // --- delivery and polling (target side) ----------------------------------
+
+    /// Drain operations this node has posted (called by the transport driver).
+    pub fn take_outgoing(&mut self) -> Vec<OutgoingMessage> {
+        self.worker.take_outgoing()
+    }
+
+    /// Deliver an in-flight message into this node's worker (called by the
+    /// transport driver when the message arrives).
+    pub fn deliver(&mut self, msg: OutgoingMessage) {
+        self.worker.deliver(msg);
+    }
+
+    /// Poll the worker: handle up to `max_events` delivered messages,
+    /// returning one [`ProcessOutcome`] per handled message.  This is the
+    /// paper's "ifunc polling function" that a daemon thread would call
+    /// periodically.
+    pub fn poll(&mut self, max_events: usize) -> Vec<Result<ProcessOutcome>> {
+        let events = self.worker.progress(max_events);
+        events.into_iter().map(|ev| self.handle_event(ev)).collect()
+    }
+
+    /// Take accumulated client-side completions (GET results, X-RDMA results).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Number of completions waiting to be taken.
+    pub fn completions_pending(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Read the result-mailbox slot `slot`, returning the value if a result
+    /// has arrived (one-sided completion check).
+    pub fn poll_result_slot(&self, slot: u64) -> Option<u64> {
+        let mut buf = [0u8; 16];
+        self.memory.read(result_slot_addr(slot), &mut buf).ok()?;
+        decode_result_record(&buf)
+    }
+
+    /// Clear a result-mailbox slot.
+    pub fn clear_result_slot(&mut self, slot: u64) {
+        let _ = self.memory.write(result_slot_addr(slot), &[0u8; 16]);
+    }
+
+    fn handle_event(&mut self, event: WorkerEvent) -> Result<ProcessOutcome> {
+        match event {
+            WorkerEvent::PutReceived { addr, data, .. } => {
+                self.memory
+                    .write(addr, &data)
+                    .map_err(|e| CoreError::Sim(e.to_string()))?;
+                self.stats.puts_applied += 1;
+                if is_result_mailbox_addr(addr) {
+                    if let (Some(slot), Some(value)) =
+                        (result_slot_of_addr(addr), decode_result_record(&data))
+                    {
+                        self.completions.push(Completion::Result { slot, value });
+                    }
+                }
+                Ok(ProcessOutcome::passive(OutcomeKind::PutApplied))
+            }
+            WorkerEvent::GetRequest { from, addr, len, request } => {
+                let mut data = vec![0u8; len as usize];
+                self.memory
+                    .read(addr, &mut data)
+                    .map_err(|e| CoreError::Sim(e.to_string()))?;
+                self.worker.post(from, UcpOp::GetReply { request, data });
+                self.stats.gets_served += 1;
+                Ok(ProcessOutcome::passive(OutcomeKind::GetServed))
+            }
+            WorkerEvent::GetCompleted { request, data } => {
+                self.completions.push(Completion::Get { request, data });
+                Ok(ProcessOutcome::passive(OutcomeKind::GetCompleted))
+            }
+            WorkerEvent::AmReceived { handler, payload, .. } => self.handle_am(handler, &payload),
+            WorkerEvent::IfuncReceived { bytes, .. } => self.handle_ifunc_frame(&bytes),
+        }
+    }
+
+    fn handle_am(&mut self, handler: AmHandlerId, payload: &[u8]) -> Result<ProcessOutcome> {
+        let name = self
+            .worker
+            .am_handler_name(handler)
+            .ok_or_else(|| CoreError::UnknownAmHandler {
+                name: format!("#{}", handler.0),
+            })?
+            .to_string();
+        let func = self
+            .am_handlers
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownAmHandler { name: name.clone() })?;
+        let mut actions = Vec::new();
+        let cycles = {
+            let mut ctx = AmContext {
+                node_id: self.node_id.0,
+                num_nodes: self.num_nodes,
+                memory: &mut self.memory,
+                actions: &mut actions,
+            };
+            func(&mut ctx, payload)
+        };
+        self.stats.ams_executed += 1;
+        let actions_emitted = actions.len();
+        self.perform_actions(actions, None)?;
+        Ok(ProcessOutcome {
+            kind: OutcomeKind::AmExecuted,
+            exec_cycles: cycles,
+            jit_bitcode_bytes: None,
+            binary_loaded: false,
+            actions_emitted,
+            payload_bytes: payload.len(),
+        })
+    }
+
+    fn handle_ifunc_frame(&mut self, bytes: &[u8]) -> Result<ProcessOutcome> {
+        let frame = MessageFrame::decode(bytes)?;
+        let name = frame.ifunc_name.clone();
+
+        let mut jit_bitcode_bytes = None;
+        let mut binary_loaded = false;
+        let first_arrival;
+
+        if frame.is_truncated() {
+            self.stats.truncated_frames_received += 1;
+            if !self.received.contains_key(&name) {
+                return Err(CoreError::TruncatedWithoutRegistration { name });
+            }
+            first_arrival = false;
+        } else {
+            self.stats.full_frames_received += 1;
+            if self.received.contains_key(&name) {
+                // Code arrived again even though we already have it (e.g. a
+                // different source that had not sent to us before); treat as
+                // cached — no recompilation, matching ORC-JIT's symbol cache.
+                first_arrival = false;
+            } else {
+                first_arrival = true;
+                let registered = self.register_received(&frame)?;
+                jit_bitcode_bytes = registered.0;
+                binary_loaded = registered.1;
+            }
+        }
+
+        let outcome = self.execute_ifunc(&name, &frame.payload)?;
+        self.stats.ifuncs_executed += 1;
+        Ok(ProcessOutcome {
+            kind: if first_arrival {
+                OutcomeKind::IfuncExecutedFirstArrival
+            } else {
+                OutcomeKind::IfuncExecutedCached
+            },
+            exec_cycles: outcome.0,
+            jit_bitcode_bytes,
+            binary_loaded,
+            actions_emitted: outcome.1,
+            payload_bytes: frame.payload.len(),
+        })
+    }
+
+    /// Register a newly arrived full frame.  Returns (jit_bitcode_bytes,
+    /// binary_loaded).
+    fn register_received(&mut self, frame: &DecodedFrame) -> Result<(Option<usize>, bool)> {
+        let code = frame
+            .code
+            .as_ref()
+            .expect("register_received requires a full frame");
+        match frame.repr {
+            CodeRepr::Bitcode => {
+                let fat = FatBitcode::decode(code)?;
+                // The DEPS field of the frame wins over whatever the archive
+                // itself recorded (they are normally identical).
+                let mut fat = fat;
+                for d in &frame.deps {
+                    if !fat.deps.contains(d) {
+                        fat.deps.push(d.clone());
+                    }
+                }
+                let selected_size = fat.select(self.triple).map(|e| e.bitcode.len())?;
+                self.jit.add_fat_bitcode(&fat, &mut self.memory)?;
+                self.stats.jit_compilations += 1;
+                self.received.insert(
+                    frame.ifunc_name.clone(),
+                    ReceivedIfunc {
+                        repr: CodeRepr::Bitcode,
+                        code: code.clone(),
+                        deps: frame.deps.clone(),
+                        binary: None,
+                    },
+                );
+                Ok((Some(selected_size), false))
+            }
+            CodeRepr::Binary => {
+                let obj = tc_binfmt::ObjectFile::decode(code)?;
+                let resolver = FrameworkSymbolResolver;
+                let image = tc_binfmt::load_object(
+                    &obj,
+                    &self.triple.name(),
+                    &resolver,
+                    tc_binfmt::LoadOptions::default(),
+                )?;
+                let mach = tc_jit::module_from_image(&image)?;
+                self.stats.binary_loads += 1;
+                self.received.insert(
+                    frame.ifunc_name.clone(),
+                    ReceivedIfunc {
+                        repr: CodeRepr::Binary,
+                        code: code.clone(),
+                        deps: frame.deps.clone(),
+                        binary: Some(Arc::new(mach)),
+                    },
+                );
+                Ok((None, true))
+            }
+        }
+    }
+
+    /// Execute a registered ifunc with the given payload.  Returns
+    /// (exec_cycles, actions_emitted).
+    fn execute_ifunc(&mut self, name: &str, payload: &[u8]) -> Result<(u64, usize)> {
+        // Stage the payload.
+        self.memory
+            .write(PAYLOAD_STAGING_BASE, payload)
+            .map_err(|e| CoreError::Sim(e.to_string()))?;
+
+        let rec = self.received.get(name).ok_or_else(|| CoreError::UnknownIfunc {
+            name: name.to_string(),
+        })?;
+        let repr = rec.repr;
+        let binary = rec.binary.clone();
+
+        let mut host = FrameworkHost {
+            node_id: self.node_id.0,
+            num_nodes: self.num_nodes,
+            current_ifunc: name.to_string(),
+            actions: Vec::new(),
+        };
+
+        let cycles = match repr {
+            CodeRepr::Bitcode => {
+                let out = self.jit.execute_entry(
+                    name,
+                    PAYLOAD_STAGING_BASE,
+                    payload.len() as u64,
+                    TARGET_REGION_BASE,
+                    &mut self.memory,
+                    &mut host,
+                )?;
+                out.cycles
+            }
+            CodeRepr::Binary => {
+                let mach = binary.expect("binary ifunc without loaded image");
+                let out = self.engine.run(
+                    &mach,
+                    tc_bitir::Module::ENTRY_NAME,
+                    &[PAYLOAD_STAGING_BASE, payload.len() as u64, TARGET_REGION_BASE],
+                    &[],
+                    &mut self.memory,
+                    &mut host,
+                )?;
+                out.cycles
+            }
+        };
+
+        let actions = host.actions;
+        let emitted = actions.len();
+        self.perform_actions(actions, Some(name))?;
+        Ok((cycles, emitted))
+    }
+
+    /// Convert follow-on actions into posted fabric operations.
+    fn perform_actions(
+        &mut self,
+        actions: Vec<HostAction>,
+        current_ifunc: Option<&str>,
+    ) -> Result<()> {
+        for action in actions {
+            match action {
+                HostAction::Put { dst, remote_addr, data } => {
+                    if dst == self.node_id {
+                        self.memory
+                            .write(remote_addr, &data)
+                            .map_err(|e| CoreError::Sim(e.to_string()))?;
+                    } else {
+                        self.post_put(dst, remote_addr, data);
+                    }
+                }
+                HostAction::ForwardSelf { dst, payload } => {
+                    let name = current_ifunc.ok_or_else(|| {
+                        CoreError::Sim("tc_forward_self called outside an ifunc".into())
+                    })?;
+                    self.forward_received(name, dst, payload)?;
+                }
+                HostAction::SendIfunc { name, dst, payload } => {
+                    if let Some(handle) = self.registry.handle(&name) {
+                        let msg = self.create_bitcode_message(handle, payload)?;
+                        self.send_ifunc(&msg, dst);
+                    } else if self.received.contains_key(&name) {
+                        self.forward_received(&name, dst, payload)?;
+                    } else {
+                        return Err(CoreError::UnknownIfunc { name });
+                    }
+                }
+                HostAction::SendAm { handler, dst, payload } => {
+                    self.send_am(&handler, dst, payload)?;
+                }
+                HostAction::ReturnResult { dst, slot, value } => {
+                    let record = encode_result_record(value).to_vec();
+                    if dst == self.node_id {
+                        self.memory
+                            .write(result_slot_addr(slot), &record)
+                            .map_err(|e| CoreError::Sim(e.to_string()))?;
+                        self.completions.push(Completion::Result { slot, value });
+                    } else {
+                        self.post_put(dst, result_slot_addr(slot), record);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward a *received* ifunc onward to another node, re-using its code
+    /// section and applying this node's own sender cache — recursive
+    /// propagation of injected code.
+    fn forward_received(&mut self, name: &str, dst: WorkerAddr, payload: Vec<u8>) -> Result<()> {
+        // Local delivery: execute directly without touching the fabric.
+        if dst == self.node_id {
+            let (_cycles, _emitted) = self.execute_ifunc(name, &payload)?;
+            self.stats.ifuncs_executed += 1;
+            return Ok(());
+        }
+        let rec = self.received.get(name).ok_or_else(|| CoreError::UnknownIfunc {
+            name: name.to_string(),
+        })?;
+        let frame = MessageFrame::new(
+            name.to_string(),
+            rec.repr,
+            payload,
+            rec.code.clone(),
+            rec.deps.clone(),
+        );
+        let bytes = match self.sender_cache.on_send(name, dst) {
+            SendDecision::SendFull => {
+                self.stats.ifunc_full_sends += 1;
+                frame.encode_full()
+            }
+            SendDecision::SendTruncated => {
+                self.stats.ifunc_truncated_sends += 1;
+                frame.encode_truncated()
+            }
+        };
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.worker.post(dst, UcpOp::IfuncFrame { bytes });
+        Ok(())
+    }
+}
+
+/// Resolver used when loading binary ifuncs: framework symbols resolve to
+/// symbolic token addresses (execution dispatches by name through the host
+/// interface, so the addresses only need to exist).
+struct FrameworkSymbolResolver;
+
+impl tc_binfmt::SymbolResolver for FrameworkSymbolResolver {
+    fn resolve(&self, symbol: &str) -> Option<u64> {
+        // Framework and standard-library symbols all resolve; anything else
+        // is unknown, which surfaces the paper's remote-linking failure mode.
+        const KNOWN_PREFIXES: [&str; 2] = ["tc_", "omp_"];
+        const KNOWN_SYMBOLS: [&str; 6] = ["memcpy", "memset", "strlen_u64", "sqrt", "fabs", "pow2"];
+        if KNOWN_PREFIXES.iter().any(|p| symbol.starts_with(p))
+            || KNOWN_SYMBOLS.contains(&symbol)
+        {
+            // Stable fake address derived from the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in symbol.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Some(0x6000_0000_0000 | (h & 0xffff_ffff))
+        } else {
+            None
+        }
+    }
+}
+
+/// The [`ExternalHost`] exposed to executing ifuncs: framework services
+/// reachable as external symbols.
+struct FrameworkHost {
+    node_id: u32,
+    num_nodes: u32,
+    current_ifunc: String,
+    actions: Vec<HostAction>,
+}
+
+impl FrameworkHost {
+    fn read_bytes(mem: &mut dyn Memory, addr: u64, len: u64) -> tc_jit::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        mem.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl ExternalHost for FrameworkHost {
+    fn call_external(
+        &mut self,
+        symbol: &str,
+        args: &[u64],
+        mem: &mut dyn Memory,
+    ) -> tc_jit::Result<u64> {
+        let need = |n: usize| -> tc_jit::Result<()> {
+            if args.len() != n {
+                Err(JitError::Host(format!(
+                    "{symbol} expects {n} arguments, got {}",
+                    args.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match symbol {
+            "tc_node_id" => {
+                need(0)?;
+                Ok(u64::from(self.node_id))
+            }
+            "tc_num_nodes" => {
+                need(0)?;
+                Ok(u64::from(self.num_nodes))
+            }
+            "tc_put" => {
+                // tc_put(dst_node, remote_addr, local_addr, len)
+                need(4)?;
+                let data = Self::read_bytes(mem, args[2], args[3])?;
+                self.actions.push(HostAction::Put {
+                    dst: WorkerAddr(args[0] as u32),
+                    remote_addr: args[1],
+                    data,
+                });
+                Ok(0)
+            }
+            "tc_forward_self" => {
+                // tc_forward_self(dst_node, payload_addr, payload_len)
+                need(3)?;
+                let payload = Self::read_bytes(mem, args[1], args[2])?;
+                self.actions.push(HostAction::ForwardSelf {
+                    dst: WorkerAddr(args[0] as u32),
+                    payload,
+                });
+                Ok(0)
+            }
+            "tc_return_result" => {
+                // tc_return_result(dst_node, slot, value)
+                need(3)?;
+                self.actions.push(HostAction::ReturnResult {
+                    dst: WorkerAddr(args[0] as u32),
+                    slot: args[1],
+                    value: args[2],
+                });
+                Ok(0)
+            }
+            "tc_self_name_len" => {
+                need(0)?;
+                Ok(self.current_ifunc.len() as u64)
+            }
+            other => Err(JitError::UnresolvedSymbol {
+                symbol: other.to_string(),
+            }),
+        }
+    }
+
+    fn external_cost(&self, symbol: &str) -> u64 {
+        match symbol {
+            "tc_node_id" | "tc_num_nodes" | "tc_self_name_len" => 5,
+            // Posting a network operation costs some local work; the fabric
+            // latency itself is charged by the simulator.
+            _ => 150,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ifunc::{build_ifunc_library, ToolchainOptions};
+    use tc_bitir::{BinOp, Module, ModuleBuilder, ScalarType};
+    use tc_jit::MemoryExt;
+    use tc_ucx::LoopbackNetwork;
+
+    fn tsi_module() -> Module {
+        let mut mb = ModuleBuilder::new("tsi");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let target = f.param(2);
+            let delta = f.load(ScalarType::U8, payload, 0);
+            let counter = f.load(ScalarType::U64, target, 0);
+            let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+            f.store(ScalarType::U64, sum, target, 0);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        mb.build()
+    }
+
+    /// An ifunc that returns a result to the client: reads a u64 value from
+    /// the payload, doubles it, and calls tc_return_result(client, slot, v).
+    fn doubler_module() -> Module {
+        let mut mb = ModuleBuilder::new("doubler");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let client = f.load(ScalarType::U64, payload, 0);
+            let slot = f.load(ScalarType::U64, payload, 8);
+            let value = f.load(ScalarType::U64, payload, 16);
+            let two = f.const_u64(2);
+            let doubled = f.bin(BinOp::Mul, ScalarType::U64, value, two);
+            f.call_ext("tc_return_result", vec![client, slot, doubled], true);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        mb.build()
+    }
+
+    fn lib(module: &Module) -> IfuncLibrary {
+        build_ifunc_library(module, &ToolchainOptions::default()).unwrap()
+    }
+
+    /// Move all posted messages between two runtimes until quiescent.
+    fn route(a: &mut NodeRuntime, b: &mut NodeRuntime) -> Vec<Result<ProcessOutcome>> {
+        let mut outcomes = Vec::new();
+        for _ in 0..64 {
+            let mut moved = false;
+            for msg in a.take_outgoing() {
+                let dst = msg.dst;
+                moved = true;
+                if dst == b.node_id() {
+                    b.deliver(msg);
+                } else if dst == a.node_id() {
+                    a.deliver(msg);
+                }
+            }
+            for msg in b.take_outgoing() {
+                let dst = msg.dst;
+                moved = true;
+                if dst == a.node_id() {
+                    a.deliver(msg);
+                } else if dst == b.node_id() {
+                    b.deliver(msg);
+                }
+            }
+            outcomes.extend(a.poll(usize::MAX));
+            outcomes.extend(b.poll(usize::MAX));
+            if !moved && a.worker.pending_inbox() == 0 && b.worker.pending_inbox() == 0 {
+                break;
+            }
+        }
+        outcomes
+    }
+
+    #[test]
+    fn first_send_jits_then_caches() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_BF2);
+        let handle = client.register_library(lib(&tsi_module()));
+        let msg = client.create_bitcode_message(handle, vec![5]).unwrap();
+
+        // Seed the server's counter.
+        server.memory.write_u64(TARGET_REGION_BASE, 100).unwrap();
+
+        let first_size = client.send_ifunc(&msg, WorkerAddr(1));
+        let outcomes = route(&mut client, &mut server);
+        let exec: Vec<_> = outcomes.into_iter().map(|o| o.unwrap()).collect();
+        let first = exec
+            .iter()
+            .find(|o| matches!(o.kind, OutcomeKind::IfuncExecutedFirstArrival))
+            .expect("first arrival outcome");
+        assert!(first.jit_bitcode_bytes.unwrap() > 500);
+        assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 105);
+
+        // Second send: truncated frame, no recompilation, still executes.
+        let second_size = client.send_ifunc(&msg, WorkerAddr(1));
+        assert!(second_size * 20 < first_size, "cached frame must be tiny");
+        let outcomes = route(&mut client, &mut server);
+        let exec: Vec<_> = outcomes.into_iter().map(|o| o.unwrap()).collect();
+        assert!(exec
+            .iter()
+            .any(|o| matches!(o.kind, OutcomeKind::IfuncExecutedCached)));
+        assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 110);
+        assert_eq!(server.jit_stats().compilations, 1);
+        assert_eq!(server.stats.truncated_frames_received, 1);
+    }
+
+    #[test]
+    fn binary_ifunc_roundtrip_on_matching_isa() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_XEON);
+        let handle = client.register_library(lib(&tsi_module()));
+        let msg = client
+            .create_binary_message(handle, "x86_64-xeon-e5-sim", vec![3])
+            .unwrap();
+        server.memory.write_u64(TARGET_REGION_BASE, 1).unwrap();
+        client.send_ifunc(&msg, WorkerAddr(1));
+        let outcomes = route(&mut client, &mut server);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 4);
+        assert_eq!(server.stats.binary_loads, 1);
+        assert_eq!(server.jit_stats().compilations, 0, "binary path must not JIT");
+    }
+
+    #[test]
+    fn binary_ifunc_rejected_on_wrong_isa() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_BF2);
+        let handle = client.register_library(lib(&tsi_module()));
+        // Client (x86) builds a binary for its own ISA and sends it to the Arm DPU.
+        let msg = client
+            .create_binary_message(handle, "x86_64-xeon-e5-sim", vec![3])
+            .unwrap();
+        client.send_ifunc(&msg, WorkerAddr(1));
+        let outcomes = route(&mut client, &mut server);
+        assert!(
+            outcomes.iter().any(|o| matches!(o, Err(CoreError::BinaryLoad(_)))),
+            "loading an x86 binary on an Arm DPU must fail"
+        );
+    }
+
+    #[test]
+    fn truncated_frame_to_fresh_node_is_an_error() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 3, TargetTriple::THOR_XEON);
+        let mut server_a = NodeRuntime::new(WorkerAddr(1), 3, TargetTriple::THOR_BF2);
+        let mut server_b = NodeRuntime::new(WorkerAddr(2), 3, TargetTriple::THOR_BF2);
+        let handle = client.register_library(lib(&tsi_module()));
+        let msg = client.create_bitcode_message(handle, vec![1]).unwrap();
+
+        // Prime server A so the cache records (tsi, A)...
+        client.send_ifunc(&msg, WorkerAddr(1));
+        route(&mut client, &mut server_a);
+
+        // ...then forge the situation by sending a *truncated* frame straight
+        // to server B (bypassing the cache), which has never seen the code.
+        let bytes = msg.frame.encode_truncated();
+        client.worker.post(WorkerAddr(2), UcpOp::IfuncFrame { bytes });
+        for m in client.take_outgoing() {
+            server_b.deliver(m);
+        }
+        let outcomes = server_b.poll(usize::MAX);
+        assert!(matches!(
+            outcomes[0],
+            Err(CoreError::TruncatedWithoutRegistration { .. })
+        ));
+    }
+
+    #[test]
+    fn xrdma_return_result_reaches_client_mailbox() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_BF2);
+        let handle = client.register_library(lib(&doubler_module()));
+
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u64.to_le_bytes()); // client node id
+        payload.extend_from_slice(&7u64.to_le_bytes()); // mailbox slot
+        payload.extend_from_slice(&21u64.to_le_bytes()); // value to double
+        let msg = client.create_bitcode_message(handle, payload).unwrap();
+        client.send_ifunc(&msg, WorkerAddr(1));
+        route(&mut client, &mut server);
+
+        assert_eq!(client.poll_result_slot(7), Some(42));
+        let completions = client.take_completions();
+        assert!(completions.contains(&Completion::Result { slot: 7, value: 42 }));
+        client.clear_result_slot(7);
+        assert_eq!(client.poll_result_slot(7), None);
+    }
+
+    #[test]
+    fn get_request_is_served_from_node_memory() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_XEON);
+        server.memory.write_u64(crate::layout::DATA_REGION_BASE, 0xfeed).unwrap();
+        let req = client.post_get(WorkerAddr(1), crate::layout::DATA_REGION_BASE, 8);
+        route(&mut client, &mut server);
+        let completions = client.take_completions();
+        match &completions[0] {
+            Completion::Get { request, data } => {
+                assert_eq!(*request, req);
+                assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), 0xfeed);
+            }
+            other => panic!("unexpected completion {other:?}"),
+        }
+        assert_eq!(server.stats.gets_served, 1);
+    }
+
+    #[test]
+    fn am_baseline_executes_predeployed_handler() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_BF2);
+        // Predeploy the increment handler on both nodes (same order ⇒ same id).
+        let handler: NativeAmHandler = Arc::new(|ctx, payload| {
+            let delta = u64::from(payload.first().copied().unwrap_or(0));
+            let old = ctx.memory.read_u64(TARGET_REGION_BASE).unwrap_or(0);
+            let _ = ctx.memory.write_u64(TARGET_REGION_BASE, old + delta);
+            30
+        });
+        client.deploy_am_handler("tsi_increment", handler.clone());
+        server.deploy_am_handler("tsi_increment", handler);
+
+        server.memory.write_u64(TARGET_REGION_BASE, 40).unwrap();
+        let size = client.send_am("tsi_increment", WorkerAddr(1), vec![2]).unwrap();
+        assert!(size < 64, "AM request must be tiny ({size} bytes)");
+        route(&mut client, &mut server);
+        assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 42);
+        assert_eq!(server.stats.ams_executed, 1);
+
+        assert!(client.send_am("not_deployed", WorkerAddr(1), vec![]).is_err());
+    }
+
+    #[test]
+    fn cached_frame_sizes_match_paper_scale() {
+        let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
+        let handle = client.register_library(lib(&tsi_module()));
+        let msg = client.create_bitcode_message(handle, vec![1]).unwrap();
+        let full = client.send_ifunc(&msg, WorkerAddr(1));
+        let truncated = client.send_ifunc(&msg, WorkerAddr(1));
+        // Paper: 26 B cached vs 5185 B uncached.  Our encodings differ in
+        // absolute size (five targets in the archive) but the ratio and the
+        // "tens of bytes vs kilobytes" split must hold.
+        assert!(truncated < 64, "truncated {truncated}");
+        assert!(full > 2_000, "full {full}");
+    }
+
+    #[test]
+    fn loopback_network_integration() {
+        // Exercise the ucx loopback driver end-to-end with runtimes attached.
+        let net = LoopbackNetwork::new(1);
+        assert_eq!(net.len(), 1);
+        // (The runtimes own their workers; the loopback network is exercised
+        // directly in tc-ucx tests.  Here we only check constructibility so
+        // the dependency stays honest.)
+        assert!(!net.is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! The timed cluster simulation: node runtimes driven by the discrete-event
+//! engine over the calibrated fabric and CPU models.
+//!
+//! [`ClusterSim`] instantiates one client runtime (rank 0) and `N` server
+//! runtimes (ranks 1..=N) on a [`tc_simnet::Platform`], then carries every
+//! posted fabric operation through the event queue:
+//!
+//! * each operation leaves its sender no earlier than the sender's
+//!   *injection gap* allows (this is what bounds message rate);
+//! * it arrives after the fabric *latency* for its size and class;
+//! * handling it on the destination costs virtual CPU time: AM dispatch,
+//!   cached-ifunc lookup, JIT compilation (first arrival), binary load, and
+//!   the interpreter's cycle count converted at the node's clock;
+//! * anything the handled message itself posted (recursive forwards, result
+//!   returns, GET replies) departs after that processing completes.
+//!
+//! Every delivery is appended to a [`TimingLog`] so the benchmark harness can
+//! reconstruct the paper's overhead breakdown (transmission / lookup / JIT /
+//! execution) without re-instrumenting the runtime.
+
+use crate::error::Result;
+use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage};
+use crate::metrics::{OutcomeKind, ProcessOutcome};
+use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use tc_bitir::TargetTriple;
+use tc_jit::OptLevel;
+use tc_simnet::{EventQueue, FabricOp, Platform, SimDuration, SimTime};
+use tc_ucx::{OutgoingMessage, RequestId, UcpOp, WorkerAddr};
+
+/// One record per delivered-and-processed fabric operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryRecord {
+    /// Node that processed the operation.
+    pub node: u32,
+    /// Virtual time at which the operation arrived.
+    pub arrival: SimTime,
+    /// Virtual time at which processing finished.
+    pub done: SimTime,
+    /// What the processing was.
+    pub kind: OutcomeKind,
+    /// Bytes the operation put on the wire.
+    pub wire_bytes: usize,
+    /// Fabric latency charged for the operation.
+    pub transmission: SimDuration,
+    /// Lookup / dispatch overhead charged.
+    pub lookup: SimDuration,
+    /// JIT compilation time charged (zero unless this was a first arrival of
+    /// a bitcode ifunc).
+    pub jit: SimDuration,
+    /// Binary-load time charged (zero unless this was a first arrival of a
+    /// binary ifunc).
+    pub binary_load: SimDuration,
+    /// Execution time charged for the kernel itself.
+    pub exec: SimDuration,
+}
+
+impl DeliveryRecord {
+    /// Total target-side processing time (lookup + JIT + load + exec).
+    pub fn processing(&self) -> SimDuration {
+        self.lookup + self.jit + self.binary_load + self.exec
+    }
+
+    /// End-to-end time for this operation (transmission + processing).
+    pub fn end_to_end(&self) -> SimDuration {
+        self.transmission + self.processing()
+    }
+}
+
+/// The accumulated log of all deliveries in a simulation.
+#[derive(Debug, Default, Clone)]
+pub struct TimingLog {
+    /// Records in processing order.
+    pub records: Vec<DeliveryRecord>,
+}
+
+impl TimingLog {
+    /// Records matching a predicate.
+    pub fn matching<'a>(
+        &'a self,
+        mut pred: impl FnMut(&DeliveryRecord) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a DeliveryRecord> + 'a {
+        self.records.iter().filter(move |r| pred(r))
+    }
+
+    /// The most recent record of a given outcome kind.
+    pub fn last_of_kind(&self, kind: OutcomeKind) -> Option<&DeliveryRecord> {
+        self.records.iter().rev().find(|r| r.kind == kind)
+    }
+}
+
+#[derive(Debug)]
+struct InFlight {
+    msg: OutgoingMessage,
+    transmission: SimDuration,
+    wire_bytes: usize,
+}
+
+/// The timed cluster simulation.
+pub struct ClusterSim {
+    platform: Platform,
+    nodes: Vec<NodeRuntime>,
+    queue: EventQueue<InFlight>,
+    /// Earliest time each node's CPU is free to process the next arrival.
+    node_ready_at: Vec<SimTime>,
+    /// Earliest time each node's fabric injection port is free.
+    link_ready_at: Vec<SimTime>,
+    /// Timing log of every processed delivery.
+    pub timings: TimingLog,
+    opt_cost_factor: f64,
+    errors: Vec<crate::error::CoreError>,
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("platform", &self.platform.name)
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.queue.now())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl ClusterSim {
+    /// Create a simulation with one client (rank 0) and `servers` server
+    /// nodes (ranks 1..=servers) on the given platform.
+    pub fn new(platform: Platform, servers: usize) -> Self {
+        let total = servers + 1;
+        let client_triple = TargetTriple::parse(platform.client_triple)
+            .unwrap_or(TargetTriple::X86_64_GENERIC);
+        let server_triple = TargetTriple::parse(platform.server_triple)
+            .unwrap_or(TargetTriple::AARCH64_GENERIC);
+        let nodes = (0..total)
+            .map(|i| {
+                let triple = if i == 0 { client_triple } else { server_triple };
+                NodeRuntime::new(WorkerAddr(i as u32), total as u32, triple)
+            })
+            .collect();
+        ClusterSim {
+            platform,
+            nodes,
+            queue: EventQueue::new(),
+            node_ready_at: vec![SimTime::ZERO; total],
+            link_ready_at: vec![SimTime::ZERO; total],
+            timings: TimingLog::default(),
+            opt_cost_factor: OptLevel::O2.compile_cost_factor(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// The platform this simulation models.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of nodes (client + servers).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of server nodes.
+    pub fn server_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Errors collected from node runtimes during event processing.
+    pub fn errors(&self) -> &[crate::error::CoreError] {
+        &self.errors
+    }
+
+    /// Access a node runtime (0 = client).
+    pub fn node(&self, rank: usize) -> &NodeRuntime {
+        &self.nodes[rank]
+    }
+
+    /// Mutable access to a node runtime (0 = client).
+    pub fn node_mut(&mut self, rank: usize) -> &mut NodeRuntime {
+        &mut self.nodes[rank]
+    }
+
+    /// The client runtime.
+    pub fn client(&self) -> &NodeRuntime {
+        &self.nodes[0]
+    }
+
+    /// Mutable client runtime.
+    pub fn client_mut(&mut self) -> &mut NodeRuntime {
+        &mut self.nodes[0]
+    }
+
+    /// Register an ifunc library on the client, returning its handle.
+    pub fn register_on_client(&mut self, library: IfuncLibrary) -> IfuncHandle {
+        self.nodes[0].register_library(library)
+    }
+
+    /// Predeploy a native Active-Message handler on every node (the AM
+    /// baseline requires code presence everywhere).
+    pub fn deploy_am_everywhere(&mut self, name: &str, handler: NativeAmHandler) {
+        for node in &mut self.nodes {
+            node.deploy_am_handler(name.to_string(), handler.clone());
+        }
+    }
+
+    /// Send an ifunc message from the client to server rank `dst`.
+    pub fn client_send_ifunc(&mut self, message: &IfuncMessage, dst: usize) -> usize {
+        let bytes = self.nodes[0].send_ifunc(message, WorkerAddr(dst as u32));
+        self.flush_node(0);
+        bytes
+    }
+
+    /// Send an Active Message from the client to server rank `dst`.
+    pub fn client_send_am(&mut self, handler: &str, dst: usize, payload: Vec<u8>) -> Result<usize> {
+        let size = self.nodes[0].send_am(handler, WorkerAddr(dst as u32), payload)?;
+        self.flush_node(0);
+        Ok(size)
+    }
+
+    /// Post a GET from the client against server rank `dst`.
+    pub fn client_get(&mut self, dst: usize, addr: u64, len: u64) -> RequestId {
+        let req = self.nodes[0].post_get(WorkerAddr(dst as u32), addr, len);
+        self.flush_node(0);
+        req
+    }
+
+    /// Post a PUT from the client against server rank `dst`.
+    pub fn client_put(&mut self, dst: usize, addr: u64, data: Vec<u8>) -> RequestId {
+        let req = self.nodes[0].post_put(WorkerAddr(dst as u32), addr, data);
+        self.flush_node(0);
+        req
+    }
+
+    /// Run until the event queue drains or `max_events` have been processed.
+    /// Returns the virtual time at the end.
+    pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
+        let mut processed = 0u64;
+        while processed < max_events {
+            if !self.step() {
+                break;
+            }
+            processed += 1;
+        }
+        self.queue.now()
+    }
+
+    /// Run until the client has accumulated `count` completions (GET results
+    /// or X-RDMA results), the queue drains, or `max_events` is exceeded.
+    /// Returns the completions collected (possibly fewer than requested).
+    pub fn run_until_client_completions(
+        &mut self,
+        count: usize,
+        max_events: u64,
+    ) -> Vec<Completion> {
+        let mut collected = Vec::new();
+        collected.extend(self.nodes[0].take_completions());
+        let mut processed = 0u64;
+        while collected.len() < count && processed < max_events {
+            if !self.step() {
+                break;
+            }
+            processed += 1;
+            collected.extend(self.nodes[0].take_completions());
+        }
+        collected
+    }
+
+    /// Process a single event.  Returns false when the queue is empty.
+    fn step(&mut self) -> bool {
+        let Some((arrival, inflight)) = self.queue.pop() else {
+            return false;
+        };
+        let InFlight {
+            msg,
+            transmission,
+            wire_bytes,
+        } = inflight;
+        let dst = msg.dst.index();
+        if dst >= self.nodes.len() {
+            return true; // misaddressed message: dropped
+        }
+        self.nodes[dst].deliver(msg);
+
+        // The destination CPU picks the message up when it is free.
+        let start = self.node_ready_at[dst].max(arrival);
+        let outcomes = self.nodes[dst].poll(usize::MAX);
+        let mut finish = start;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    let record = self.charge(dst, arrival, finish, transmission, wire_bytes, &o);
+                    finish = record.done;
+                    self.timings.records.push(record);
+                }
+                Err(e) => self.errors.push(e),
+            }
+        }
+        self.node_ready_at[dst] = finish;
+        // Whatever the processing posted departs after processing completes.
+        self.flush_node_at(dst, finish);
+        true
+    }
+
+    /// Convert a processing outcome into charged virtual time.
+    fn charge(
+        &self,
+        node: usize,
+        arrival: SimTime,
+        start: SimTime,
+        transmission: SimDuration,
+        wire_bytes: usize,
+        outcome: &ProcessOutcome,
+    ) -> DeliveryRecord {
+        let cpu = if node == 0 {
+            self.platform.client_cpu
+        } else {
+            self.platform.server_cpu
+        };
+        let (lookup, jit, binary_load) = match outcome.kind {
+            OutcomeKind::AmExecuted => (cpu.am_dispatch(), SimDuration::ZERO, SimDuration::ZERO),
+            OutcomeKind::IfuncExecutedCached => {
+                (cpu.cached_lookup(), SimDuration::ZERO, SimDuration::ZERO)
+            }
+            OutcomeKind::IfuncExecutedFirstArrival => {
+                let jit = outcome
+                    .jit_bitcode_bytes
+                    .map(|b| cpu.jit_time(b, self.opt_cost_factor))
+                    .unwrap_or(SimDuration::ZERO);
+                let load = if outcome.binary_loaded {
+                    cpu.binary_load()
+                } else {
+                    SimDuration::ZERO
+                };
+                (cpu.uncached_lookup(), jit, load)
+            }
+            // Pure data-path operations: a small fixed handling cost.
+            _ => (SimDuration::from_nanos(20), SimDuration::ZERO, SimDuration::ZERO),
+        };
+        let exec = cpu.exec_time(outcome.exec_cycles);
+        let done = start + lookup + jit + binary_load + exec;
+        DeliveryRecord {
+            node: node as u32,
+            arrival,
+            done,
+            kind: outcome.kind,
+            wire_bytes,
+            transmission,
+            lookup,
+            jit,
+            binary_load,
+            exec,
+        }
+    }
+
+    /// Pick up everything node `rank` has posted and schedule its delivery,
+    /// assuming the sends are issued "now".
+    fn flush_node(&mut self, rank: usize) {
+        self.flush_node_at(rank, self.queue.now());
+    }
+
+    fn flush_node_at(&mut self, rank: usize, earliest: SimTime) {
+        let outgoing = self.nodes[rank].take_outgoing();
+        for msg in outgoing {
+            let wire_bytes = msg.op.wire_size();
+            let class = match &msg.op {
+                UcpOp::Get { .. } => FabricOp::Get,
+                UcpOp::ActiveMessage { .. } => FabricOp::ActiveMessage,
+                _ => FabricOp::Put,
+            };
+            let fabric = self.platform.fabric;
+            let gap = fabric.injection_gap(class, wire_bytes);
+            let latency = fabric.latency(class, wire_bytes);
+            let depart = self.link_ready_at[rank].max(earliest);
+            self.link_ready_at[rank] = depart + gap;
+            let arrival = depart + latency;
+            self.queue.schedule_at(
+                arrival,
+                InFlight {
+                    msg,
+                    transmission: latency,
+                    wire_bytes,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ifunc::{build_ifunc_library, ToolchainOptions};
+    use crate::layout::TARGET_REGION_BASE;
+    use std::sync::Arc;
+    use tc_bitir::{BinOp, Module, ModuleBuilder, ScalarType};
+    use tc_jit::MemoryExt;
+
+    fn tsi_module() -> Module {
+        let mut mb = ModuleBuilder::new("tsi");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let target = f.param(2);
+            let delta = f.load(ScalarType::U8, payload, 0);
+            let counter = f.load(ScalarType::U64, target, 0);
+            let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+            f.store(ScalarType::U64, sum, target, 0);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        mb.build()
+    }
+
+    fn sim_with_tsi(platform: Platform, servers: usize) -> (ClusterSim, IfuncHandle) {
+        let mut sim = ClusterSim::new(platform, servers);
+        let lib = build_ifunc_library(&tsi_module(), &ToolchainOptions::default()).unwrap();
+        let handle = sim.register_on_client(lib);
+        (sim, handle)
+    }
+
+    #[test]
+    fn uncached_then_cached_latency_shape_matches_paper() {
+        let (mut sim, handle) = sim_with_tsi(Platform::thor_xeon(), 1);
+        sim.node_mut(1).memory.write_u64(TARGET_REGION_BASE, 0).unwrap();
+        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+
+        // First (uncached) send: transmission of the full frame + JIT.
+        sim.client_send_ifunc(&msg, 1);
+        sim.run_until_idle(1_000);
+        let first = *sim
+            .timings
+            .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
+            .expect("first arrival record");
+        assert!(first.jit.as_millis_f64() > 0.3, "JIT time {:?}", first.jit);
+        assert!(first.transmission.as_micros_f64() > 2.0);
+
+        // Second (cached) send: truncated frame, no JIT, µs-scale end-to-end.
+        sim.client_send_ifunc(&msg, 1);
+        sim.run_until_idle(1_000);
+        let cached = *sim
+            .timings
+            .last_of_kind(OutcomeKind::IfuncExecutedCached)
+            .expect("cached record");
+        assert_eq!(cached.jit, SimDuration::ZERO);
+        assert!(cached.transmission < first.transmission);
+        assert!(cached.end_to_end().as_micros_f64() < 3.0);
+        // Both sends actually incremented the counter.
+        assert_eq!(sim.node(1).memory.read_u64(TARGET_REGION_BASE).unwrap(), 2);
+    }
+
+    #[test]
+    fn injection_gap_bounds_message_rate() {
+        let (mut sim, handle) = sim_with_tsi(Platform::thor_xeon(), 1);
+        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        // Prime the cache.
+        sim.client_send_ifunc(&msg, 1);
+        sim.run_until_idle(1_000);
+        let start = sim.now();
+
+        let n = 200usize;
+        for _ in 0..n {
+            sim.client_send_ifunc(&msg, 1);
+        }
+        sim.run_until_idle(100_000);
+        let elapsed = (sim.now() - start).as_secs_f64();
+        let rate = n as f64 / elapsed;
+        // Thor Xeon cached-bitcode rate is ~7.3 M msg/s in the paper; the
+        // pipelined rate here must land in the right order of magnitude
+        // (latency would only allow ~0.65 M/s, so this also checks that the
+        // gap — not the latency — is what bounds throughput).
+        assert!(rate > 2.0e6, "rate {rate}");
+        assert!(rate < 20.0e6, "rate {rate}");
+    }
+
+    #[test]
+    fn am_baseline_runs_through_the_simulator() {
+        let (mut sim, _handle) = sim_with_tsi(Platform::thor_bf2(), 2);
+        let handler: NativeAmHandler = Arc::new(|ctx, payload| {
+            let delta = u64::from(payload.first().copied().unwrap_or(0));
+            let old = ctx.memory.read_u64(TARGET_REGION_BASE).unwrap_or(0);
+            let _ = ctx.memory.write_u64(TARGET_REGION_BASE, old + delta);
+            25
+        });
+        sim.deploy_am_everywhere("tsi_am", handler);
+        sim.client_send_am("tsi_am", 2, vec![9]).unwrap();
+        sim.run_until_idle(100);
+        assert_eq!(sim.node(2).memory.read_u64(TARGET_REGION_BASE).unwrap(), 9);
+        let rec = sim.timings.last_of_kind(OutcomeKind::AmExecuted).unwrap();
+        assert!(rec.end_to_end().as_micros_f64() < 3.0);
+        assert!(sim.errors().is_empty());
+    }
+
+    #[test]
+    fn get_roundtrip_latency_is_two_transfers() {
+        let (mut sim, _handle) = sim_with_tsi(Platform::thor_xeon(), 1);
+        sim.node_mut(1)
+            .memory
+            .write_u64(crate::layout::DATA_REGION_BASE, 777)
+            .unwrap();
+        let start = sim.now();
+        sim.client_get(1, crate::layout::DATA_REGION_BASE, 8);
+        let completions = sim.run_until_client_completions(1, 10_000);
+        assert_eq!(completions.len(), 1);
+        let rtt = (sim.now() - start).as_micros_f64();
+        // One GET + one reply over a ~1.5 µs fabric: 3–4 µs round trip.
+        assert!(rtt > 2.5 && rtt < 6.0, "rtt {rtt}");
+    }
+
+    #[test]
+    fn heterogeneous_platform_jit_is_slower_on_dpu() {
+        let (mut sim_bf2, h1) = sim_with_tsi(Platform::thor_bf2(), 1);
+        let msg = sim_bf2.client_mut().create_bitcode_message(h1, vec![1]).unwrap();
+        sim_bf2.client_send_ifunc(&msg, 1);
+        sim_bf2.run_until_idle(1_000);
+        let bf2_jit = sim_bf2
+            .timings
+            .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
+            .unwrap()
+            .jit;
+
+        let (mut sim_xeon, h2) = sim_with_tsi(Platform::thor_xeon(), 1);
+        let msg = sim_xeon.client_mut().create_bitcode_message(h2, vec![1]).unwrap();
+        sim_xeon.client_send_ifunc(&msg, 1);
+        sim_xeon.run_until_idle(1_000);
+        let xeon_jit = sim_xeon
+            .timings
+            .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
+            .unwrap()
+            .jit;
+
+        assert!(
+            bf2_jit.as_nanos() > 3 * xeon_jit.as_nanos(),
+            "DPU JIT ({bf2_jit}) must be several times slower than Xeon JIT ({xeon_jit})"
+        );
+    }
+
+    #[test]
+    fn misaddressed_messages_are_dropped_without_panic() {
+        let (mut sim, handle) = sim_with_tsi(Platform::ookami(), 1);
+        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        sim.client_send_ifunc(&msg, 17); // no such rank
+        sim.run_until_idle(100);
+        assert!(sim.errors().is_empty());
+        assert_eq!(sim.node(1).stats.ifuncs_executed, 0);
+    }
+}

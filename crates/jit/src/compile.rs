@@ -1,0 +1,596 @@
+//! Compilation of IR modules into machine code.
+//!
+//! The compiler is the back-end half of the ORC-JIT analogue: it takes a
+//! (target-lowered) [`tc_bitir::Module`], verifies it, runs a handful of
+//! optimisation passes controlled by [`OptLevel`], selects instructions based
+//! on the module's [`tc_bitir::LowerInfo`] (SIMD lane count, LSE vs CAS-loop
+//! atomics) and produces a [`MachModule`] the execution engine can run.
+//!
+//! The *time* compilation takes on a given CPU is modelled separately in
+//! [`crate::cost`]; this module only does the functional work.
+
+use crate::error::Result;
+use crate::machine::{DataObject, MachFunction, MachInst, MachModule};
+use tc_bitir::{
+    AtomicsExt, BinOp, Function, Inst, LowerInfo, Module, ScalarType, TargetTriple, VectorExt,
+};
+
+/// Optimisation level, mirroring `-O0`…`-O3`.
+///
+/// Higher levels perform more work at compile time (captured by the cost
+/// model) and emit slightly better code (constant folding, redundant-move
+/// elimination, wider vectorisation).  The paper notes that `-O3` *increases*
+/// the shipped binary size for trivial kernels — the ablation bench
+/// `optlevel_ablation` reproduces that trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// No optimisation.
+    O0,
+    /// Cheap cleanups.
+    O1,
+    /// Standard optimisation (default).
+    O2,
+    /// Aggressive optimisation.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels, in ascending order.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+    /// Multiplier applied to the compile-time cost model.
+    pub fn compile_cost_factor(self) -> f64 {
+        match self {
+            OptLevel::O0 => 0.6,
+            OptLevel::O1 => 0.85,
+            OptLevel::O2 => 1.0,
+            OptLevel::O3 => 1.35,
+        }
+    }
+}
+
+impl Default for OptLevel {
+    fn default() -> Self {
+        OptLevel::O2
+    }
+}
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Optimisation level.
+    pub opt_level: OptLevel,
+    /// Verify the module before compiling (recommended; mirrors LLVM's
+    /// verifier being run on bitcode loaded from untrusted sources).
+    pub verify: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            opt_level: OptLevel::O2,
+            verify: true,
+        }
+    }
+}
+
+/// Statistics describing a single compilation (consumed by the cost model
+/// and by the metrics layer in `tc-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileStats {
+    /// IR instructions in the input module.
+    pub ir_insts: usize,
+    /// Machine instructions emitted.
+    pub mach_insts: usize,
+    /// Instructions removed by optimisation passes.
+    pub insts_folded: usize,
+    /// Vector instructions whose lane count was widened beyond 1.
+    pub vectorised_ops: usize,
+}
+
+/// The result of compiling a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiled {
+    /// The executable machine module.
+    pub module: MachModule,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+    /// Options used.
+    pub opt_level: OptLevel,
+}
+
+/// Compile a lowered IR module into machine code.
+///
+/// The module should carry a `triple`/`lower_info` (i.e. have been passed
+/// through [`tc_bitir::lower_for_target`]); a portable module is accepted and
+/// compiled with generic (scalar, CAS-loop) lowering, matching how LLVM would
+/// pick a conservative subtarget when none is specified.
+pub fn compile_module(module: &Module, options: CompileOptions) -> Result<Compiled> {
+    if options.verify {
+        tc_bitir::verify_module(module)?;
+    }
+
+    let lower_info = module.lower_info.unwrap_or(LowerInfo {
+        vector: VectorExt::None,
+        atomics: AtomicsExt::CasLoop,
+        ptr_bytes: 8,
+    });
+    let triple_name = module
+        .triple
+        .map(|t| t.name())
+        .unwrap_or_else(|| "portable-sim".to_string());
+
+    let mut stats = CompileStats {
+        ir_insts: module.inst_count(),
+        ..CompileStats::default()
+    };
+
+    let mut functions = Vec::with_capacity(module.functions.len());
+    for f in &module.functions {
+        functions.push(compile_function(f, &lower_info, options.opt_level, &mut stats)?);
+    }
+
+    let data = module
+        .globals
+        .iter()
+        .map(|g| DataObject {
+            name: g.name.clone(),
+            init: g.init.clone(),
+            mutable: g.mutable,
+        })
+        .collect();
+
+    let mach = MachModule {
+        name: module.name.clone(),
+        triple: triple_name,
+        functions,
+        ext_symbols: module.ext_symbols.clone(),
+        data,
+        deps: module.deps.clone(),
+    };
+    stats.mach_insts = mach.inst_count();
+
+    Ok(Compiled {
+        module: mach,
+        stats,
+        opt_level: options.opt_level,
+    })
+}
+
+/// Convenience: lower a portable module for `target` and compile it.
+pub fn lower_and_compile(
+    module: &Module,
+    target: TargetTriple,
+    options: CompileOptions,
+) -> Result<Compiled> {
+    let lowered = tc_bitir::lower_for_target(module, target)?;
+    compile_module(&lowered, options)
+}
+
+fn compile_function(
+    f: &Function,
+    lower: &LowerInfo,
+    opt: OptLevel,
+    stats: &mut CompileStats,
+) -> Result<MachFunction> {
+    let mut blocks = Vec::with_capacity(f.blocks.len());
+    for block in &f.blocks {
+        let mut insts = Vec::with_capacity(block.insts.len());
+        for inst in &block.insts {
+            insts.push(select_inst(inst, lower, stats));
+        }
+        blocks.push(insts);
+    }
+
+    if opt >= OptLevel::O1 {
+        for block in &mut blocks {
+            stats.insts_folded += eliminate_redundant_moves(block);
+        }
+    }
+    if opt >= OptLevel::O2 {
+        for block in &mut blocks {
+            stats.insts_folded += fold_constant_alu(block);
+        }
+    }
+
+    Ok(MachFunction {
+        name: f.name.clone(),
+        num_params: f.params.len() as u32,
+        has_ret: f.ret.is_some(),
+        num_regs: f.num_regs,
+        blocks,
+    })
+}
+
+/// Instruction selection: IR → machine, applying target specialisation.
+fn select_inst(inst: &Inst, lower: &LowerInfo, stats: &mut CompileStats) -> MachInst {
+    match inst {
+        Inst::Const { dst, ty, bits } => MachInst::Imm {
+            dst: dst.0,
+            ty: *ty,
+            bits: *bits,
+        },
+        Inst::Move { dst, src } => MachInst::Mov {
+            dst: dst.0,
+            src: src.0,
+        },
+        Inst::Bin { op, ty, dst, lhs, rhs } => MachInst::Alu {
+            op: *op,
+            ty: *ty,
+            dst: dst.0,
+            lhs: lhs.0,
+            rhs: rhs.0,
+        },
+        Inst::Un { op, ty, dst, src } => MachInst::AluUn {
+            op: *op,
+            ty: *ty,
+            dst: dst.0,
+            src: src.0,
+        },
+        Inst::Load { ty, dst, addr, offset } => MachInst::Ld {
+            ty: *ty,
+            dst: dst.0,
+            addr: addr.0,
+            offset: *offset,
+        },
+        Inst::Store { ty, src, addr, offset } => MachInst::St {
+            ty: *ty,
+            src: src.0,
+            addr: addr.0,
+            offset: *offset,
+        },
+        Inst::Atomic {
+            op,
+            ty,
+            dst,
+            addr,
+            src,
+            expected,
+        } => MachInst::AtomicRmw {
+            op: *op,
+            ty: *ty,
+            dst: dst.0,
+            addr: addr.0,
+            src: src.0,
+            expected: expected.0,
+            lse: lower.atomics == AtomicsExt::Lse,
+        },
+        Inst::Vec {
+            op,
+            ty,
+            dst_addr,
+            a_addr,
+            b_addr,
+            count,
+        } => {
+            let lanes = lower.vector.lanes_for(*ty, lower.ptr_bytes);
+            if lanes > 1 {
+                stats.vectorised_ops += 1;
+            }
+            MachInst::VecLoop {
+                op: *op,
+                ty: *ty,
+                dst_addr: dst_addr.0,
+                a_addr: a_addr.0,
+                b_addr: b_addr.0,
+                count: count.0,
+                lanes,
+            }
+        }
+        Inst::GlobalAddr { dst, global } => MachInst::DataAddr {
+            dst: dst.0,
+            data_index: global.0,
+        },
+        Inst::Call { dst, func, args } => MachInst::CallLocal {
+            dst: dst.map(|r| r.0),
+            func_index: func.0,
+            args: args.iter().map(|r| r.0).collect(),
+        },
+        Inst::CallExt { dst, sym, args } => MachInst::CallSym {
+            dst: dst.map(|r| r.0),
+            sym_index: sym.0,
+            args: args.iter().map(|r| r.0).collect(),
+        },
+        Inst::Br { target } => MachInst::Jmp { block: target.0 },
+        Inst::BrIf {
+            cond,
+            then_blk,
+            else_blk,
+        } => MachInst::JmpIf {
+            cond: cond.0,
+            then_block: then_blk.0,
+            else_block: else_blk.0,
+        },
+        Inst::Ret { value } => MachInst::Ret {
+            value: value.map(|r| r.0),
+        },
+        Inst::Trap { code } => MachInst::Trap { code: *code },
+    }
+}
+
+/// O1 pass: remove `Mov { dst, src }` where `dst == src`.
+fn eliminate_redundant_moves(block: &mut Vec<MachInst>) -> usize {
+    let before = block.len();
+    block.retain(|inst| !matches!(inst, MachInst::Mov { dst, src } if dst == src));
+    before - block.len()
+}
+
+/// O2 pass: fold `Imm a; Imm b; Alu dst = a op b` into a single `Imm dst`
+/// when both operands are integer immediates defined immediately before the
+/// ALU op and not reused later in the block.  This is intentionally a very
+/// local peephole — enough to observe "optimisation changes code size", which
+/// is the property the paper remarks on, without building a full optimiser.
+fn fold_constant_alu(block: &mut Vec<MachInst>) -> usize {
+    let mut folded = 0usize;
+    let mut i = 2usize;
+    while i < block.len() {
+        let can_fold = {
+            match (&block[i - 2], &block[i - 1], &block[i]) {
+                (
+                    MachInst::Imm { dst: da, ty: ta, bits: ba },
+                    MachInst::Imm { dst: db, ty: tb, bits: bb },
+                    MachInst::Alu { op, ty, dst, lhs, rhs },
+                ) if lhs == da
+                    && rhs == db
+                    && ta == ty
+                    && tb == ty
+                    && !ty.is_float()
+                    && !matches!(op, BinOp::Div | BinOp::Rem) =>
+                {
+                    // Neither immediate register may be used later in the block.
+                    let used_later = block[i + 1..].iter().any(|inst| {
+                        inst_reads_reg(inst, *da) || inst_reads_reg(inst, *db)
+                    });
+                    if used_later {
+                        None
+                    } else {
+                        eval_const_int(*op, *ty, *ba, *bb).map(|bits| (*dst, *ty, bits))
+                    }
+                }
+                _ => None,
+            }
+        };
+        if let Some((dst, ty, bits)) = can_fold {
+            block.splice(i - 2..=i, [MachInst::Imm { dst, ty, bits }]);
+            folded += 2;
+            i = i.saturating_sub(2).max(2);
+        } else {
+            i += 1;
+        }
+    }
+    folded
+}
+
+fn inst_reads_reg(inst: &MachInst, reg: u32) -> bool {
+    match inst {
+        MachInst::Imm { .. } | MachInst::DataAddr { .. } | MachInst::Jmp { .. } | MachInst::Trap { .. } => false,
+        MachInst::Mov { src, .. } => *src == reg,
+        MachInst::Alu { lhs, rhs, .. } => *lhs == reg || *rhs == reg,
+        MachInst::AluUn { src, .. } => *src == reg,
+        MachInst::Ld { addr, .. } => *addr == reg,
+        MachInst::St { src, addr, .. } => *src == reg || *addr == reg,
+        MachInst::AtomicRmw { addr, src, expected, .. } => {
+            *addr == reg || *src == reg || *expected == reg
+        }
+        MachInst::VecLoop {
+            dst_addr,
+            a_addr,
+            b_addr,
+            count,
+            ..
+        } => *dst_addr == reg || *a_addr == reg || *b_addr == reg || *count == reg,
+        MachInst::CallLocal { args, .. } | MachInst::CallSym { args, .. } => args.contains(&reg),
+        MachInst::JmpIf { cond, .. } => *cond == reg,
+        MachInst::Ret { value } => *value == Some(reg),
+    }
+}
+
+fn eval_const_int(op: BinOp, ty: ScalarType, a: u64, b: u64) -> Option<u64> {
+    let mask = type_mask(ty);
+    let a = a & mask;
+    let b = b & mask;
+    let result = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::CmpEq => u64::from(a == b),
+        BinOp::CmpNe => u64::from(a != b),
+        BinOp::CmpLt => u64::from(a < b),
+        BinOp::CmpLe => u64::from(a <= b),
+        BinOp::CmpGt => u64::from(a > b),
+        BinOp::CmpGe => u64::from(a >= b),
+        _ => return None,
+    };
+    Some(result & mask)
+}
+
+fn type_mask(ty: ScalarType) -> u64 {
+    match ty.size_bytes(8) {
+        1 => 0xff,
+        2 => 0xffff,
+        4 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::JitError;
+    use tc_bitir::{ModuleBuilder, ScalarType, TargetTriple, VecOp};
+
+    fn vec_module() -> Module {
+        let mut mb = ModuleBuilder::new("vec");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let target = f.param(2);
+            let count = f.const_u64(64);
+            f.vec_op(VecOp::Add, ScalarType::F64, target, payload, payload, count);
+            let one = f.const_u64(1);
+            f.atomic_fetch_add(ScalarType::U64, target, one);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        mb.build()
+    }
+
+    #[test]
+    fn vectorisation_uses_target_width() {
+        let m = vec_module();
+        let a64fx = lower_and_compile(&m, TargetTriple::OOKAMI_A64FX, CompileOptions::default())
+            .unwrap();
+        let xeon =
+            lower_and_compile(&m, TargetTriple::THOR_XEON, CompileOptions::default()).unwrap();
+        let bf2 = lower_and_compile(&m, TargetTriple::THOR_BF2, CompileOptions::default()).unwrap();
+
+        let lanes = |c: &Compiled| {
+            c.module.functions[0]
+                .blocks
+                .iter()
+                .flatten()
+                .find_map(|i| match i {
+                    MachInst::VecLoop { lanes, .. } => Some(*lanes),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        // f64 lanes: SVE512 → 8, AVX2 → 4, NEON → 2.
+        assert_eq!(lanes(&a64fx), 8);
+        assert_eq!(lanes(&xeon), 4);
+        assert_eq!(lanes(&bf2), 2);
+        assert_eq!(a64fx.stats.vectorised_ops, 1);
+    }
+
+    #[test]
+    fn atomics_flavour_follows_target() {
+        let m = vec_module();
+        let a64fx = lower_and_compile(&m, TargetTriple::OOKAMI_A64FX, CompileOptions::default())
+            .unwrap();
+        let bf2 = lower_and_compile(&m, TargetTriple::THOR_BF2, CompileOptions::default()).unwrap();
+        let find_lse = |c: &Compiled| {
+            c.module.functions[0]
+                .blocks
+                .iter()
+                .flatten()
+                .find_map(|i| match i {
+                    MachInst::AtomicRmw { lse, .. } => Some(*lse),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(find_lse(&a64fx), "A64FX should use LSE atomics");
+        assert!(!find_lse(&bf2), "Cortex-A72 profile uses CAS loops");
+    }
+
+    #[test]
+    fn constant_folding_reduces_inst_count_at_o2() {
+        let mut mb = ModuleBuilder::new("fold");
+        {
+            let mut f = mb.function("f", vec![], Some(ScalarType::I64));
+            let a = f.const_i64(40);
+            let b = f.const_i64(2);
+            let c = f.add_i64(a, b);
+            f.ret(c);
+            f.finish();
+        }
+        let m = mb.build();
+        let o0 = compile_module(
+            &m,
+            CompileOptions {
+                opt_level: OptLevel::O0,
+                verify: true,
+            },
+        )
+        .unwrap();
+        let o2 = compile_module(
+            &m,
+            CompileOptions {
+                opt_level: OptLevel::O2,
+                verify: true,
+            },
+        )
+        .unwrap();
+        assert!(o2.module.inst_count() < o0.module.inst_count());
+        assert!(o2.stats.insts_folded >= 2);
+        // The folded constant must be correct.
+        let has_42 = o2.module.functions[0]
+            .blocks
+            .iter()
+            .flatten()
+            .any(|i| matches!(i, MachInst::Imm { bits: 42, .. }));
+        assert!(has_42, "folded immediate 42 not found");
+    }
+
+    #[test]
+    fn folding_respects_later_uses() {
+        let mut mb = ModuleBuilder::new("nofold");
+        {
+            let mut f = mb.function("f", vec![], Some(ScalarType::I64));
+            let a = f.const_i64(40);
+            let b = f.const_i64(2);
+            let c = f.add_i64(a, b);
+            let d = f.add_i64(c, a); // `a` used again: folding must not remove it
+            f.ret(d);
+            f.finish();
+        }
+        let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
+        // All three Imm+Alu chain still evaluates to 82 at run time — we just
+        // check the immediates survived.
+        let imm_count = compiled.module.functions[0]
+            .blocks
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, MachInst::Imm { .. }))
+            .count();
+        assert!(imm_count >= 2);
+    }
+
+    #[test]
+    fn verification_failure_propagates() {
+        let mut m = vec_module();
+        m.functions[0].blocks[0].insts.pop();
+        let err = compile_module(&m, CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, JitError::Compile(_)));
+    }
+
+    #[test]
+    fn portable_module_compiles_with_scalar_fallback() {
+        let m = vec_module();
+        let compiled = compile_module(&m, CompileOptions::default()).unwrap();
+        let lanes = compiled.module.functions[0]
+            .blocks
+            .iter()
+            .flatten()
+            .find_map(|i| match i {
+                MachInst::VecLoop { lanes, .. } => Some(*lanes),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(lanes, 1, "portable compile must scalarise");
+        assert_eq!(compiled.module.triple, "portable-sim");
+    }
+
+    #[test]
+    fn opt_cost_factors_monotone() {
+        let mut prev = 0.0;
+        for lvl in OptLevel::ALL {
+            assert!(lvl.compile_cost_factor() > prev);
+            prev = lvl.compile_cost_factor();
+        }
+    }
+
+    #[test]
+    fn stats_track_sizes() {
+        let m = vec_module();
+        let compiled = compile_module(&m, CompileOptions::default()).unwrap();
+        assert_eq!(compiled.stats.ir_insts, m.inst_count());
+        assert_eq!(compiled.stats.mach_insts, compiled.module.inst_count());
+    }
+}

@@ -1,0 +1,1010 @@
+//! The execution engine: an interpreter for compiled machine modules.
+//!
+//! This is where injected code actually *runs*.  The engine executes
+//! [`MachModule`]s against a [`Memory`] (the target node's address space) and
+//! an [`ExternalHost`] (the hook through which ifuncs reach framework
+//! services such as `tc_send_ifunc`, `tc_put` and `tc_return_result`, plus
+//! simulated shared-library functions).  Execution is fully functional —
+//! pointer tables are really chased, counters really incremented — while the
+//! engine also accounts a deterministic cycle count used by the
+//! discrete-event simulator to charge virtual execution time.
+
+use crate::error::{JitError, Result};
+use crate::machine::{MachFunction, MachInst, MachModule};
+use std::collections::HashMap;
+use tc_bitir::{AtomicOp, BinOp, ScalarType, UnOp, VecOp};
+
+/// Byte-addressable memory the engine loads from and stores to.
+pub trait Memory {
+    /// Read `buf.len()` bytes starting at `addr`.
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<()>;
+    /// Write `data` starting at `addr`.
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<()>;
+    /// Total bytes this memory can address (for diagnostics only).
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A flat, vector-backed memory with a configurable base address.
+#[derive(Debug, Clone)]
+pub struct VecMemory {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl VecMemory {
+    /// Create a memory of `size` bytes starting at address `base`.
+    pub fn new(base: u64, size: usize) -> Self {
+        VecMemory {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Base address of the first byte.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Direct slice access (tests and framework plumbing).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Direct mutable slice access.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    fn offset(&self, addr: u64, len: usize) -> Result<usize> {
+        let off = addr
+            .checked_sub(self.base)
+            .ok_or_else(|| JitError::Trap {
+                reason: format!("address {addr:#x} below memory base {:#x}", self.base),
+            })? as usize;
+        if off.checked_add(len).map_or(true, |end| end > self.bytes.len()) {
+            return Err(JitError::Trap {
+                reason: format!(
+                    "access of {len} bytes at {addr:#x} exceeds memory of {} bytes at base {:#x}",
+                    self.bytes.len(),
+                    self.base
+                ),
+            });
+        }
+        Ok(off)
+    }
+}
+
+impl Memory for VecMemory {
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        let off = self.offset(addr, buf.len())?;
+        buf.copy_from_slice(&self.bytes[off..off + buf.len()]);
+        Ok(())
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<()> {
+        let off = self.offset(addr, data.len())?;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.bytes.len() as u64)
+    }
+}
+
+/// A sparse, page-based memory covering the full 64-bit address space.
+/// Used for node memories where payload buffers, pointer-table shards and
+/// JIT-materialised globals live at widely separated addresses.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; Self::PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Page size in bytes.
+    pub const PAGE_SIZE: usize = 4096;
+
+    /// Create an empty sparse memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialised pages (for resource accounting).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr / Self::PAGE_SIZE as u64, (addr % Self::PAGE_SIZE as u64) as usize)
+    }
+}
+
+impl Memory for SparseMemory {
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let (page, off) = Self::page_of(addr + done as u64);
+            let chunk = (Self::PAGE_SIZE - off).min(buf.len() - done);
+            match self.pages.get(&page) {
+                Some(p) => buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<()> {
+        let mut done = 0usize;
+        while done < data.len() {
+            let (page, off) = Self::page_of(addr + done as u64);
+            let chunk = (Self::PAGE_SIZE - off).min(data.len() - done);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; Self::PAGE_SIZE]));
+            p[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+/// Typed scalar reads/writes on any [`Memory`].
+pub trait MemoryExt: Memory {
+    /// Read a u64.
+    fn read_u64(&self, addr: u64) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    /// Write a u64.
+    fn write_u64(&mut self, addr: u64, v: u64) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+    /// Read a scalar of the given type, widening into a 64-bit slot
+    /// (sign-extended for signed types).
+    fn read_scalar(&self, ty: ScalarType, addr: u64) -> Result<u64> {
+        let size = ty.size_bytes(8) as usize;
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b[..size])?;
+        let raw = u64::from_le_bytes(b);
+        Ok(normalize(ty, raw))
+    }
+    /// Write the low bytes of a 64-bit slot as a scalar of the given type.
+    fn write_scalar(&mut self, ty: ScalarType, addr: u64, bits: u64) -> Result<()> {
+        let size = ty.size_bytes(8) as usize;
+        self.write(addr, &bits.to_le_bytes()[..size])
+    }
+}
+
+impl<M: Memory + ?Sized> MemoryExt for M {}
+
+/// Host interface for external calls made by executing code.
+///
+/// The framework runtime (`tc-core`) implements this to expose UCX-style
+/// operations and the recursive-injection API; the dylib registry implements
+/// it for libc/libm-style symbols; the two are typically chained.
+pub trait ExternalHost {
+    /// Invoke `symbol` with `args`, possibly touching `mem`.  Returns the
+    /// call's result value (0 for void functions).
+    fn call_external(&mut self, symbol: &str, args: &[u64], mem: &mut dyn Memory) -> Result<u64>;
+
+    /// Extra virtual cycles to charge for a call to `symbol` (network
+    /// operations initiated by an ifunc are charged by the simulator instead;
+    /// the default of 0 is fine for pure host functions).
+    fn external_cost(&self, _symbol: &str) -> u64 {
+        0
+    }
+}
+
+/// An [`ExternalHost`] that rejects every call — used for pure ifuncs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoExternals;
+
+impl ExternalHost for NoExternals {
+    fn call_external(&mut self, symbol: &str, _args: &[u64], _mem: &mut dyn Memory) -> Result<u64> {
+        Err(JitError::UnresolvedSymbol {
+            symbol: symbol.to_string(),
+        })
+    }
+}
+
+/// Outcome of executing a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOutcome {
+    /// Value returned by the function (0 when void).
+    pub return_value: u64,
+    /// Machine instructions retired.
+    pub insts_retired: u64,
+    /// Virtual cycles consumed (per-instruction base costs plus dynamic
+    /// vector-loop and external-call components).
+    pub cycles: u64,
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecLimits {
+    /// Maximum number of machine instructions to retire before aborting.
+    pub fuel: u64,
+    /// Maximum local call depth.
+    pub max_call_depth: u32,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            fuel: 50_000_000,
+            max_call_depth: 256,
+        }
+    }
+}
+
+/// The execution engine.  Stateless apart from configuration; all mutable
+/// state lives in the memory, the host, and the per-call frames.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine {
+    /// Execution limits applied to every invocation.
+    pub limits: ExecLimits,
+}
+
+impl Engine {
+    /// Engine with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with a specific fuel budget.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Engine {
+            limits: ExecLimits {
+                fuel,
+                ..ExecLimits::default()
+            },
+        }
+    }
+
+    /// Execute `func_name` from `module` with `args`.
+    ///
+    /// `data_addrs[i]` must give the address at which the module's `i`-th
+    /// data object has been materialised in `mem` (see
+    /// [`crate::orc::OrcJit::materialize`]); pass an empty slice for modules
+    /// without globals.
+    pub fn run(
+        &self,
+        module: &MachModule,
+        func_name: &str,
+        args: &[u64],
+        data_addrs: &[u64],
+        mem: &mut dyn Memory,
+        host: &mut dyn ExternalHost,
+    ) -> Result<ExecOutcome> {
+        let func_index = module
+            .function_index(func_name)
+            .ok_or_else(|| JitError::UnknownFunction {
+                name: func_name.to_string(),
+            })?;
+        let mut ctx = ExecContext {
+            module,
+            data_addrs,
+            mem,
+            host,
+            fuel_left: self.limits.fuel,
+            max_depth: self.limits.max_call_depth,
+            insts: 0,
+            cycles: 0,
+        };
+        let ret = ctx.call_function(func_index, args, 0)?;
+        Ok(ExecOutcome {
+            return_value: ret,
+            insts_retired: ctx.insts,
+            cycles: ctx.cycles,
+        })
+    }
+}
+
+struct ExecContext<'a> {
+    module: &'a MachModule,
+    data_addrs: &'a [u64],
+    mem: &'a mut dyn Memory,
+    host: &'a mut dyn ExternalHost,
+    fuel_left: u64,
+    max_depth: u32,
+    insts: u64,
+    cycles: u64,
+}
+
+impl ExecContext<'_> {
+    fn call_function(&mut self, func_index: u32, args: &[u64], depth: u32) -> Result<u64> {
+        if depth > self.max_depth {
+            return Err(JitError::Trap {
+                reason: format!("call depth exceeded {}", self.max_depth),
+            });
+        }
+        let func: &MachFunction = self
+            .module
+            .functions
+            .get(func_index as usize)
+            .ok_or_else(|| JitError::UnknownFunction {
+                name: format!("#{func_index}"),
+            })?;
+        if args.len() != func.num_params as usize {
+            return Err(JitError::Trap {
+                reason: format!(
+                    "function `{}` called with {} args, expects {}",
+                    func.name,
+                    args.len(),
+                    func.num_params
+                ),
+            });
+        }
+        let mut regs = vec![0u64; func.num_regs.max(func.num_params) as usize];
+        regs[..args.len()].copy_from_slice(args);
+
+        let mut block = 0usize;
+        loop {
+            let insts = func.blocks.get(block).ok_or_else(|| JitError::Trap {
+                reason: format!("jump to non-existent block {block} in `{}`", func.name),
+            })?;
+            let mut next_block: Option<usize> = None;
+            for inst in insts {
+                if self.fuel_left == 0 {
+                    return Err(JitError::OutOfFuel { executed: self.insts });
+                }
+                self.fuel_left -= 1;
+                self.insts += 1;
+                self.cycles += inst.base_cycles();
+
+                match inst {
+                    MachInst::Imm { dst, ty, bits } => {
+                        regs[*dst as usize] = normalize(*ty, *bits);
+                    }
+                    MachInst::Mov { dst, src } => {
+                        regs[*dst as usize] = regs[*src as usize];
+                    }
+                    MachInst::Alu { op, ty, dst, lhs, rhs } => {
+                        regs[*dst as usize] =
+                            eval_bin(*op, *ty, regs[*lhs as usize], regs[*rhs as usize])?;
+                    }
+                    MachInst::AluUn { op, ty, dst, src } => {
+                        regs[*dst as usize] = eval_un(*op, *ty, regs[*src as usize]);
+                    }
+                    MachInst::Ld { ty, dst, addr, offset } => {
+                        let a = regs[*addr as usize].wrapping_add(*offset as u64);
+                        regs[*dst as usize] = self.mem.read_scalar(*ty, a)?;
+                    }
+                    MachInst::St { ty, src, addr, offset } => {
+                        let a = regs[*addr as usize].wrapping_add(*offset as u64);
+                        self.mem.write_scalar(*ty, a, regs[*src as usize])?;
+                    }
+                    MachInst::AtomicRmw {
+                        op,
+                        ty,
+                        dst,
+                        addr,
+                        src,
+                        expected,
+                        lse: _,
+                    } => {
+                        let a = regs[*addr as usize];
+                        let old = self.mem.read_scalar(*ty, a)?;
+                        let operand = regs[*src as usize];
+                        let new = match op {
+                            AtomicOp::FetchAdd => eval_bin(BinOp::Add, *ty, old, operand)?,
+                            AtomicOp::Exchange => operand,
+                            AtomicOp::CompareSwap => {
+                                if old == normalize(*ty, regs[*expected as usize]) {
+                                    operand
+                                } else {
+                                    old
+                                }
+                            }
+                        };
+                        self.mem.write_scalar(*ty, a, new)?;
+                        regs[*dst as usize] = old;
+                    }
+                    MachInst::VecLoop {
+                        op,
+                        ty,
+                        dst_addr,
+                        a_addr,
+                        b_addr,
+                        count,
+                        lanes,
+                    } => {
+                        let n = regs[*count as usize];
+                        let elem = u64::from(ty.size_bytes(8));
+                        let da = regs[*dst_addr as usize];
+                        let aa = regs[*a_addr as usize];
+                        let ba = regs[*b_addr as usize];
+                        for i in 0..n {
+                            let av = self.mem.read_scalar(*ty, aa + i * elem)?;
+                            let bv = self.mem.read_scalar(*ty, ba + i * elem)?;
+                            let dv = match op {
+                                VecOp::Add => eval_bin(vec_add_op(*ty), *ty, av, bv)?,
+                                VecOp::Mul => eval_bin(vec_mul_op(*ty), *ty, av, bv)?,
+                                VecOp::Fma => {
+                                    let prod = eval_bin(vec_mul_op(*ty), *ty, av, bv)?;
+                                    let acc = self.mem.read_scalar(*ty, da + i * elem)?;
+                                    eval_bin(vec_add_op(*ty), *ty, prod, acc)?
+                                }
+                            };
+                            self.mem.write_scalar(*ty, da + i * elem, dv)?;
+                        }
+                        // Dynamic cost: one chunk of work per `lanes` elements.
+                        let chunks = n.div_ceil(u64::from((*lanes).max(1)));
+                        self.cycles += chunks.saturating_mul(inst.base_cycles());
+                    }
+                    MachInst::DataAddr { dst, data_index } => {
+                        let addr = self
+                            .data_addrs
+                            .get(*data_index as usize)
+                            .copied()
+                            .ok_or_else(|| JitError::Trap {
+                                reason: format!(
+                                    "data object #{data_index} not materialised ({} available)",
+                                    self.data_addrs.len()
+                                ),
+                            })?;
+                        regs[*dst as usize] = addr;
+                    }
+                    MachInst::CallLocal { dst, func_index, args } => {
+                        let argv: Vec<u64> = args.iter().map(|r| regs[*r as usize]).collect();
+                        let ret = self.call_function(*func_index, &argv, depth + 1)?;
+                        if let Some(d) = dst {
+                            regs[*d as usize] = ret;
+                        }
+                    }
+                    MachInst::CallSym { dst, sym_index, args } => {
+                        let symbol = self
+                            .module
+                            .ext_symbols
+                            .get(*sym_index as usize)
+                            .ok_or_else(|| JitError::Trap {
+                                reason: format!("external symbol #{sym_index} out of range"),
+                            })?
+                            .clone();
+                        let argv: Vec<u64> = args.iter().map(|r| regs[*r as usize]).collect();
+                        self.cycles += self.host.external_cost(&symbol);
+                        let ret = self.host.call_external(&symbol, &argv, self.mem)?;
+                        if let Some(d) = dst {
+                            regs[*d as usize] = ret;
+                        }
+                    }
+                    MachInst::Jmp { block: b } => {
+                        next_block = Some(*b as usize);
+                        break;
+                    }
+                    MachInst::JmpIf {
+                        cond,
+                        then_block,
+                        else_block,
+                    } => {
+                        next_block = Some(if regs[*cond as usize] != 0 {
+                            *then_block as usize
+                        } else {
+                            *else_block as usize
+                        });
+                        break;
+                    }
+                    MachInst::Ret { value } => {
+                        return Ok(value.map(|r| regs[r as usize]).unwrap_or(0));
+                    }
+                    MachInst::Trap { code } => {
+                        return Err(JitError::Trap {
+                            reason: format!("explicit trap (code {code}) in `{}`", func.name),
+                        });
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => block = b,
+                None => {
+                    return Err(JitError::Trap {
+                        reason: format!("block {block} of `{}` fell through without terminator", func.name),
+                    })
+                }
+            }
+        }
+    }
+}
+
+fn vec_add_op(ty: ScalarType) -> BinOp {
+    if ty.is_float() {
+        BinOp::FAdd
+    } else {
+        BinOp::Add
+    }
+}
+
+fn vec_mul_op(ty: ScalarType) -> BinOp {
+    if ty.is_float() {
+        BinOp::FMul
+    } else {
+        BinOp::Mul
+    }
+}
+
+/// Normalise a 64-bit slot to the canonical representation of `ty`
+/// (truncate to width, sign-extend signed types back into the slot).
+pub fn normalize(ty: ScalarType, bits: u64) -> u64 {
+    match ty {
+        ScalarType::I8 => bits as u8 as i8 as i64 as u64,
+        ScalarType::I16 => bits as u16 as i16 as i64 as u64,
+        ScalarType::I32 => bits as u32 as i32 as i64 as u64,
+        ScalarType::I64 => bits,
+        ScalarType::U8 => u64::from(bits as u8),
+        ScalarType::U16 => u64::from(bits as u16),
+        ScalarType::U32 => u64::from(bits as u32),
+        ScalarType::U64 | ScalarType::Ptr => bits,
+        ScalarType::F32 => u64::from((f32::from_bits(bits as u32)).to_bits()),
+        ScalarType::F64 => bits,
+    }
+}
+
+fn to_f64(ty: ScalarType, bits: u64) -> f64 {
+    match ty {
+        ScalarType::F32 => f64::from(f32::from_bits(bits as u32)),
+        _ => f64::from_bits(bits),
+    }
+}
+
+fn from_f64(ty: ScalarType, v: f64) -> u64 {
+    match ty {
+        ScalarType::F32 => u64::from((v as f32).to_bits()),
+        _ => v.to_bits(),
+    }
+}
+
+/// Evaluate a binary operation on normalised 64-bit slots.
+pub fn eval_bin(op: BinOp, ty: ScalarType, lhs: u64, rhs: u64) -> Result<u64> {
+    if op.is_float_only() || (ty.is_float() && op.is_comparison()) {
+        let a = to_f64(ty, lhs);
+        let b = to_f64(ty, rhs);
+        let result = match op {
+            BinOp::FAdd => from_f64(ty, a + b),
+            BinOp::FSub => from_f64(ty, a - b),
+            BinOp::FMul => from_f64(ty, a * b),
+            BinOp::FDiv => from_f64(ty, a / b),
+            BinOp::CmpEq => u64::from(a == b),
+            BinOp::CmpNe => u64::from(a != b),
+            BinOp::CmpLt => u64::from(a < b),
+            BinOp::CmpLe => u64::from(a <= b),
+            BinOp::CmpGt => u64::from(a > b),
+            BinOp::CmpGe => u64::from(a >= b),
+            _ => {
+                return Err(JitError::Trap {
+                    reason: format!("operator {op:?} not valid on float type {ty}"),
+                })
+            }
+        };
+        return Ok(result);
+    }
+
+    let signed = ty.is_signed();
+    let a = normalize(ty, lhs);
+    let b = normalize(ty, rhs);
+    let result = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(JitError::Trap {
+                    reason: "integer division by zero".into(),
+                });
+            }
+            if signed {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            } else {
+                a / b
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(JitError::Trap {
+                    reason: "integer remainder by zero".into(),
+                });
+            }
+            if signed {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            } else {
+                a % b
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => {
+            if signed {
+                ((a as i64).wrapping_shr((b & 63) as u32)) as u64
+            } else {
+                a.wrapping_shr((b & 63) as u32)
+            }
+        }
+        BinOp::CmpEq => u64::from(a == b),
+        BinOp::CmpNe => u64::from(a != b),
+        BinOp::CmpLt => u64::from(if signed { (a as i64) < (b as i64) } else { a < b }),
+        BinOp::CmpLe => u64::from(if signed { (a as i64) <= (b as i64) } else { a <= b }),
+        BinOp::CmpGt => u64::from(if signed { (a as i64) > (b as i64) } else { a > b }),
+        BinOp::CmpGe => u64::from(if signed { (a as i64) >= (b as i64) } else { a >= b }),
+        BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => unreachable!(),
+    };
+    Ok(normalize(ty, result))
+}
+
+/// Evaluate a unary operation.
+pub fn eval_un(op: UnOp, ty: ScalarType, src: u64) -> u64 {
+    match op {
+        UnOp::Not => normalize(ty, !src),
+        UnOp::Neg => normalize(ty, (src as i64).wrapping_neg() as u64),
+        UnOp::FNeg => from_f64(ty, -to_f64(ty, src)),
+        UnOp::IntToFloat => from_f64(ty, src as i64 as f64),
+        UnOp::FloatToInt => {
+            let v = f64::from_bits(src);
+            normalize(ty, v as i64 as u64)
+        }
+        UnOp::IntCast => normalize(ty, src),
+        UnOp::FloatCast => {
+            // The source is whichever float width the value currently is; we
+            // just re-encode at the destination width.
+            let as_f64 = if ty == ScalarType::F32 {
+                f64::from_bits(src)
+            } else {
+                f64::from(f32::from_bits(src as u32))
+            };
+            from_f64(ty, as_f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_module, lower_and_compile, CompileOptions};
+    use tc_bitir::{ModuleBuilder, TargetTriple};
+
+    /// Host recording external calls.
+    #[derive(Default)]
+    struct RecordingHost {
+        calls: Vec<(String, Vec<u64>)>,
+    }
+
+    impl ExternalHost for RecordingHost {
+        fn call_external(
+            &mut self,
+            symbol: &str,
+            args: &[u64],
+            _mem: &mut dyn Memory,
+        ) -> Result<u64> {
+            self.calls.push((symbol.to_string(), args.to_vec()));
+            Ok(args.iter().sum())
+        }
+        fn external_cost(&self, _symbol: &str) -> u64 {
+            100
+        }
+    }
+
+    fn tsi_module() -> tc_bitir::Module {
+        let mut mb = ModuleBuilder::new("tsi");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let target = f.param(2);
+            let delta = f.load(ScalarType::U8, payload, 0);
+            let counter = f.load(ScalarType::U64, target, 0);
+            let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+            f.store(ScalarType::U64, sum, target, 0);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        mb.build()
+    }
+
+    #[test]
+    fn tsi_increments_target_counter() {
+        let compiled =
+            lower_and_compile(&tsi_module(), TargetTriple::THOR_XEON, CompileOptions::default())
+                .unwrap();
+        let mut mem = VecMemory::new(0x1000, 4096);
+        // payload at 0x1000 (value 5), target counter at 0x1800 (starts at 37)
+        mem.write(0x1000, &[5]).unwrap();
+        mem.write_u64(0x1800, 37).unwrap();
+        let engine = Engine::new();
+        let out = engine
+            .run(
+                &compiled.module,
+                "main",
+                &[0x1000, 1, 0x1800],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
+            .unwrap();
+        assert_eq!(out.return_value, 0);
+        assert_eq!(mem.read_u64(0x1800).unwrap(), 42);
+        assert!(out.insts_retired > 0);
+        assert!(out.cycles >= out.insts_retired);
+    }
+
+    #[test]
+    fn loop_sums_payload_array() {
+        // main: sum payload_len u64 values stored at payload_ptr, store at target.
+        let mut mb = ModuleBuilder::new("sum");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let len = f.param(1);
+            let target = f.param(2);
+            let idx = f.const_u64(0);
+            let acc = f.const_u64(0);
+            let header = f.new_block();
+            let body = f.new_block();
+            let done = f.new_block();
+            f.br(header);
+            f.switch_to(header);
+            let cond = f.cmp(BinOp::CmpLt, ScalarType::U64, idx, len);
+            f.br_if(cond, body, done);
+            f.switch_to(body);
+            let eight = f.const_u64(8);
+            let off = f.bin(BinOp::Mul, ScalarType::U64, idx, eight);
+            let addr = f.bin(BinOp::Add, ScalarType::U64, payload, off);
+            let v = f.load(ScalarType::U64, addr, 0);
+            let newacc = f.bin(BinOp::Add, ScalarType::U64, acc, v);
+            f.assign(acc, newacc);
+            let one = f.const_u64(1);
+            let newidx = f.bin(BinOp::Add, ScalarType::U64, idx, one);
+            f.assign(idx, newidx);
+            f.br(header);
+            f.switch_to(done);
+            f.store(ScalarType::U64, acc, target, 0);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 4096);
+        for i in 0..10u64 {
+            mem.write_u64(i * 8, i + 1).unwrap();
+        }
+        let out = Engine::new()
+            .run(&compiled.module, "main", &[0, 10, 2048], &[], &mut mem, &mut NoExternals)
+            .unwrap();
+        assert_eq!(out.return_value, 0);
+        assert_eq!(mem.read_u64(2048).unwrap(), 55);
+    }
+
+    #[test]
+    fn external_calls_reach_host_and_cost_cycles() {
+        let mut mb = ModuleBuilder::new("ext");
+        {
+            let mut f = mb.entry_function();
+            let a = f.const_u64(7);
+            let b = f.const_u64(35);
+            let r = f.call_ext("tc_return_result", vec![a, b], true).unwrap();
+            f.ret(r);
+            f.finish();
+        }
+        let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 64);
+        let mut host = RecordingHost::default();
+        let out = Engine::new()
+            .run(&compiled.module, "main", &[0, 0, 0], &[], &mut mem, &mut host)
+            .unwrap();
+        assert_eq!(out.return_value, 42);
+        assert_eq!(host.calls.len(), 1);
+        assert_eq!(host.calls[0].0, "tc_return_result");
+        assert_eq!(host.calls[0].1, vec![7, 35]);
+        assert!(out.cycles >= 100, "external cost must be charged");
+    }
+
+    #[test]
+    fn recursion_works_and_depth_is_bounded() {
+        // fact(n) = n <= 1 ? 1 : n * fact(n-1)
+        let mut mb = ModuleBuilder::new("fact");
+        let fact_id = mb.next_func_id();
+        {
+            let mut f = mb.function("fact", vec![ScalarType::U64], Some(ScalarType::U64));
+            let n = f.param(0);
+            let one = f.const_u64(1);
+            let le = f.cmp(BinOp::CmpLe, ScalarType::U64, n, one);
+            let base = f.new_block();
+            let rec = f.new_block();
+            f.br_if(le, base, rec);
+            f.switch_to(base);
+            f.ret(one);
+            f.switch_to(rec);
+            let nm1 = f.sub_i64(n, one);
+            let sub = f.call(fact_id, vec![nm1], true).unwrap();
+            let prod = f.bin(BinOp::Mul, ScalarType::U64, n, sub);
+            f.ret(prod);
+            f.finish();
+        }
+        let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 8);
+        let out = Engine::new()
+            .run(&compiled.module, "fact", &[10], &[], &mut mem, &mut NoExternals)
+            .unwrap();
+        assert_eq!(out.return_value, 3_628_800);
+
+        // Depth bound: fact(1000) exceeds max_call_depth of 256.
+        let err = Engine::new()
+            .run(&compiled.module, "fact", &[1000], &[], &mut mem, &mut NoExternals)
+            .unwrap_err();
+        assert!(matches!(err, JitError::Trap { .. }));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        let mut mb = ModuleBuilder::new("spin");
+        {
+            let mut f = mb.function("spin", vec![], None);
+            let blk = f.entry_block();
+            f.br(blk);
+            f.finish();
+        }
+        let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 8);
+        let err = Engine::with_fuel(10_000)
+            .run(&compiled.module, "spin", &[], &[], &mut mem, &mut NoExternals)
+            .unwrap_err();
+        assert!(matches!(err, JitError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("div0");
+        {
+            let mut f = mb.function("f", vec![ScalarType::U64], Some(ScalarType::U64));
+            let x = f.param(0);
+            let zero = f.const_u64(0);
+            let q = f.div_u64(x, zero);
+            f.ret(q);
+            f.finish();
+        }
+        let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 8);
+        let err = Engine::new()
+            .run(&compiled.module, "f", &[4], &[], &mut mem, &mut NoExternals)
+            .unwrap_err();
+        assert!(matches!(err, JitError::Trap { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_memory_traps() {
+        let compiled =
+            compile_module(&tsi_module(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0x1000, 64);
+        // Target pointer outside the memory.
+        let err = Engine::new()
+            .run(
+                &compiled.module,
+                "main",
+                &[0x1000, 1, 0x9_0000],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
+            .unwrap_err();
+        assert!(matches!(err, JitError::Trap { .. }));
+    }
+
+    #[test]
+    fn vector_loop_computes_and_costs_scale_with_lanes() {
+        let mut mb = ModuleBuilder::new("vadd");
+        {
+            let mut f = mb.entry_function();
+            let payload = f.param(0);
+            let len = f.param(1);
+            let target = f.param(2);
+            f.vec_op(tc_bitir::VecOp::Add, ScalarType::F64, target, payload, payload, len);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        let module = mb.build();
+        let run = |target: TargetTriple| {
+            let compiled = lower_and_compile(&module, target, CompileOptions::default()).unwrap();
+            let mut mem = VecMemory::new(0, 8192);
+            for i in 0..128u64 {
+                mem.write(i * 8, &(i as f64).to_le_bytes()).unwrap();
+            }
+            let out = Engine::new()
+                .run(&compiled.module, "main", &[0, 128, 4096], &[], &mut mem, &mut NoExternals)
+                .unwrap();
+            let v: f64 = {
+                let mut b = [0u8; 8];
+                mem.read(4096 + 8 * 3, &mut b).unwrap();
+                f64::from_le_bytes(b)
+            };
+            assert_eq!(v, 6.0); // 3.0 + 3.0
+            out.cycles
+        };
+        let cycles_sve = run(TargetTriple::OOKAMI_A64FX);
+        let cycles_neon = run(TargetTriple::THOR_BF2);
+        assert!(
+            cycles_sve < cycles_neon,
+            "wider SIMD must cost fewer cycles ({cycles_sve} vs {cycles_neon})"
+        );
+    }
+
+    #[test]
+    fn signed_unsigned_semantics() {
+        assert_eq!(
+            eval_bin(BinOp::CmpLt, ScalarType::I32, (-1i64) as u64, 1).unwrap(),
+            1
+        );
+        assert_eq!(
+            eval_bin(BinOp::CmpLt, ScalarType::U32, 0xffff_ffff, 1).unwrap(),
+            0
+        );
+        assert_eq!(
+            eval_bin(BinOp::Div, ScalarType::I64, (-6i64) as u64, 3).unwrap(),
+            (-2i64) as u64
+        );
+        assert_eq!(eval_bin(BinOp::Shr, ScalarType::I8, 0x80, 1).unwrap(), normalize(ScalarType::I8, 0xC0));
+        assert_eq!(eval_bin(BinOp::Shr, ScalarType::U8, 0x80, 1).unwrap(), 0x40);
+    }
+
+    #[test]
+    fn float_ops_and_conversions() {
+        let a = 2.5f64.to_bits();
+        let b = 4.0f64.to_bits();
+        let s = eval_bin(BinOp::FMul, ScalarType::F64, a, b).unwrap();
+        assert_eq!(f64::from_bits(s), 10.0);
+        assert_eq!(eval_bin(BinOp::CmpGt, ScalarType::F64, b, a).unwrap(), 1);
+        let i = eval_un(UnOp::FloatToInt, ScalarType::I64, 7.9f64.to_bits());
+        assert_eq!(i, 7);
+        let f = eval_un(UnOp::IntToFloat, ScalarType::F64, (-3i64) as u64);
+        assert_eq!(f64::from_bits(f), -3.0);
+    }
+
+    #[test]
+    fn sparse_memory_reads_zero_and_roundtrips() {
+        let mut mem = SparseMemory::new();
+        assert_eq!(mem.read_u64(0xdead_beef_0000).unwrap(), 0);
+        mem.write_u64(0xdead_beef_0000, 77).unwrap();
+        assert_eq!(mem.read_u64(0xdead_beef_0000).unwrap(), 77);
+        // Cross-page write.
+        let addr = (SparseMemory::PAGE_SIZE as u64) - 3;
+        mem.write(addr, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut buf = [0u8; 6];
+        mem.read(addr, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+        assert!(mem.page_count() >= 2);
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let compiled = compile_module(&tsi_module(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 64);
+        let err = Engine::new()
+            .run(&compiled.module, "nope", &[], &[], &mut mem, &mut NoExternals)
+            .unwrap_err();
+        assert_eq!(err, JitError::UnknownFunction { name: "nope".into() });
+    }
+
+    #[test]
+    fn wrong_arity_traps() {
+        let compiled = compile_module(&tsi_module(), CompileOptions::default()).unwrap();
+        let mut mem = VecMemory::new(0, 64);
+        let err = Engine::new()
+            .run(&compiled.module, "main", &[1, 2], &[], &mut mem, &mut NoExternals)
+            .unwrap_err();
+        assert!(matches!(err, JitError::Trap { .. }));
+    }
+}

@@ -1,0 +1,36 @@
+//! # tc-simnet — the simulated testbed: fabric, CPUs, platforms, event engine
+//!
+//! The paper's evaluation runs on hardware this reproduction does not have
+//! (Fujitsu A64FX nodes, Xeon hosts with BlueField-2 DPUs, 100 Gb/s
+//! InfiniBand).  This crate is the substitute substrate:
+//!
+//! * [`time`] — virtual time ([`SimTime`] / [`SimDuration`]);
+//! * [`event`] — a deterministic discrete-event queue;
+//! * [`fabric`] — an analytic latency / injection-gap model of the RDMA
+//!   fabric, calibrated to the paper's measured TSI message sizes and rates;
+//! * [`cpu`] — per-CPU execution, dispatch and JIT-speed profiles calibrated
+//!   to the paper's overhead-breakdown tables;
+//! * [`platform`] — the Ookami and Thor testbed configurations;
+//! * [`threaded`] — a real-thread, crossbeam-channel transport used by the
+//!   integration tests to exercise the runtime under genuine concurrency.
+//!
+//! The functional behaviour of the framework (what ifuncs do when they run)
+//! never depends on this crate; only *when* things happen in virtual time
+//! does.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod event;
+pub mod fabric;
+pub mod platform;
+pub mod threaded;
+pub mod time;
+
+pub use cpu::CpuProfile;
+pub use event::EventQueue;
+pub use fabric::{paper_sizes, FabricOp, FabricProfile};
+pub use platform::{Platform, PlatformId};
+pub use threaded::{Envelope, NodeCtx, ThreadCluster, ThreadedNode, EXTERNAL_SENDER};
+pub use time::{SimDuration, SimTime};

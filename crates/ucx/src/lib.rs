@@ -1,0 +1,31 @@
+//! # tc-ucx — a UCP-like communication layer for the Three-Chains reproduction
+//!
+//! The paper builds Three-Chains as an extension of UCX's UCP interface; its
+//! operations of record are RDMA PUT (carrying ifunc message frames), RDMA
+//! GET (the pointer-chase baseline) and active messages (the predeployed
+//! baseline).  This crate reproduces that object model in simulation:
+//!
+//! * [`worker::Worker`] / [`worker::Endpoint`] — the per-process
+//!   communication objects, with post / take-outgoing / deliver / progress
+//!   phases so any transport driver (discrete-event simulator, threaded
+//!   cluster, loopback) can carry the messages;
+//! * [`worker::UcpOp`] / [`worker::WorkerEvent`] — the operation and
+//!   completion-event vocabulary;
+//! * [`loopback::LoopbackNetwork`] — an immediate-delivery driver for unit
+//!   tests and examples.
+//!
+//! Timing is deliberately absent from this crate: the fabric model in
+//! `tc-simnet` decides *when* a posted operation arrives; this crate decides
+//! *what* arriving means.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod loopback;
+pub mod worker;
+
+pub use loopback::LoopbackNetwork;
+pub use worker::{
+    AmHandlerId, Endpoint, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent,
+    WorkerStats,
+};

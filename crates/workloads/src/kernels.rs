@@ -1,0 +1,244 @@
+//! The ifunc kernels used by the paper's evaluation, in both the builder-API
+//! ("C path") and Chainlang ("Julia path") forms.
+
+use tc_bitir::{BinOp, Module, ModuleBuilder, ScalarType};
+use tc_core::layout::DATA_REGION_BASE;
+
+/// Payload layout of the DAPC chaser ifunc: eight little-endian u64 fields.
+pub mod chaser_payload {
+    /// Offset of the requesting client's node id.
+    pub const CLIENT: i64 = 0;
+    /// Offset of the client's result-mailbox slot.
+    pub const SLOT: i64 = 8;
+    /// Offset of the current global pointer-table index.
+    pub const INDEX: i64 = 16;
+    /// Offset of the remaining chase depth.
+    pub const DEPTH: i64 = 24;
+    /// Offset of the number of servers.
+    pub const NUM_SERVERS: i64 = 32;
+    /// Offset of the per-server shard size (entries).
+    pub const SHARD: i64 = 40;
+    /// Total payload size in bytes.
+    pub const SIZE: usize = 48;
+
+    /// Encode a chaser payload.
+    pub fn encode(client: u64, slot: u64, index: u64, depth: u64, num_servers: u64, shard: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SIZE);
+        for v in [client, slot, index, depth, num_servers, shard] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a chaser payload into its six fields.
+    pub fn decode(bytes: &[u8]) -> Option<[u64; 6]> {
+        if bytes.len() < SIZE {
+            return None;
+        }
+        let mut out = [0u64; 6];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().ok()?);
+        }
+        Some(out)
+    }
+}
+
+/// The Target-Side Increment kernel (Section IV-B), builder-API form: add the
+/// payload's first byte to the u64 counter behind the target pointer.
+pub fn tsi_module() -> Module {
+    let mut mb = ModuleBuilder::new("tsi");
+    {
+        let mut f = mb.entry_function();
+        let payload = f.param(0);
+        let target = f.param(2);
+        let delta = f.load(ScalarType::U8, payload, 0);
+        let counter = f.load(ScalarType::U64, target, 0);
+        let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+        f.store(ScalarType::U64, sum, target, 0);
+        let z = f.const_i64(0);
+        f.ret(z);
+        f.finish();
+    }
+    mb.build()
+}
+
+/// The Target-Side Increment kernel, Chainlang source (the "Julia path").
+pub const TSI_CHAINLANG_SRC: &str = r#"
+    fn main(payload: u64, len: u64, target: u64) -> i64 {
+        let delta: u64 = load_u8(payload, 0);
+        let counter: u64 = load_u64(target, 0);
+        store_u64(target, 0, counter + delta);
+        return 0;
+    }
+"#;
+
+/// TSI kernel compiled from Chainlang source.
+pub fn tsi_module_chainlang() -> Module {
+    tc_chainlang::compile_source("tsi_jl", TSI_CHAINLANG_SRC)
+        .expect("TSI Chainlang source must compile")
+}
+
+/// The Distributed Adaptive Pointer Chasing chaser ifunc (Section IV-C),
+/// builder-API form.
+///
+/// Behaviour per arrival:
+/// 1. If this node does not own the current index, forward the unchanged
+///    payload to the owner.
+/// 2. Otherwise repeatedly: load the next index from the local shard,
+///    decrement the remaining depth; when the depth hits zero, X-RDMA
+///    `ReturnResult` the final value to the client; when the next index lives
+///    on another server, update the payload in place and forward itself
+///    there; when it is local, keep chasing locally.
+///
+/// `module_name` lets callers register distinct copies (e.g. a bitcode and a
+/// binary variant) side by side.
+pub fn chaser_module(module_name: &str) -> Module {
+    use chaser_payload as P;
+    let mut mb = ModuleBuilder::new(module_name);
+    {
+        let mut f = mb.entry_function();
+        let payload = f.param(0);
+        let len = f.param(1);
+
+        let client = f.load(ScalarType::U64, payload, P::CLIENT);
+        let slot = f.load(ScalarType::U64, payload, P::SLOT);
+        let idx0 = f.load(ScalarType::U64, payload, P::INDEX);
+        let depth0 = f.load(ScalarType::U64, payload, P::DEPTH);
+        let shard = f.load(ScalarType::U64, payload, P::SHARD);
+        let me = f.call_ext("tc_node_id", vec![], true).unwrap();
+        let one = f.const_u64(1);
+        let eight = f.const_u64(8);
+        let table_base = f.const_u64(DATA_REGION_BASE);
+
+        // Mutable loop state.
+        let idx = f.copy(idx0);
+        let depth = f.copy(depth0);
+
+        let check_owner = f.new_block();
+        let forward_blk = f.new_block();
+        let chase_blk = f.new_block();
+        let done_blk = f.new_block();
+        let next_blk = f.new_block();
+
+        f.br(check_owner);
+
+        // check_owner: does this node own `idx`?
+        f.switch_to(check_owner);
+        let owner_div = f.div_u64(idx, shard);
+        let owner = f.bin(BinOp::Add, ScalarType::U64, owner_div, one);
+        let is_mine = f.cmp(BinOp::CmpEq, ScalarType::U64, owner, me);
+        f.br_if(is_mine, chase_blk, forward_blk);
+
+        // forward: update the payload in place and send ourselves to `owner`.
+        f.switch_to(forward_blk);
+        f.store(ScalarType::U64, idx, payload, P::INDEX);
+        f.store(ScalarType::U64, depth, payload, P::DEPTH);
+        f.call_ext("tc_forward_self", vec![owner, payload, len], true);
+        let z1 = f.const_i64(0);
+        f.ret(z1);
+
+        // chase: one local lookup.
+        f.switch_to(chase_blk);
+        let offset = f.rem_u64(idx, shard);
+        let byte_off = f.bin(BinOp::Mul, ScalarType::U64, offset, eight);
+        let addr = f.bin(BinOp::Add, ScalarType::U64, table_base, byte_off);
+        let next = f.load(ScalarType::U64, addr, 0);
+        let new_depth = f.sub_i64(depth, one);
+        f.assign(depth, new_depth);
+        f.assign(idx, next);
+        f.br(next_blk);
+
+        // next: decide whether we are done, continue locally, or forward.
+        f.switch_to(next_blk);
+        let zero = f.const_u64(0);
+        let is_done = f.cmp(BinOp::CmpEq, ScalarType::U64, depth, zero);
+        f.br_if(is_done, done_blk, check_owner);
+
+        // done: return the final value to the requester.
+        f.switch_to(done_blk);
+        f.call_ext("tc_return_result", vec![client, slot, idx], true);
+        let z2 = f.const_i64(0);
+        f.ret(z2);
+
+        f.finish();
+    }
+    mb.build()
+}
+
+/// The DAPC chaser, Chainlang source (the "Julia path" of Figures 8 and 12).
+pub const CHASER_CHAINLANG_SRC: &str = r#"
+    fn main(payload: u64, len: u64, target: u64) -> i64 {
+        let client: u64 = load_u64(payload, 0);
+        let slot: u64 = load_u64(payload, 8);
+        let idx: u64 = load_u64(payload, 16);
+        let depth: u64 = load_u64(payload, 24);
+        let shard: u64 = load_u64(payload, 40);
+        let me: u64 = tc_node_id();
+        let table: u64 = 1073741824;
+        let running: u64 = 1;
+        while running == 1 {
+            let owner: u64 = idx / shard + 1;
+            if owner != me {
+                store_u64(payload, 16, idx);
+                store_u64(payload, 24, depth);
+                tc_forward_self(owner, payload, len);
+                running = 0;
+            } else {
+                let next: u64 = load_u64(table, (idx % shard) * 8);
+                depth = depth - 1;
+                idx = next;
+                if depth == 0 {
+                    tc_return_result(client, slot, idx);
+                    running = 0;
+                }
+            }
+        }
+        return 0;
+    }
+"#;
+
+/// DAPC chaser compiled from Chainlang source.
+pub fn chaser_module_chainlang(module_name: &str) -> Module {
+    let mut module = tc_chainlang::compile_source(module_name, CHASER_CHAINLANG_SRC)
+        .expect("chaser Chainlang source must compile");
+    module.name = module_name.to_string();
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_bitir::verify_module;
+
+    #[test]
+    fn kernels_verify() {
+        verify_module(&tsi_module()).unwrap();
+        verify_module(&tsi_module_chainlang()).unwrap();
+        verify_module(&chaser_module("dapc_chaser")).unwrap();
+        verify_module(&chaser_module_chainlang("dapc_chaser_jl")).unwrap();
+    }
+
+    #[test]
+    fn chaser_payload_roundtrip() {
+        let p = chaser_payload::encode(0, 3, 17, 4096, 32, 128);
+        assert_eq!(p.len(), chaser_payload::SIZE);
+        let fields = chaser_payload::decode(&p).unwrap();
+        assert_eq!(fields, [0, 3, 17, 4096, 32, 128]);
+        assert!(chaser_payload::decode(&p[..20]).is_none());
+    }
+
+    #[test]
+    fn chainlang_table_base_matches_layout_constant() {
+        // The Chainlang source hard-codes the data-region base; keep it in
+        // sync with the framework's layout.
+        assert_eq!(DATA_REGION_BASE, 1_073_741_824);
+    }
+
+    #[test]
+    fn chaser_uses_framework_externals() {
+        let m = chaser_module("c");
+        for sym in ["tc_node_id", "tc_forward_self", "tc_return_result"] {
+            assert!(m.ext_symbols.iter().any(|s| s == sym), "missing {sym}");
+        }
+    }
+}

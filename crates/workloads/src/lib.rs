@@ -1,0 +1,37 @@
+//! # tc-workloads — the paper's evaluation workloads
+//!
+//! Everything Section IV of the paper describes, runnable on the simulated
+//! testbed:
+//!
+//! * [`kernels`] — the TSI and DAPC-chaser ifuncs, in builder-API ("C") and
+//!   Chainlang ("Julia") form;
+//! * [`pointer_table`] — sharded single-cycle random pointer tables;
+//! * [`tsi`] — the Target-Side Increment microbenchmark: overhead breakdown,
+//!   latency and message rate (Tables I–VI);
+//! * [`dapc`] — Distributed Adaptive Pointer Chasing and the Get-Based
+//!   baseline, with depth sweeps and server-count scaling (Figures 5–12);
+//! * [`report`] — text/CSV rendering of tables and figures.
+//!
+//! The `tc-bench` crate wraps these in Criterion benchmarks and in the
+//! `repro_tables` / `repro_figures` binaries that regenerate every table and
+//! figure of the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dapc;
+pub mod kernels;
+pub mod pointer_table;
+pub mod report;
+pub mod tsi;
+
+pub use dapc::{
+    depth_sweep, scaling_sweep, ChaseConfig, ChaseMode, ChaseResult, DapcExperiment, SweepPoint,
+};
+pub use kernels::{
+    chaser_module, chaser_module_chainlang, chaser_payload, tsi_module, tsi_module_chainlang,
+    CHASER_CHAINLANG_SRC, TSI_CHAINLANG_SRC,
+};
+pub use pointer_table::PointerTable;
+pub use report::{render_figure, render_figure_csv, render_overhead_table, render_rate_table};
+pub use tsi::{platform_toolchain, run_tsi, tsi_am_handler, TsiBreakdown, TsiRate, TsiResults};

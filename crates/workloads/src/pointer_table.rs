@@ -1,0 +1,170 @@
+//! Distributed pointer-table generation for the DAPC / GBPC workloads.
+//!
+//! The table is a random permutation of `0..total_entries` arranged as a
+//! single cycle, so a chase of any depth never terminates early and visits a
+//! uniformly random sequence of shards.  Entries are distributed across the
+//! servers in equal contiguous shards and "indexed using the server number
+//! first" (Section IV-C): global index `g` lives on server `g / shard_size`
+//! at local offset `g % shard_size`.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tc_core::layout::DATA_REGION_BASE;
+use tc_core::ClusterSim;
+use tc_jit::MemoryExt;
+
+/// A generated pointer table, before installation into server memories.
+#[derive(Debug, Clone)]
+pub struct PointerTable {
+    /// Number of servers the table is sharded over.
+    pub num_servers: usize,
+    /// Entries per server.
+    pub shard_size: usize,
+    /// `table[g]` = next global index after `g`.
+    pub entries: Vec<u64>,
+}
+
+impl PointerTable {
+    /// Generate a single-cycle random permutation table with `shard_size`
+    /// entries per server, deterministically from `seed`.
+    pub fn generate(num_servers: usize, shard_size: usize, seed: u64) -> Self {
+        assert!(num_servers > 0 && shard_size > 0);
+        let total = num_servers * shard_size;
+        let mut order: Vec<u64> = (0..total as u64).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        // Build a single cycle following the shuffled order.
+        let mut entries = vec![0u64; total];
+        for i in 0..total {
+            let from = order[i] as usize;
+            let to = order[(i + 1) % total];
+            entries[from] = to;
+        }
+        PointerTable {
+            num_servers,
+            shard_size,
+            entries,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Server rank (1-based; rank 0 is the client) owning global index `g`.
+    pub fn owner_rank(&self, g: u64) -> usize {
+        (g as usize / self.shard_size) + 1
+    }
+
+    /// Address of global index `g` within its owner's memory.
+    pub fn entry_addr(&self, g: u64) -> u64 {
+        DATA_REGION_BASE + (g % self.shard_size as u64) * 8
+    }
+
+    /// Next index after `g` (ground truth, used by tests and by the GBPC
+    /// client to verify results).
+    pub fn next(&self, g: u64) -> u64 {
+        self.entries[g as usize]
+    }
+
+    /// Ground-truth result of a chase of `depth` steps starting at `start`.
+    pub fn chase(&self, start: u64, depth: u64) -> u64 {
+        let mut idx = start;
+        for _ in 0..depth {
+            idx = self.next(idx);
+        }
+        idx
+    }
+
+    /// Install the table's shards into the server memories of a simulation.
+    /// Server rank `r` (1-based) receives entries `[(r-1)*shard, r*shard)`.
+    pub fn install(&self, sim: &mut ClusterSim) {
+        assert_eq!(
+            sim.server_count(),
+            self.num_servers,
+            "simulation has a different number of servers than the table"
+        );
+        for server in 0..self.num_servers {
+            let rank = server + 1;
+            for local in 0..self.shard_size {
+                let g = server * self.shard_size + local;
+                let value = self.entries[g];
+                sim.node_mut(rank)
+                    .memory
+                    .write_u64(DATA_REGION_BASE + (local as u64) * 8, value)
+                    .expect("sparse memory write cannot fail");
+            }
+        }
+    }
+
+    /// Fraction of entries whose successor lives on a different server — the
+    /// quantity that grows with the server count and explains the scalability
+    /// trend in Figures 9–12.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_entries();
+        let remote = (0..total as u64)
+            .filter(|&g| self.owner_rank(g) != self.owner_rank(self.next(g)))
+            .count();
+        remote as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_single_cycle() {
+        let t = PointerTable::generate(4, 64, 7);
+        let total = t.total_entries() as u64;
+        let mut seen = vec![false; total as usize];
+        let mut idx = 0u64;
+        for _ in 0..total {
+            assert!(!seen[idx as usize], "cycle shorter than the table");
+            seen[idx as usize] = true;
+            idx = t.next(idx);
+        }
+        assert_eq!(idx, 0, "walk of `total` steps must return to the start");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = PointerTable::generate(2, 32, 42);
+        let b = PointerTable::generate(2, 32, 42);
+        let c = PointerTable::generate(2, 32, 43);
+        assert_eq!(a.entries, b.entries);
+        assert_ne!(a.entries, c.entries);
+    }
+
+    #[test]
+    fn ownership_and_addressing() {
+        let t = PointerTable::generate(4, 128, 1);
+        assert_eq!(t.owner_rank(0), 1);
+        assert_eq!(t.owner_rank(127), 1);
+        assert_eq!(t.owner_rank(128), 2);
+        assert_eq!(t.owner_rank(511), 4);
+        assert_eq!(t.entry_addr(0), DATA_REGION_BASE);
+        assert_eq!(t.entry_addr(129), DATA_REGION_BASE + 8);
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_server_count() {
+        let few = PointerTable::generate(2, 256, 5).remote_fraction();
+        let many = PointerTable::generate(16, 32, 5).remote_fraction();
+        assert!(many > few, "remote fraction {many} should exceed {few}");
+        // Expected remote fraction ≈ (S-1)/S.
+        assert!((few - 0.5).abs() < 0.1);
+        assert!((many - 15.0 / 16.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn chase_ground_truth_follows_entries() {
+        let t = PointerTable::generate(2, 16, 9);
+        let one = t.next(5);
+        assert_eq!(t.chase(5, 1), one);
+        assert_eq!(t.chase(5, 2), t.next(one));
+        assert_eq!(t.chase(5, 0), 5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Text rendering of the paper's tables and figures from measured results.
+
+use crate::dapc::{ChaseMode, SweepPoint};
+use crate::tsi::TsiResults;
+
+/// Render a TSI overhead-breakdown table (the format of Tables I–III).
+pub fn render_overhead_table(title: &str, r: &TsiResults) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:<16} {:>16} {:>22} {:>16}\n", "Stage", "Active Message", "Uncached Bitcode", "Cached Bitcode"));
+    out.push_str(&format!(
+        "{:<16} {:>13.2} µs {:>19.2} µs {:>13.2} µs\n",
+        "Lookup+Exec",
+        r.active_message.lookup_exec_us,
+        r.uncached_bitcode.lookup_exec_us,
+        r.cached_bitcode.lookup_exec_us
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>16} {:>16.2} ms) {:>16}\n",
+        "JIT",
+        "N/A",
+        format_args!("({:.2}", r.uncached_bitcode.jit_ms.unwrap_or(0.0)),
+        "N/A"
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>13.2} µs {:>19.2} µs {:>13.2} µs\n",
+        "Transmission",
+        r.active_message.transmission_us,
+        r.uncached_bitcode.transmission_us,
+        r.cached_bitcode.transmission_us
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>13.2} µs {:>19.2} µs {:>13.2} µs\n",
+        "Total", r.active_message.total_us, r.uncached_bitcode.total_us, r.cached_bitcode.total_us
+    ));
+    out.push_str(&format!(
+        "message sizes: AM {} B, uncached {} B, cached {} B\n",
+        r.active_message.message_bytes, r.uncached_bitcode.message_bytes, r.cached_bitcode.message_bytes
+    ));
+    out
+}
+
+/// Render a TSI latency / message-rate table (the format of Tables IV–VI).
+pub fn render_rate_table(title: &str, r: &TsiResults) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<18} {:>12} {:>10} {:>18} {:>10}\n",
+        "Method", "Latency", "Speedup", "Message Rate", "Speedup"
+    ));
+    let row = |name: &str, lat: f64, rate: f64| {
+        format!("{:<18} {:>9.2} µs {:>10} {:>14.0} msg/s {:>10}\n", name, lat, "", rate, "")
+    };
+    out.push_str(&row("Active Message", r.am_rate.latency_us, r.am_rate.message_rate));
+    out.push_str(&format!(
+        "{:<18} {:>9.2} µs {:>9.2}% {:>14.0} msg/s {:>9.2}%\n",
+        "Cached Bitcode",
+        r.cached_rate.latency_us,
+        r.am_vs_cached_latency_pct(),
+        r.cached_rate.message_rate,
+        r.cached_vs_am_rate_pct()
+    ));
+    out.push_str(&row("Uncached Bitcode", r.uncached_rate.latency_us, r.uncached_rate.message_rate));
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>9.2}% {:>14} {:>9.2}%\n",
+        "Cached vs Uncached",
+        "",
+        r.uncached_vs_cached_latency_pct(),
+        "",
+        r.cached_vs_uncached_rate_pct()
+    ));
+    out
+}
+
+/// Render a depth-sweep or scaling figure as an aligned text series table
+/// (one row per x value, one column per mode, plus the Get−Bitcode %-diff).
+pub fn render_figure(
+    title: &str,
+    x_label: &str,
+    xs: &[u64],
+    points: &[SweepPoint],
+    modes: &[ChaseMode],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:<16}", x_label));
+    for mode in modes {
+        out.push_str(&format!(" {:>26}", mode.label()));
+    }
+    out.push_str(&format!(" {:>22}\n", "Get - Bitcode % Diff"));
+    for (x, point) in xs.iter().zip(points) {
+        out.push_str(&format!("{:<16}", x));
+        for mode in modes {
+            match point.rate(*mode) {
+                Some(rate) => out.push_str(&format!(" {:>19.1} ch/s", rate)),
+                None => out.push_str(&format!(" {:>26}", "-")),
+            }
+        }
+        match point.get_vs_bitcode_pct() {
+            Some(pct) => out.push_str(&format!(" {:>20.1}%\n", pct)),
+            None => out.push_str(&format!(" {:>22}\n", "-")),
+        }
+    }
+    out
+}
+
+/// Render results as CSV (one line per x value) for plotting.
+pub fn render_figure_csv(xs: &[u64], points: &[SweepPoint], modes: &[ChaseMode]) -> String {
+    let mut out = String::new();
+    out.push_str("x");
+    for m in modes {
+        out.push_str(&format!(",{}", m.label().replace(' ', "_")));
+    }
+    out.push_str(",get_vs_bitcode_pct\n");
+    for (x, p) in xs.iter().zip(points) {
+        out.push_str(&x.to_string());
+        for m in modes {
+            out.push_str(&format!(",{}", p.rate(*m).map(|r| format!("{r:.2}")).unwrap_or_default()));
+        }
+        out.push_str(&format!(
+            ",{}\n",
+            p.get_vs_bitcode_pct().map(|v| format!("{v:.2}")).unwrap_or_default()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dapc::ChaseResult;
+
+    fn fake_point(depth: u64, get: f64, bitcode: f64) -> SweepPoint {
+        SweepPoint {
+            depth,
+            results: vec![
+                ChaseResult {
+                    mode: ChaseMode::Get,
+                    depth,
+                    servers: 4,
+                    chases_per_second: get,
+                    chase_latency_us: 1.0e6 / get,
+                },
+                ChaseResult {
+                    mode: ChaseMode::CachedBitcode,
+                    depth,
+                    servers: 4,
+                    chases_per_second: bitcode,
+                    chase_latency_us: 1.0e6 / bitcode,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn figure_rendering_includes_all_series() {
+        let points = vec![fake_point(1, 1000.0, 1300.0), fake_point(4, 250.0, 310.0)];
+        let text = render_figure(
+            "Fig test",
+            "Pointer Chase Depth",
+            &[1, 4],
+            &points,
+            &[ChaseMode::Get, ChaseMode::CachedBitcode],
+        );
+        assert!(text.contains("Fig test"));
+        assert!(text.contains("Cached Bitcode"));
+        assert!(text.contains("1300.0"));
+        assert!(text.contains('%'));
+
+        let csv = render_figure_csv(&[1, 4], &points, &[ChaseMode::Get, ChaseMode::CachedBitcode]);
+        assert!(csv.starts_with("x,Get,Cached_Bitcode"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn pct_diff_matches_definition() {
+        let p = fake_point(1, 1000.0, 1300.0);
+        assert!((p.get_vs_bitcode_pct().unwrap() - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! X-RDMA pointer chase: the paper's headline application.  A chaser ifunc is
+//! injected into a cluster of DPU servers, hops from shard to shard by
+//! recursively forwarding itself, and returns the final value to the client
+//! through the one-sided result mailbox.  The same chase is also run with the
+//! RDMA-GET baseline so the speedup is visible.
+//!
+//! ```text
+//! cargo run --release --example xrdma_pointer_chase
+//! ```
+
+use tc_simnet::Platform;
+use tc_workloads::{ChaseConfig, ChaseMode, DapcExperiment};
+
+fn main() {
+    let config = ChaseConfig {
+        servers: 8,
+        shard_size: 512,
+        depth: 1024,
+        chases: 3,
+        seed: 42,
+    };
+    println!(
+        "Thor platform, {} BlueField-2 servers, {} entries/server, chase depth {}",
+        config.servers, config.shard_size, config.depth
+    );
+
+    let mut experiment = DapcExperiment::new(Platform::thor_bf2(), &config);
+    println!(
+        "pointer table: {} entries, {:.1}% of successors remote",
+        experiment.table().total_entries(),
+        experiment.table().remote_fraction() * 100.0
+    );
+
+    for mode in [
+        ChaseMode::Get,
+        ChaseMode::ActiveMessage,
+        ChaseMode::CachedBitcode,
+        ChaseMode::CachedBinary,
+    ] {
+        let result = experiment.measure(mode, config.depth, config.chases);
+        println!(
+            "{:<28} {:>10.1} chases/s   ({:>10.1} µs per chase)",
+            mode.label(),
+            result.chases_per_second,
+            result.chase_latency_us
+        );
+    }
+
+    let get = experiment.measure(ChaseMode::Get, config.depth, 1);
+    let dapc = experiment.measure(ChaseMode::CachedBitcode, config.depth, 1);
+    println!(
+        "\nX-RDMA DAPC vs GET baseline: {:+.1}%",
+        (dapc.chases_per_second / get.chases_per_second - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,46 @@
+//! # three-chains — reproduction of "Bring the BitCODE" (CLUSTER 2022)
+//!
+//! An umbrella crate re-exporting the whole reproduction of *Bring the
+//! BitCODE — Moving Compute and Data in Distributed Heterogeneous Systems*
+//! (Lu, Peña, Shamis, Churavy, Chapman, Poole; IEEE CLUSTER 2022).
+//!
+//! The system moves **both code and data** between processing elements of a
+//! heterogeneous cluster (host CPUs of different ISAs, DPU Arm cores): an
+//! *ifunc* — a function in portable bitcode or target-specific binary form —
+//! is shipped together with its payload, JIT-compiled or loaded on the
+//! target, linked against its dependencies, executed, cached for subsequent
+//! calls, and may recursively inject further ifuncs (the X-RDMA pattern).
+//!
+//! | layer | crate | role |
+//! |---|---|---|
+//! | IR / bitcode | [`bitir`] | portable IR, fat-bitcode archives (LLVM-IR analogue) |
+//! | binary objects | [`binfmt`] | ELF-like objects, GOT patching (binary ifuncs) |
+//! | JIT / execution | [`jit`] | ORC-like JIT, dylib linking, interpreter (ORC-JIT analogue) |
+//! | testbed models | [`simnet`] | fabric/CPU models calibrated to the paper's platforms |
+//! | communication | [`ucx`] | UCP-like workers, PUT/GET/AM (UCX analogue) |
+//! | framework | [`core`] | ifunc registry, frames, caching, runtime, X-RDMA, cluster sim |
+//! | front-end | [`chainlang`] | high-level language → IR (Julia/GPUCompiler analogue) |
+//! | evaluation | [`workloads`] | TSI, DAPC, GBPC, sweeps (Tables I–VI, Figures 5–12) |
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured comparison.
+
+pub use tc_binfmt as binfmt;
+pub use tc_bitir as bitir;
+pub use tc_chainlang as chainlang;
+pub use tc_core as core;
+pub use tc_jit as jit;
+pub use tc_simnet as simnet;
+pub use tc_ucx as ucx;
+pub use tc_workloads as workloads;
+
+/// Version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

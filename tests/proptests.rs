@@ -1,0 +1,172 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use proptest::prelude::*;
+use tc_core::{CodeRepr, MessageFrame, SendDecision, SenderCache};
+use tc_ucx::WorkerAddr;
+use tc_workloads::PointerTable;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full frames roundtrip for arbitrary names, payloads, code and deps.
+    #[test]
+    fn frame_full_roundtrip(
+        name in "[a-z][a-z0-9_]{0,24}",
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        code in proptest::collection::vec(any::<u8>(), 0..4096),
+        deps in proptest::collection::vec("[a-z]{1,12}\\.so", 0..4),
+        binary in any::<bool>(),
+    ) {
+        let repr = if binary { CodeRepr::Binary } else { CodeRepr::Bitcode };
+        let frame = MessageFrame::new(name.clone(), repr, payload.clone(), code.clone(), deps.clone());
+        let decoded = MessageFrame::decode(&frame.encode_full()).unwrap();
+        prop_assert_eq!(decoded.ifunc_name, name);
+        prop_assert_eq!(decoded.repr, repr);
+        prop_assert_eq!(decoded.payload, payload);
+        prop_assert_eq!(decoded.code.unwrap(), code);
+        prop_assert_eq!(decoded.deps, deps);
+    }
+
+    /// Truncated frames always decode as truncated, carry the payload, and
+    /// are never larger than the full frame.
+    #[test]
+    fn frame_truncation_invariants(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        code in proptest::collection::vec(any::<u8>(), 1..2048),
+    ) {
+        let frame = MessageFrame::new("f", CodeRepr::Bitcode, payload.clone(), code, vec![]);
+        let truncated = frame.encode_truncated();
+        let full = frame.encode_full();
+        prop_assert!(truncated.len() < full.len());
+        let decoded = MessageFrame::decode(&truncated).unwrap();
+        prop_assert!(decoded.is_truncated());
+        prop_assert_eq!(decoded.payload, payload);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = MessageFrame::decode(&bytes);
+    }
+
+    /// The sender cache sends the full frame exactly once per (ifunc,
+    /// endpoint) pair regardless of the send order.
+    #[test]
+    fn sender_cache_full_once_per_pair(
+        sends in proptest::collection::vec((0u32..4, 0u32..6), 1..64)
+    ) {
+        let mut cache = SenderCache::new();
+        let mut seen = std::collections::HashSet::new();
+        for (ifunc, ep) in sends {
+            let name = format!("ifunc{ifunc}");
+            let decision = cache.on_send(&name, WorkerAddr(ep));
+            let first_time = seen.insert((ifunc, ep));
+            if first_time {
+                prop_assert_eq!(decision, SendDecision::SendFull);
+            } else {
+                prop_assert_eq!(decision, SendDecision::SendTruncated);
+            }
+        }
+        prop_assert_eq!(cache.len(), seen.len());
+        prop_assert_eq!(cache.full_sends as usize, seen.len());
+    }
+
+    /// Generated pointer tables are always a single cycle covering every
+    /// entry, whatever the shape and seed.
+    #[test]
+    fn pointer_table_is_single_cycle(
+        servers in 1usize..9,
+        shard in 1usize..65,
+        seed in any::<u64>(),
+    ) {
+        let table = PointerTable::generate(servers, shard, seed);
+        let total = table.total_entries();
+        let mut visited = vec![false; total];
+        let mut idx = 0u64;
+        for _ in 0..total {
+            prop_assert!(!visited[idx as usize]);
+            visited[idx as usize] = true;
+            idx = table.next(idx);
+            prop_assert!((idx as usize) < total);
+        }
+        prop_assert_eq!(idx, 0);
+        prop_assert!(visited.into_iter().all(|v| v));
+    }
+
+    /// Ownership maps every index to a valid server rank and chase ground
+    /// truth is consistent with repeated single steps.
+    #[test]
+    fn pointer_table_ownership_and_chase(
+        servers in 1usize..6,
+        shard in 1usize..33,
+        start_raw in any::<u64>(),
+        depth in 0u64..64,
+    ) {
+        let table = PointerTable::generate(servers, shard, 7);
+        let total = table.total_entries() as u64;
+        let start = start_raw % total;
+        let owner = table.owner_rank(start);
+        prop_assert!(owner >= 1 && owner <= servers);
+        let mut idx = start;
+        for _ in 0..depth {
+            idx = table.next(idx);
+        }
+        prop_assert_eq!(idx, table.chase(start, depth));
+    }
+
+    /// Bitcode encode/decode roundtrips for modules with arbitrary payload
+    /// constants (structural fuzz of the encoder's varint paths).
+    #[test]
+    fn bitcode_roundtrip_with_arbitrary_constants(
+        consts in proptest::collection::vec(any::<u64>(), 1..32)
+    ) {
+        use tc_bitir::{ModuleBuilder, ScalarType, BinOp};
+        let mut mb = ModuleBuilder::new("fuzzed");
+        {
+            let mut f = mb.entry_function();
+            let target = f.param(2);
+            let mut acc = f.const_u64(0);
+            for &c in &consts {
+                let k = f.const_u64(c);
+                acc = f.bin(BinOp::Add, ScalarType::U64, acc, k);
+            }
+            f.store(ScalarType::U64, acc, target, 0);
+            let z = f.const_i64(0);
+            f.ret(z);
+            f.finish();
+        }
+        let module = mb.build();
+        let bytes = tc_bitir::encode_module(&module);
+        let decoded = tc_bitir::decode_module(&bytes).unwrap();
+        prop_assert_eq!(module, decoded);
+    }
+
+    /// The interpreter computes the same wrapping sum the host would.
+    #[test]
+    fn interpreter_matches_host_arithmetic(values in proptest::collection::vec(any::<u64>(), 1..16)) {
+        use tc_bitir::{ModuleBuilder, ScalarType, BinOp};
+        use tc_jit::{Engine, NoExternals, VecMemory, MemoryExt, CompileOptions};
+        let mut mb = ModuleBuilder::new("sum");
+        {
+            let mut f = mb.function("sum", vec![], Some(ScalarType::U64));
+            let mut acc = f.const_u64(0);
+            for &v in &values {
+                let k = f.const_u64(v);
+                acc = f.bin(BinOp::Add, ScalarType::U64, acc, k);
+            }
+            f.ret(acc);
+            f.finish();
+        }
+        let compiled = tc_jit::compile_module(&mb.build(), CompileOptions {
+            opt_level: tc_jit::OptLevel::O0,
+            verify: true,
+        }).unwrap();
+        let mut mem = VecMemory::new(0, 8);
+        let out = Engine::new()
+            .run(&compiled.module, "sum", &[], &[], &mut mem, &mut NoExternals)
+            .unwrap();
+        let expected = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(out.return_value, expected);
+        let _ = mem.read_u64(0);
+    }
+}
