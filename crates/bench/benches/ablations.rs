@@ -2,7 +2,8 @@
 //! caching on/off, fat-bitcode vs single-target bitcode, and the JIT
 //! optimisation level.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::crit::{BenchmarkId, Criterion};
+use tc_bench::{criterion_group, criterion_main};
 use tc_bitir::{FatBitcode, TargetTriple};
 use tc_core::{build_ifunc_library, ClusterSim, ToolchainOptions};
 use tc_jit::{CompileOptions, OptLevel, OrcJit, SparseMemory};
@@ -20,7 +21,10 @@ fn bench_caching_ablation(c: &mut Criterion) {
         let mut sim = ClusterSim::new(platform, 1);
         let lib = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
         let handle = sim.register_on_client(lib);
-        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        let msg = sim
+            .client_mut()
+            .create_bitcode_message(handle, vec![1])
+            .unwrap();
         sim.client_send_ifunc(&msg, 1);
         sim.run_until_idle(10_000);
         (sim, msg)
@@ -36,7 +40,7 @@ fn bench_caching_ablation(c: &mut Criterion) {
                 sim.run_until_idle(100_000);
                 sim.now()
             },
-            criterion::BatchSize::SmallInput,
+            tc_bench::crit::BatchSize::SmallInput,
         );
     });
 
@@ -55,7 +59,7 @@ fn bench_caching_ablation(c: &mut Criterion) {
                 sim.run_until_idle(100_000);
                 sim.now()
             },
-            criterion::BatchSize::SmallInput,
+            tc_bench::crit::BatchSize::SmallInput,
         );
     });
     group.finish();
@@ -69,19 +73,26 @@ fn bench_fatbitcode_ablation(c: &mut Criterion) {
     let module = tsi_module();
     let target_sets: Vec<(&str, Vec<TargetTriple>)> = vec![
         ("1_target", vec![TargetTriple::THOR_XEON]),
-        ("2_targets", vec![TargetTriple::THOR_XEON, TargetTriple::THOR_BF2]),
+        (
+            "2_targets",
+            vec![TargetTriple::THOR_XEON, TargetTriple::THOR_BF2],
+        ),
         ("5_targets", TargetTriple::default_toolchain_targets()),
     ];
     for (name, targets) in &target_sets {
-        group.bench_with_input(BenchmarkId::new("build_and_jit", name), targets, |b, targets| {
-            b.iter(|| {
-                let fat = FatBitcode::from_module(&module, targets).unwrap();
-                let mut jit = OrcJit::new(TargetTriple::THOR_XEON, OptLevel::O2);
-                let mut mem = SparseMemory::new();
-                jit.add_fat_bitcode(&fat, &mut mem).unwrap();
-                fat.encoded_size()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_jit", name),
+            targets,
+            |b, targets| {
+                b.iter(|| {
+                    let fat = FatBitcode::from_module(&module, targets).unwrap();
+                    let mut jit = OrcJit::new(TargetTriple::THOR_XEON, OptLevel::O2);
+                    let mut mem = SparseMemory::new();
+                    jit.add_fat_bitcode(&fat, &mut mem).unwrap();
+                    fat.encoded_size()
+                });
+            },
+        );
     }
     // The library build (toolchain) cost with the full default target set.
     group.bench_function("toolchain_default_targets", |b| {
@@ -96,20 +107,24 @@ fn bench_optlevel_ablation(c: &mut Criterion) {
     group.sample_size(30);
     let module = tc_bitir::lower_for_target(&tsi_module(), TargetTriple::OOKAMI_A64FX).unwrap();
     for opt in OptLevel::ALL {
-        group.bench_with_input(BenchmarkId::new("compile", format!("{opt:?}")), &opt, |b, &opt| {
-            b.iter(|| {
-                tc_jit::compile_module(
-                    &module,
-                    CompileOptions {
-                        opt_level: opt,
-                        verify: true,
-                    },
-                )
-                .unwrap()
-                .module
-                .inst_count()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile", format!("{opt:?}")),
+            &opt,
+            |b, &opt| {
+                b.iter(|| {
+                    tc_jit::compile_module(
+                        &module,
+                        CompileOptions {
+                            opt_level: opt,
+                            verify: true,
+                        },
+                    )
+                    .unwrap()
+                    .module
+                    .inst_count()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! binary; here each measured unit is one chase of a representative depth so
 //! regressions in the simulation or the chaser pipeline show up quickly).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::crit::{BenchmarkId, Criterion};
+use tc_bench::{criterion_group, criterion_main};
 use tc_simnet::Platform;
 use tc_workloads::{ChaseConfig, ChaseMode, DapcExperiment};
 
@@ -35,7 +36,7 @@ fn bench_depth_sweep_unit(c: &mut Criterion) {
                         exp
                     },
                     |mut exp| exp.measure(mode, 256, 1),
-                    criterion::BatchSize::SmallInput,
+                    tc_bench::crit::BatchSize::SmallInput,
                 );
             },
         );
@@ -65,7 +66,7 @@ fn bench_scaling_unit(c: &mut Criterion) {
                         exp
                     },
                     |mut exp| exp.measure(ChaseMode::CachedBitcode, 512, 1),
-                    criterion::BatchSize::SmallInput,
+                    tc_bench::crit::BatchSize::SmallInput,
                 );
             },
         );

@@ -2,7 +2,8 @@
 //! the full TSI characterisation (AM, uncached bitcode, cached bitcode) and
 //! one measures the steady-state cached-send loop in isolation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::crit::{BenchmarkId, Criterion};
+use tc_bench::{criterion_group, criterion_main};
 use tc_simnet::Platform;
 use tc_workloads::run_tsi;
 
@@ -17,7 +18,10 @@ mod helpers {
         let mut sim = ClusterSim::new(platform, 1);
         let lib = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
         let handle = sim.register_on_client(lib);
-        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        let msg = sim
+            .client_mut()
+            .create_bitcode_message(handle, vec![1])
+            .unwrap();
         sim.client_send_ifunc(&msg, 1);
         sim.run_until_idle(10_000);
         (sim, msg)
@@ -47,19 +51,23 @@ fn bench_cached_send_loop(c: &mut Criterion) {
         ("thor_bf2", Platform::thor_bf2()),
         ("thor_xeon", Platform::thor_xeon()),
     ] {
-        group.bench_with_input(BenchmarkId::new("cached_burst_100", name), &platform, |b, p| {
-            b.iter_batched(
-                || helpers::warmed_tsi_sim(*p),
-                |(mut sim, msg)| {
-                    for _ in 0..100 {
-                        sim.client_send_ifunc(&msg, 1);
-                    }
-                    sim.run_until_idle(100_000);
-                    sim.now()
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cached_burst_100", name),
+            &platform,
+            |b, p| {
+                b.iter_batched(
+                    || helpers::warmed_tsi_sim(*p),
+                    |(mut sim, msg)| {
+                        for _ in 0..100 {
+                            sim.client_send_ifunc(&msg, 1);
+                        }
+                        sim.run_until_idle(100_000);
+                        sim.now()
+                    },
+                    tc_bench::crit::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }

@@ -4,7 +4,8 @@
 //! time (not virtual time) and guard against performance regressions in the
 //! framework itself.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tc_bench::crit::{Criterion, Throughput};
+use tc_bench::{criterion_group, criterion_main};
 use tc_binfmt::{load_object, LoadOptions, MapResolver};
 use tc_bitir::{decode_module, encode_module, lower_for_target, FatBitcode, TargetTriple};
 use tc_core::{CodeRepr, MessageFrame};
@@ -19,7 +20,9 @@ fn bench_frame_codec(c: &mut Criterion) {
     group.bench_function("encode_full", |b| b.iter(|| frame.encode_full()));
     group.bench_function("encode_truncated", |b| b.iter(|| frame.encode_truncated()));
     let full = frame.encode_full();
-    group.bench_function("decode_full", |b| b.iter(|| MessageFrame::decode(&full).unwrap()));
+    group.bench_function("decode_full", |b| {
+        b.iter(|| MessageFrame::decode(&full).unwrap())
+    });
     group.finish();
 }
 
@@ -38,14 +41,18 @@ fn bench_jit_and_binary(c: &mut Criterion) {
     let module = tsi_module();
     group.bench_function("jit_compile_tsi", |b| {
         b.iter(|| {
-            tc_jit::lower_and_compile(&module, TargetTriple::OOKAMI_A64FX, CompileOptions::default())
-                .unwrap()
+            tc_jit::lower_and_compile(
+                &module,
+                TargetTriple::OOKAMI_A64FX,
+                CompileOptions::default(),
+            )
+            .unwrap()
         });
     });
     group.bench_function("aot_build_and_load_tsi", |b| {
         b.iter(|| {
-            let obj = build_object(&module, TargetTriple::THOR_XEON, CompileOptions::default())
-                .unwrap();
+            let obj =
+                build_object(&module, TargetTriple::THOR_XEON, CompileOptions::default()).unwrap();
             let image = load_object(
                 &obj,
                 "x86_64-xeon-e5-sim",
@@ -74,7 +81,14 @@ fn bench_interpreter(c: &mut Criterion) {
         let engine = Engine::new();
         b.iter(|| {
             engine
-                .run(&compiled.module, "main", &[0, 1, 2048], &[], &mut mem, &mut NoExternals)
+                .run(
+                    &compiled.module,
+                    "main",
+                    &[0, 1, 2048],
+                    &[],
+                    &mut mem,
+                    &mut NoExternals,
+                )
                 .unwrap()
                 .cycles
         });

@@ -65,7 +65,11 @@ fn main() {
             );
             (spec.depths.clone(), points)
         };
-        let x_label = if is_scaling { "Number of Servers" } else { "Pointer Chase Depth" };
+        let x_label = if is_scaling {
+            "Number of Servers"
+        } else {
+            "Pointer Chase Depth"
+        };
         println!(
             "{}",
             render_figure(

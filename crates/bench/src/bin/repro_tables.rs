@@ -21,7 +21,9 @@ fn main() {
     let want_all = args.is_empty() || args.iter().any(|a| a == "all");
     let wanted = |id: &str| want_all || args.iter().any(|a| a == id);
 
-    println!("=== Three-Chains reproduction: TSI tables (virtual time on the calibrated model) ===\n");
+    println!(
+        "=== Three-Chains reproduction: TSI tables (virtual time on the calibrated model) ===\n"
+    );
 
     for (idx, (id, caption, platform)) in table_platforms().into_iter().enumerate() {
         let rate_id = format!("table{}", idx + 4);
@@ -32,14 +34,21 @@ fn main() {
         if wanted(id) {
             println!(
                 "{}",
-                render_overhead_table(&format!("{caption} overhead breakdown ({})", platform.name), &results)
+                render_overhead_table(
+                    &format!("{caption} overhead breakdown ({})", platform.name),
+                    &results
+                )
             );
         }
         if wanted(&rate_id) {
             println!(
                 "{}",
                 render_rate_table(
-                    &format!("Table {} — {} TSI latencies and message rates", idx + 4, platform.name),
+                    &format!(
+                        "Table {} — {} TSI latencies and message rates",
+                        idx + 4,
+                        platform.name
+                    ),
                     &results
                 )
             );

@@ -1,0 +1,218 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion API the
+//! benches use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`, `iter_batched`, throughput annotation).
+//!
+//! The container this reproduction builds in has no network access to
+//! crates.io, so the benches run on this shim instead of the real Criterion:
+//! each benchmark executes `sample_size` timed samples and prints the
+//! min / mean / max wall-clock time (plus throughput when annotated).  The
+//! statistical machinery of Criterion (outlier rejection, regression
+//! analysis) is intentionally out of scope — these benches guard against
+//! order-of-magnitude regressions, not single-digit-percent ones.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    std::env::var("TC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Work-per-iteration annotation used to derive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup (accepted for API compatibility; the
+/// shim always times routine-only, excluding setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh batch every iteration.
+    PerIteration,
+}
+
+/// Identifier of one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring Criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("TC_BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Annotate the work performed by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.into(), &bencher.samples);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.full, &bencher.samples);
+        self
+    }
+
+    /// Close the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            eprintln!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(b) => {
+                format!(
+                    "  {:.1} MiB/s",
+                    b as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            Throughput::Elements(n) => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+        });
+        eprintln!(
+            "{}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){}",
+            self.name,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `sample_size` executions of `routine`, excluding `setup` from the
+    /// measurement.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Define a function running a list of benchmark targets, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::crit::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary, mirroring Criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -2,10 +2,10 @@
 //!
 //! Two kinds of artefacts live here:
 //!
-//! * **Criterion benchmarks** (`benches/`) measuring the real wall-clock cost
-//!   of the reproduction's own machinery (frame encoding, bitcode
-//!   encode/decode, JIT compilation, interpretation, the cluster simulation)
-//!   plus the ablations called out in `DESIGN.md`;
+//! * **Benchmarks** (`benches/`, on the Criterion-style [`crit`] shim)
+//!   measuring the real wall-clock cost of the reproduction's own machinery
+//!   (frame encoding, bitcode encode/decode, JIT compilation, interpretation,
+//!   the cluster simulation) plus the ablations called out in `DESIGN.md`;
 //! * **Reproduction binaries** (`src/bin/repro_tables.rs`,
 //!   `src/bin/repro_figures.rs`) that regenerate every table and figure of
 //!   the paper in *virtual* time on the calibrated simulated testbed:
@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod crit;
 
 use tc_simnet::Platform;
 use tc_workloads::ChaseMode;
@@ -56,7 +58,11 @@ pub fn figure_specs() -> Vec<FigureSpec> {
             platform: Platform::thor_bf2(),
             server_counts: vec![32],
             depths: depth_axis.clone(),
-            modes: vec![ChaseMode::ActiveMessage, ChaseMode::Get, ChaseMode::CachedBitcode],
+            modes: vec![
+                ChaseMode::ActiveMessage,
+                ChaseMode::Get,
+                ChaseMode::CachedBitcode,
+            ],
         },
         FigureSpec {
             id: "fig6",
@@ -77,7 +83,11 @@ pub fn figure_specs() -> Vec<FigureSpec> {
             platform: Platform::thor_xeon(),
             server_counts: vec![16],
             depths: depth_axis.clone(),
-            modes: vec![ChaseMode::ActiveMessage, ChaseMode::Get, ChaseMode::CachedBitcode],
+            modes: vec![
+                ChaseMode::ActiveMessage,
+                ChaseMode::Get,
+                ChaseMode::CachedBitcode,
+            ],
         },
         FigureSpec {
             id: "fig8",
@@ -98,7 +108,11 @@ pub fn figure_specs() -> Vec<FigureSpec> {
             platform: Platform::thor_bf2(),
             server_counts: vec![2, 4, 8, 16, 32],
             depths: vec![4096],
-            modes: vec![ChaseMode::ActiveMessage, ChaseMode::Get, ChaseMode::CachedBitcode],
+            modes: vec![
+                ChaseMode::ActiveMessage,
+                ChaseMode::Get,
+                ChaseMode::CachedBitcode,
+            ],
         },
         FigureSpec {
             id: "fig10",
@@ -119,7 +133,11 @@ pub fn figure_specs() -> Vec<FigureSpec> {
             platform: Platform::thor_xeon(),
             server_counts: vec![2, 4, 8, 16],
             depths: vec![4096],
-            modes: vec![ChaseMode::ActiveMessage, ChaseMode::Get, ChaseMode::CachedBitcode],
+            modes: vec![
+                ChaseMode::ActiveMessage,
+                ChaseMode::Get,
+                ChaseMode::CachedBitcode,
+            ],
         },
         FigureSpec {
             id: "fig12",
@@ -141,8 +159,16 @@ pub fn figure_specs() -> Vec<FigureSpec> {
 pub fn table_platforms() -> Vec<(&'static str, &'static str, Platform)> {
     vec![
         ("table1", "Table I / IV — Ookami TSI", Platform::ookami()),
-        ("table2", "Table II / V — Thor BF2 TSI", Platform::thor_bf2()),
-        ("table3", "Table III / VI — Thor Xeon TSI", Platform::thor_xeon()),
+        (
+            "table2",
+            "Table II / V — Thor BF2 TSI",
+            Platform::thor_bf2(),
+        ),
+        (
+            "table3",
+            "Table III / VI — Thor Xeon TSI",
+            Platform::thor_xeon(),
+        ),
     ]
 }
 

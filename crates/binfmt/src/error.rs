@@ -31,7 +31,10 @@ impl fmt::Display for BinfmtError {
         match self {
             BinfmtError::Decode(msg) => write!(f, "object decode failed: {msg}"),
             BinfmtError::UndefinedSymbol { symbol } => {
-                write!(f, "undefined symbol `{symbol}` during remote dynamic linking")
+                write!(
+                    f,
+                    "undefined symbol `{symbol}` during remote dynamic linking"
+                )
             }
             BinfmtError::BadRelocation(msg) => write!(f, "bad relocation: {msg}"),
             BinfmtError::IncompatibleTarget {

@@ -196,7 +196,9 @@ pub fn load_object(
     for sym in &object.got_symbols {
         let addr = resolver
             .resolve(sym)
-            .ok_or_else(|| BinfmtError::UndefinedSymbol { symbol: sym.clone() })?;
+            .ok_or_else(|| BinfmtError::UndefinedSymbol {
+                symbol: sym.clone(),
+            })?;
         image.got.push(addr);
     }
 
@@ -222,11 +224,11 @@ pub fn load_object(
                 let addr = if let Some(sym) = object.symbol(&reloc.symbol) {
                     section_base(sym.section) + sym.offset
                 } else {
-                    resolver.resolve(&reloc.symbol).ok_or_else(|| {
-                        BinfmtError::UndefinedSymbol {
+                    resolver
+                        .resolve(&reloc.symbol)
+                        .ok_or_else(|| BinfmtError::UndefinedSymbol {
                             symbol: reloc.symbol.clone(),
-                        }
-                    })?
+                        })?
                 };
                 addr.wrapping_add(reloc.addend as u64)
             }
@@ -246,12 +248,7 @@ pub fn section_base(kind: SectionKind) -> u64 {
     }
 }
 
-fn patch_u64(
-    image: &mut LoadedImage,
-    section: SectionKind,
-    offset: u64,
-    value: u64,
-) -> Result<()> {
+fn patch_u64(image: &mut LoadedImage, section: SectionKind, offset: u64, value: u64) -> Result<()> {
     let bytes = match section {
         SectionKind::Text => &mut image.text,
         SectionKind::Data => &mut image.data,
@@ -330,8 +327,13 @@ mod tests {
     #[test]
     fn load_resolves_got_and_applies_relocations() {
         let obj = object_with_got();
-        let image = load_object(&obj, "x86_64-xeon-e5-sim", &resolver(), LoadOptions::default())
-            .unwrap();
+        let image = load_object(
+            &obj,
+            "x86_64-xeon-e5-sim",
+            &resolver(),
+            LoadOptions::default(),
+        )
+        .unwrap();
         assert!(!image.pure_fast_path);
         assert_eq!(image.got, vec![0xdead_0001, 0xdead_0002]);
         assert_eq!(image.got_address("memcpy"), Some(0xdead_0002));
@@ -339,7 +341,10 @@ mod tests {
 
         // GOT-slot relocations wrote the slot indices.
         assert_eq!(u64::from_le_bytes(image.text[8..16].try_into().unwrap()), 0);
-        assert_eq!(u64::from_le_bytes(image.text[24..32].try_into().unwrap()), 1);
+        assert_eq!(
+            u64::from_le_bytes(image.text[24..32].try_into().unwrap()),
+            1
+        );
         // Abs64 relocation wrote DATA_BASE + 16 + 4.
         assert_eq!(
             u64::from_le_bytes(image.text[40..48].try_into().unwrap()),
@@ -352,8 +357,8 @@ mod tests {
         let obj = object_with_got();
         let mut partial = MapResolver::new();
         partial.insert("tc_put", 1);
-        let err = load_object(&obj, "x86_64-xeon-e5-sim", &partial, LoadOptions::default())
-            .unwrap_err();
+        let err =
+            load_object(&obj, "x86_64-xeon-e5-sim", &partial, LoadOptions::default()).unwrap_err();
         assert_eq!(
             err,
             BinfmtError::UndefinedSymbol {
@@ -379,7 +384,12 @@ mod tests {
     fn same_isa_different_march_accepted() {
         let obj = object_with_got();
         // Generic x86_64 host can load a Xeon-tuned object: same ISA.
-        let image = load_object(&obj, "x86_64-generic-sim", &resolver(), LoadOptions::default());
+        let image = load_object(
+            &obj,
+            "x86_64-generic-sim",
+            &resolver(),
+            LoadOptions::default(),
+        );
         assert!(image.is_ok());
     }
 
@@ -394,8 +404,7 @@ mod tests {
             kind: SymbolKind::Func,
         });
         let empty = MapResolver::new();
-        let image =
-            load_object(&obj, "aarch64-a64fx-sim", &empty, LoadOptions::default()).unwrap();
+        let image = load_object(&obj, "aarch64-a64fx-sim", &empty, LoadOptions::default()).unwrap();
         assert!(image.pure_fast_path);
         assert!(image.got.is_empty());
     }
@@ -405,8 +414,8 @@ mod tests {
         let mut obj = ObjectFile::new("noentry", "x86_64-generic-sim");
         obj.text.bytes = vec![0u8; 16];
         let empty = MapResolver::new();
-        let err = load_object(&obj, "x86_64-generic-sim", &empty, LoadOptions::default())
-            .unwrap_err();
+        let err =
+            load_object(&obj, "x86_64-generic-sim", &empty, LoadOptions::default()).unwrap_err();
         assert_eq!(err, BinfmtError::NoEntry);
     }
 
@@ -420,8 +429,13 @@ mod tests {
             kind: RelocKind::GotSlot,
             addend: 0,
         });
-        let err = load_object(&obj, "x86_64-xeon-e5-sim", &resolver(), LoadOptions::default())
-            .unwrap_err();
+        let err = load_object(
+            &obj,
+            "x86_64-xeon-e5-sim",
+            &resolver(),
+            LoadOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, BinfmtError::BadRelocation(_)));
     }
 
@@ -440,7 +454,13 @@ mod tests {
 
     #[test]
     fn section_bases_are_disjoint() {
-        assert_ne!(section_base(SectionKind::Text), section_base(SectionKind::Data));
-        assert_ne!(section_base(SectionKind::Data), section_base(SectionKind::RoData));
+        assert_ne!(
+            section_base(SectionKind::Text),
+            section_base(SectionKind::Data)
+        );
+        assert_ne!(
+            section_base(SectionKind::Data),
+            section_base(SectionKind::RoData)
+        );
     }
 }

@@ -183,9 +183,18 @@ impl ObjectFile {
         ObjectFile {
             name: name.into(),
             triple: triple.into(),
-            text: Section { bytes: Vec::new(), align: 16 },
-            data: Section { bytes: Vec::new(), align: 8 },
-            rodata: Section { bytes: Vec::new(), align: 8 },
+            text: Section {
+                bytes: Vec::new(),
+                align: 16,
+            },
+            data: Section {
+                bytes: Vec::new(),
+                align: 8,
+            },
+            rodata: Section {
+                bytes: Vec::new(),
+                align: 8,
+            },
             symbols: Vec::new(),
             relocations: Vec::new(),
             got_symbols: Vec::new(),
@@ -502,7 +511,13 @@ mod tests {
             assert_eq!(SectionKind::from_tag(k.tag()), Some(k));
         }
         assert_eq!(SectionKind::from_tag(9), None);
-        assert_eq!(RelocKind::from_tag(RelocKind::Abs64.tag()), Some(RelocKind::Abs64));
-        assert_eq!(SymbolKind::from_tag(SymbolKind::Func.tag()), Some(SymbolKind::Func));
+        assert_eq!(
+            RelocKind::from_tag(RelocKind::Abs64.tag()),
+            Some(RelocKind::Abs64)
+        );
+        assert_eq!(
+            SymbolKind::from_tag(SymbolKind::Func.tag()),
+            Some(SymbolKind::Func)
+        );
     }
 }

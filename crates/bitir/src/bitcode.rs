@@ -228,7 +228,13 @@ fn encode_inst(w: &mut Writer, inst: &Inst) {
             w.varint(u64::from(dst.0));
             w.varint(u64::from(src.0));
         }
-        Inst::Bin { op, ty, dst, lhs, rhs } => {
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.u8(opcode::BIN);
             w.u8(op.tag());
             w.u8(ty.tag());
@@ -243,14 +249,24 @@ fn encode_inst(w: &mut Writer, inst: &Inst) {
             w.varint(u64::from(dst.0));
             w.varint(u64::from(src.0));
         }
-        Inst::Load { ty, dst, addr, offset } => {
+        Inst::Load {
+            ty,
+            dst,
+            addr,
+            offset,
+        } => {
             w.u8(opcode::LOAD);
             w.u8(ty.tag());
             w.varint(u64::from(dst.0));
             w.varint(u64::from(addr.0));
             w.svarint(*offset);
         }
-        Inst::Store { ty, src, addr, offset } => {
+        Inst::Store {
+            ty,
+            src,
+            addr,
+            offset,
+        } => {
             w.u8(opcode::STORE);
             w.u8(ty.tag());
             w.varint(u64::from(src.0));
@@ -543,8 +559,8 @@ fn encode_triple(w: &mut Writer, t: &TargetTriple) {
 fn decode_triple(r: &mut Reader<'_>) -> Result<TargetTriple> {
     let isa_tag = r.u8()?;
     let march_tag = r.u8()?;
-    let isa =
-        Isa::from_tag(isa_tag).ok_or_else(|| BitirError::Decode(format!("bad ISA tag {isa_tag}")))?;
+    let isa = Isa::from_tag(isa_tag)
+        .ok_or_else(|| BitirError::Decode(format!("bad ISA tag {isa_tag}")))?;
     let march = Microarch::from_tag(march_tag)
         .ok_or_else(|| BitirError::Decode(format!("bad microarch tag {march_tag}")))?;
     TargetTriple::new(isa, march)
@@ -663,7 +679,11 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module> {
             _ => return Err(BitirError::Decode("invalid mutable flag".into())),
         };
         let init = r.bytes()?;
-        globals.push(Global { name, mutable, init });
+        globals.push(Global {
+            name,
+            mutable,
+            init,
+        });
     }
     let nfuncs = r.varint()? as usize;
     let mut functions = Vec::with_capacity(nfuncs.min(4096));
@@ -806,7 +826,17 @@ mod tests {
     #[test]
     fn svarint_roundtrip_extremes() {
         let mut w = Writer::new();
-        let values = [0i64, 1, -1, 63, -64, i32::MAX as i64, i32::MIN as i64, i64::MAX, i64::MIN];
+        let values = [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i32::MAX as i64,
+            i32::MIN as i64,
+            i64::MAX,
+            i64::MIN,
+        ];
         for &v in &values {
             w.svarint(v);
         }

@@ -221,7 +221,13 @@ impl<'m> FunctionBuilder<'m> {
     /// Emit a binary operation and return the destination register.
     pub fn bin(&mut self, op: BinOp, ty: ScalarType, lhs: Reg, rhs: Reg) -> Reg {
         let dst = self.new_reg();
-        self.push(Inst::Bin { op, ty, dst, lhs, rhs });
+        self.push(Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -268,17 +274,34 @@ impl<'m> FunctionBuilder<'m> {
     /// Load a value of `ty` from `addr + offset`.
     pub fn load(&mut self, ty: ScalarType, addr: Reg, offset: i64) -> Reg {
         let dst = self.new_reg();
-        self.push(Inst::Load { ty, dst, addr, offset });
+        self.push(Inst::Load {
+            ty,
+            dst,
+            addr,
+            offset,
+        });
         dst
     }
 
     /// Store `src` (of type `ty`) to `addr + offset`.
     pub fn store(&mut self, ty: ScalarType, src: Reg, addr: Reg, offset: i64) {
-        self.push(Inst::Store { ty, src, addr, offset });
+        self.push(Inst::Store {
+            ty,
+            src,
+            addr,
+            offset,
+        });
     }
 
     /// Atomic read-modify-write; returns the register holding the old value.
-    pub fn atomic(&mut self, op: AtomicOp, ty: ScalarType, addr: Reg, src: Reg, expected: Reg) -> Reg {
+    pub fn atomic(
+        &mut self,
+        op: AtomicOp,
+        ty: ScalarType,
+        addr: Reg,
+        src: Reg,
+        expected: Reg,
+    ) -> Reg {
         let dst = self.new_reg();
         self.push(Inst::Atomic {
             op,
@@ -340,7 +363,11 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Call a function in the same module.
     pub fn call(&mut self, func: FuncId, args: Vec<Reg>, returns_value: bool) -> Option<Reg> {
-        let dst = if returns_value { Some(self.new_reg()) } else { None };
+        let dst = if returns_value {
+            Some(self.new_reg())
+        } else {
+            None
+        };
         self.push(Inst::Call { dst, func, args });
         dst
     }
@@ -348,7 +375,11 @@ impl<'m> FunctionBuilder<'m> {
     /// Call an external symbol by name (interning it on the module).
     pub fn call_ext(&mut self, symbol: &str, args: Vec<Reg>, returns_value: bool) -> Option<Reg> {
         let sym = self.ext_symbol(symbol);
-        let dst = if returns_value { Some(self.new_reg()) } else { None };
+        let dst = if returns_value {
+            Some(self.new_reg())
+        } else {
+            None
+        };
         self.push(Inst::CallExt { dst, sym, args });
         dst
     }
@@ -501,6 +532,9 @@ mod tests {
         mb.add_dep("libcrypto.so");
         mb.add_dep("libomp.so");
         let m = mb.build();
-        assert_eq!(m.deps, vec!["libomp.so".to_string(), "libcrypto.so".to_string()]);
+        assert_eq!(
+            m.deps,
+            vec!["libomp.so".to_string(), "libcrypto.so".to_string()]
+        );
     }
 }

@@ -25,7 +25,10 @@ impl fmt::Display for BitirError {
         match self {
             BitirError::Verify(msg) => write!(f, "IR verification failed: {msg}"),
             BitirError::Decode(msg) => write!(f, "bitcode decode failed: {msg}"),
-            BitirError::NoBitcodeForTarget { requested, available } => write!(
+            BitirError::NoBitcodeForTarget {
+                requested,
+                available,
+            } => write!(
                 f,
                 "fat-bitcode has no entry for target {requested}; available: [{}]",
                 available.join(", ")

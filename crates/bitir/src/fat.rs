@@ -167,7 +167,11 @@ impl FatBitcode {
             let bitcode = r.bytes()?;
             entries.push(FatEntry { triple, bitcode });
         }
-        Ok(FatBitcode { name, entries, deps })
+        Ok(FatBitcode {
+            name,
+            entries,
+            deps,
+        })
     }
 }
 
@@ -223,7 +227,10 @@ mod tests {
         let fat = FatBitcode::from_module(&tsi_module(), &[TargetTriple::THOR_XEON]).unwrap();
         let err = fat.select(TargetTriple::OOKAMI_A64FX).unwrap_err();
         match err {
-            BitirError::NoBitcodeForTarget { requested, available } => {
+            BitirError::NoBitcodeForTarget {
+                requested,
+                available,
+            } => {
                 assert!(requested.contains("a64fx"));
                 assert_eq!(available.len(), 1);
             }

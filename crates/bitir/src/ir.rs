@@ -201,7 +201,11 @@ pub enum AtomicOp {
 
 impl AtomicOp {
     /// All atomic operators.
-    pub const ALL: [AtomicOp; 3] = [AtomicOp::FetchAdd, AtomicOp::Exchange, AtomicOp::CompareSwap];
+    pub const ALL: [AtomicOp; 3] = [
+        AtomicOp::FetchAdd,
+        AtomicOp::Exchange,
+        AtomicOp::CompareSwap,
+    ];
 
     /// Stable numeric tag used by the bitcode encoder.
     pub fn tag(self) -> u8 {
@@ -429,7 +433,10 @@ impl Inst {
             Inst::Load { addr, .. } => vec![*addr],
             Inst::Store { src, addr, .. } => vec![*src, *addr],
             Inst::Atomic {
-                addr, src, expected, ..
+                addr,
+                src,
+                expected,
+                ..
             } => vec![*addr, *src, *expected],
             Inst::Vec {
                 dst_addr,

@@ -142,7 +142,7 @@ mod tests {
                 > lowering_size_factor(TargetTriple::THOR_BF2)
                 || (lowering_size_factor(TargetTriple::THOR_XEON)
                     - lowering_size_factor(TargetTriple::THOR_BF2))
-                    .abs()
+                .abs()
                     > 0.0
         );
     }

@@ -77,7 +77,10 @@ fn verify_function(module: &Module, f: &Function) -> std::result::Result<(), Str
 
 fn check_reg(f: &Function, r: Reg) -> std::result::Result<(), String> {
     if r.0 >= f.num_regs {
-        Err(format!("register {r} out of range (num_regs = {})", f.num_regs))
+        Err(format!(
+            "register {r} out of range (num_regs = {})",
+            f.num_regs
+        ))
     } else {
         Ok(())
     }
@@ -114,10 +117,14 @@ fn verify_inst(module: &Module, f: &Function, inst: &Inst) -> std::result::Resul
             if op.is_float_only() && !ty.is_float() {
                 return Err(format!("float-only operator {op:?} used at type {ty}"));
             }
-            if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
-                && ty.is_float()
+            if matches!(
+                op,
+                BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+            ) && ty.is_float()
             {
-                return Err(format!("bitwise/shift operator {op:?} used at float type {ty}"));
+                return Err(format!(
+                    "bitwise/shift operator {op:?} used at float type {ty}"
+                ));
             }
             if matches!(op, BinOp::Div | BinOp::Rem) && ty.is_float() {
                 return Err(format!(
@@ -135,7 +142,9 @@ fn verify_inst(module: &Module, f: &Function, inst: &Inst) -> std::result::Resul
                 }
                 UnOp::FNeg | UnOp::FloatCast => {
                     if !ty.is_float() {
-                        return Err(format!("float unary operator {op:?} at non-float type {ty}"));
+                        return Err(format!(
+                            "float unary operator {op:?} at non-float type {ty}"
+                        ));
                     }
                 }
                 UnOp::IntToFloat => {
@@ -152,7 +161,7 @@ fn verify_inst(module: &Module, f: &Function, inst: &Inst) -> std::result::Resul
             Ok(())
         }
         Inst::Atomic { ty, .. } => {
-            if !ty.is_int() || matches!(ty, ScalarType::I8 | ScalarType::U8) && false {
+            if !ty.is_int() {
                 return Err(format!("atomic operation at unsupported type {ty}"));
             }
             if ty.is_float() {
@@ -217,13 +226,11 @@ fn verify_inst(module: &Module, f: &Function, inst: &Inst) -> std::result::Resul
             }
             Ok(())
         }
-        Inst::Ret { value } => {
-            match (value, f.ret) {
-                (Some(_), None) => Err("returns a value from a void function".into()),
-                (None, Some(_)) => Err("missing return value".into()),
-                _ => Ok(()),
-            }
-        }
+        Inst::Ret { value } => match (value, f.ret) {
+            (Some(_), None) => Err("returns a value from a void function".into()),
+            (None, Some(_)) => Err("missing return value".into()),
+            _ => Ok(()),
+        },
         _ => Ok(()),
     }
 }
@@ -302,9 +309,12 @@ mod tests {
     #[test]
     fn terminator_in_middle_rejected() {
         let mut m = trivial_entry("midterm").build();
-        m.functions[0].blocks[0]
-            .insts
-            .insert(0, Inst::Ret { value: Some(Reg(0)) });
+        m.functions[0].blocks[0].insts.insert(
+            0,
+            Inst::Ret {
+                value: Some(Reg(0)),
+            },
+        );
         assert!(verify_module(&m).is_err());
     }
 
@@ -313,7 +323,9 @@ mod tests {
         let mut m = trivial_entry("badbr").build();
         let insts = &mut m.functions[0].blocks[0].insts;
         let last = insts.len() - 1;
-        insts[last] = Inst::Br { target: BlockId(99) };
+        insts[last] = Inst::Br {
+            target: BlockId(99),
+        };
         let err = verify_module(&m).unwrap_err();
         assert!(err.to_string().contains("target"));
     }
@@ -368,7 +380,13 @@ mod tests {
             let mut f = mb.function("f", vec![ScalarType::Ptr], Some(ScalarType::I64));
             let addr = f.param(0);
             let one = f.const_bits(ScalarType::F64, 1.0f64.to_bits());
-            let old = f.atomic(crate::ir::AtomicOp::FetchAdd, ScalarType::F64, addr, one, one);
+            let old = f.atomic(
+                crate::ir::AtomicOp::FetchAdd,
+                ScalarType::F64,
+                addr,
+                one,
+                one,
+            );
             f.ret(old);
             f.finish();
         }

@@ -131,9 +131,10 @@ fn check_program(program: &Program) -> Result<()> {
 fn check_calls(program: &Program, stmts: &[Stmt]) -> Result<()> {
     for stmt in stmts {
         match stmt {
-            Stmt::Let { value, .. } | Stmt::Assign { value, .. } | Stmt::Return(value) | Stmt::Expr(value) => {
-                check_call_expr(program, value)?
-            }
+            Stmt::Let { value, .. }
+            | Stmt::Assign { value, .. }
+            | Stmt::Return(value)
+            | Stmt::Expr(value) => check_call_expr(program, value)?,
             Stmt::If {
                 cond,
                 then_body,
@@ -243,10 +244,9 @@ fn compile_block(f: &mut FunctionBuilder<'_>, ctx: &mut FnCtx<'_>, stmts: &[Stmt
                 ctx.vars.insert(name.clone(), (var, *ty));
             }
             Stmt::Assign { name, value } => {
-                let (var, vty) = *ctx
-                    .vars
-                    .get(name)
-                    .ok_or_else(|| ChainlangError::Check(format!("assignment to undefined variable `{name}`")))?;
+                let (var, vty) = *ctx.vars.get(name).ok_or_else(|| {
+                    ChainlangError::Check(format!("assignment to undefined variable `{name}`"))
+                })?;
                 let (reg, ety) = compile_expr(f, ctx, value, Some(vty))?;
                 if ety != vty {
                     return Err(ChainlangError::Check(format!(
@@ -353,10 +353,38 @@ fn compile_expr(
             }
             let sty = scalar_of(lty);
             let (bitir_op, result_ty) = match op {
-                BinOpKind::Add => (if lty == Ty::F64 { BinOp::FAdd } else { BinOp::Add }, lty),
-                BinOpKind::Sub => (if lty == Ty::F64 { BinOp::FSub } else { BinOp::Sub }, lty),
-                BinOpKind::Mul => (if lty == Ty::F64 { BinOp::FMul } else { BinOp::Mul }, lty),
-                BinOpKind::Div => (if lty == Ty::F64 { BinOp::FDiv } else { BinOp::Div }, lty),
+                BinOpKind::Add => (
+                    if lty == Ty::F64 {
+                        BinOp::FAdd
+                    } else {
+                        BinOp::Add
+                    },
+                    lty,
+                ),
+                BinOpKind::Sub => (
+                    if lty == Ty::F64 {
+                        BinOp::FSub
+                    } else {
+                        BinOp::Sub
+                    },
+                    lty,
+                ),
+                BinOpKind::Mul => (
+                    if lty == Ty::F64 {
+                        BinOp::FMul
+                    } else {
+                        BinOp::Mul
+                    },
+                    lty,
+                ),
+                BinOpKind::Div => (
+                    if lty == Ty::F64 {
+                        BinOp::FDiv
+                    } else {
+                        BinOp::Div
+                    },
+                    lty,
+                ),
                 BinOpKind::Rem => {
                     if lty == Ty::F64 {
                         return Err(ChainlangError::Check("`%` is not defined for f64".into()));
@@ -371,13 +399,17 @@ fn compile_expr(
                 BinOpKind::Ge => (BinOp::CmpGe, Ty::U64),
                 BinOpKind::And => {
                     if lty == Ty::F64 {
-                        return Err(ChainlangError::Check("`&&` requires integer operands".into()));
+                        return Err(ChainlangError::Check(
+                            "`&&` requires integer operands".into(),
+                        ));
                     }
                     (BinOp::And, Ty::U64)
                 }
                 BinOpKind::Or => {
                     if lty == Ty::F64 {
-                        return Err(ChainlangError::Check("`||` requires integer operands".into()));
+                        return Err(ChainlangError::Check(
+                            "`||` requires integer operands".into(),
+                        ));
                     }
                     (BinOp::Or, Ty::U64)
                 }
@@ -425,7 +457,9 @@ fn compile_call(
             Ok((zero, Ty::U64))
         } else {
             if args.len() != 2 {
-                return Err(ChainlangError::Check(format!("`{name}` expects (addr, offset)")));
+                return Err(ChainlangError::Check(format!(
+                    "`{name}` expects (addr, offset)"
+                )));
             }
             let (addr, _) = compile_expr(f, ctx, &args[0], Some(Ty::U64))?;
             let (off, _) = compile_expr(f, ctx, &args[1], Some(Ty::U64))?;
@@ -466,7 +500,9 @@ fn compile_call(
             let (r, _) = compile_expr(f, ctx, a, Some(Ty::U64))?;
             arg_regs.push(r);
         }
-        let dst = f.call_ext(name, arg_regs, true).expect("ext call returns value");
+        let dst = f
+            .call_ext(name, arg_regs, true)
+            .expect("ext call returns value");
         Ok((dst, Ty::U64))
     } else {
         Err(ChainlangError::Restriction(format!(
@@ -498,7 +534,14 @@ mod tests {
         mem.write(0, &[5]).unwrap();
         mem.write_u64(2048, 10).unwrap();
         Engine::new()
-            .run(&compiled.module, "main", &[0, 1, 2048], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "main",
+                &[0, 1, 2048],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap();
         assert_eq!(mem.read_u64(2048).unwrap(), 15);
     }
@@ -525,7 +568,14 @@ mod tests {
         let mut mem = VecMemory::new(0, 4096);
         mem.write(0, &[1, 2, 3, 4]).unwrap();
         Engine::new()
-            .run(&compiled.module, "main", &[0, 4, 1024], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "main",
+                &[0, 4, 1024],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap();
         assert_eq!(mem.read_u64(1024).unwrap(), 1 + 4 + 9 + 16);
     }
@@ -549,7 +599,14 @@ mod tests {
             let mut mem = VecMemory::new(0, 4096);
             mem.write_u64(0, input).unwrap();
             Engine::new()
-                .run(&compiled.module, "main", &[0, 8, 1024], &[], &mut mem, &mut NoExternals)
+                .run(
+                    &compiled.module,
+                    "main",
+                    &[0, 8, 1024],
+                    &[],
+                    &mut mem,
+                    &mut NoExternals,
+                )
                 .unwrap();
             mem.read_u64(1024).unwrap()
         };

@@ -369,8 +369,8 @@ impl Parser {
             let pname = self.ident("parameter name")?;
             self.expect(Tok::Colon, "`:`")?;
             let tname = self.ident("parameter type")?;
-            let ty = Ty::parse(&tname)
-                .ok_or_else(|| self.error(format!("unknown type `{tname}`")))?;
+            let ty =
+                Ty::parse(&tname).ok_or_else(|| self.error(format!("unknown type `{tname}`")))?;
             params.push((pname, ty));
         }
         self.expect(Tok::RParen, "`)`")?;
@@ -642,8 +642,18 @@ mod tests {
     fn operator_precedence() {
         let prog = parse("fn f() -> u64 { return 1 + 2 * 3; }").unwrap();
         match &prog.functions[0].body[0] {
-            Stmt::Return(Expr::Bin { op: BinOpKind::Add, rhs, .. }) => {
-                assert!(matches!(**rhs, Expr::Bin { op: BinOpKind::Mul, .. }));
+            Stmt::Return(Expr::Bin {
+                op: BinOpKind::Add,
+                rhs,
+                ..
+            }) => {
+                assert!(matches!(
+                    **rhs,
+                    Expr::Bin {
+                        op: BinOpKind::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected AST {other:?}"),
         }
@@ -671,10 +681,8 @@ mod tests {
 
     #[test]
     fn comments_and_underscored_literals() {
-        let prog = parse(
-            "# hash comment\nfn f() -> u64 { // trailing\n  return 1_000_000; }",
-        )
-        .unwrap();
+        let prog =
+            parse("# hash comment\nfn f() -> u64 { // trailing\n  return 1_000_000; }").unwrap();
         match &prog.functions[0].body[0] {
             Stmt::Return(Expr::Int(v)) => assert_eq!(*v, 1_000_000),
             other => panic!("unexpected {other:?}"),

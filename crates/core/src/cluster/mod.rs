@@ -1,0 +1,687 @@
+//! The unified cluster API: one builder, pluggable transports.
+//!
+//! The paper's claim is that ifuncs move transparently between heterogeneous
+//! processing elements.  This module makes the *driving* side equally
+//! transparent: a [`Cluster`] owns a client runtime and a set of server
+//! runtimes behind a [`Transport`], and the same scenario code runs unchanged
+//! on either first-class backend:
+//!
+//! * [`SimTransport`] — the calibrated discrete-event engine (virtual time,
+//!   [`crate::sim::TimingLog`] records, the machinery behind every table and
+//!   figure reproduction);
+//! * [`ThreadTransport`] — real OS threads and channels (wall-clock time,
+//!   genuine concurrency; no timing model).
+//!
+//! ```
+//! use tc_core::cluster::ClusterBuilder;
+//! use tc_core::{build_ifunc_library, ToolchainOptions};
+//! use tc_bitir::{ModuleBuilder, ScalarType, BinOp};
+//!
+//! // An ifunc: add the payload's first byte to the target counter.
+//! let mut mb = ModuleBuilder::new("quick_tsi");
+//! {
+//!     let mut f = mb.entry_function();
+//!     let payload = f.param(0);
+//!     let target = f.param(2);
+//!     let delta = f.load(ScalarType::U8, payload, 0);
+//!     let counter = f.load(ScalarType::U64, target, 0);
+//!     let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+//!     f.store(ScalarType::U64, sum, target, 0);
+//!     let zero = f.const_i64(0);
+//!     f.ret(zero);
+//!     f.finish();
+//! }
+//! let library = build_ifunc_library(&mb.build(), &ToolchainOptions::default()).unwrap();
+//!
+//! // The same lines drive the simulated or the threaded backend.
+//! let mut cluster = ClusterBuilder::new()
+//!     .platform(tc_simnet::Platform::thor_bf2())
+//!     .servers(2)
+//!     .build_sim();
+//! let handle = cluster.register_ifunc(library);
+//! let msg = cluster.bitcode_message(handle, vec![5]).unwrap();
+//! cluster.send_ifunc(&msg, 1).unwrap();
+//! cluster.run_until_idle(1_000).unwrap();
+//! assert_eq!(cluster.read_u64(1, tc_core::layout::TARGET_REGION_BASE).unwrap(), 5);
+//! assert_eq!(cluster.stats(1).unwrap().ifuncs_executed, 1);
+//! ```
+
+pub mod sim_transport;
+pub mod thread_transport;
+pub mod wire;
+
+pub use sim_transport::SimTransport;
+pub use thread_transport::ThreadTransport;
+
+use crate::error::{CoreError, Result};
+use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage};
+use crate::layout::result_slot_addr;
+use crate::metrics::RuntimeStats;
+use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use tc_bitir::TargetTriple;
+use tc_jit::OptLevel;
+use tc_simnet::Platform;
+use tc_ucx::{RequestId, WorkerAddr};
+
+/// Which first-class backend a [`ClusterBuilder`] should instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The calibrated discrete-event simulation ([`SimTransport`]).
+    Simnet,
+    /// Real OS threads and channels ([`ThreadTransport`]).
+    Threads,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Simnet => "simnet",
+            Backend::Threads => "threads",
+        })
+    }
+}
+
+/// Counters every transport keeps about the fabric itself (as opposed to the
+/// per-node [`RuntimeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportMetrics {
+    /// Messages delivered to a destination node.
+    pub messages_delivered: u64,
+    /// Messages dropped by the fabric (misaddressed rank, stopped node).
+    /// Never silently zero: both backends count their drops.
+    pub messages_dropped: u64,
+    /// Bytes the *client* posted to the fabric.  (Server-side traffic is
+    /// backend-shaped — in-process queues vs. channels — so per-node
+    /// [`RuntimeStats::bytes_sent`] via [`Transport::node_stats`] is the
+    /// comparable per-node measure.)
+    pub bytes_sent: u64,
+}
+
+/// A pluggable cluster backend: hosts the node runtimes and moves fabric
+/// operations between them.
+///
+/// Implementations provide *mechanism* (where runtimes live, how operations
+/// travel, what "time" means); [`Cluster`] provides the uniform *policy* API
+/// (sends, typed completion waits, snapshots) on top.
+pub trait Transport {
+    /// Short backend name for diagnostics ("simnet", "threads").
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of nodes including the client (rank 0).
+    fn node_count(&self) -> usize;
+
+    /// The client runtime (always driver-side and directly accessible).
+    fn client(&self) -> &NodeRuntime;
+
+    /// Mutable client runtime.
+    fn client_mut(&mut self) -> &mut NodeRuntime;
+
+    /// Predeploy a native Active-Message handler on every node, assigning
+    /// consistent handler ids cluster-wide.
+    fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()>;
+
+    /// Pick up operations the client has posted and move them into the
+    /// fabric.
+    fn flush_client(&mut self) -> Result<()>;
+
+    /// Advance the transport by one unit of progress (one simulated event,
+    /// or one received envelope).  Returns `false` when nothing happened —
+    /// the queue was empty or the poll timed out.
+    fn step(&mut self) -> Result<bool>;
+
+    /// How many consecutive idle [`Transport::step`]s mean "quiescent".  The
+    /// simulator's queue emptiness is definitive (1); the threaded backend
+    /// needs a grace period because work may be mid-flight on another thread.
+    fn idle_grace(&self) -> u32 {
+        1
+    }
+
+    /// Drain completions (GET results, X-RDMA results) that reached the
+    /// client.
+    fn take_completions(&mut self) -> Vec<Completion>;
+
+    /// Read `len` bytes at `addr` from node `rank`'s memory.
+    fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Write into node `rank`'s memory (scenario setup: seeding counters,
+    /// installing data shards).
+    fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()>;
+
+    /// Snapshot node `rank`'s runtime counters.
+    fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats>;
+
+    /// Fabric-level counters (deliveries, drops, bytes).
+    fn metrics(&self) -> TransportMetrics;
+
+    /// Tear the backend down (join threads).  Idempotent; the default is a
+    /// no-op for in-process backends.
+    fn shutdown(&mut self) {}
+}
+
+impl Transport for Box<dyn Transport> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn client(&self) -> &NodeRuntime {
+        (**self).client()
+    }
+    fn client_mut(&mut self) -> &mut NodeRuntime {
+        (**self).client_mut()
+    }
+    fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
+        (**self).deploy_am(name, handler)
+    }
+    fn flush_client(&mut self) -> Result<()> {
+        (**self).flush_client()
+    }
+    fn step(&mut self) -> Result<bool> {
+        (**self).step()
+    }
+    fn idle_grace(&self) -> u32 {
+        (**self).idle_grace()
+    }
+    fn take_completions(&mut self) -> Vec<Completion> {
+        (**self).take_completions()
+    }
+    fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
+        (**self).read_memory(rank, addr, len)
+    }
+    fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
+        (**self).write_memory(rank, addr, data)
+    }
+    fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats> {
+        (**self).node_stats(rank)
+    }
+    fn metrics(&self) -> TransportMetrics {
+        (**self).metrics()
+    }
+    fn shutdown(&mut self) {
+        (**self).shutdown()
+    }
+}
+
+/// A handle that can be waited on through [`Cluster::wait`], claiming a typed
+/// value from the stream of client completions.
+pub trait CompletionHandle {
+    /// What the completed operation yields.
+    type Output;
+
+    /// Remove and return this handle's completion from `pending`, if present.
+    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<Self::Output>;
+
+    /// Human-readable description for timeout errors.
+    fn describe(&self) -> String;
+}
+
+/// Typed handle for a posted one-sided GET; waiting yields the fetched bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetHandle {
+    request: RequestId,
+}
+
+impl GetHandle {
+    /// The underlying request id.
+    pub fn request(&self) -> RequestId {
+        self.request
+    }
+}
+
+impl CompletionHandle for GetHandle {
+    type Output = Vec<u8>;
+
+    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<Vec<u8>> {
+        let pos = pending.iter().position(
+            |c| matches!(c, Completion::Get { request, .. } if *request == self.request),
+        )?;
+        match pending.swap_remove(pos) {
+            Completion::Get { data, .. } => Some(data),
+            _ => unreachable!("position matched a GET completion"),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("GET completion (request {})", self.request.0)
+    }
+}
+
+/// Typed handle for an X-RDMA result mailbox slot; waiting yields the result
+/// value an ifunc returned with `tc_return_result`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultHandle {
+    slot: u64,
+}
+
+impl ResultHandle {
+    /// A handle for an explicitly chosen mailbox slot.
+    pub fn for_slot(slot: u64) -> Self {
+        ResultHandle { slot }
+    }
+
+    /// The mailbox slot this handle waits on (encode it into the ifunc
+    /// payload so the remote side knows where to deliver).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Address of the slot in the client's result mailbox.
+    pub fn mailbox_addr(&self) -> u64 {
+        result_slot_addr(self.slot)
+    }
+}
+
+impl CompletionHandle for ResultHandle {
+    type Output = u64;
+
+    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<u64> {
+        let pos = pending
+            .iter()
+            .position(|c| matches!(c, Completion::Result { slot, .. } if *slot == self.slot))?;
+        match pending.swap_remove(pos) {
+            Completion::Result { value, .. } => Some(value),
+            _ => unreachable!("position matched a Result completion"),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("X-RDMA result (mailbox slot {})", self.slot)
+    }
+}
+
+/// A heterogeneous cluster driven through a pluggable [`Transport`].
+///
+/// Rank 0 is the client; ranks `1..=server_count()` are servers.  All sends
+/// originate at the client (servers communicate through ifunc follow-on
+/// actions), completions surface as typed handles, and node state is read
+/// back through the transport so the same scenario runs on any backend.
+pub struct Cluster<T: Transport> {
+    transport: T,
+    pending: Vec<Completion>,
+    next_result_slot: u64,
+}
+
+impl<T: Transport> std::fmt::Debug for Cluster<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("backend", &self.transport.backend_name())
+            .field("nodes", &self.transport.node_count())
+            .field("pending_completions", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<T: Transport> Cluster<T> {
+    /// Wrap an already-constructed transport.  Prefer [`ClusterBuilder`].
+    pub fn new(transport: T) -> Self {
+        Cluster {
+            transport,
+            pending: Vec::new(),
+            next_result_slot: 0,
+        }
+    }
+
+    /// The underlying transport (backend-specific inspection: timing logs,
+    /// virtual time, thread metrics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Short backend name ("simnet", "threads").
+    pub fn backend_name(&self) -> &'static str {
+        self.transport.backend_name()
+    }
+
+    /// Number of nodes including the client.
+    pub fn node_count(&self) -> usize {
+        self.transport.node_count()
+    }
+
+    /// Number of server nodes.
+    pub fn server_count(&self) -> usize {
+        self.transport.node_count() - 1
+    }
+
+    /// The client runtime.
+    pub fn client(&self) -> &NodeRuntime {
+        self.transport.client()
+    }
+
+    /// Mutable client runtime (escape hatch for source-side operations the
+    /// high-level API does not cover).
+    pub fn client_mut(&mut self) -> &mut NodeRuntime {
+        self.transport.client_mut()
+    }
+
+    // --- scenario setup -----------------------------------------------------
+
+    /// Register an ifunc library on the client, returning its handle.
+    pub fn register_ifunc(&mut self, library: IfuncLibrary) -> IfuncHandle {
+        self.transport.client_mut().register_library(library)
+    }
+
+    /// Create a bitcode-representation message for a registered library.
+    pub fn bitcode_message(&self, handle: IfuncHandle, payload: Vec<u8>) -> Result<IfuncMessage> {
+        self.transport
+            .client()
+            .create_bitcode_message(handle, payload)
+    }
+
+    /// Create a binary-representation message targeted at a triple.
+    pub fn binary_message(
+        &self,
+        handle: IfuncHandle,
+        target_triple: &str,
+        payload: Vec<u8>,
+    ) -> Result<IfuncMessage> {
+        self.transport
+            .client()
+            .create_binary_message(handle, target_triple, payload)
+    }
+
+    /// Predeploy a native Active-Message handler on every node (the AM
+    /// baseline requires code presence everywhere).
+    pub fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
+        self.transport.deploy_am(name, handler)
+    }
+
+    /// Write a u64 into a node's memory (seed counters, install tables).
+    pub fn write_u64(&mut self, rank: usize, addr: u64, value: u64) -> Result<()> {
+        self.transport
+            .write_memory(rank, addr, &value.to_le_bytes())
+    }
+
+    /// Write bytes into a node's memory.
+    pub fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
+        self.transport.write_memory(rank, addr, data)
+    }
+
+    // --- sends --------------------------------------------------------------
+
+    /// Send an ifunc message to server `dst`, applying the sender-side code
+    /// cache.  Returns the bytes that actually travelled.
+    pub fn send_ifunc(&mut self, message: &IfuncMessage, dst: usize) -> Result<usize> {
+        let bytes = self
+            .transport
+            .client_mut()
+            .send_ifunc(message, WorkerAddr(dst as u32));
+        self.transport.flush_client()?;
+        Ok(bytes)
+    }
+
+    /// Send an Active Message to a predeployed handler on `dst`.
+    pub fn send_am(&mut self, handler: &str, dst: usize, payload: Vec<u8>) -> Result<usize> {
+        let size = self
+            .transport
+            .client_mut()
+            .send_am(handler, WorkerAddr(dst as u32), payload)?;
+        self.transport.flush_client()?;
+        Ok(size)
+    }
+
+    /// Post a one-sided PUT into `dst`'s memory.  PUTs have no completion
+    /// event in this model; the returned id identifies the posted request.
+    pub fn put(&mut self, dst: usize, addr: u64, data: Vec<u8>) -> Result<RequestId> {
+        let request = self
+            .transport
+            .client_mut()
+            .post_put(WorkerAddr(dst as u32), addr, data);
+        self.transport.flush_client()?;
+        Ok(request)
+    }
+
+    /// Post a one-sided GET against `dst`, returning a typed handle to wait
+    /// on with [`Cluster::wait`].
+    pub fn get(&mut self, dst: usize, addr: u64, len: u64) -> Result<GetHandle> {
+        let request = self
+            .transport
+            .client_mut()
+            .post_get(WorkerAddr(dst as u32), addr, len);
+        self.transport.flush_client()?;
+        Ok(GetHandle { request })
+    }
+
+    /// Allocate a fresh X-RDMA result-mailbox slot.  Encode
+    /// [`ResultHandle::slot`] into the ifunc payload, send, then
+    /// [`Cluster::wait`] on the handle.
+    pub fn result_slot(&mut self) -> ResultHandle {
+        let slot = self.next_result_slot;
+        self.next_result_slot += 1;
+        ResultHandle { slot }
+    }
+
+    // --- completion and progress --------------------------------------------
+
+    /// Drive the transport until `handle`'s completion arrives, returning its
+    /// typed value.  Gives up with [`CoreError::WaitTimeout`] once the
+    /// transport stays quiescent for its grace period.
+    pub fn wait<H: CompletionHandle>(&mut self, handle: &H) -> Result<H::Output> {
+        let grace = self.transport.idle_grace();
+        let mut idle = 0u32;
+        loop {
+            self.pending.extend(self.transport.take_completions());
+            if let Some(out) = handle.try_claim(&mut self.pending) {
+                return Ok(out);
+            }
+            if self.transport.step()? {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle >= grace {
+                    return Err(CoreError::WaitTimeout {
+                        what: handle.describe(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Check for `handle`'s completion without driving the transport.
+    pub fn try_claim<H: CompletionHandle>(&mut self, handle: &H) -> Option<H::Output> {
+        self.pending.extend(self.transport.take_completions());
+        handle.try_claim(&mut self.pending)
+    }
+
+    /// Drive the transport until it goes quiescent or `max_steps` progress
+    /// steps have been made.  Returns the number of steps taken.
+    pub fn run_until_idle(&mut self, max_steps: u64) -> Result<u64> {
+        let grace = self.transport.idle_grace();
+        let mut idle = 0u32;
+        let mut steps = 0u64;
+        while steps < max_steps {
+            if self.transport.step()? {
+                idle = 0;
+                steps += 1;
+            } else {
+                idle += 1;
+                if idle >= grace {
+                    break;
+                }
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Drive the transport until at least `count` completions are pending (or
+    /// quiescence / `max_steps`), then drain and return everything pending.
+    pub fn run_until_completions(
+        &mut self,
+        count: usize,
+        max_steps: u64,
+    ) -> Result<Vec<Completion>> {
+        let grace = self.transport.idle_grace();
+        let mut idle = 0u32;
+        let mut steps = 0u64;
+        loop {
+            self.pending.extend(self.transport.take_completions());
+            if self.pending.len() >= count || steps >= max_steps {
+                break;
+            }
+            if self.transport.step()? {
+                idle = 0;
+                steps += 1;
+            } else {
+                idle += 1;
+                if idle >= grace {
+                    break;
+                }
+            }
+        }
+        Ok(std::mem::take(&mut self.pending))
+    }
+
+    // --- observation --------------------------------------------------------
+
+    /// Read a u64 from a node's memory through the transport.
+    pub fn read_u64(&mut self, rank: usize, addr: u64) -> Result<u64> {
+        let bytes = self.transport.read_memory(rank, addr, 8)?;
+        Ok(u64::from_le_bytes(
+            bytes[..8].try_into().expect("8-byte read"),
+        ))
+    }
+
+    /// Read bytes from a node's memory through the transport.
+    pub fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
+        self.transport.read_memory(rank, addr, len)
+    }
+
+    /// Snapshot a node's runtime counters through the transport.
+    pub fn stats(&mut self, rank: usize) -> Result<RuntimeStats> {
+        self.transport.node_stats(rank)
+    }
+
+    /// Fabric-level metrics (deliveries, drops, bytes).
+    pub fn metrics(&self) -> TransportMetrics {
+        self.transport.metrics()
+    }
+
+    /// Tear the cluster down, returning the transport for post-mortem
+    /// inspection.
+    pub fn shutdown(mut self) -> T {
+        self.transport.shutdown();
+        self.transport
+    }
+
+    /// Unwrap into the transport *without* shutting it down (re-wrapping,
+    /// boxing).  Any buffered completions are dropped.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+}
+
+/// Builder for a [`Cluster`]: platform, node count, target triples, JIT
+/// optimisation level, backend.
+///
+/// The platform always provides the fabric/CPU calibration for the simulated
+/// backend and the default target triples for both backends.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    platform: Platform,
+    servers: usize,
+    client_triple: Option<TargetTriple>,
+    server_triple: Option<TargetTriple>,
+    opt_level: OptLevel,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// A builder for the Thor Xeon+BF2 platform with one server.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            platform: Platform::thor_bf2(),
+            servers: 1,
+            client_triple: None,
+            server_triple: None,
+            opt_level: OptLevel::O2,
+        }
+    }
+
+    /// Select the testbed platform (fabric and CPU calibration, default
+    /// triples).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Number of server nodes (ranks 1..=n).
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Override the client's target triple (defaults to the platform's).
+    pub fn client_triple(mut self, triple: TargetTriple) -> Self {
+        self.client_triple = Some(triple);
+        self
+    }
+
+    /// Override the servers' target triple (defaults to the platform's).
+    pub fn server_triple(mut self, triple: TargetTriple) -> Self {
+        self.server_triple = Some(triple);
+        self
+    }
+
+    /// JIT optimisation level used on every node.
+    pub fn opt_level(mut self, opt_level: OptLevel) -> Self {
+        self.opt_level = opt_level;
+        self
+    }
+
+    fn resolved_triples(&self) -> (TargetTriple, TargetTriple) {
+        let client = self.client_triple.unwrap_or_else(|| {
+            TargetTriple::parse(self.platform.client_triple).unwrap_or(TargetTriple::X86_64_GENERIC)
+        });
+        let server = self.server_triple.unwrap_or_else(|| {
+            TargetTriple::parse(self.platform.server_triple)
+                .unwrap_or(TargetTriple::AARCH64_GENERIC)
+        });
+        (client, server)
+    }
+
+    /// Build on the discrete-event backend.
+    pub fn build_sim(self) -> Cluster<SimTransport> {
+        let transport = SimTransport::with_triples_and_opt(
+            self.platform,
+            self.servers,
+            self.client_triple,
+            self.server_triple,
+            self.opt_level,
+        );
+        Cluster::new(transport)
+    }
+
+    /// Build on the real-thread backend.
+    pub fn build_threaded(self) -> Cluster<ThreadTransport> {
+        let (client, server) = self.resolved_triples();
+        Cluster::new(ThreadTransport::with_opt(
+            self.servers,
+            client,
+            server,
+            self.opt_level,
+        ))
+    }
+
+    /// Build on a runtime-chosen backend behind a trait object — lets one
+    /// scenario function iterate over backends.
+    pub fn build(self, backend: Backend) -> Cluster<Box<dyn Transport>> {
+        match backend {
+            Backend::Simnet => {
+                Cluster::new(Box::new(self.build_sim().into_transport()) as Box<dyn Transport>)
+            }
+            Backend::Threads => {
+                Cluster::new(Box::new(self.build_threaded().into_transport()) as Box<dyn Transport>)
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The discrete-event backend: all node runtimes live in-process and every
+//! fabric operation travels through a virtual-time event queue over the
+//! calibrated `tc-simnet` fabric and CPU models.
+//!
+//! This is the engine behind every table and figure reproduction:
+//!
+//! * each operation leaves its sender no earlier than the sender's
+//!   *injection gap* allows (this is what bounds message rate);
+//! * it arrives after the fabric *latency* for its size and class;
+//! * handling it on the destination costs virtual CPU time: AM dispatch,
+//!   cached-ifunc lookup, JIT compilation (first arrival), binary load, and
+//!   the interpreter's cycle count converted at the node's clock;
+//! * anything the handled message itself posted (recursive forwards, result
+//!   returns, GET replies) departs after that processing completes.
+//!
+//! Every delivery is appended to a [`TimingLog`] so the benchmark harness can
+//! reconstruct the paper's overhead breakdown (transmission / lookup / JIT /
+//! execution) without re-instrumenting the runtime.
+
+use super::{Transport, TransportMetrics};
+use crate::error::{CoreError, Result};
+use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
+use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use crate::sim::{DeliveryRecord, TimingLog};
+use tc_bitir::TargetTriple;
+use tc_jit::{Memory, OptLevel};
+use tc_simnet::{EventQueue, FabricOp, Platform, SimDuration, SimTime};
+use tc_ucx::{OutgoingMessage, UcpOp};
+
+#[derive(Debug)]
+struct InFlight {
+    msg: OutgoingMessage,
+    transmission: SimDuration,
+    wire_bytes: usize,
+}
+
+/// The discrete-event cluster backend (virtual time, calibrated models).
+pub struct SimTransport {
+    platform: Platform,
+    nodes: Vec<NodeRuntime>,
+    queue: EventQueue<InFlight>,
+    /// Earliest time each node's CPU is free to process the next arrival.
+    node_ready_at: Vec<SimTime>,
+    /// Earliest time each node's fabric injection port is free.
+    link_ready_at: Vec<SimTime>,
+    timings: TimingLog,
+    opt_cost_factor: f64,
+    errors: Vec<CoreError>,
+    delivered: u64,
+    dropped_misaddressed: u64,
+}
+
+impl std::fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTransport")
+            .field("platform", &self.platform.name)
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.queue.now())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl SimTransport {
+    /// Create a backend with one client (rank 0) and `servers` server nodes
+    /// (ranks 1..=servers) on the given platform.
+    pub fn new(platform: Platform, servers: usize) -> Self {
+        Self::with_triples_and_opt(platform, servers, None, None, OptLevel::O2)
+    }
+
+    /// Full-control constructor used by the cluster builder: override the
+    /// node target triples (defaulting to the platform's) and the JIT
+    /// optimisation level used for cost accounting and compilation.
+    pub fn with_triples_and_opt(
+        platform: Platform,
+        servers: usize,
+        client_triple: Option<TargetTriple>,
+        server_triple: Option<TargetTriple>,
+        opt_level: OptLevel,
+    ) -> Self {
+        let total = servers + 1;
+        let client_triple = client_triple.unwrap_or_else(|| {
+            TargetTriple::parse(platform.client_triple).unwrap_or(TargetTriple::X86_64_GENERIC)
+        });
+        let server_triple = server_triple.unwrap_or_else(|| {
+            TargetTriple::parse(platform.server_triple).unwrap_or(TargetTriple::AARCH64_GENERIC)
+        });
+        let nodes = (0..total)
+            .map(|i| {
+                let triple = if i == 0 { client_triple } else { server_triple };
+                NodeRuntime::with_opt_level(
+                    tc_ucx::WorkerAddr(i as u32),
+                    total as u32,
+                    triple,
+                    opt_level,
+                )
+            })
+            .collect();
+        SimTransport {
+            platform,
+            nodes,
+            queue: EventQueue::new(),
+            node_ready_at: vec![SimTime::ZERO; total],
+            link_ready_at: vec![SimTime::ZERO; total],
+            timings: TimingLog::default(),
+            opt_cost_factor: opt_level.compile_cost_factor(),
+            errors: Vec::new(),
+            delivered: 0,
+            dropped_misaddressed: 0,
+        }
+    }
+
+    /// The platform this backend models.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Timing log of every processed delivery.
+    pub fn timings(&self) -> &TimingLog {
+        &self.timings
+    }
+
+    /// Errors collected from node runtimes during event processing.
+    pub fn errors(&self) -> &[CoreError] {
+        &self.errors
+    }
+
+    /// Access a node runtime (0 = client).
+    pub fn node(&self, rank: usize) -> &NodeRuntime {
+        &self.nodes[rank]
+    }
+
+    /// Mutable access to a node runtime (0 = client).
+    pub fn node_mut(&mut self, rank: usize) -> &mut NodeRuntime {
+        &mut self.nodes[rank]
+    }
+
+    /// Process a single event.  Returns false when the queue is empty.
+    fn step_event(&mut self) -> bool {
+        let Some((arrival, inflight)) = self.queue.pop() else {
+            return false;
+        };
+        let InFlight {
+            msg,
+            transmission,
+            wire_bytes,
+        } = inflight;
+        let dst = msg.dst.index();
+        if dst >= self.nodes.len() {
+            self.dropped_misaddressed += 1;
+            return true; // misaddressed message: dropped (and counted)
+        }
+        self.delivered += 1;
+        self.nodes[dst].deliver(msg);
+
+        // The destination CPU picks the message up when it is free.
+        let start = self.node_ready_at[dst].max(arrival);
+        let outcomes = self.nodes[dst].poll(usize::MAX);
+        let mut finish = start;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    let record = self.charge(dst, arrival, finish, transmission, wire_bytes, &o);
+                    finish = record.done;
+                    self.timings.records.push(record);
+                }
+                Err(e) => self.errors.push(e),
+            }
+        }
+        self.node_ready_at[dst] = finish;
+        // Whatever the processing posted departs after processing completes.
+        self.flush_node_at(dst, finish);
+        true
+    }
+
+    /// Convert a processing outcome into charged virtual time.
+    fn charge(
+        &self,
+        node: usize,
+        arrival: SimTime,
+        start: SimTime,
+        transmission: SimDuration,
+        wire_bytes: usize,
+        outcome: &ProcessOutcome,
+    ) -> DeliveryRecord {
+        let cpu = if node == 0 {
+            self.platform.client_cpu
+        } else {
+            self.platform.server_cpu
+        };
+        let (lookup, jit, binary_load) = match outcome.kind {
+            OutcomeKind::AmExecuted => (cpu.am_dispatch(), SimDuration::ZERO, SimDuration::ZERO),
+            OutcomeKind::IfuncExecutedCached => {
+                (cpu.cached_lookup(), SimDuration::ZERO, SimDuration::ZERO)
+            }
+            OutcomeKind::IfuncExecutedFirstArrival => {
+                let jit = outcome
+                    .jit_bitcode_bytes
+                    .map(|b| cpu.jit_time(b, self.opt_cost_factor))
+                    .unwrap_or(SimDuration::ZERO);
+                let load = if outcome.binary_loaded {
+                    cpu.binary_load()
+                } else {
+                    SimDuration::ZERO
+                };
+                (cpu.uncached_lookup(), jit, load)
+            }
+            // Pure data-path operations: a small fixed handling cost.
+            _ => (
+                SimDuration::from_nanos(20),
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+            ),
+        };
+        let exec = cpu.exec_time(outcome.exec_cycles);
+        let done = start + lookup + jit + binary_load + exec;
+        DeliveryRecord {
+            node: node as u32,
+            arrival,
+            done,
+            kind: outcome.kind,
+            wire_bytes,
+            transmission,
+            lookup,
+            jit,
+            binary_load,
+            exec,
+        }
+    }
+
+    /// Pick up everything node `rank` has posted and schedule its delivery,
+    /// assuming the sends are issued "now".
+    fn flush_node(&mut self, rank: usize) {
+        self.flush_node_at(rank, self.queue.now());
+    }
+
+    fn flush_node_at(&mut self, rank: usize, earliest: SimTime) {
+        let outgoing = self.nodes[rank].take_outgoing();
+        for msg in outgoing {
+            let wire_bytes = msg.op.wire_size();
+            let class = match &msg.op {
+                UcpOp::Get { .. } => FabricOp::Get,
+                UcpOp::ActiveMessage { .. } => FabricOp::ActiveMessage,
+                _ => FabricOp::Put,
+            };
+            let fabric = self.platform.fabric;
+            let gap = fabric.injection_gap(class, wire_bytes);
+            let latency = fabric.latency(class, wire_bytes);
+            let depart = self.link_ready_at[rank].max(earliest);
+            self.link_ready_at[rank] = depart + gap;
+            let arrival = depart + latency;
+            self.queue.schedule_at(
+                arrival,
+                InFlight {
+                    msg,
+                    transmission: latency,
+                    wire_bytes,
+                },
+            );
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn backend_name(&self) -> &'static str {
+        "simnet"
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn client(&self) -> &NodeRuntime {
+        &self.nodes[0]
+    }
+
+    fn client_mut(&mut self) -> &mut NodeRuntime {
+        &mut self.nodes[0]
+    }
+
+    fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
+        for node in &mut self.nodes {
+            node.deploy_am_handler(name.to_string(), handler.clone());
+        }
+        Ok(())
+    }
+
+    fn flush_client(&mut self) -> Result<()> {
+        self.flush_node(0);
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<bool> {
+        Ok(self.step_event())
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.nodes[0].take_completions()
+    }
+
+    fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
+        let node = self
+            .nodes
+            .get_mut(rank)
+            .ok_or_else(|| CoreError::Sim(format!("no node with rank {rank}")))?;
+        let mut buf = vec![0u8; len];
+        node.memory
+            .read(addr, &mut buf)
+            .map_err(|e| CoreError::Sim(e.to_string()))?;
+        Ok(buf)
+    }
+
+    fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
+        let node = self
+            .nodes
+            .get_mut(rank)
+            .ok_or_else(|| CoreError::Sim(format!("no node with rank {rank}")))?;
+        node.memory
+            .write(addr, data)
+            .map_err(|e| CoreError::Sim(e.to_string()))
+    }
+
+    fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats> {
+        self.nodes
+            .get(rank)
+            .map(|n| n.stats)
+            .ok_or_else(|| CoreError::Sim(format!("no node with rank {rank}")))
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        TransportMetrics {
+            messages_delivered: self.delivered,
+            messages_dropped: self.dropped_misaddressed,
+            bytes_sent: self.nodes[0].stats.bytes_sent,
+        }
+    }
+}

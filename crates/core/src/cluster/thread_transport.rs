@@ -1,0 +1,447 @@
+//! The real-concurrency backend: server runtimes on OS threads, the client
+//! runtime on the driving thread, fabric operations as tagged envelopes over
+//! channels.
+//!
+//! No virtual time is involved — this backend exists to show that the
+//! framework's state machines (auto-registration, sender-side caching,
+//! recursive forwarding, result return) are correct under genuine
+//! parallelism.  Server rank `r` (1-based) runs as thread node `r - 1` of a
+//! [`tc_simnet::ThreadCluster`]; the client (rank 0) stays on the driver
+//! thread so sends and completion waits need no extra synchronisation.
+//!
+//! Active-Message deployment after startup works through a shared,
+//! append-only handler registry: every node applies new registry entries (in
+//! order) before handling each message, so `AmHandlerId`s agree cluster-wide
+//! without shipping closures through channels.
+
+use super::{wire, Transport, TransportMetrics};
+use crate::error::{CoreError, Result};
+use crate::metrics::RuntimeStats;
+use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tc_bitir::TargetTriple;
+use tc_jit::{Memory, OptLevel};
+use tc_simnet::{Envelope, NodeCtx, ThreadCluster, ThreadedNode};
+use tc_ucx::WorkerAddr;
+
+/// Shared, append-only list of predeployed AM handlers.  Deploy order defines
+/// the cluster-wide handler ids.
+type AmRegistry = Arc<Mutex<Vec<(String, NativeAmHandler)>>>;
+
+/// How long one driver `step` waits for traffic before reporting idleness.
+const STEP_TIMEOUT: Duration = Duration::from_millis(5);
+/// How long a control-plane round trip (peek/poke/stats) may take.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(10);
+/// Consecutive idle steps before waits give up (~0.5 s of silence — two to
+/// three orders of magnitude above any single node-side processing step in
+/// this in-process runtime).
+const IDLE_GRACE: u32 = 100;
+
+/// A server node: owns a full Three-Chains runtime and speaks the transport's
+/// wire protocol.
+struct ServerNode {
+    runtime: NodeRuntime,
+    am_registry: AmRegistry,
+    am_applied: usize,
+}
+
+impl ServerNode {
+    fn sync_am(&mut self) {
+        let registry = self.am_registry.lock().expect("AM registry poisoned");
+        for (name, handler) in registry.iter().skip(self.am_applied) {
+            self.runtime
+                .deploy_am_handler(name.clone(), handler.clone());
+        }
+        self.am_applied = registry.len();
+    }
+
+    fn route_outgoing(&mut self, ctx: &NodeCtx) {
+        for msg in self.runtime.take_outgoing() {
+            let dst = msg.dst.index();
+            let bytes = wire::encode_op(&msg);
+            // Drops are counted by the ThreadCluster's delivery counters and
+            // surfaced through the transport metrics.
+            let _ = if dst == 0 {
+                ctx.send_external(wire::TAG_OP, bytes)
+            } else {
+                ctx.send(dst - 1, wire::TAG_OP, bytes)
+            };
+        }
+    }
+}
+
+impl ThreadedNode for ServerNode {
+    fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
+        self.sync_am();
+        match msg.tag {
+            wire::TAG_OP => {
+                match wire::decode_op(&msg.data) {
+                    Ok(op) => self.runtime.deliver(op),
+                    Err(e) => {
+                        let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
+                        return;
+                    }
+                }
+                for outcome in self.runtime.poll(usize::MAX) {
+                    if let Err(e) = outcome {
+                        let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
+                    }
+                }
+                self.route_outgoing(ctx);
+            }
+            wire::TAG_PEEK => {
+                let Ok((token, body)) = wire::decode_control(&msg.data) else {
+                    return;
+                };
+                if body.len() != 16 {
+                    return;
+                }
+                let addr = u64::from_le_bytes(body[0..8].try_into().unwrap());
+                let len = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+                let mut buf = vec![0u8; len];
+                let reply = match self.runtime.memory.read(addr, &mut buf) {
+                    Ok(()) => wire::encode_control(token, &buf),
+                    Err(_) => wire::encode_control(token, &[]),
+                };
+                let _ = ctx.send_external(wire::TAG_PEEK_REPLY, reply);
+            }
+            wire::TAG_POKE => {
+                let Ok((token, body)) = wire::decode_control(&msg.data) else {
+                    return;
+                };
+                if body.len() < 8 {
+                    return;
+                }
+                let addr = u64::from_le_bytes(body[0..8].try_into().unwrap());
+                let ok = self.runtime.memory.write(addr, &body[8..]).is_ok();
+                let _ =
+                    ctx.send_external(wire::TAG_POKE_ACK, wire::encode_control(token, &[ok as u8]));
+            }
+            wire::TAG_STATS => {
+                let Ok((token, _)) = wire::decode_control(&msg.data) else {
+                    return;
+                };
+                let reply = wire::encode_control(token, &wire::encode_stats(&self.runtime.stats));
+                let _ = ctx.send_external(wire::TAG_STATS_REPLY, reply);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The real-concurrency cluster backend (threads + channels, wall-clock time).
+pub struct ThreadTransport {
+    client: NodeRuntime,
+    /// `None` once shut down (threads joined).
+    cluster: Option<ThreadCluster>,
+    /// Delivery counters captured at shutdown so `metrics` stays meaningful.
+    final_metrics: tc_simnet::ThreadMetrics,
+    servers: usize,
+    am_registry: AmRegistry,
+    errors: Vec<CoreError>,
+    next_token: u64,
+}
+
+impl std::fmt::Debug for ThreadTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadTransport")
+            .field("servers", &self.servers)
+            .field("client", &self.client.node_id())
+            .field("errors", &self.errors.len())
+            .finish()
+    }
+}
+
+impl ThreadTransport {
+    /// Start a backend with one driver-side client (rank 0) and `servers`
+    /// threaded server nodes (ranks 1..=servers).
+    pub fn new(servers: usize, client_triple: TargetTriple, server_triple: TargetTriple) -> Self {
+        Self::with_opt(servers, client_triple, server_triple, OptLevel::O2)
+    }
+
+    /// Full-control constructor used by the cluster builder.
+    pub fn with_opt(
+        servers: usize,
+        client_triple: TargetTriple,
+        server_triple: TargetTriple,
+        opt_level: OptLevel,
+    ) -> Self {
+        let total = (servers + 1) as u32;
+        let am_registry: AmRegistry = Arc::new(Mutex::new(Vec::new()));
+        let registry_for_nodes = Arc::clone(&am_registry);
+        let cluster = ThreadCluster::start(servers, move |thread_id| {
+            let rank = thread_id as u32 + 1;
+            ServerNode {
+                runtime: NodeRuntime::with_opt_level(
+                    WorkerAddr(rank),
+                    total,
+                    server_triple,
+                    opt_level,
+                ),
+                am_registry: Arc::clone(&registry_for_nodes),
+                am_applied: 0,
+            }
+        });
+        ThreadTransport {
+            client: NodeRuntime::with_opt_level(WorkerAddr(0), total, client_triple, opt_level),
+            cluster: Some(cluster),
+            final_metrics: tc_simnet::ThreadMetrics::default(),
+            servers,
+            am_registry,
+            errors: Vec::new(),
+            next_token: 1,
+        }
+    }
+
+    /// Errors reported by server nodes (or transport-level decode failures).
+    pub fn errors(&self) -> &[CoreError] {
+        &self.errors
+    }
+
+    /// Handle one external envelope on the driver side.
+    fn handle_external(&mut self, env: Envelope) {
+        match env.tag {
+            wire::TAG_OP => match wire::decode_op(&env.data) {
+                Ok(msg) => {
+                    self.client.deliver(msg);
+                    for outcome in self.client.poll(usize::MAX) {
+                        if let Err(e) = outcome {
+                            self.errors.push(e);
+                        }
+                    }
+                    // The client may respond (e.g. serve a GET against its own
+                    // memory); those ops go back out immediately.
+                    let _ = self.dispatch_client_outgoing();
+                }
+                Err(e) => self.errors.push(e),
+            },
+            wire::TAG_ERROR => {
+                self.errors.push(CoreError::Transport(
+                    String::from_utf8_lossy(&env.data).into_owned(),
+                ));
+            }
+            // Stale control replies (from a timed-out request) are dropped;
+            // live ones are intercepted by `control_roundtrip` before this.
+            _ => {}
+        }
+    }
+
+    /// Move everything the client posted into the threaded fabric, looping
+    /// until the outgoing queue is quiescent (client-to-self deliveries can
+    /// post follow-on operations — GET replies, result writes — that must go
+    /// out in the same flush).
+    fn dispatch_client_outgoing(&mut self) -> Result<()> {
+        let Some(cluster) = &self.cluster else {
+            return Err(CoreError::Transport("thread transport is shut down".into()));
+        };
+        loop {
+            let outgoing = self.client.take_outgoing();
+            if outgoing.is_empty() {
+                return Ok(());
+            }
+            for msg in outgoing {
+                let dst = msg.dst.index();
+                if dst == 0 {
+                    // Client-to-self delivery: execute locally.
+                    self.client.deliver(msg);
+                    for outcome in self.client.poll(usize::MAX) {
+                        if let Err(e) = outcome {
+                            self.errors.push(e);
+                        }
+                    }
+                    continue;
+                }
+                // Thread node ids are rank - 1.  Drops (unknown rank, stopped
+                // node) are recorded in the cluster's counters and show up in
+                // the transport metrics, mirroring the fabric's
+                // lossy-but-accounted model.
+                let _ = cluster.send(dst - 1, wire::TAG_OP, wire::encode_op(&msg));
+            }
+        }
+    }
+
+    /// Issue a control request to server `rank` and wait for its tokened
+    /// reply, processing data-plane traffic that arrives in between.
+    fn control_roundtrip(
+        &mut self,
+        rank: usize,
+        request_tag: u64,
+        reply_tag: u64,
+        body: &[u8],
+    ) -> Result<Vec<u8>> {
+        if rank == 0 || rank > self.servers {
+            return Err(CoreError::Transport(format!(
+                "control request addressed to invalid rank {rank} (1..={} expected)",
+                self.servers
+            )));
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let status = match &self.cluster {
+            Some(cluster) => cluster.send(rank - 1, request_tag, wire::encode_control(token, body)),
+            None => return Err(CoreError::Transport("thread transport is shut down".into())),
+        };
+        if !status.is_delivered() {
+            return Err(CoreError::Transport(format!(
+                "control request to rank {rank} not delivered: {status:?}"
+            )));
+        }
+        let deadline = Instant::now() + CONTROL_TIMEOUT;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CoreError::WaitTimeout {
+                    what: format!("control reply (tag {reply_tag}) from rank {rank}"),
+                });
+            }
+            let env = match &self.cluster {
+                Some(cluster) => cluster.recv_external(remaining),
+                None => return Err(CoreError::Transport("thread transport is shut down".into())),
+            };
+            let Some(env) = env else {
+                continue;
+            };
+            if env.tag == reply_tag && env.from == rank - 1 {
+                if let Ok((reply_token, reply_body)) = wire::decode_control(&env.data) {
+                    if reply_token == token {
+                        return Ok(reply_body.to_vec());
+                    }
+                    continue; // stale reply from an abandoned request
+                }
+            }
+            self.handle_external(env);
+        }
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn backend_name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn node_count(&self) -> usize {
+        self.servers + 1
+    }
+
+    fn client(&self) -> &NodeRuntime {
+        &self.client
+    }
+
+    fn client_mut(&mut self) -> &mut NodeRuntime {
+        &mut self.client
+    }
+
+    fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
+        // Client applies immediately; servers catch up (in registry order,
+        // hence with identical handler ids) before their next message.
+        self.client
+            .deploy_am_handler(name.to_string(), handler.clone());
+        self.am_registry
+            .lock()
+            .map_err(|_| CoreError::Transport("AM registry poisoned".into()))?
+            .push((name.to_string(), handler));
+        Ok(())
+    }
+
+    fn flush_client(&mut self) -> Result<()> {
+        self.dispatch_client_outgoing()
+    }
+
+    fn step(&mut self) -> Result<bool> {
+        let Some(cluster) = &self.cluster else {
+            return Ok(false);
+        };
+        match cluster.recv_external(STEP_TIMEOUT) {
+            Some(env) => {
+                self.handle_external(env);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn idle_grace(&self) -> u32 {
+        IDLE_GRACE
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        self.client.take_completions()
+    }
+
+    fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
+        if rank == 0 {
+            let mut buf = vec![0u8; len];
+            self.client
+                .memory
+                .read(addr, &mut buf)
+                .map_err(|e| CoreError::Transport(e.to_string()))?;
+            return Ok(buf);
+        }
+        let mut body = Vec::with_capacity(16);
+        body.extend_from_slice(&addr.to_le_bytes());
+        body.extend_from_slice(&(len as u64).to_le_bytes());
+        let reply = self.control_roundtrip(rank, wire::TAG_PEEK, wire::TAG_PEEK_REPLY, &body)?;
+        if reply.len() != len {
+            return Err(CoreError::Transport(format!(
+                "peek of {len} bytes at {addr:#x} on rank {rank} failed"
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
+        if rank == 0 {
+            return self
+                .client
+                .memory
+                .write(addr, data)
+                .map_err(|e| CoreError::Transport(e.to_string()));
+        }
+        let mut body = Vec::with_capacity(8 + data.len());
+        body.extend_from_slice(&addr.to_le_bytes());
+        body.extend_from_slice(data);
+        let reply = self.control_roundtrip(rank, wire::TAG_POKE, wire::TAG_POKE_ACK, &body)?;
+        if reply != [1] {
+            return Err(CoreError::Transport(format!(
+                "poke of {} bytes at {addr:#x} on rank {rank} failed",
+                data.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats> {
+        if rank == 0 {
+            return Ok(self.client.stats);
+        }
+        let reply = self.control_roundtrip(rank, wire::TAG_STATS, wire::TAG_STATS_REPLY, &[])?;
+        wire::decode_stats(&reply)
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        let m = self
+            .cluster
+            .as_ref()
+            .map(|c| c.metrics())
+            .unwrap_or(self.final_metrics);
+        TransportMetrics {
+            messages_delivered: m.delivered,
+            messages_dropped: m.dropped(),
+            bytes_sent: self.client.stats.bytes_sent,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(cluster) = self.cluster.take() {
+            self.final_metrics = cluster.metrics();
+            cluster.shutdown();
+        }
+    }
+}
+
+impl Drop for ThreadTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

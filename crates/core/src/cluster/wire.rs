@@ -1,0 +1,296 @@
+//! Wire conventions of the threaded cluster backend.
+//!
+//! The threaded transport moves [`tc_ucx::OutgoingMessage`]s between OS
+//! threads as tagged byte envelopes.  Earlier versions of the repository left
+//! these conventions to each integration test (ad-hoc tag constants and
+//! hand-rolled framing); they are now part of the transport layer so every
+//! user of the cluster API shares one protocol.
+//!
+//! Envelope tags:
+//!
+//! * [`TAG_OP`] — an encoded fabric operation (the payload of
+//!   [`encode_op`]); this is the data plane.
+//! * [`TAG_PEEK`] / [`TAG_PEEK_REPLY`] — driver reads a node's memory
+//!   (control plane; token-matched).
+//! * [`TAG_POKE`] / [`TAG_POKE_ACK`] — driver writes a node's memory.
+//! * [`TAG_STATS`] / [`TAG_STATS_REPLY`] — driver samples a node's
+//!   [`RuntimeStats`].
+//! * [`TAG_ERROR`] — a node reports a runtime error to the driver.
+
+use crate::error::{CoreError, Result};
+use crate::metrics::RuntimeStats;
+use tc_ucx::{AmHandlerId, OutgoingMessage, RequestId, UcpOp, WorkerAddr};
+
+/// Envelope tag: encoded fabric operation (data plane).
+pub const TAG_OP: u64 = 1;
+/// Envelope tag: driver asks a node to read memory.
+pub const TAG_PEEK: u64 = 2;
+/// Envelope tag: node answers a [`TAG_PEEK`].
+pub const TAG_PEEK_REPLY: u64 = 3;
+/// Envelope tag: driver asks a node to write memory.
+pub const TAG_POKE: u64 = 4;
+/// Envelope tag: node acknowledges a [`TAG_POKE`].
+pub const TAG_POKE_ACK: u64 = 5;
+/// Envelope tag: driver asks a node for its runtime counters.
+pub const TAG_STATS: u64 = 6;
+/// Envelope tag: node answers a [`TAG_STATS`].
+pub const TAG_STATS_REPLY: u64 = 7;
+/// Envelope tag: node reports a processing error to the driver.
+pub const TAG_ERROR: u64 = 8;
+
+const OP_PUT: u8 = 0;
+const OP_GET: u8 = 1;
+const OP_GET_REPLY: u8 = 2;
+const OP_AM: u8 = 3;
+const OP_IFUNC: u8 = 4;
+
+/// Encode a fabric operation for a [`TAG_OP`] envelope.
+pub fn encode_op(msg: &OutgoingMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + msg.op.wire_size());
+    out.extend_from_slice(&msg.src.0.to_le_bytes());
+    out.extend_from_slice(&msg.dst.0.to_le_bytes());
+    out.extend_from_slice(&msg.request.0.to_le_bytes());
+    match &msg.op {
+        UcpOp::Put { remote_addr, data } => {
+            out.push(OP_PUT);
+            out.extend_from_slice(&remote_addr.to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        UcpOp::Get { remote_addr, len } => {
+            out.push(OP_GET);
+            out.extend_from_slice(&remote_addr.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        UcpOp::GetReply { request, data } => {
+            out.push(OP_GET_REPLY);
+            out.extend_from_slice(&request.0.to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        UcpOp::ActiveMessage { handler, payload } => {
+            out.push(OP_AM);
+            out.extend_from_slice(&handler.0.to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        UcpOp::IfuncFrame { bytes } => {
+            out.push(OP_IFUNC);
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+/// Decode a [`TAG_OP`] envelope payload back into a fabric operation.
+pub fn decode_op(bytes: &[u8]) -> Result<OutgoingMessage> {
+    let err = |msg: &str| CoreError::Transport(format!("bad op envelope: {msg}"));
+    if bytes.len() < 17 {
+        return Err(err("shorter than the fixed header"));
+    }
+    let src = WorkerAddr(u32::from_le_bytes(bytes[0..4].try_into().unwrap()));
+    let dst = WorkerAddr(u32::from_le_bytes(bytes[4..8].try_into().unwrap()));
+    let request = RequestId(u64::from_le_bytes(bytes[8..16].try_into().unwrap()));
+    let tag = bytes[16];
+    let body = &bytes[17..];
+    let op = match tag {
+        OP_PUT => {
+            if body.len() < 8 {
+                return Err(err("PUT missing address"));
+            }
+            UcpOp::Put {
+                remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
+                data: body[8..].to_vec(),
+            }
+        }
+        OP_GET => {
+            if body.len() != 16 {
+                return Err(err("GET body must be 16 bytes"));
+            }
+            UcpOp::Get {
+                remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
+                len: u64::from_le_bytes(body[8..16].try_into().unwrap()),
+            }
+        }
+        OP_GET_REPLY => {
+            if body.len() < 8 {
+                return Err(err("GetReply missing request id"));
+            }
+            UcpOp::GetReply {
+                request: RequestId(u64::from_le_bytes(body[0..8].try_into().unwrap())),
+                data: body[8..].to_vec(),
+            }
+        }
+        OP_AM => {
+            if body.len() < 2 {
+                return Err(err("ActiveMessage missing handler id"));
+            }
+            UcpOp::ActiveMessage {
+                handler: AmHandlerId(u16::from_le_bytes(body[0..2].try_into().unwrap())),
+                payload: body[2..].to_vec(),
+            }
+        }
+        OP_IFUNC => UcpOp::IfuncFrame {
+            bytes: body.to_vec(),
+        },
+        other => return Err(err(&format!("unknown op tag {other}"))),
+    };
+    Ok(OutgoingMessage {
+        src,
+        dst,
+        request,
+        op,
+    })
+}
+
+/// Encode a control request carrying a matching token and a body.
+pub fn encode_control(token: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&token.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Split a control envelope into `(token, body)`.
+pub fn decode_control(bytes: &[u8]) -> Result<(u64, &[u8])> {
+    if bytes.len() < 8 {
+        return Err(CoreError::Transport(
+            "control envelope shorter than its token".into(),
+        ));
+    }
+    Ok((
+        u64::from_le_bytes(bytes[0..8].try_into().unwrap()),
+        &bytes[8..],
+    ))
+}
+
+/// Serialize runtime counters for a [`TAG_STATS_REPLY`].
+pub fn encode_stats(stats: &RuntimeStats) -> Vec<u8> {
+    let fields = [
+        stats.full_frames_received,
+        stats.truncated_frames_received,
+        stats.ifuncs_executed,
+        stats.jit_compilations,
+        stats.binary_loads,
+        stats.ams_executed,
+        stats.gets_served,
+        stats.puts_applied,
+        stats.ifunc_full_sends,
+        stats.ifunc_truncated_sends,
+        stats.bytes_sent,
+    ];
+    let mut out = Vec::with_capacity(fields.len() * 8);
+    for f in fields {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_stats`].
+pub fn decode_stats(bytes: &[u8]) -> Result<RuntimeStats> {
+    if bytes.len() != 11 * 8 {
+        return Err(CoreError::Transport(format!(
+            "stats reply must be 88 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let mut fields = [0u64; 11];
+    for (i, f) in fields.iter_mut().enumerate() {
+        *f = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+    }
+    Ok(RuntimeStats {
+        full_frames_received: fields[0],
+        truncated_frames_received: fields[1],
+        ifuncs_executed: fields[2],
+        jit_compilations: fields[3],
+        binary_loads: fields[4],
+        ams_executed: fields[5],
+        gets_served: fields[6],
+        puts_applied: fields[7],
+        ifunc_full_sends: fields[8],
+        ifunc_truncated_sends: fields[9],
+        bytes_sent: fields[10],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_codec_roundtrips_every_variant() {
+        let ops = [
+            UcpOp::Put {
+                remote_addr: 0x40,
+                data: vec![1, 2, 3],
+            },
+            UcpOp::Get {
+                remote_addr: 0x80,
+                len: 16,
+            },
+            UcpOp::GetReply {
+                request: RequestId(9),
+                data: vec![7; 8],
+            },
+            UcpOp::ActiveMessage {
+                handler: AmHandlerId(3),
+                payload: vec![5],
+            },
+            UcpOp::IfuncFrame {
+                bytes: vec![0xAB; 64],
+            },
+        ];
+        for op in ops {
+            let msg = OutgoingMessage {
+                src: WorkerAddr(2),
+                dst: WorkerAddr(5),
+                request: RequestId(77),
+                op,
+            };
+            let decoded = decode_op(&encode_op(&msg)).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn op_decode_rejects_garbage() {
+        assert!(decode_op(&[]).is_err());
+        assert!(decode_op(&[0; 16]).is_err());
+        let mut bad = encode_op(&OutgoingMessage {
+            src: WorkerAddr(0),
+            dst: WorkerAddr(1),
+            request: RequestId(0),
+            op: UcpOp::Get {
+                remote_addr: 0,
+                len: 8,
+            },
+        });
+        bad[16] = 99; // unknown op tag
+        assert!(decode_op(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_codec_roundtrips() {
+        let stats = RuntimeStats {
+            full_frames_received: 1,
+            truncated_frames_received: 2,
+            ifuncs_executed: 3,
+            jit_compilations: 4,
+            binary_loads: 5,
+            ams_executed: 6,
+            gets_served: 7,
+            puts_applied: 8,
+            ifunc_full_sends: 9,
+            ifunc_truncated_sends: 10,
+            bytes_sent: 11,
+        };
+        assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+        assert!(decode_stats(&[0; 3]).is_err());
+    }
+
+    #[test]
+    fn control_codec_matches_tokens() {
+        let enc = encode_control(42, &[1, 2, 3]);
+        let (token, body) = decode_control(&enc).unwrap();
+        assert_eq!(token, 42);
+        assert_eq!(body, &[1, 2, 3]);
+        assert!(decode_control(&[0; 4]).is_err());
+    }
+}

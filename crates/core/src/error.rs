@@ -32,6 +32,15 @@ pub enum CoreError {
     },
     /// A simulation-level invariant was violated (bad node id, etc.).
     Sim(String),
+    /// A cluster transport failed to move or decode a message, or a node
+    /// reported a failure through the transport's error channel.
+    Transport(String),
+    /// Waiting for a completion gave up: the transport went quiescent (or hit
+    /// its step budget) without the expected completion arriving.
+    WaitTimeout {
+        /// Description of what was being waited for.
+        what: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -47,9 +56,16 @@ impl fmt::Display for CoreError {
             CoreError::Jit(msg) => write!(f, "target-side JIT error: {msg}"),
             CoreError::BinaryLoad(msg) => write!(f, "binary ifunc load error: {msg}"),
             CoreError::UnknownAmHandler { name } => {
-                write!(f, "active-message handler `{name}` is not predeployed on this node")
+                write!(
+                    f,
+                    "active-message handler `{name}` is not predeployed on this node"
+                )
             }
             CoreError::Sim(msg) => write!(f, "cluster simulation error: {msg}"),
+            CoreError::Transport(msg) => write!(f, "cluster transport error: {msg}"),
+            CoreError::WaitTimeout { what } => {
+                write!(f, "timed out waiting for completion: {what}")
+            }
         }
     }
 }
@@ -85,10 +101,12 @@ mod tests {
     fn conversions_preserve_messages() {
         let e: CoreError = tc_bitir::BitirError::Decode("bad".into()).into();
         assert!(e.to_string().contains("bad"));
-        let e: CoreError = tc_jit::JitError::UnresolvedSymbol { symbol: "puts".into() }.into();
+        let e: CoreError = tc_jit::JitError::UnresolvedSymbol {
+            symbol: "puts".into(),
+        }
+        .into();
         assert!(e.to_string().contains("puts"));
-        let e: CoreError =
-            tc_binfmt::BinfmtError::UndefinedSymbol { symbol: "x".into() }.into();
+        let e: CoreError = tc_binfmt::BinfmtError::UndefinedSymbol { symbol: "x".into() }.into();
         assert!(matches!(e, CoreError::BinaryLoad(_)));
     }
 
@@ -97,8 +115,10 @@ mod tests {
         assert!(CoreError::UnknownIfunc { name: "tsi".into() }
             .to_string()
             .contains("tsi"));
-        assert!(CoreError::UnknownAmHandler { name: "chase".into() }
-            .to_string()
-            .contains("chase"));
+        assert!(CoreError::UnknownAmHandler {
+            name: "chase".into()
+        }
+        .to_string()
+        .contains("chase"));
     }
 }

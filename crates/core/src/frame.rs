@@ -159,7 +159,9 @@ impl MessageFrame {
 
         let version = take(&mut pos, 1)?[0];
         if version != FRAME_VERSION {
-            return Err(CoreError::Frame(format!("unsupported frame version {version}")));
+            return Err(CoreError::Frame(format!(
+                "unsupported frame version {version}"
+            )));
         }
         let repr_tag = take(&mut pos, 1)?[0];
         let repr = CodeRepr::from_tag(repr_tag)
@@ -173,7 +175,9 @@ impl MessageFrame {
         let payload = take(&mut pos, payload_len)?.to_vec();
         let magic = take(&mut pos, 4)?;
         if magic != FRAME_MAGIC {
-            return Err(CoreError::Frame("missing payload/code MAGIC delimiter".into()));
+            return Err(CoreError::Frame(
+                "missing payload/code MAGIC delimiter".into(),
+            ));
         }
 
         if pos == bytes.len() {
@@ -318,7 +322,11 @@ mod tests {
         let bytes = f.encode_full();
         // Anything between the truncated length and the full length is a
         // malformed frame (decode must not panic and must error).
-        for cut in [f.truncated_size() + 1, f.truncated_size() + 100, bytes.len() - 1] {
+        for cut in [
+            f.truncated_size() + 1,
+            f.truncated_size() + 100,
+            bytes.len() - 1,
+        ] {
             assert!(MessageFrame::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
     }
@@ -333,7 +341,13 @@ mod tests {
 
     #[test]
     fn binary_repr_frames_work_too() {
-        let f = MessageFrame::new("two_chains", CodeRepr::Binary, vec![9; 16], vec![1; 75], vec![]);
+        let f = MessageFrame::new(
+            "two_chains",
+            CodeRepr::Binary,
+            vec![9; 16],
+            vec![1; 75],
+            vec![],
+        );
         let decoded = MessageFrame::decode(&f.encode_full()).unwrap();
         assert_eq!(decoded.repr, CodeRepr::Binary);
         assert_eq!(decoded.code.unwrap().len(), 75);

@@ -49,16 +49,13 @@ impl IfuncLibrary {
 
     /// Binary object bytes for a target triple name.
     pub fn binary_for(&self, triple: &str) -> Result<&[u8]> {
-        self.binaries
-            .get(triple)
-            .map(Vec::as_slice)
-            .ok_or_else(|| {
-                CoreError::Toolchain(format!(
-                    "no binary object for target `{triple}` in ifunc `{}` (built for: {})",
-                    self.name,
-                    self.binaries.keys().cloned().collect::<Vec<_>>().join(", ")
-                ))
-            })
+        self.binaries.get(triple).map(Vec::as_slice).ok_or_else(|| {
+            CoreError::Toolchain(format!(
+                "no binary object for target `{triple}` in ifunc `{}` (built for: {})",
+                self.name,
+                self.binaries.keys().cloned().collect::<Vec<_>>().join(", ")
+            ))
+        })
     }
 }
 
@@ -271,9 +268,15 @@ mod tests {
         let lib = build_ifunc_library(&tsi_module(), &ToolchainOptions::default()).unwrap();
         assert_eq!(lib.name, "tsi");
         assert!(lib.bitcode_size() > 2000, "fat bitcode should be KiB-scale");
-        assert_eq!(lib.binaries.len(), TargetTriple::default_toolchain_targets().len());
+        assert_eq!(
+            lib.binaries.len(),
+            TargetTriple::default_toolchain_targets().len()
+        );
         let xeon = lib.binary_size("x86_64-xeon-e5-sim").unwrap();
-        assert!(xeon < lib.bitcode_size() / 4, "binary must be much smaller than fat bitcode");
+        assert!(
+            xeon < lib.bitcode_size() / 4,
+            "binary must be much smaller than fat bitcode"
+        );
         assert!(lib.binary_for("mips-unknown").is_err());
     }
 
@@ -327,7 +330,10 @@ mod tests {
 
         let bin = IfuncMessage::binary(h, &lib, "aarch64-a64fx-sim", vec![1]).unwrap();
         assert_eq!(bin.frame.repr, CodeRepr::Binary);
-        assert_eq!(bin.frame.code.len(), lib.binary_size("aarch64-a64fx-sim").unwrap());
+        assert_eq!(
+            bin.frame.code.len(),
+            lib.binary_size("aarch64-a64fx-sim").unwrap()
+        );
 
         assert!(IfuncMessage::binary(h, &lib, "riscv64-generic-sim", vec![1]).is_err());
     }

@@ -16,9 +16,13 @@
 //!   region, X-RDMA result mailbox, data region);
 //! * [`metrics`] — processing outcomes and counters consumed by the cost
 //!   model;
-//! * [`sim`] — the timed cluster simulation driving node runtimes over the
-//!   calibrated `tc-simnet` fabric/CPU models — the engine behind every
-//!   table and figure reproduction.
+//! * [`cluster`] — the unified cluster API: one [`ClusterBuilder`], a
+//!   [`Transport`] trait, and two first-class backends (the calibrated
+//!   discrete-event simulation and real OS threads) driving the same node
+//!   runtimes;
+//! * [`sim`] — timing records plus [`ClusterSim`], the simulation-first
+//!   facade over the simulated backend — the engine behind every table and
+//!   figure reproduction.
 //!
 //! ## Quick start
 //!
@@ -60,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod cluster;
 pub mod error;
 pub mod frame;
 pub mod ifunc;
@@ -69,6 +74,10 @@ pub mod runtime;
 pub mod sim;
 
 pub use cache::{SendDecision, SenderCache};
+pub use cluster::{
+    Backend, Cluster, ClusterBuilder, CompletionHandle, GetHandle, ResultHandle, SimTransport,
+    ThreadTransport, Transport, TransportMetrics,
+};
 pub use error::{CoreError, Result};
 pub use frame::{CodeRepr, DecodedFrame, MessageFrame, FRAME_MAGIC};
 pub use ifunc::{
@@ -81,6 +90,10 @@ pub use sim::{ClusterSim, DeliveryRecord, TimingLog};
 /// Commonly used items, re-exported for examples and downstream crates.
 pub mod prelude {
     pub use crate::cache::{SendDecision, SenderCache};
+    pub use crate::cluster::{
+        Backend, Cluster, ClusterBuilder, CompletionHandle, GetHandle, ResultHandle, SimTransport,
+        ThreadTransport, Transport, TransportMetrics,
+    };
     pub use crate::error::{CoreError, Result};
     pub use crate::frame::{CodeRepr, MessageFrame};
     pub use crate::ifunc::{

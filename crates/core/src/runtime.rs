@@ -33,12 +33,8 @@ use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tc_bitir::{FatBitcode, TargetTriple};
-use tc_jit::{
-    Engine, ExternalHost, JitError, MachModule, Memory, OptLevel, OrcJit, SparseMemory,
-};
-use tc_ucx::{
-    AmHandlerId, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent,
-};
+use tc_jit::{Engine, ExternalHost, JitError, MachModule, Memory, OptLevel, OrcJit, SparseMemory};
+use tc_ucx::{AmHandlerId, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent};
 
 /// Follow-on work requested by executing code (ifunc externals or native AM
 /// handlers); the runtime converts these into posted fabric operations after
@@ -177,15 +173,25 @@ impl std::fmt::Debug for NodeRuntime {
 
 impl NodeRuntime {
     /// Create a runtime for node `node_id` of a `num_nodes`-node job running
-    /// on the given target triple.
+    /// on the given target triple (JIT at the default `O2`).
     pub fn new(node_id: WorkerAddr, num_nodes: u32, triple: TargetTriple) -> Self {
+        Self::with_opt_level(node_id, num_nodes, triple, OptLevel::O2)
+    }
+
+    /// Create a runtime whose JIT session compiles at `opt_level`.
+    pub fn with_opt_level(
+        node_id: WorkerAddr,
+        num_nodes: u32,
+        triple: TargetTriple,
+        opt_level: OptLevel,
+    ) -> Self {
         NodeRuntime {
             node_id,
             num_nodes,
             triple,
             worker: Worker::new(node_id),
             memory: SparseMemory::new(),
-            jit: OrcJit::new(triple, OptLevel::O2),
+            jit: OrcJit::new(triple, opt_level),
             engine: Engine::new(),
             registry: IfuncRegistry::new(),
             sender_cache: SenderCache::new(),
@@ -220,7 +226,10 @@ impl NodeRuntime {
 
     /// Sender-cache statistics `(full_sends, truncated_sends)`.
     pub fn sender_cache_stats(&self) -> (u64, u64) {
-        (self.sender_cache.full_sends, self.sender_cache.truncated_sends)
+        (
+            self.sender_cache.full_sends,
+            self.sender_cache.truncated_sends,
+        )
     }
 
     // --- source-side API ----------------------------------------------------
@@ -279,13 +288,25 @@ impl NodeRuntime {
     /// Post a one-sided GET of `len` bytes at `addr` on node `dst`.
     pub fn post_get(&mut self, dst: WorkerAddr, addr: u64, len: u64) -> RequestId {
         self.stats.bytes_sent += 32;
-        self.worker.post(dst, UcpOp::Get { remote_addr: addr, len })
+        self.worker.post(
+            dst,
+            UcpOp::Get {
+                remote_addr: addr,
+                len,
+            },
+        )
     }
 
     /// Post a one-sided PUT of `data` at `addr` on node `dst`.
     pub fn post_put(&mut self, dst: WorkerAddr, addr: u64, data: Vec<u8>) -> RequestId {
         self.stats.bytes_sent += (24 + data.len()) as u64;
-        self.worker.post(dst, UcpOp::Put { remote_addr: addr, data })
+        self.worker.post(
+            dst,
+            UcpOp::Put {
+                remote_addr: addr,
+                data,
+            },
+        )
     }
 
     /// Send an Active Message to a predeployed handler on `dst`.  Returns the
@@ -313,7 +334,11 @@ impl NodeRuntime {
     /// Predeploy a native Active-Message handler.  Handlers must be deployed
     /// on every node in the same order so the ids agree cluster-wide, exactly
     /// like a collectively pre-registered AM table.
-    pub fn deploy_am_handler(&mut self, name: impl Into<String>, handler: NativeAmHandler) -> AmHandlerId {
+    pub fn deploy_am_handler(
+        &mut self,
+        name: impl Into<String>,
+        handler: NativeAmHandler,
+    ) -> AmHandlerId {
         let name = name.into();
         if let Some(&id) = self.am_ids.get(&name) {
             self.am_handlers.insert(name, handler);
@@ -392,7 +417,12 @@ impl NodeRuntime {
                 }
                 Ok(ProcessOutcome::passive(OutcomeKind::PutApplied))
             }
-            WorkerEvent::GetRequest { from, addr, len, request } => {
+            WorkerEvent::GetRequest {
+                from,
+                addr,
+                len,
+                request,
+            } => {
                 let mut data = vec![0u8; len as usize];
                 self.memory
                     .read(addr, &mut data)
@@ -405,7 +435,9 @@ impl NodeRuntime {
                 self.completions.push(Completion::Get { request, data });
                 Ok(ProcessOutcome::passive(OutcomeKind::GetCompleted))
             }
-            WorkerEvent::AmReceived { handler, payload, .. } => self.handle_am(handler, &payload),
+            WorkerEvent::AmReceived {
+                handler, payload, ..
+            } => self.handle_am(handler, &payload),
             WorkerEvent::IfuncReceived { bytes, .. } => self.handle_ifunc_frame(&bytes),
         }
     }
@@ -556,9 +588,12 @@ impl NodeRuntime {
             .write(PAYLOAD_STAGING_BASE, payload)
             .map_err(|e| CoreError::Sim(e.to_string()))?;
 
-        let rec = self.received.get(name).ok_or_else(|| CoreError::UnknownIfunc {
-            name: name.to_string(),
-        })?;
+        let rec = self
+            .received
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownIfunc {
+                name: name.to_string(),
+            })?;
         let repr = rec.repr;
         let binary = rec.binary.clone();
 
@@ -586,7 +621,11 @@ impl NodeRuntime {
                 let out = self.engine.run(
                     &mach,
                     tc_bitir::Module::ENTRY_NAME,
-                    &[PAYLOAD_STAGING_BASE, payload.len() as u64, TARGET_REGION_BASE],
+                    &[
+                        PAYLOAD_STAGING_BASE,
+                        payload.len() as u64,
+                        TARGET_REGION_BASE,
+                    ],
                     &[],
                     &mut self.memory,
                     &mut host,
@@ -609,7 +648,11 @@ impl NodeRuntime {
     ) -> Result<()> {
         for action in actions {
             match action {
-                HostAction::Put { dst, remote_addr, data } => {
+                HostAction::Put {
+                    dst,
+                    remote_addr,
+                    data,
+                } => {
                     if dst == self.node_id {
                         self.memory
                             .write(remote_addr, &data)
@@ -634,7 +677,11 @@ impl NodeRuntime {
                         return Err(CoreError::UnknownIfunc { name });
                     }
                 }
-                HostAction::SendAm { handler, dst, payload } => {
+                HostAction::SendAm {
+                    handler,
+                    dst,
+                    payload,
+                } => {
                     self.send_am(&handler, dst, payload)?;
                 }
                 HostAction::ReturnResult { dst, slot, value } => {
@@ -663,9 +710,12 @@ impl NodeRuntime {
             self.stats.ifuncs_executed += 1;
             return Ok(());
         }
-        let rec = self.received.get(name).ok_or_else(|| CoreError::UnknownIfunc {
-            name: name.to_string(),
-        })?;
+        let rec = self
+            .received
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownIfunc {
+                name: name.to_string(),
+            })?;
         let frame = MessageFrame::new(
             name.to_string(),
             rec.repr,
@@ -700,9 +750,7 @@ impl tc_binfmt::SymbolResolver for FrameworkSymbolResolver {
         // is unknown, which surfaces the paper's remote-linking failure mode.
         const KNOWN_PREFIXES: [&str; 2] = ["tc_", "omp_"];
         const KNOWN_SYMBOLS: [&str; 6] = ["memcpy", "memset", "strlen_u64", "sqrt", "fabs", "pow2"];
-        if KNOWN_PREFIXES.iter().any(|p| symbol.starts_with(p))
-            || KNOWN_SYMBOLS.contains(&symbol)
-        {
+        if KNOWN_PREFIXES.iter().any(|p| symbol.starts_with(p)) || KNOWN_SYMBOLS.contains(&symbol) {
             // Stable fake address derived from the name.
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in symbol.bytes() {
@@ -938,7 +986,11 @@ mod tests {
         assert!(outcomes.iter().all(|o| o.is_ok()));
         assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 4);
         assert_eq!(server.stats.binary_loads, 1);
-        assert_eq!(server.jit_stats().compilations, 0, "binary path must not JIT");
+        assert_eq!(
+            server.jit_stats().compilations,
+            0,
+            "binary path must not JIT"
+        );
     }
 
     #[test]
@@ -953,7 +1005,9 @@ mod tests {
         client.send_ifunc(&msg, WorkerAddr(1));
         let outcomes = route(&mut client, &mut server);
         assert!(
-            outcomes.iter().any(|o| matches!(o, Err(CoreError::BinaryLoad(_)))),
+            outcomes
+                .iter()
+                .any(|o| matches!(o, Err(CoreError::BinaryLoad(_)))),
             "loading an x86 binary on an Arm DPU must fail"
         );
     }
@@ -973,7 +1027,9 @@ mod tests {
         // ...then forge the situation by sending a *truncated* frame straight
         // to server B (bypassing the cache), which has never seen the code.
         let bytes = msg.frame.encode_truncated();
-        client.worker.post(WorkerAddr(2), UcpOp::IfuncFrame { bytes });
+        client
+            .worker
+            .post(WorkerAddr(2), UcpOp::IfuncFrame { bytes });
         for m in client.take_outgoing() {
             server_b.deliver(m);
         }
@@ -1009,7 +1065,10 @@ mod tests {
     fn get_request_is_served_from_node_memory() {
         let mut client = NodeRuntime::new(WorkerAddr(0), 2, TargetTriple::THOR_XEON);
         let mut server = NodeRuntime::new(WorkerAddr(1), 2, TargetTriple::THOR_XEON);
-        server.memory.write_u64(crate::layout::DATA_REGION_BASE, 0xfeed).unwrap();
+        server
+            .memory
+            .write_u64(crate::layout::DATA_REGION_BASE, 0xfeed)
+            .unwrap();
         let req = client.post_get(WorkerAddr(1), crate::layout::DATA_REGION_BASE, 8);
         route(&mut client, &mut server);
         let completions = client.take_completions();
@@ -1038,13 +1097,17 @@ mod tests {
         server.deploy_am_handler("tsi_increment", handler);
 
         server.memory.write_u64(TARGET_REGION_BASE, 40).unwrap();
-        let size = client.send_am("tsi_increment", WorkerAddr(1), vec![2]).unwrap();
+        let size = client
+            .send_am("tsi_increment", WorkerAddr(1), vec![2])
+            .unwrap();
         assert!(size < 64, "AM request must be tiny ({size} bytes)");
         route(&mut client, &mut server);
         assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 42);
         assert_eq!(server.stats.ams_executed, 1);
 
-        assert!(client.send_am("not_deployed", WorkerAddr(1), vec![]).is_err());
+        assert!(client
+            .send_am("not_deployed", WorkerAddr(1), vec![])
+            .is_err());
     }
 
     #[test]

@@ -1,31 +1,25 @@
-//! The timed cluster simulation: node runtimes driven by the discrete-event
-//! engine over the calibrated fabric and CPU models.
+//! Timing records and the classic [`ClusterSim`] facade over the simulated
+//! backend of the cluster API.
 //!
-//! [`ClusterSim`] instantiates one client runtime (rank 0) and `N` server
-//! runtimes (ranks 1..=N) on a [`tc_simnet::Platform`], then carries every
-//! posted fabric operation through the event queue:
+//! The discrete-event engine itself lives in
+//! [`crate::cluster::SimTransport`]; this module keeps:
 //!
-//! * each operation leaves its sender no earlier than the sender's
-//!   *injection gap* allows (this is what bounds message rate);
-//! * it arrives after the fabric *latency* for its size and class;
-//! * handling it on the destination costs virtual CPU time: AM dispatch,
-//!   cached-ifunc lookup, JIT compilation (first arrival), binary load, and
-//!   the interpreter's cycle count converted at the node's clock;
-//! * anything the handled message itself posted (recursive forwards, result
-//!   returns, GET replies) departs after that processing completes.
-//!
-//! Every delivery is appended to a [`TimingLog`] so the benchmark harness can
-//! reconstruct the paper's overhead breakdown (transmission / lookup / JIT /
-//! execution) without re-instrumenting the runtime.
+//! * [`DeliveryRecord`] / [`TimingLog`] — one record per
+//!   delivered-and-processed fabric operation, decomposed the way the paper
+//!   decomposes end-to-end latency (transmission / lookup / JIT / execution);
+//! * [`ClusterSim`] — a thin convenience wrapper over
+//!   [`Cluster<SimTransport>`](crate::cluster::Cluster) preserving the
+//!   original simulation-first API (`client_send_ifunc`, `run_until_idle`,
+//!   direct node access) used throughout the workloads and the benchmark
+//!   harness.
 
+use crate::cluster::{Cluster, ClusterBuilder, SimTransport, Transport};
 use crate::error::Result;
 use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage};
-use crate::metrics::{OutcomeKind, ProcessOutcome};
+use crate::metrics::OutcomeKind;
 use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
-use tc_bitir::TargetTriple;
-use tc_jit::OptLevel;
-use tc_simnet::{EventQueue, FabricOp, Platform, SimDuration, SimTime};
-use tc_ucx::{OutgoingMessage, RequestId, UcpOp, WorkerAddr};
+use tc_simnet::{Platform, SimDuration, SimTime};
+use tc_ucx::RequestId;
 
 /// One record per delivered-and-processed fabric operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,35 +82,19 @@ impl TimingLog {
     }
 }
 
-#[derive(Debug)]
-struct InFlight {
-    msg: OutgoingMessage,
-    transmission: SimDuration,
-    wire_bytes: usize,
-}
-
-/// The timed cluster simulation.
+/// The timed cluster simulation: a thin wrapper over
+/// [`Cluster<SimTransport>`](crate::cluster::Cluster) with the original
+/// simulation-first method names.
 pub struct ClusterSim {
-    platform: Platform,
-    nodes: Vec<NodeRuntime>,
-    queue: EventQueue<InFlight>,
-    /// Earliest time each node's CPU is free to process the next arrival.
-    node_ready_at: Vec<SimTime>,
-    /// Earliest time each node's fabric injection port is free.
-    link_ready_at: Vec<SimTime>,
-    /// Timing log of every processed delivery.
-    pub timings: TimingLog,
-    opt_cost_factor: f64,
-    errors: Vec<crate::error::CoreError>,
+    inner: Cluster<SimTransport>,
 }
 
 impl std::fmt::Debug for ClusterSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClusterSim")
-            .field("platform", &self.platform.name)
-            .field("nodes", &self.nodes.len())
-            .field("now", &self.queue.now())
-            .field("pending_events", &self.queue.len())
+            .field("platform", &self.platform().name)
+            .field("nodes", &self.node_count())
+            .field("now", &self.now())
             .finish()
     }
 }
@@ -125,126 +103,128 @@ impl ClusterSim {
     /// Create a simulation with one client (rank 0) and `servers` server
     /// nodes (ranks 1..=servers) on the given platform.
     pub fn new(platform: Platform, servers: usize) -> Self {
-        let total = servers + 1;
-        let client_triple = TargetTriple::parse(platform.client_triple)
-            .unwrap_or(TargetTriple::X86_64_GENERIC);
-        let server_triple = TargetTriple::parse(platform.server_triple)
-            .unwrap_or(TargetTriple::AARCH64_GENERIC);
-        let nodes = (0..total)
-            .map(|i| {
-                let triple = if i == 0 { client_triple } else { server_triple };
-                NodeRuntime::new(WorkerAddr(i as u32), total as u32, triple)
-            })
-            .collect();
         ClusterSim {
-            platform,
-            nodes,
-            queue: EventQueue::new(),
-            node_ready_at: vec![SimTime::ZERO; total],
-            link_ready_at: vec![SimTime::ZERO; total],
-            timings: TimingLog::default(),
-            opt_cost_factor: OptLevel::O2.compile_cost_factor(),
-            errors: Vec::new(),
+            inner: ClusterBuilder::new()
+                .platform(platform)
+                .servers(servers)
+                .build_sim(),
         }
+    }
+
+    /// View this simulation as the unified cluster API.
+    pub fn cluster(&self) -> &Cluster<SimTransport> {
+        &self.inner
+    }
+
+    /// Mutable view as the unified cluster API.
+    pub fn cluster_mut(&mut self) -> &mut Cluster<SimTransport> {
+        &mut self.inner
     }
 
     /// The platform this simulation models.
     pub fn platform(&self) -> &Platform {
-        &self.platform
+        self.inner.transport().platform()
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.inner.transport().now()
+    }
+
+    /// Timing log of every processed delivery.
+    pub fn timings(&self) -> &TimingLog {
+        self.inner.transport().timings()
     }
 
     /// Number of nodes (client + servers).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.inner.node_count()
     }
 
     /// Number of server nodes.
     pub fn server_count(&self) -> usize {
-        self.nodes.len() - 1
+        self.inner.server_count()
     }
 
     /// Errors collected from node runtimes during event processing.
     pub fn errors(&self) -> &[crate::error::CoreError] {
-        &self.errors
+        self.inner.transport().errors()
     }
 
     /// Access a node runtime (0 = client).
     pub fn node(&self, rank: usize) -> &NodeRuntime {
-        &self.nodes[rank]
+        self.inner.transport().node(rank)
     }
 
     /// Mutable access to a node runtime (0 = client).
     pub fn node_mut(&mut self, rank: usize) -> &mut NodeRuntime {
-        &mut self.nodes[rank]
+        self.inner.transport_mut().node_mut(rank)
     }
 
     /// The client runtime.
     pub fn client(&self) -> &NodeRuntime {
-        &self.nodes[0]
+        self.inner.client()
     }
 
     /// Mutable client runtime.
     pub fn client_mut(&mut self) -> &mut NodeRuntime {
-        &mut self.nodes[0]
+        self.inner.client_mut()
     }
 
     /// Register an ifunc library on the client, returning its handle.
     pub fn register_on_client(&mut self, library: IfuncLibrary) -> IfuncHandle {
-        self.nodes[0].register_library(library)
+        self.inner.register_ifunc(library)
     }
 
     /// Predeploy a native Active-Message handler on every node (the AM
     /// baseline requires code presence everywhere).
     pub fn deploy_am_everywhere(&mut self, name: &str, handler: NativeAmHandler) {
-        for node in &mut self.nodes {
-            node.deploy_am_handler(name.to_string(), handler.clone());
-        }
+        self.inner
+            .deploy_am(name, handler)
+            .expect("AM deployment on the simulated backend cannot fail");
     }
 
     /// Send an ifunc message from the client to server rank `dst`.
     pub fn client_send_ifunc(&mut self, message: &IfuncMessage, dst: usize) -> usize {
-        let bytes = self.nodes[0].send_ifunc(message, WorkerAddr(dst as u32));
-        self.flush_node(0);
-        bytes
+        self.inner
+            .send_ifunc(message, dst)
+            .expect("simulated sends cannot fail")
     }
 
     /// Send an Active Message from the client to server rank `dst`.
     pub fn client_send_am(&mut self, handler: &str, dst: usize, payload: Vec<u8>) -> Result<usize> {
-        let size = self.nodes[0].send_am(handler, WorkerAddr(dst as u32), payload)?;
-        self.flush_node(0);
-        Ok(size)
+        self.inner.send_am(handler, dst, payload)
     }
 
     /// Post a GET from the client against server rank `dst`.
     pub fn client_get(&mut self, dst: usize, addr: u64, len: u64) -> RequestId {
-        let req = self.nodes[0].post_get(WorkerAddr(dst as u32), addr, len);
-        self.flush_node(0);
-        req
+        self.inner
+            .get(dst, addr, len)
+            .expect("simulated GETs cannot fail to post")
+            .request()
     }
 
     /// Post a PUT from the client against server rank `dst`.
     pub fn client_put(&mut self, dst: usize, addr: u64, data: Vec<u8>) -> RequestId {
-        let req = self.nodes[0].post_put(WorkerAddr(dst as u32), addr, data);
-        self.flush_node(0);
+        let req = self.inner.transport_mut().client_mut().post_put(
+            tc_ucx::WorkerAddr(dst as u32),
+            addr,
+            data,
+        );
+        self.inner
+            .transport_mut()
+            .flush_client()
+            .expect("simulated flush cannot fail");
         req
     }
 
     /// Run until the event queue drains or `max_events` have been processed.
     /// Returns the virtual time at the end.
     pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
-        let mut processed = 0u64;
-        while processed < max_events {
-            if !self.step() {
-                break;
-            }
-            processed += 1;
-        }
-        self.queue.now()
+        self.inner
+            .run_until_idle(max_events)
+            .expect("simulated stepping cannot fail");
+        self.now()
     }
 
     /// Run until the client has accumulated `count` completions (GET results
@@ -255,136 +235,9 @@ impl ClusterSim {
         count: usize,
         max_events: u64,
     ) -> Vec<Completion> {
-        let mut collected = Vec::new();
-        collected.extend(self.nodes[0].take_completions());
-        let mut processed = 0u64;
-        while collected.len() < count && processed < max_events {
-            if !self.step() {
-                break;
-            }
-            processed += 1;
-            collected.extend(self.nodes[0].take_completions());
-        }
-        collected
-    }
-
-    /// Process a single event.  Returns false when the queue is empty.
-    fn step(&mut self) -> bool {
-        let Some((arrival, inflight)) = self.queue.pop() else {
-            return false;
-        };
-        let InFlight {
-            msg,
-            transmission,
-            wire_bytes,
-        } = inflight;
-        let dst = msg.dst.index();
-        if dst >= self.nodes.len() {
-            return true; // misaddressed message: dropped
-        }
-        self.nodes[dst].deliver(msg);
-
-        // The destination CPU picks the message up when it is free.
-        let start = self.node_ready_at[dst].max(arrival);
-        let outcomes = self.nodes[dst].poll(usize::MAX);
-        let mut finish = start;
-        for outcome in outcomes {
-            match outcome {
-                Ok(o) => {
-                    let record = self.charge(dst, arrival, finish, transmission, wire_bytes, &o);
-                    finish = record.done;
-                    self.timings.records.push(record);
-                }
-                Err(e) => self.errors.push(e),
-            }
-        }
-        self.node_ready_at[dst] = finish;
-        // Whatever the processing posted departs after processing completes.
-        self.flush_node_at(dst, finish);
-        true
-    }
-
-    /// Convert a processing outcome into charged virtual time.
-    fn charge(
-        &self,
-        node: usize,
-        arrival: SimTime,
-        start: SimTime,
-        transmission: SimDuration,
-        wire_bytes: usize,
-        outcome: &ProcessOutcome,
-    ) -> DeliveryRecord {
-        let cpu = if node == 0 {
-            self.platform.client_cpu
-        } else {
-            self.platform.server_cpu
-        };
-        let (lookup, jit, binary_load) = match outcome.kind {
-            OutcomeKind::AmExecuted => (cpu.am_dispatch(), SimDuration::ZERO, SimDuration::ZERO),
-            OutcomeKind::IfuncExecutedCached => {
-                (cpu.cached_lookup(), SimDuration::ZERO, SimDuration::ZERO)
-            }
-            OutcomeKind::IfuncExecutedFirstArrival => {
-                let jit = outcome
-                    .jit_bitcode_bytes
-                    .map(|b| cpu.jit_time(b, self.opt_cost_factor))
-                    .unwrap_or(SimDuration::ZERO);
-                let load = if outcome.binary_loaded {
-                    cpu.binary_load()
-                } else {
-                    SimDuration::ZERO
-                };
-                (cpu.uncached_lookup(), jit, load)
-            }
-            // Pure data-path operations: a small fixed handling cost.
-            _ => (SimDuration::from_nanos(20), SimDuration::ZERO, SimDuration::ZERO),
-        };
-        let exec = cpu.exec_time(outcome.exec_cycles);
-        let done = start + lookup + jit + binary_load + exec;
-        DeliveryRecord {
-            node: node as u32,
-            arrival,
-            done,
-            kind: outcome.kind,
-            wire_bytes,
-            transmission,
-            lookup,
-            jit,
-            binary_load,
-            exec,
-        }
-    }
-
-    /// Pick up everything node `rank` has posted and schedule its delivery,
-    /// assuming the sends are issued "now".
-    fn flush_node(&mut self, rank: usize) {
-        self.flush_node_at(rank, self.queue.now());
-    }
-
-    fn flush_node_at(&mut self, rank: usize, earliest: SimTime) {
-        let outgoing = self.nodes[rank].take_outgoing();
-        for msg in outgoing {
-            let wire_bytes = msg.op.wire_size();
-            let class = match &msg.op {
-                UcpOp::Get { .. } => FabricOp::Get,
-                UcpOp::ActiveMessage { .. } => FabricOp::ActiveMessage,
-                _ => FabricOp::Put,
-            };
-            let fabric = self.platform.fabric;
-            let gap = fabric.injection_gap(class, wire_bytes);
-            let latency = fabric.latency(class, wire_bytes);
-            let depart = self.link_ready_at[rank].max(earliest);
-            self.link_ready_at[rank] = depart + gap;
-            let arrival = depart + latency;
-            self.queue.schedule_at(
-                arrival,
-                InFlight {
-                    msg,
-                    transmission: latency,
-                    wire_bytes,
-                },
-            );
-        }
+        self.inner
+            .run_until_completions(count, max_events)
+            .expect("simulated stepping cannot fail")
     }
 }
 
@@ -424,14 +277,20 @@ mod tests {
     #[test]
     fn uncached_then_cached_latency_shape_matches_paper() {
         let (mut sim, handle) = sim_with_tsi(Platform::thor_xeon(), 1);
-        sim.node_mut(1).memory.write_u64(TARGET_REGION_BASE, 0).unwrap();
-        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        sim.node_mut(1)
+            .memory
+            .write_u64(TARGET_REGION_BASE, 0)
+            .unwrap();
+        let msg = sim
+            .client_mut()
+            .create_bitcode_message(handle, vec![1])
+            .unwrap();
 
         // First (uncached) send: transmission of the full frame + JIT.
         sim.client_send_ifunc(&msg, 1);
         sim.run_until_idle(1_000);
         let first = *sim
-            .timings
+            .timings()
             .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
             .expect("first arrival record");
         assert!(first.jit.as_millis_f64() > 0.3, "JIT time {:?}", first.jit);
@@ -441,7 +300,7 @@ mod tests {
         sim.client_send_ifunc(&msg, 1);
         sim.run_until_idle(1_000);
         let cached = *sim
-            .timings
+            .timings()
             .last_of_kind(OutcomeKind::IfuncExecutedCached)
             .expect("cached record");
         assert_eq!(cached.jit, SimDuration::ZERO);
@@ -454,7 +313,10 @@ mod tests {
     #[test]
     fn injection_gap_bounds_message_rate() {
         let (mut sim, handle) = sim_with_tsi(Platform::thor_xeon(), 1);
-        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        let msg = sim
+            .client_mut()
+            .create_bitcode_message(handle, vec![1])
+            .unwrap();
         // Prime the cache.
         sim.client_send_ifunc(&msg, 1);
         sim.run_until_idle(1_000);
@@ -488,7 +350,7 @@ mod tests {
         sim.client_send_am("tsi_am", 2, vec![9]).unwrap();
         sim.run_until_idle(100);
         assert_eq!(sim.node(2).memory.read_u64(TARGET_REGION_BASE).unwrap(), 9);
-        let rec = sim.timings.last_of_kind(OutcomeKind::AmExecuted).unwrap();
+        let rec = sim.timings().last_of_kind(OutcomeKind::AmExecuted).unwrap();
         assert!(rec.end_to_end().as_micros_f64() < 3.0);
         assert!(sim.errors().is_empty());
     }
@@ -512,21 +374,27 @@ mod tests {
     #[test]
     fn heterogeneous_platform_jit_is_slower_on_dpu() {
         let (mut sim_bf2, h1) = sim_with_tsi(Platform::thor_bf2(), 1);
-        let msg = sim_bf2.client_mut().create_bitcode_message(h1, vec![1]).unwrap();
+        let msg = sim_bf2
+            .client_mut()
+            .create_bitcode_message(h1, vec![1])
+            .unwrap();
         sim_bf2.client_send_ifunc(&msg, 1);
         sim_bf2.run_until_idle(1_000);
         let bf2_jit = sim_bf2
-            .timings
+            .timings()
             .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
             .unwrap()
             .jit;
 
         let (mut sim_xeon, h2) = sim_with_tsi(Platform::thor_xeon(), 1);
-        let msg = sim_xeon.client_mut().create_bitcode_message(h2, vec![1]).unwrap();
+        let msg = sim_xeon
+            .client_mut()
+            .create_bitcode_message(h2, vec![1])
+            .unwrap();
         sim_xeon.client_send_ifunc(&msg, 1);
         sim_xeon.run_until_idle(1_000);
         let xeon_jit = sim_xeon
-            .timings
+            .timings()
             .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
             .unwrap()
             .jit;
@@ -540,10 +408,15 @@ mod tests {
     #[test]
     fn misaddressed_messages_are_dropped_without_panic() {
         let (mut sim, handle) = sim_with_tsi(Platform::ookami(), 1);
-        let msg = sim.client_mut().create_bitcode_message(handle, vec![1]).unwrap();
+        let msg = sim
+            .client_mut()
+            .create_bitcode_message(handle, vec![1])
+            .unwrap();
         sim.client_send_ifunc(&msg, 17); // no such rank
         sim.run_until_idle(100);
         assert!(sim.errors().is_empty());
         assert_eq!(sim.node(1).stats.ifuncs_executed, 0);
+        // The drop is visible in the transport metrics, not silent.
+        assert_eq!(sim.cluster().metrics().messages_dropped, 1);
     }
 }

@@ -134,8 +134,12 @@ mod tests {
 
     #[test]
     fn binary_object_roundtrips_and_executes() {
-        let obj = build_object(&tsi_module(), TargetTriple::THOR_XEON, CompileOptions::default())
-            .unwrap();
+        let obj = build_object(
+            &tsi_module(),
+            TargetTriple::THOR_XEON,
+            CompileOptions::default(),
+        )
+        .unwrap();
         // Wire roundtrip, as the frame would carry it.
         let obj = ObjectFile::decode(&obj.encode()).unwrap();
         assert!(obj.is_pure());
@@ -154,7 +158,14 @@ mod tests {
         mem.write(0, &[2]).unwrap();
         mem.write_u64(2048, 40).unwrap();
         Engine::new()
-            .run(&mach, "main", &[0, 1, 2048], &[], &mut mem, &mut NoExternals)
+            .run(
+                &mach,
+                "main",
+                &[0, 1, 2048],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap();
         assert_eq!(mem.read_u64(2048).unwrap(), 42);
     }
@@ -162,8 +173,8 @@ mod tests {
     #[test]
     fn binary_is_much_smaller_than_fat_bitcode() {
         let module = tsi_module();
-        let obj = build_object(&module, TargetTriple::THOR_XEON, CompileOptions::default())
-            .unwrap();
+        let obj =
+            build_object(&module, TargetTriple::THOR_XEON, CompileOptions::default()).unwrap();
         let fat = tc_bitir::FatBitcode::from_module_default_targets(&module).unwrap();
         assert!(
             obj.shipped_size() * 4 < fat.encoded_size(),
@@ -175,8 +186,12 @@ mod tests {
 
     #[test]
     fn external_symbols_get_got_slots_and_relocations() {
-        let obj = build_object(&ext_module(), TargetTriple::THOR_BF2, CompileOptions::default())
-            .unwrap();
+        let obj = build_object(
+            &ext_module(),
+            TargetTriple::THOR_BF2,
+            CompileOptions::default(),
+        )
+        .unwrap();
         assert!(!obj.is_pure());
         assert_eq!(obj.got_symbols, vec!["tc_double".to_string()]);
         assert_eq!(obj.relocations.len(), 1);
@@ -216,8 +231,12 @@ mod tests {
 
     #[test]
     fn loading_on_wrong_isa_fails() {
-        let obj = build_object(&tsi_module(), TargetTriple::THOR_XEON, CompileOptions::default())
-            .unwrap();
+        let obj = build_object(
+            &tsi_module(),
+            TargetTriple::THOR_XEON,
+            CompileOptions::default(),
+        )
+        .unwrap();
         let err = load_object(
             &obj,
             "aarch64-a64fx-sim",
@@ -225,7 +244,10 @@ mod tests {
             LoadOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, tc_binfmt::BinfmtError::IncompatibleTarget { .. }));
+        assert!(matches!(
+            err,
+            tc_binfmt::BinfmtError::IncompatibleTarget { .. }
+        ));
     }
 
     #[test]
@@ -239,10 +261,14 @@ mod tests {
             f.ret(z);
             f.finish();
         }
-        let obj = build_object(&mb.build(), TargetTriple::OOKAMI_A64FX, CompileOptions {
-            opt_level: OptLevel::O1,
-            verify: true,
-        })
+        let obj = build_object(
+            &mb.build(),
+            TargetTriple::OOKAMI_A64FX,
+            CompileOptions {
+                opt_level: OptLevel::O1,
+                verify: true,
+            },
+        )
         .unwrap();
         let tbl = obj.symbol("tbl").unwrap();
         let state = obj.symbol("state").unwrap();

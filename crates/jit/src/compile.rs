@@ -22,13 +22,14 @@ use tc_bitir::{
 /// elimination, wider vectorisation).  The paper notes that `-O3` *increases*
 /// the shipped binary size for trivial kernels — the ablation bench
 /// `optlevel_ablation` reproduces that trade-off.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum OptLevel {
     /// No optimisation.
     O0,
     /// Cheap cleanups.
     O1,
     /// Standard optimisation (default).
+    #[default]
     O2,
     /// Aggressive optimisation.
     O3,
@@ -46,12 +47,6 @@ impl OptLevel {
             OptLevel::O2 => 1.0,
             OptLevel::O3 => 1.35,
         }
-    }
-}
-
-impl Default for OptLevel {
-    fn default() -> Self {
-        OptLevel::O2
     }
 }
 
@@ -127,7 +122,12 @@ pub fn compile_module(module: &Module, options: CompileOptions) -> Result<Compil
 
     let mut functions = Vec::with_capacity(module.functions.len());
     for f in &module.functions {
-        functions.push(compile_function(f, &lower_info, options.opt_level, &mut stats)?);
+        functions.push(compile_function(
+            f,
+            &lower_info,
+            options.opt_level,
+            &mut stats,
+        )?);
     }
 
     let data = module
@@ -214,7 +214,13 @@ fn select_inst(inst: &Inst, lower: &LowerInfo, stats: &mut CompileStats) -> Mach
             dst: dst.0,
             src: src.0,
         },
-        Inst::Bin { op, ty, dst, lhs, rhs } => MachInst::Alu {
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => MachInst::Alu {
             op: *op,
             ty: *ty,
             dst: dst.0,
@@ -227,13 +233,23 @@ fn select_inst(inst: &Inst, lower: &LowerInfo, stats: &mut CompileStats) -> Mach
             dst: dst.0,
             src: src.0,
         },
-        Inst::Load { ty, dst, addr, offset } => MachInst::Ld {
+        Inst::Load {
+            ty,
+            dst,
+            addr,
+            offset,
+        } => MachInst::Ld {
             ty: *ty,
             dst: dst.0,
             addr: addr.0,
             offset: *offset,
         },
-        Inst::Store { ty, src, addr, offset } => MachInst::St {
+        Inst::Store {
+            ty,
+            src,
+            addr,
+            offset,
+        } => MachInst::St {
             ty: *ty,
             src: src.0,
             addr: addr.0,
@@ -327,9 +343,23 @@ fn fold_constant_alu(block: &mut Vec<MachInst>) -> usize {
         let can_fold = {
             match (&block[i - 2], &block[i - 1], &block[i]) {
                 (
-                    MachInst::Imm { dst: da, ty: ta, bits: ba },
-                    MachInst::Imm { dst: db, ty: tb, bits: bb },
-                    MachInst::Alu { op, ty, dst, lhs, rhs },
+                    MachInst::Imm {
+                        dst: da,
+                        ty: ta,
+                        bits: ba,
+                    },
+                    MachInst::Imm {
+                        dst: db,
+                        ty: tb,
+                        bits: bb,
+                    },
+                    MachInst::Alu {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    },
                 ) if lhs == da
                     && rhs == db
                     && ta == ty
@@ -338,9 +368,9 @@ fn fold_constant_alu(block: &mut Vec<MachInst>) -> usize {
                     && !matches!(op, BinOp::Div | BinOp::Rem) =>
                 {
                     // Neither immediate register may be used later in the block.
-                    let used_later = block[i + 1..].iter().any(|inst| {
-                        inst_reads_reg(inst, *da) || inst_reads_reg(inst, *db)
-                    });
+                    let used_later = block[i + 1..]
+                        .iter()
+                        .any(|inst| inst_reads_reg(inst, *da) || inst_reads_reg(inst, *db));
                     if used_later {
                         None
                     } else {
@@ -363,15 +393,21 @@ fn fold_constant_alu(block: &mut Vec<MachInst>) -> usize {
 
 fn inst_reads_reg(inst: &MachInst, reg: u32) -> bool {
     match inst {
-        MachInst::Imm { .. } | MachInst::DataAddr { .. } | MachInst::Jmp { .. } | MachInst::Trap { .. } => false,
+        MachInst::Imm { .. }
+        | MachInst::DataAddr { .. }
+        | MachInst::Jmp { .. }
+        | MachInst::Trap { .. } => false,
         MachInst::Mov { src, .. } => *src == reg,
         MachInst::Alu { lhs, rhs, .. } => *lhs == reg || *rhs == reg,
         MachInst::AluUn { src, .. } => *src == reg,
         MachInst::Ld { addr, .. } => *addr == reg,
         MachInst::St { src, addr, .. } => *src == reg || *addr == reg,
-        MachInst::AtomicRmw { addr, src, expected, .. } => {
-            *addr == reg || *src == reg || *expected == reg
-        }
+        MachInst::AtomicRmw {
+            addr,
+            src,
+            expected,
+            ..
+        } => *addr == reg || *src == reg || *expected == reg,
         MachInst::VecLoop {
             dst_addr,
             a_addr,
@@ -444,8 +480,8 @@ mod tests {
     #[test]
     fn vectorisation_uses_target_width() {
         let m = vec_module();
-        let a64fx = lower_and_compile(&m, TargetTriple::OOKAMI_A64FX, CompileOptions::default())
-            .unwrap();
+        let a64fx =
+            lower_and_compile(&m, TargetTriple::OOKAMI_A64FX, CompileOptions::default()).unwrap();
         let xeon =
             lower_and_compile(&m, TargetTriple::THOR_XEON, CompileOptions::default()).unwrap();
         let bf2 = lower_and_compile(&m, TargetTriple::THOR_BF2, CompileOptions::default()).unwrap();
@@ -471,8 +507,8 @@ mod tests {
     #[test]
     fn atomics_flavour_follows_target() {
         let m = vec_module();
-        let a64fx = lower_and_compile(&m, TargetTriple::OOKAMI_A64FX, CompileOptions::default())
-            .unwrap();
+        let a64fx =
+            lower_and_compile(&m, TargetTriple::OOKAMI_A64FX, CompileOptions::default()).unwrap();
         let bf2 = lower_and_compile(&m, TargetTriple::THOR_BF2, CompileOptions::default()).unwrap();
         let find_lse = |c: &Compiled| {
             c.module.functions[0]

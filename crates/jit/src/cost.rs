@@ -25,7 +25,10 @@ pub struct CompileCostModel {
 impl CompileCostModel {
     /// Model with explicit parameters.
     pub fn new(base_ns: f64, ns_per_byte: f64) -> Self {
-        CompileCostModel { base_ns, ns_per_byte }
+        CompileCostModel {
+            base_ns,
+            ns_per_byte,
+        }
     }
 
     /// Predicted JIT compile time in nanoseconds for `bitcode_bytes` of input

@@ -266,14 +266,20 @@ pub fn standard_libcounters() -> Dylib {
 
 fn one_arg(name: &str, args: &[u64]) -> Result<u64> {
     if args.len() != 1 {
-        return Err(JitError::Host(format!("{name} expects 1 arg, got {}", args.len())));
+        return Err(JitError::Host(format!(
+            "{name} expects 1 arg, got {}",
+            args.len()
+        )));
     }
     Ok(args[0])
 }
 
 fn three_args(name: &str, args: &[u64]) -> Result<(u64, u64, u64)> {
     if args.len() != 3 {
-        return Err(JitError::Host(format!("{name} expects 3 args, got {}", args.len())));
+        return Err(JitError::Host(format!(
+            "{name} expects 3 args, got {}",
+            args.len()
+        )));
     }
     Ok((args[0], args[1], args[2]))
 }
@@ -310,12 +316,14 @@ mod tests {
         let mut mem = VecMemory::new(0, 256);
         mem.write(0, b"hello world").unwrap();
         let mut host = DylibHost::new(&loaded);
-        host.call_external("memcpy", &[100, 0, 11], &mut mem).unwrap();
+        host.call_external("memcpy", &[100, 0, 11], &mut mem)
+            .unwrap();
         let mut buf = [0u8; 11];
         mem.read(100, &mut buf).unwrap();
         assert_eq!(&buf, b"hello world");
 
-        host.call_external("memset", &[0, 0xAB, 4], &mut mem).unwrap();
+        host.call_external("memset", &[0, 0xAB, 4], &mut mem)
+            .unwrap();
         let mut buf = [0u8; 4];
         mem.read(0, &mut buf).unwrap();
         assert_eq!(buf, [0xAB; 4]);
@@ -374,7 +382,9 @@ mod tests {
         let mut mem = VecMemory::new(0, 64);
         mem.write_u64(8, 40).unwrap();
         let mut host = DylibHost::new(&loaded);
-        let old = host.call_external("counter_add", &[8, 2], &mut mem).unwrap();
+        let old = host
+            .call_external("counter_add", &[8, 2], &mut mem)
+            .unwrap();
         assert_eq!(old, 40);
         assert_eq!(mem.read_u64(8).unwrap(), 42);
     }

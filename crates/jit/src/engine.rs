@@ -68,12 +68,13 @@ impl VecMemory {
     }
 
     fn offset(&self, addr: u64, len: usize) -> Result<usize> {
-        let off = addr
-            .checked_sub(self.base)
-            .ok_or_else(|| JitError::Trap {
-                reason: format!("address {addr:#x} below memory base {:#x}", self.base),
-            })? as usize;
-        if off.checked_add(len).map_or(true, |end| end > self.bytes.len()) {
+        let off = addr.checked_sub(self.base).ok_or_else(|| JitError::Trap {
+            reason: format!("address {addr:#x} below memory base {:#x}", self.base),
+        })? as usize;
+        if off
+            .checked_add(len)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(JitError::Trap {
                 reason: format!(
                     "access of {len} bytes at {addr:#x} exceeds memory of {} bytes at base {:#x}",
@@ -127,7 +128,10 @@ impl SparseMemory {
     }
 
     fn page_of(addr: u64) -> (u64, usize) {
-        (addr / Self::PAGE_SIZE as u64, (addr % Self::PAGE_SIZE as u64) as usize)
+        (
+            addr / Self::PAGE_SIZE as u64,
+            (addr % Self::PAGE_SIZE as u64) as usize,
+        )
     }
 }
 
@@ -291,11 +295,12 @@ impl Engine {
         mem: &mut dyn Memory,
         host: &mut dyn ExternalHost,
     ) -> Result<ExecOutcome> {
-        let func_index = module
-            .function_index(func_name)
-            .ok_or_else(|| JitError::UnknownFunction {
-                name: func_name.to_string(),
-            })?;
+        let func_index =
+            module
+                .function_index(func_name)
+                .ok_or_else(|| JitError::UnknownFunction {
+                    name: func_name.to_string(),
+                })?;
         let mut ctx = ExecContext {
             module,
             data_addrs,
@@ -333,13 +338,13 @@ impl ExecContext<'_> {
                 reason: format!("call depth exceeded {}", self.max_depth),
             });
         }
-        let func: &MachFunction = self
-            .module
-            .functions
-            .get(func_index as usize)
-            .ok_or_else(|| JitError::UnknownFunction {
-                name: format!("#{func_index}"),
-            })?;
+        let func: &MachFunction =
+            self.module
+                .functions
+                .get(func_index as usize)
+                .ok_or_else(|| JitError::UnknownFunction {
+                    name: format!("#{func_index}"),
+                })?;
         if args.len() != func.num_params as usize {
             return Err(JitError::Trap {
                 reason: format!(
@@ -361,7 +366,9 @@ impl ExecContext<'_> {
             let mut next_block: Option<usize> = None;
             for inst in insts {
                 if self.fuel_left == 0 {
-                    return Err(JitError::OutOfFuel { executed: self.insts });
+                    return Err(JitError::OutOfFuel {
+                        executed: self.insts,
+                    });
                 }
                 self.fuel_left -= 1;
                 self.insts += 1;
@@ -374,18 +381,34 @@ impl ExecContext<'_> {
                     MachInst::Mov { dst, src } => {
                         regs[*dst as usize] = regs[*src as usize];
                     }
-                    MachInst::Alu { op, ty, dst, lhs, rhs } => {
+                    MachInst::Alu {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
                         regs[*dst as usize] =
                             eval_bin(*op, *ty, regs[*lhs as usize], regs[*rhs as usize])?;
                     }
                     MachInst::AluUn { op, ty, dst, src } => {
                         regs[*dst as usize] = eval_un(*op, *ty, regs[*src as usize]);
                     }
-                    MachInst::Ld { ty, dst, addr, offset } => {
+                    MachInst::Ld {
+                        ty,
+                        dst,
+                        addr,
+                        offset,
+                    } => {
                         let a = regs[*addr as usize].wrapping_add(*offset as u64);
                         regs[*dst as usize] = self.mem.read_scalar(*ty, a)?;
                     }
-                    MachInst::St { ty, src, addr, offset } => {
+                    MachInst::St {
+                        ty,
+                        src,
+                        addr,
+                        offset,
+                    } => {
                         let a = regs[*addr as usize].wrapping_add(*offset as u64);
                         self.mem.write_scalar(*ty, a, regs[*src as usize])?;
                     }
@@ -460,14 +483,22 @@ impl ExecContext<'_> {
                             })?;
                         regs[*dst as usize] = addr;
                     }
-                    MachInst::CallLocal { dst, func_index, args } => {
+                    MachInst::CallLocal {
+                        dst,
+                        func_index,
+                        args,
+                    } => {
                         let argv: Vec<u64> = args.iter().map(|r| regs[*r as usize]).collect();
                         let ret = self.call_function(*func_index, &argv, depth + 1)?;
                         if let Some(d) = dst {
                             regs[*d as usize] = ret;
                         }
                     }
-                    MachInst::CallSym { dst, sym_index, args } => {
+                    MachInst::CallSym {
+                        dst,
+                        sym_index,
+                        args,
+                    } => {
                         let symbol = self
                             .module
                             .ext_symbols
@@ -513,7 +544,10 @@ impl ExecContext<'_> {
                 Some(b) => block = b,
                 None => {
                     return Err(JitError::Trap {
-                        reason: format!("block {block} of `{}` fell through without terminator", func.name),
+                        reason: format!(
+                            "block {block} of `{}` fell through without terminator",
+                            func.name
+                        ),
                     })
                 }
             }
@@ -637,10 +671,26 @@ pub fn eval_bin(op: BinOp, ty: ScalarType, lhs: u64, rhs: u64) -> Result<u64> {
         }
         BinOp::CmpEq => u64::from(a == b),
         BinOp::CmpNe => u64::from(a != b),
-        BinOp::CmpLt => u64::from(if signed { (a as i64) < (b as i64) } else { a < b }),
-        BinOp::CmpLe => u64::from(if signed { (a as i64) <= (b as i64) } else { a <= b }),
-        BinOp::CmpGt => u64::from(if signed { (a as i64) > (b as i64) } else { a > b }),
-        BinOp::CmpGe => u64::from(if signed { (a as i64) >= (b as i64) } else { a >= b }),
+        BinOp::CmpLt => u64::from(if signed {
+            (a as i64) < (b as i64)
+        } else {
+            a < b
+        }),
+        BinOp::CmpLe => u64::from(if signed {
+            (a as i64) <= (b as i64)
+        } else {
+            a <= b
+        }),
+        BinOp::CmpGt => u64::from(if signed {
+            (a as i64) > (b as i64)
+        } else {
+            a > b
+        }),
+        BinOp::CmpGe => u64::from(if signed {
+            (a as i64) >= (b as i64)
+        } else {
+            a >= b
+        }),
         BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => unreachable!(),
     };
     Ok(normalize(ty, result))
@@ -717,9 +767,12 @@ mod tests {
 
     #[test]
     fn tsi_increments_target_counter() {
-        let compiled =
-            lower_and_compile(&tsi_module(), TargetTriple::THOR_XEON, CompileOptions::default())
-                .unwrap();
+        let compiled = lower_and_compile(
+            &tsi_module(),
+            TargetTriple::THOR_XEON,
+            CompileOptions::default(),
+        )
+        .unwrap();
         let mut mem = VecMemory::new(0x1000, 4096);
         // payload at 0x1000 (value 5), target counter at 0x1800 (starts at 37)
         mem.write(0x1000, &[5]).unwrap();
@@ -782,7 +835,14 @@ mod tests {
             mem.write_u64(i * 8, i + 1).unwrap();
         }
         let out = Engine::new()
-            .run(&compiled.module, "main", &[0, 10, 2048], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "main",
+                &[0, 10, 2048],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap();
         assert_eq!(out.return_value, 0);
         assert_eq!(mem.read_u64(2048).unwrap(), 55);
@@ -803,7 +863,14 @@ mod tests {
         let mut mem = VecMemory::new(0, 64);
         let mut host = RecordingHost::default();
         let out = Engine::new()
-            .run(&compiled.module, "main", &[0, 0, 0], &[], &mut mem, &mut host)
+            .run(
+                &compiled.module,
+                "main",
+                &[0, 0, 0],
+                &[],
+                &mut mem,
+                &mut host,
+            )
             .unwrap();
         assert_eq!(out.return_value, 42);
         assert_eq!(host.calls.len(), 1);
@@ -837,13 +904,27 @@ mod tests {
         let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
         let mut mem = VecMemory::new(0, 8);
         let out = Engine::new()
-            .run(&compiled.module, "fact", &[10], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "fact",
+                &[10],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap();
         assert_eq!(out.return_value, 3_628_800);
 
         // Depth bound: fact(1000) exceeds max_call_depth of 256.
         let err = Engine::new()
-            .run(&compiled.module, "fact", &[1000], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "fact",
+                &[1000],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap_err();
         assert!(matches!(err, JitError::Trap { .. }));
     }
@@ -860,7 +941,14 @@ mod tests {
         let compiled = compile_module(&mb.build(), CompileOptions::default()).unwrap();
         let mut mem = VecMemory::new(0, 8);
         let err = Engine::with_fuel(10_000)
-            .run(&compiled.module, "spin", &[], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "spin",
+                &[],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap_err();
         assert!(matches!(err, JitError::OutOfFuel { .. }));
     }
@@ -886,8 +974,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_memory_traps() {
-        let compiled =
-            compile_module(&tsi_module(), CompileOptions::default()).unwrap();
+        let compiled = compile_module(&tsi_module(), CompileOptions::default()).unwrap();
         let mut mem = VecMemory::new(0x1000, 64);
         // Target pointer outside the memory.
         let err = Engine::new()
@@ -911,7 +998,14 @@ mod tests {
             let payload = f.param(0);
             let len = f.param(1);
             let target = f.param(2);
-            f.vec_op(tc_bitir::VecOp::Add, ScalarType::F64, target, payload, payload, len);
+            f.vec_op(
+                tc_bitir::VecOp::Add,
+                ScalarType::F64,
+                target,
+                payload,
+                payload,
+                len,
+            );
             let z = f.const_i64(0);
             f.ret(z);
             f.finish();
@@ -924,7 +1018,14 @@ mod tests {
                 mem.write(i * 8, &(i as f64).to_le_bytes()).unwrap();
             }
             let out = Engine::new()
-                .run(&compiled.module, "main", &[0, 128, 4096], &[], &mut mem, &mut NoExternals)
+                .run(
+                    &compiled.module,
+                    "main",
+                    &[0, 128, 4096],
+                    &[],
+                    &mut mem,
+                    &mut NoExternals,
+                )
                 .unwrap();
             let v: f64 = {
                 let mut b = [0u8; 8];
@@ -956,7 +1057,10 @@ mod tests {
             eval_bin(BinOp::Div, ScalarType::I64, (-6i64) as u64, 3).unwrap(),
             (-2i64) as u64
         );
-        assert_eq!(eval_bin(BinOp::Shr, ScalarType::I8, 0x80, 1).unwrap(), normalize(ScalarType::I8, 0xC0));
+        assert_eq!(
+            eval_bin(BinOp::Shr, ScalarType::I8, 0x80, 1).unwrap(),
+            normalize(ScalarType::I8, 0xC0)
+        );
         assert_eq!(eval_bin(BinOp::Shr, ScalarType::U8, 0x80, 1).unwrap(), 0x40);
     }
 
@@ -993,9 +1097,21 @@ mod tests {
         let compiled = compile_module(&tsi_module(), CompileOptions::default()).unwrap();
         let mut mem = VecMemory::new(0, 64);
         let err = Engine::new()
-            .run(&compiled.module, "nope", &[], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "nope",
+                &[],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap_err();
-        assert_eq!(err, JitError::UnknownFunction { name: "nope".into() });
+        assert_eq!(
+            err,
+            JitError::UnknownFunction {
+                name: "nope".into()
+            }
+        );
     }
 
     #[test]
@@ -1003,7 +1119,14 @@ mod tests {
         let compiled = compile_module(&tsi_module(), CompileOptions::default()).unwrap();
         let mut mem = VecMemory::new(0, 64);
         let err = Engine::new()
-            .run(&compiled.module, "main", &[1, 2], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "main",
+                &[1, 2],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap_err();
         assert!(matches!(err, JitError::Trap { .. }));
     }

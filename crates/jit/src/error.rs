@@ -53,7 +53,10 @@ impl fmt::Display for JitError {
             }
             JitError::Trap { reason } => write!(f, "execution trapped: {reason}"),
             JitError::OutOfFuel { executed } => {
-                write!(f, "execution exceeded fuel budget after {executed} instructions")
+                write!(
+                    f,
+                    "execution exceeded fuel budget after {executed} instructions"
+                )
             }
             JitError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
             JitError::Decode(msg) => write!(f, "machine code decode failed: {msg}"),
@@ -90,13 +93,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(JitError::UnresolvedSymbol { symbol: "foo".into() }
+        assert!(JitError::UnresolvedSymbol {
+            symbol: "foo".into()
+        }
+        .to_string()
+        .contains("foo"));
+        assert!(JitError::OutOfFuel { executed: 7 }
             .to_string()
-            .contains("foo"));
-        assert!(JitError::OutOfFuel { executed: 7 }.to_string().contains('7'));
-        assert!(JitError::MissingDependency { library: "libomp.so".into() }
-            .to_string()
-            .contains("libomp.so"));
+            .contains('7'));
+        assert!(JitError::MissingDependency {
+            library: "libomp.so".into()
+        }
+        .to_string()
+        .contains("libomp.so"));
     }
 
     #[test]

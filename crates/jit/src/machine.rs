@@ -212,7 +212,10 @@ impl MachInst {
     pub fn is_terminator(&self) -> bool {
         matches!(
             self,
-            MachInst::Jmp { .. } | MachInst::JmpIf { .. } | MachInst::Ret { .. } | MachInst::Trap { .. }
+            MachInst::Jmp { .. }
+                | MachInst::JmpIf { .. }
+                | MachInst::Ret { .. }
+                | MachInst::Trap { .. }
         )
     }
 }
@@ -342,7 +345,11 @@ impl MachModule {
             let name = r.string().map_err(map_err)?;
             let mutable = r.u8().map_err(map_err)? != 0;
             let init = r.bytes().map_err(map_err)?;
-            data.push(DataObject { name, init, mutable });
+            data.push(DataObject {
+                name,
+                init,
+                mutable,
+            });
         }
         let nfuncs = r.varint().map_err(map_err)? as usize;
         let mut functions = Vec::with_capacity(nfuncs.min(4096));
@@ -412,7 +419,13 @@ fn encode_inst(w: &mut tc_bitir::bitcode::Writer, inst: &MachInst) {
             w.varint(u64::from(*dst));
             w.varint(u64::from(*src));
         }
-        MachInst::Alu { op, ty, dst, lhs, rhs } => {
+        MachInst::Alu {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.u8(mop::ALU);
             w.u8(op.tag());
             w.u8(ty.tag());
@@ -427,14 +440,24 @@ fn encode_inst(w: &mut tc_bitir::bitcode::Writer, inst: &MachInst) {
             w.varint(u64::from(*dst));
             w.varint(u64::from(*src));
         }
-        MachInst::Ld { ty, dst, addr, offset } => {
+        MachInst::Ld {
+            ty,
+            dst,
+            addr,
+            offset,
+        } => {
             w.u8(mop::LD);
             w.u8(ty.tag());
             w.varint(u64::from(*dst));
             w.varint(u64::from(*addr));
             w.svarint(*offset);
         }
-        MachInst::St { ty, src, addr, offset } => {
+        MachInst::St {
+            ty,
+            src,
+            addr,
+            offset,
+        } => {
             w.u8(mop::ST);
             w.u8(ty.tag());
             w.varint(u64::from(*src));
@@ -482,7 +505,11 @@ fn encode_inst(w: &mut tc_bitir::bitcode::Writer, inst: &MachInst) {
             w.varint(u64::from(*dst));
             w.varint(u64::from(*data_index));
         }
-        MachInst::CallLocal { dst, func_index, args } => {
+        MachInst::CallLocal {
+            dst,
+            func_index,
+            args,
+        } => {
             w.u8(mop::CALL_LOCAL);
             encode_opt_reg(w, dst);
             w.varint(u64::from(*func_index));
@@ -491,7 +518,11 @@ fn encode_inst(w: &mut tc_bitir::bitcode::Writer, inst: &MachInst) {
                 w.varint(u64::from(*a));
             }
         }
-        MachInst::CallSym { dst, sym_index, args } => {
+        MachInst::CallSym {
+            dst,
+            sym_index,
+            args,
+        } => {
             w.u8(mop::CALL_SYM);
             encode_opt_reg(w, dst);
             w.varint(u64::from(*sym_index));
@@ -575,8 +606,8 @@ fn decode_inst(r: &mut tc_bitir::bitcode::Reader<'_>) -> tc_bitir::Result<MachIn
         }
         mop::ALU_UN => {
             let tag = r.u8()?;
-            let op = UnOp::from_tag(tag)
-                .ok_or_else(|| BitirError::Decode(format!("bad unop {tag}")))?;
+            let op =
+                UnOp::from_tag(tag).ok_or_else(|| BitirError::Decode(format!("bad unop {tag}")))?;
             MachInst::AluUn {
                 op,
                 ty: decode_scalar(r)?,
@@ -636,7 +667,11 @@ fn decode_inst(r: &mut tc_bitir::bitcode::Reader<'_>) -> tc_bitir::Result<MachIn
             for _ in 0..n {
                 args.push(r.varint()? as MReg);
             }
-            MachInst::CallLocal { dst, func_index, args }
+            MachInst::CallLocal {
+                dst,
+                func_index,
+                args,
+            }
         }
         mop::CALL_SYM => {
             let dst = decode_opt_reg(r)?;
@@ -646,7 +681,11 @@ fn decode_inst(r: &mut tc_bitir::bitcode::Reader<'_>) -> tc_bitir::Result<MachIn
             for _ in 0..n {
                 args.push(r.varint()? as MReg);
             }
-            MachInst::CallSym { dst, sym_index, args }
+            MachInst::CallSym {
+                dst,
+                sym_index,
+                args,
+            }
         }
         mop::JMP => MachInst::Jmp {
             block: r.varint()? as u32,
@@ -662,7 +701,11 @@ fn decode_inst(r: &mut tc_bitir::bitcode::Reader<'_>) -> tc_bitir::Result<MachIn
         mop::TRAP => MachInst::Trap {
             code: r.varint()? as u32,
         },
-        other => return Err(BitirError::Decode(format!("unknown machine opcode {other}"))),
+        other => {
+            return Err(BitirError::Decode(format!(
+                "unknown machine opcode {other}"
+            )))
+        }
     };
     Ok(inst)
 }

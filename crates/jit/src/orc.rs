@@ -14,7 +14,7 @@
 //! * it materialises module globals into the node's memory and hands the
 //!   execution engine everything it needs to invoke the entry function.
 
-use crate::compile::{compile_module, Compiled, CompileOptions, OptLevel};
+use crate::compile::{compile_module, CompileOptions, Compiled, OptLevel};
 use crate::dylib::{DylibHost, DylibRegistry, LoadedDylibs};
 use crate::engine::{Engine, ExecOutcome, ExternalHost, Memory};
 use crate::error::{JitError, Result};
@@ -234,7 +234,8 @@ impl OrcJit {
             data_addrs,
             bitcode_size,
         });
-        self.cache.insert(mat.compiled.module.name.clone(), mat.clone());
+        self.cache
+            .insert(mat.compiled.module.name.clone(), mat.clone());
         Ok(mat)
     }
 
@@ -369,7 +370,8 @@ mod tests {
     fn globals_materialised_and_dylibs_linked() {
         let mut jit = OrcJit::new(TargetTriple::THOR_XEON, OptLevel::O2);
         let mut mem = SparseMemory::new();
-        jit.add_module(module_with_global_and_dep(), &mut mem).unwrap();
+        jit.add_module(module_with_global_and_dep(), &mut mem)
+            .unwrap();
         let out = jit
             .execute_entry("globals", 0, 0, 0x500, &mut mem, &mut NoExternals)
             .unwrap();
@@ -405,8 +407,7 @@ mod tests {
 
     #[test]
     fn missing_target_in_archive_is_reported() {
-        let fat =
-            FatBitcode::from_module(&tsi_module("tsi"), &[TargetTriple::THOR_XEON]).unwrap();
+        let fat = FatBitcode::from_module(&tsi_module("tsi"), &[TargetTriple::THOR_XEON]).unwrap();
         let mut jit = OrcJit::new(TargetTriple::OOKAMI_A64FX, OptLevel::O2);
         let mut mem = SparseMemory::new();
         let err = jit.add_fat_bitcode(&fat, &mut mem).unwrap_err();

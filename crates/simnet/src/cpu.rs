@@ -132,7 +132,11 @@ mod tests {
         let bf2 = CpuProfile::bf2_cortex_a72().jit_time(TSI_SELECTED_BITCODE_BYTES, 1.0);
         let xeon = CpuProfile::xeon_e5().jit_time(TSI_SELECTED_BITCODE_BYTES, 1.0);
         assert!(a64fx > bf2 && bf2 > xeon);
-        assert!((a64fx.as_millis_f64() - 6.59).abs() < 0.7, "a64fx {}", a64fx);
+        assert!(
+            (a64fx.as_millis_f64() - 6.59).abs() < 0.7,
+            "a64fx {}",
+            a64fx
+        );
         assert!((bf2.as_millis_f64() - 4.50).abs() < 0.5, "bf2 {}", bf2);
         assert!((xeon.as_millis_f64() - 0.83).abs() < 0.15, "xeon {}", xeon);
     }
@@ -146,7 +150,11 @@ mod tests {
 
     #[test]
     fn lookup_overheads_are_sub_microsecond() {
-        for cpu in [CpuProfile::a64fx(), CpuProfile::xeon_e5(), CpuProfile::bf2_cortex_a72()] {
+        for cpu in [
+            CpuProfile::a64fx(),
+            CpuProfile::xeon_e5(),
+            CpuProfile::bf2_cortex_a72(),
+        ] {
             assert!(cpu.cached_lookup().as_nanos() < 1_000);
             assert!(cpu.am_dispatch().as_nanos() < 1_000);
             assert!(cpu.uncached_lookup().as_nanos() < 1_000);

@@ -121,7 +121,9 @@ impl<E> EventQueue<E> {
     {
         let mut count = 0u64;
         while count < max_events {
-            let Some((time, event)) = self.pop() else { break };
+            let Some((time, event)) = self.pop() else {
+                break;
+            };
             handler(self, time, event);
             count += 1;
         }

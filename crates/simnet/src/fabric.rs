@@ -150,8 +150,12 @@ mod tests {
     fn ookami_latencies_match_table_one() {
         let f = FabricProfile::ookami_connectx6();
         let cached = f.latency(FabricOp::Put, CACHED_IFUNC_BYTES).as_micros_f64();
-        let uncached = f.latency(FabricOp::Put, UNCACHED_IFUNC_BYTES).as_micros_f64();
-        let am = f.latency(FabricOp::ActiveMessage, ACTIVE_MESSAGE_BYTES).as_micros_f64();
+        let uncached = f
+            .latency(FabricOp::Put, UNCACHED_IFUNC_BYTES)
+            .as_micros_f64();
+        let am = f
+            .latency(FabricOp::ActiveMessage, ACTIVE_MESSAGE_BYTES)
+            .as_micros_f64();
         assert!((cached - 2.62).abs() < 0.1, "cached {cached}");
         assert!((uncached - 5.02).abs() < 0.2, "uncached {uncached}");
         assert!((am - 2.50).abs() < 0.1, "am {am}");
@@ -162,10 +166,16 @@ mod tests {
         let f = FabricProfile::thor_bf2_fabric();
         assert!((f.latency(FabricOp::Put, CACHED_IFUNC_BYTES).as_micros_f64() - 1.85).abs() < 0.1);
         assert!(
-            (f.latency(FabricOp::Put, UNCACHED_IFUNC_BYTES).as_micros_f64() - 3.45).abs() < 0.2
+            (f.latency(FabricOp::Put, UNCACHED_IFUNC_BYTES)
+                .as_micros_f64()
+                - 3.45)
+                .abs()
+                < 0.2
         );
         assert!(
-            (f.latency(FabricOp::ActiveMessage, ACTIVE_MESSAGE_BYTES).as_micros_f64() - 1.87)
+            (f.latency(FabricOp::ActiveMessage, ACTIVE_MESSAGE_BYTES)
+                .as_micros_f64()
+                - 1.87)
                 .abs()
                 < 0.1
         );
@@ -176,7 +186,11 @@ mod tests {
         let f = FabricProfile::thor_xeon_fabric();
         assert!((f.latency(FabricOp::Put, CACHED_IFUNC_BYTES).as_micros_f64() - 1.51).abs() < 0.1);
         assert!(
-            (f.latency(FabricOp::Put, UNCACHED_IFUNC_BYTES).as_micros_f64() - 3.58).abs() < 0.2
+            (f.latency(FabricOp::Put, UNCACHED_IFUNC_BYTES)
+                .as_micros_f64()
+                - 3.58)
+                .abs()
+                < 0.2
         );
     }
 

@@ -11,8 +11,11 @@
 //! * [`cpu`] — per-CPU execution, dispatch and JIT-speed profiles calibrated
 //!   to the paper's overhead-breakdown tables;
 //! * [`platform`] — the Ookami and Thor testbed configurations;
-//! * [`threaded`] — a real-thread, crossbeam-channel transport used by the
-//!   integration tests to exercise the runtime under genuine concurrency.
+//! * [`rand`] — the seeded splitmix64 generator shared by workload
+//!   generation and property tests;
+//! * [`threaded`] — a real-thread, channel-based transport used by the
+//!   cluster API's thread backend to exercise the runtime under genuine
+//!   concurrency.
 //!
 //! The functional behaviour of the framework (what ifuncs do when they run)
 //! never depends on this crate; only *when* things happen in virtual time
@@ -25,6 +28,7 @@ pub mod cpu;
 pub mod event;
 pub mod fabric;
 pub mod platform;
+pub mod rand;
 pub mod threaded;
 pub mod time;
 
@@ -32,5 +36,8 @@ pub use cpu::CpuProfile;
 pub use event::EventQueue;
 pub use fabric::{paper_sizes, FabricOp, FabricProfile};
 pub use platform::{Platform, PlatformId};
-pub use threaded::{Envelope, NodeCtx, ThreadCluster, ThreadedNode, EXTERNAL_SENDER};
+pub use rand::SplitMix64;
+pub use threaded::{
+    Envelope, NodeCtx, SendStatus, ThreadCluster, ThreadMetrics, ThreadedNode, EXTERNAL_SENDER,
+};
 pub use time::{SimDuration, SimTime};

@@ -27,7 +27,11 @@ pub enum PlatformId {
 
 impl PlatformId {
     /// All platforms.
-    pub const ALL: [PlatformId; 3] = [PlatformId::Ookami, PlatformId::ThorBf2, PlatformId::ThorXeon];
+    pub const ALL: [PlatformId; 3] = [
+        PlatformId::Ookami,
+        PlatformId::ThorBf2,
+        PlatformId::ThorXeon,
+    ];
 }
 
 /// A complete testbed description.
@@ -157,7 +161,11 @@ mod tests {
     #[test]
     fn triples_parse_as_bitir_targets() {
         // Keep the triple strings in sync with tc-bitir's canonical names.
-        for p in [Platform::ookami(), Platform::thor_bf2(), Platform::thor_xeon()] {
+        for p in [
+            Platform::ookami(),
+            Platform::thor_bf2(),
+            Platform::thor_xeon(),
+        ] {
             assert!(p.client_triple.ends_with("-sim"));
             assert!(p.server_triple.ends_with("-sim"));
         }

@@ -2,14 +2,22 @@
 //!
 //! The discrete-event simulator gives us calibrated *timing*; this module
 //! gives us real *parallelism*.  Each node of a [`ThreadCluster`] runs on its
-//! own OS thread with a crossbeam channel as its receive queue — the analogue
+//! own OS thread with an mpsc channel as its receive queue — the analogue
 //! of the paper's recommendation that "the target processes should setup a
-//! daemon thread that polls the message buffers periodically".  Integration
-//! tests use it to show that the Three-Chains runtime state machines
-//! (registration caching, recursive forwarding, result return) are correct
-//! under genuine concurrency, independent of the virtual-time model.
+//! daemon thread that polls the message buffers periodically".  The cluster
+//! transport in `tc-core` drives node runtimes over it to show that the
+//! Three-Chains state machines (registration caching, recursive forwarding,
+//! result return) are correct under genuine concurrency, independent of the
+//! virtual-time model.
+//!
+//! Delivery is not silent-lossy: every send reports a [`SendStatus`], and the
+//! cluster counts messages that could not be delivered (unknown node id,
+//! stopped node) in [`ThreadMetrics`] so transports can surface drops instead
+//! of hiding them.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -23,11 +31,78 @@ pub struct Envelope {
     pub from: usize,
     /// Destination node id.
     pub to: usize,
-    /// Application-defined tag (the Three-Chains runtime uses it to mark
+    /// Application-defined tag (the Three-Chains transport uses it to mark
     /// frame types).
     pub tag: u64,
     /// Message bytes.
     pub data: Vec<u8>,
+}
+
+/// Outcome of handing a message to the threaded fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "dropped messages are silent data loss; check or explicitly discard the status"]
+pub enum SendStatus {
+    /// The message was enqueued on the destination's receive channel.
+    Delivered,
+    /// No node with the given id exists in this cluster; the message was
+    /// dropped (and counted).
+    UnknownNode,
+    /// The destination node has stopped and its channel is closed; the
+    /// message was dropped (and counted).
+    Disconnected,
+}
+
+impl SendStatus {
+    /// True when the message reached the destination's queue.
+    pub fn is_delivered(self) -> bool {
+        matches!(self, SendStatus::Delivered)
+    }
+}
+
+/// Delivery counters shared by every sender of a cluster.
+#[derive(Debug, Default)]
+struct Counters {
+    delivered: AtomicU64,
+    dropped_unknown: AtomicU64,
+    dropped_disconnected: AtomicU64,
+}
+
+/// A snapshot of a cluster's delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadMetrics {
+    /// Messages successfully enqueued on a destination channel.
+    pub delivered: u64,
+    /// Messages dropped because the destination node id does not exist.
+    pub dropped_unknown: u64,
+    /// Messages dropped because the destination node had stopped.
+    pub dropped_disconnected: u64,
+}
+
+impl ThreadMetrics {
+    /// Total messages dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_unknown + self.dropped_disconnected
+    }
+}
+
+impl Counters {
+    fn snapshot(&self) -> ThreadMetrics {
+        ThreadMetrics {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_unknown: self.dropped_unknown.load(Ordering::Relaxed),
+            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, status: SendStatus) -> SendStatus {
+        let counter = match status {
+            SendStatus::Delivered => &self.delivered,
+            SendStatus::UnknownNode => &self.dropped_unknown,
+            SendStatus::Disconnected => &self.dropped_disconnected,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        status
+    }
 }
 
 enum Control {
@@ -35,11 +110,22 @@ enum Control {
     Stop,
 }
 
+fn send_control(peers: &[Sender<Control>], counters: &Counters, env: Envelope) -> SendStatus {
+    match peers.get(env.to) {
+        None => counters.record(SendStatus::UnknownNode),
+        Some(tx) => match tx.send(Control::Deliver(env)) {
+            Ok(()) => counters.record(SendStatus::Delivered),
+            Err(_) => counters.record(SendStatus::Disconnected),
+        },
+    }
+}
+
 /// Handle through which a node sends messages and inspects the cluster.
 pub struct NodeCtx {
     node_id: usize,
     peers: Vec<Sender<Control>>,
     external: Sender<Envelope>,
+    counters: Arc<Counters>,
 }
 
 impl NodeCtx {
@@ -53,28 +139,39 @@ impl NodeCtx {
         self.peers.len()
     }
 
-    /// Send bytes to another node.  Sending to an unknown node id or to a
-    /// stopped node is silently dropped (matching a lossy-but-simple model;
-    /// callers that care use acknowledgement messages).
-    pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
-        if let Some(tx) = self.peers.get(to) {
-            let _ = tx.send(Control::Deliver(Envelope {
+    /// Send bytes to another node.  Sends to an unknown or stopped node are
+    /// dropped, reported through the returned [`SendStatus`] and counted in
+    /// the cluster's [`ThreadMetrics`].
+    pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> SendStatus {
+        send_control(
+            &self.peers,
+            &self.counters,
+            Envelope {
                 from: self.node_id,
                 to,
                 tag,
                 data,
-            }));
-        }
+            },
+        )
     }
 
-    /// Send bytes to the external observer (the test / driver thread).
-    pub fn send_external(&self, tag: u64, data: Vec<u8>) {
-        let _ = self.external.send(Envelope {
+    /// Send bytes to the external observer (the driving thread).
+    pub fn send_external(&self, tag: u64, data: Vec<u8>) -> SendStatus {
+        let env = Envelope {
             from: self.node_id,
             to: EXTERNAL_SENDER,
             tag,
             data,
-        });
+        };
+        match self.external.send(env) {
+            Ok(()) => self.counters.record(SendStatus::Delivered),
+            Err(_) => self.counters.record(SendStatus::Disconnected),
+        }
+    }
+
+    /// Snapshot of the cluster-wide delivery counters.
+    pub fn metrics(&self) -> ThreadMetrics {
+        self.counters.snapshot()
     }
 }
 
@@ -91,6 +188,7 @@ pub struct ThreadCluster {
     senders: Vec<Sender<Control>>,
     external_rx: Receiver<Envelope>,
     handles: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
 }
 
 impl ThreadCluster {
@@ -101,9 +199,10 @@ impl ThreadCluster {
         F: Fn(usize) -> N,
     {
         let channels: Vec<(Sender<Control>, Receiver<Control>)> =
-            (0..n).map(|_| unbounded()).collect();
+            (0..n).map(|_| channel()).collect();
         let senders: Vec<Sender<Control>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
-        let (ext_tx, ext_rx) = unbounded();
+        let (ext_tx, ext_rx) = channel();
+        let counters = Arc::new(Counters::default());
 
         let mut handles = Vec::with_capacity(n);
         for (node_id, (_, rx)) in channels.into_iter().enumerate() {
@@ -111,6 +210,7 @@ impl ThreadCluster {
                 node_id,
                 peers: senders.clone(),
                 external: ext_tx.clone(),
+                counters: Arc::clone(&counters),
             };
             let mut node = factory(node_id);
             let handle = std::thread::Builder::new()
@@ -132,6 +232,7 @@ impl ThreadCluster {
             senders,
             external_rx: ext_rx,
             handles,
+            counters,
         }
     }
 
@@ -140,16 +241,28 @@ impl ThreadCluster {
         self.senders.len()
     }
 
+    /// Snapshot of the cluster-wide delivery counters.
+    pub fn metrics(&self) -> ThreadMetrics {
+        self.counters.snapshot()
+    }
+
+    /// Total messages dropped so far (unknown destination + stopped nodes).
+    pub fn dropped_messages(&self) -> u64 {
+        self.counters.snapshot().dropped()
+    }
+
     /// Inject a message into the cluster from the driver thread.
-    pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
-        if let Some(tx) = self.senders.get(to) {
-            let _ = tx.send(Control::Deliver(Envelope {
+    pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) -> SendStatus {
+        send_control(
+            &self.senders,
+            &self.counters,
+            Envelope {
                 from: EXTERNAL_SENDER,
                 to,
                 tag,
                 data,
-            }));
-        }
+            },
+        )
     }
 
     /// Wait for a message sent to the external observer.
@@ -202,18 +315,20 @@ mod tests {
             let mut value = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
             value += ctx.node_id() as u64;
             let next = ctx.node_id() + 1;
-            if next < ctx.node_count() {
-                ctx.send(next, msg.tag, value.to_le_bytes().to_vec());
+            let status = if next < ctx.node_count() {
+                ctx.send(next, msg.tag, value.to_le_bytes().to_vec())
             } else {
-                ctx.send_external(msg.tag, value.to_le_bytes().to_vec());
-            }
+                ctx.send_external(msg.tag, value.to_le_bytes().to_vec())
+            };
+            assert!(status.is_delivered());
         }
     }
 
     #[test]
     fn relay_chain_accumulates_across_threads() {
         let cluster = ThreadCluster::start(8, |_| RelayNode);
-        cluster.send(0, 7, 100u64.to_le_bytes().to_vec());
+        let status = cluster.send(0, 7, 100u64.to_le_bytes().to_vec());
+        assert_eq!(status, SendStatus::Delivered);
         let env = cluster
             .recv_external(Duration::from_secs(5))
             .expect("relay result");
@@ -234,7 +349,7 @@ mod tests {
             if msg.tag == 0 {
                 self.count += 1;
             } else {
-                ctx.send_external(1, self.count.to_le_bytes().to_vec());
+                let _ = ctx.send_external(1, self.count.to_le_bytes().to_vec());
             }
         }
     }
@@ -245,20 +360,27 @@ mod tests {
         // Node 1..3 each send 50 messages to node 0 — injected externally to
         // keep the test simple but delivered concurrently.
         for _ in 0..150 {
-            cluster.send(0, 0, vec![]);
+            let _ = cluster.send(0, 0, vec![]);
         }
         // Ask for the count; channel FIFO guarantees the query arrives last.
-        cluster.send(0, 1, vec![]);
-        let env = cluster.recv_external(Duration::from_secs(5)).expect("count");
+        let _ = cluster.send(0, 1, vec![]);
+        let env = cluster
+            .recv_external(Duration::from_secs(5))
+            .expect("count");
         assert_eq!(u64::from_le_bytes(env.data[..8].try_into().unwrap()), 150);
+        let metrics = cluster.metrics();
+        assert_eq!(metrics.dropped(), 0);
+        assert!(metrics.delivered >= 151);
         cluster.shutdown();
     }
 
     #[test]
-    fn sending_to_unknown_node_does_not_panic() {
+    fn sending_to_unknown_node_is_reported_and_counted() {
         let cluster = ThreadCluster::start(2, |_| RelayNode);
-        cluster.send(99, 0, vec![0; 8]);
+        assert_eq!(cluster.send(99, 0, vec![0; 8]), SendStatus::UnknownNode);
         assert_eq!(cluster.node_count(), 2);
+        assert_eq!(cluster.dropped_messages(), 1);
+        assert_eq!(cluster.metrics().dropped_unknown, 1);
         cluster.shutdown();
     }
 

@@ -22,7 +22,14 @@ pub mod chaser_payload {
     pub const SIZE: usize = 48;
 
     /// Encode a chaser payload.
-    pub fn encode(client: u64, slot: u64, index: u64, depth: u64, num_servers: u64, shard: u64) -> Vec<u8> {
+    pub fn encode(
+        client: u64,
+        slot: u64,
+        index: u64,
+        depth: u64,
+        num_servers: u64,
+        shard: u64,
+    ) -> Vec<u8> {
         let mut out = Vec::with_capacity(SIZE);
         for v in [client, slot, index, depth, num_servers, shard] {
             out.extend_from_slice(&v.to_le_bytes());

@@ -7,11 +7,18 @@
 //! first" (Section IV-C): global index `g` lives on server `g / shard_size`
 //! at local offset `g % shard_size`.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tc_core::layout::DATA_REGION_BASE;
 use tc_core::ClusterSim;
 use tc_jit::MemoryExt;
+use tc_simnet::SplitMix64;
+
+/// In-place Fisher–Yates shuffle driven by [`SplitMix64`].
+fn shuffle(values: &mut [u64], rng: &mut SplitMix64) {
+    for i in (1..values.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        values.swap(i, j);
+    }
+}
 
 /// A generated pointer table, before installation into server memories.
 #[derive(Debug, Clone)]
@@ -31,8 +38,8 @@ impl PointerTable {
         assert!(num_servers > 0 && shard_size > 0);
         let total = num_servers * shard_size;
         let mut order: Vec<u64> = (0..total as u64).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
+        let mut rng = SplitMix64::new(seed);
+        shuffle(&mut order, &mut rng);
         // Build a single cycle following the shuffled order.
         let mut entries = vec![0u64; total];
         for i in 0..total {

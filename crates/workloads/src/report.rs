@@ -7,7 +7,10 @@ use crate::tsi::TsiResults;
 pub fn render_overhead_table(title: &str, r: &TsiResults) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str(&format!("{:<16} {:>16} {:>22} {:>16}\n", "Stage", "Active Message", "Uncached Bitcode", "Cached Bitcode"));
+    out.push_str(&format!(
+        "{:<16} {:>16} {:>22} {:>16}\n",
+        "Stage", "Active Message", "Uncached Bitcode", "Cached Bitcode"
+    ));
     out.push_str(&format!(
         "{:<16} {:>13.2} µs {:>19.2} µs {:>13.2} µs\n",
         "Lookup+Exec",
@@ -16,10 +19,10 @@ pub fn render_overhead_table(title: &str, r: &TsiResults) -> String {
         r.cached_bitcode.lookup_exec_us
     ));
     out.push_str(&format!(
-        "{:<16} {:>16} {:>16.2} ms) {:>16}\n",
+        "{:<16} {:>16} {:>16} ms) {:>16}\n",
         "JIT",
         "N/A",
-        format_args!("({:.2}", r.uncached_bitcode.jit_ms.unwrap_or(0.0)),
+        format!("({:.2}", r.uncached_bitcode.jit_ms.unwrap_or(0.0)),
         "N/A"
     ));
     out.push_str(&format!(
@@ -35,7 +38,9 @@ pub fn render_overhead_table(title: &str, r: &TsiResults) -> String {
     ));
     out.push_str(&format!(
         "message sizes: AM {} B, uncached {} B, cached {} B\n",
-        r.active_message.message_bytes, r.uncached_bitcode.message_bytes, r.cached_bitcode.message_bytes
+        r.active_message.message_bytes,
+        r.uncached_bitcode.message_bytes,
+        r.cached_bitcode.message_bytes
     ));
     out
 }
@@ -49,9 +54,16 @@ pub fn render_rate_table(title: &str, r: &TsiResults) -> String {
         "Method", "Latency", "Speedup", "Message Rate", "Speedup"
     ));
     let row = |name: &str, lat: f64, rate: f64| {
-        format!("{:<18} {:>9.2} µs {:>10} {:>14.0} msg/s {:>10}\n", name, lat, "", rate, "")
+        format!(
+            "{:<18} {:>9.2} µs {:>10} {:>14.0} msg/s {:>10}\n",
+            name, lat, "", rate, ""
+        )
     };
-    out.push_str(&row("Active Message", r.am_rate.latency_us, r.am_rate.message_rate));
+    out.push_str(&row(
+        "Active Message",
+        r.am_rate.latency_us,
+        r.am_rate.message_rate,
+    ));
     out.push_str(&format!(
         "{:<18} {:>9.2} µs {:>9.2}% {:>14.0} msg/s {:>9.2}%\n",
         "Cached Bitcode",
@@ -60,7 +72,11 @@ pub fn render_rate_table(title: &str, r: &TsiResults) -> String {
         r.cached_rate.message_rate,
         r.cached_vs_am_rate_pct()
     ));
-    out.push_str(&row("Uncached Bitcode", r.uncached_rate.latency_us, r.uncached_rate.message_rate));
+    out.push_str(&row(
+        "Uncached Bitcode",
+        r.uncached_rate.latency_us,
+        r.uncached_rate.message_rate,
+    ));
     out.push_str(&format!(
         "{:<18} {:>9} {:>9.2}% {:>14} {:>9.2}%\n",
         "Cached vs Uncached",
@@ -107,7 +123,7 @@ pub fn render_figure(
 /// Render results as CSV (one line per x value) for plotting.
 pub fn render_figure_csv(xs: &[u64], points: &[SweepPoint], modes: &[ChaseMode]) -> String {
     let mut out = String::new();
-    out.push_str("x");
+    out.push('x');
     for m in modes {
         out.push_str(&format!(",{}", m.label().replace(' ', "_")));
     }
@@ -115,11 +131,16 @@ pub fn render_figure_csv(xs: &[u64], points: &[SweepPoint], modes: &[ChaseMode])
     for (x, p) in xs.iter().zip(points) {
         out.push_str(&x.to_string());
         for m in modes {
-            out.push_str(&format!(",{}", p.rate(*m).map(|r| format!("{r:.2}")).unwrap_or_default()));
+            out.push_str(&format!(
+                ",{}",
+                p.rate(*m).map(|r| format!("{r:.2}")).unwrap_or_default()
+            ));
         }
         out.push_str(&format!(
             ",{}\n",
-            p.get_vs_bitcode_pct().map(|v| format!("{v:.2}")).unwrap_or_default()
+            p.get_vs_bitcode_pct()
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_default()
         ));
     }
     out
@@ -167,7 +188,11 @@ mod tests {
         assert!(text.contains("1300.0"));
         assert!(text.contains('%'));
 
-        let csv = render_figure_csv(&[1, 4], &points, &[ChaseMode::Get, ChaseMode::CachedBitcode]);
+        let csv = render_figure_csv(
+            &[1, 4],
+            &points,
+            &[ChaseMode::Get, ChaseMode::CachedBitcode],
+        );
         assert!(csv.starts_with("x,Get,Cached_Bitcode"));
         assert_eq!(csv.lines().count(), 3);
     }

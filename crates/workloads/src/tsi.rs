@@ -2,12 +2,12 @@
 //! latency and message rate — the data behind Tables I–VI.
 
 use crate::kernels::tsi_module;
+use std::sync::Arc;
+use tc_bitir::TargetTriple;
 use tc_core::layout::TARGET_REGION_BASE;
 use tc_core::{build_ifunc_library, ClusterSim, NativeAmHandler, OutcomeKind, ToolchainOptions};
 use tc_jit::MemoryExt;
 use tc_simnet::{FabricOp, Platform};
-use std::sync::Arc;
-use tc_bitir::TargetTriple;
 
 /// Per-mode timing breakdown (one column of Tables I–III).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -83,7 +83,9 @@ pub fn tsi_am_handler() -> NativeAmHandler {
     Arc::new(|ctx, payload| {
         let delta = u64::from(payload.first().copied().unwrap_or(0));
         let old = ctx.memory.read_u64(TARGET_REGION_BASE).unwrap_or(0);
-        let _ = ctx.memory.write_u64(TARGET_REGION_BASE, old.wrapping_add(delta));
+        let _ = ctx
+            .memory
+            .write_u64(TARGET_REGION_BASE, old.wrapping_add(delta));
         // The increment itself is a handful of instructions.
         24
     })
@@ -135,7 +137,7 @@ pub fn run_tsi(platform: Platform, rate_messages: usize) -> TsiResults {
     let am_bytes = sim.client_send_am("tsi_am", 1, vec![1]).expect("am send");
     sim.run_until_idle(1_000);
     let am_rec = *sim
-        .timings
+        .timings()
         .last_of_kind(OutcomeKind::AmExecuted)
         .expect("AM record");
 
@@ -143,7 +145,7 @@ pub fn run_tsi(platform: Platform, rate_messages: usize) -> TsiResults {
     let uncached_bytes = sim.client_send_ifunc(&msg, 1);
     sim.run_until_idle(1_000);
     let uncached_rec = *sim
-        .timings
+        .timings()
         .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
         .expect("uncached record");
 
@@ -151,13 +153,17 @@ pub fn run_tsi(platform: Platform, rate_messages: usize) -> TsiResults {
     let cached_bytes = sim.client_send_ifunc(&msg, 1);
     sim.run_until_idle(1_000);
     let cached_rec = *sim
-        .timings
+        .timings()
         .last_of_kind(OutcomeKind::IfuncExecutedCached)
         .expect("cached record");
 
     let breakdown = |rec: &tc_core::DeliveryRecord, bytes: usize, with_jit: bool| TsiBreakdown {
         lookup_exec_us: (rec.lookup + rec.exec).as_micros_f64(),
-        jit_ms: if with_jit { Some(rec.jit.as_millis_f64()) } else { None },
+        jit_ms: if with_jit {
+            Some(rec.jit.as_millis_f64())
+        } else {
+            None
+        },
         transmission_us: rec.transmission.as_micros_f64(),
         // As in the paper, the one-time JIT cost is reported separately and
         // excluded from the per-message total.
@@ -213,7 +219,11 @@ mod tests {
         let jit = r.uncached_bitcode.jit_ms.unwrap();
         assert!(jit > 0.4 && jit < 1.6, "jit {jit} ms");
         // Cached total ≈ 1.5 µs, uncached total ≈ 3.6 µs (paper: 1.53 / 3.59).
-        assert!((r.cached_bitcode.total_us - 1.53).abs() < 0.4, "{:?}", r.cached_bitcode);
+        assert!(
+            (r.cached_bitcode.total_us - 1.53).abs() < 0.4,
+            "{:?}",
+            r.cached_bitcode
+        );
         assert!(r.uncached_bitcode.total_us > 2.0 * r.cached_bitcode.total_us * 0.8);
         // Cached bitcode message rate beats AM (Table VI: 7.30 vs 6.75 M/s).
         assert!(r.cached_rate.message_rate > r.am_rate.message_rate);

@@ -8,8 +8,7 @@
 //! ```
 
 use tc_core::layout::TARGET_REGION_BASE;
-use tc_core::{build_ifunc_library, ClusterSim, ToolchainOptions};
-use tc_jit::MemoryExt;
+use tc_core::{build_ifunc_library, ClusterBuilder, ToolchainOptions};
 use tc_simnet::Platform;
 
 const HISTOGRAM_SRC: &str = r#"
@@ -47,17 +46,20 @@ fn main() {
 
     // Toolchain + cluster: an A64FX client shipping to A64FX servers (Ookami).
     let library = build_ifunc_library(&module, &ToolchainOptions::default()).unwrap();
-    let mut sim = ClusterSim::new(Platform::ookami(), 1);
-    let handle = sim.register_on_client(library);
+    let mut cluster = ClusterBuilder::new()
+        .platform(Platform::ookami())
+        .servers(1)
+        .build_sim();
+    let handle = cluster.register_ifunc(library);
 
     // Payload: 256 bytes spanning all buckets.
     let payload: Vec<u8> = (0..=255u8).collect();
-    let msg = sim.client_mut().create_bitcode_message(handle, payload).unwrap();
-    sim.client_send_ifunc(&msg, 1);
-    sim.run_until_idle(100_000);
+    let msg = cluster.bitcode_message(handle, payload).unwrap();
+    cluster.send_ifunc(&msg, 1).unwrap();
+    cluster.run_until_idle(100_000).unwrap();
 
     let counts: Vec<u64> = (0..4)
-        .map(|b| sim.node(1).memory.read_u64(TARGET_REGION_BASE + b * 8).unwrap())
+        .map(|b| cluster.read_u64(1, TARGET_REGION_BASE + b * 8).unwrap())
         .collect();
     println!("bucket counts on the server: {counts:?}");
     assert_eq!(counts, vec![64, 64, 64, 64]);

@@ -3,7 +3,8 @@
 //! and returns a partial aggregate through the X-RDMA result mailbox, and the
 //! host combines the partials — all without predeploying any code on the
 //! DPUs.  This is the "move compute to the data" scenario that motivates the
-//! paper's introduction.
+//! paper's introduction, driven through the unified cluster API with typed
+//! result handles.
 //!
 //! ```text
 //! cargo run --example dpu_offload_pipeline
@@ -11,8 +12,7 @@
 
 use tc_bitir::{BinOp, ModuleBuilder, ScalarType};
 use tc_core::layout::DATA_REGION_BASE;
-use tc_core::{build_ifunc_library, ClusterSim, Completion, ToolchainOptions};
-use tc_jit::MemoryExt;
+use tc_core::{build_ifunc_library, ClusterBuilder, ToolchainOptions};
 use tc_simnet::Platform;
 
 /// Build the aggregation ifunc: sum `count` u64 records starting at the data
@@ -61,7 +61,10 @@ fn main() {
     const SERVERS: usize = 4;
     const RECORDS_PER_DPU: u64 = 2_000;
 
-    let mut sim = ClusterSim::new(Platform::thor_bf2(), SERVERS);
+    let mut cluster = ClusterBuilder::new()
+        .platform(Platform::thor_bf2())
+        .servers(SERVERS)
+        .build_sim();
 
     // Each DPU's data region holds a block of records (here: the values
     // 1..=RECORDS_PER_DPU scaled by the server rank).
@@ -70,40 +73,45 @@ fn main() {
         for i in 0..RECORDS_PER_DPU {
             let value = (i + 1) * rank as u64;
             expected_total += value;
-            sim.node_mut(rank)
-                .memory
-                .write_u64(DATA_REGION_BASE + i * 8, value)
+            cluster
+                .write_u64(rank, DATA_REGION_BASE + i * 8, value)
                 .unwrap();
         }
     }
 
     // Ship the aggregation kernel to every DPU (first send pays the JIT; the
-    // code is never installed ahead of time).
+    // code is never installed ahead of time).  Each send gets a typed handle
+    // for its mailbox slot.
     let library = build_ifunc_library(&build_aggregator(), &ToolchainOptions::default()).unwrap();
-    let handle = sim.register_on_client(library);
+    let handle = cluster.register_ifunc(library);
+    let mut outstanding = Vec::new();
     for rank in 1..=SERVERS {
+        let slot = cluster.result_slot();
         let mut payload = Vec::new();
         payload.extend_from_slice(&0u64.to_le_bytes()); // client rank
-        payload.extend_from_slice(&(rank as u64).to_le_bytes()); // mailbox slot
+        payload.extend_from_slice(&slot.slot().to_le_bytes());
         payload.extend_from_slice(&RECORDS_PER_DPU.to_le_bytes());
-        let msg = sim.client_mut().create_bitcode_message(handle, payload).unwrap();
-        sim.client_send_ifunc(&msg, rank);
+        let msg = cluster.bitcode_message(handle, payload).unwrap();
+        cluster.send_ifunc(&msg, rank).unwrap();
+        outstanding.push((rank, slot));
     }
 
-    // Collect the partial sums.
-    let completions = sim.run_until_client_completions(SERVERS, 1_000_000);
+    // Collect the partial sums by waiting on the typed handles — no manual
+    // completion decoding.
     let mut total = 0u64;
-    for c in &completions {
-        if let Completion::Result { slot, value } = c {
-            println!("DPU {slot}: partial sum = {value}");
-            total += value;
-        }
+    for (rank, slot) in outstanding {
+        let partial = cluster.wait(&slot).unwrap();
+        println!("DPU {rank}: partial sum = {partial}");
+        total += partial;
     }
     println!("host-side combined total = {total} (expected {expected_total})");
     assert_eq!(total, expected_total);
+
+    let jits: u64 = (1..=SERVERS)
+        .map(|r| cluster.stats(r).unwrap().jit_compilations)
+        .sum();
     println!(
-        "virtual time: {}   (JIT compilations on DPUs: {})",
-        sim.now(),
-        (1..=SERVERS).map(|r| sim.node(r).jit_stats().compilations).sum::<u64>()
+        "virtual time: {}   (JIT compilations on DPUs: {jits})",
+        cluster.transport().now()
     );
 }

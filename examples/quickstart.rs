@@ -1,5 +1,6 @@
 //! Quickstart: ship a tiny ifunc (code + data) to a simulated DPU and watch
-//! the caching protocol at work.
+//! the caching protocol at work — then run the exact same scenario on real
+//! threads by flipping the backend.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -7,13 +8,12 @@
 
 use tc_bitir::{BinOp, ModuleBuilder, ScalarType};
 use tc_core::layout::TARGET_REGION_BASE;
-use tc_core::{build_ifunc_library, ClusterSim, ToolchainOptions};
-use tc_jit::MemoryExt;
+use tc_core::{build_ifunc_library, Backend, Cluster, ClusterBuilder, ToolchainOptions, Transport};
 use tc_simnet::Platform;
 
-fn main() {
-    // 1. Write an ifunc library with the builder API (the "C path"): add the
-    //    payload's first byte to a counter behind the target pointer.
+/// The counter ifunc, written with the builder API (the "C path"): add the
+/// payload's first byte to a counter behind the target pointer.
+fn counter_module() -> tc_bitir::Module {
     let mut mb = ModuleBuilder::new("quickstart_counter");
     {
         let mut f = mb.entry_function();
@@ -27,55 +27,66 @@ fn main() {
         f.ret(zero);
         f.finish();
     }
-    let module = mb.build();
+    mb.build()
+}
 
-    // 2. Run the toolchain: fat-bitcode for every default target plus binary
-    //    objects, and register the library with the client runtime.
-    let library = build_ifunc_library(&module, &ToolchainOptions::default())
-        .expect("toolchain");
-    println!(
-        "built ifunc `{}`: fat-bitcode {} B across {} targets",
-        library.name,
-        library.bitcode_size(),
-        library.fat_bitcode.triples().len()
-    );
+/// The scenario, written once against the unified cluster API: two sends of
+/// five, so the second rides the sender cache.  Returns (first_bytes,
+/// cached_bytes, counter).
+fn run<T: Transport>(cluster: &mut Cluster<T>) -> (usize, usize, u64) {
+    let library =
+        build_ifunc_library(&counter_module(), &ToolchainOptions::default()).expect("toolchain");
+    let handle = cluster.register_ifunc(library);
+    let message = cluster.bitcode_message(handle, vec![5]).expect("message");
 
-    // 3. Simulate the Thor platform: a Xeon client and two BlueField-2 DPU
-    //    server processes on a 100 Gb/s fabric.
-    let mut sim = ClusterSim::new(Platform::thor_bf2(), 2);
-    let handle = sim.register_on_client(library);
-    let message = sim
-        .client_mut()
-        .create_bitcode_message(handle, vec![5])
-        .expect("message");
+    // First send: the full frame travels, the DPU JIT-compiles the bitcode.
+    let first = cluster.send_ifunc(&message, 1).unwrap();
+    cluster.run_until_idle(10_000).unwrap();
+    // Second send: the sender cache truncates the frame, the DPU reuses the
+    // compiled code.
+    let cached = cluster.send_ifunc(&message, 1).unwrap();
+    cluster.run_until_idle(10_000).unwrap();
 
-    // 4. First send: the full frame travels, the DPU JIT-compiles the bitcode.
-    let bytes = sim.client_send_ifunc(&message, 1);
-    sim.run_until_idle(10_000);
-    let first = sim
-        .timings
+    let counter = cluster.read_u64(1, TARGET_REGION_BASE).unwrap();
+    (first, cached, counter)
+}
+
+fn main() {
+    let builder = || {
+        ClusterBuilder::new()
+            .platform(Platform::thor_bf2())
+            .servers(2)
+    };
+
+    // 1. Simulated backend: a Xeon client and two BlueField-2 DPU server
+    //    processes on a calibrated 100 Gb/s fabric, in virtual time.
+    let mut sim = builder().build_sim();
+    let (first, cached, counter) = run(&mut sim);
+    println!("simnet  : first send {first} B, cached send {cached} B, counter {counter}");
+    assert_eq!(counter, 10);
+
+    let timings = sim.transport().timings();
+    let jit = timings
         .last_of_kind(tc_core::OutcomeKind::IfuncExecutedFirstArrival)
         .unwrap();
-    println!(
-        "first send : {bytes} B on the wire, transmission {}, JIT {}, exec {}",
-        first.transmission, first.jit, first.exec
-    );
-
-    // 5. Second send: the sender cache truncates the frame, the DPU reuses
-    //    the compiled code.
-    let bytes = sim.client_send_ifunc(&message, 1);
-    sim.run_until_idle(10_000);
-    let cached = sim
-        .timings
+    let hot = timings
         .last_of_kind(tc_core::OutcomeKind::IfuncExecutedCached)
         .unwrap();
     println!(
-        "second send: {bytes} B on the wire, transmission {}, lookup {}, exec {}",
-        cached.transmission, cached.lookup, cached.exec
+        "simnet  : first arrival transmission {} + JIT {}, cached end-to-end {}",
+        jit.transmission,
+        jit.jit,
+        hot.end_to_end()
     );
+    println!("simnet  : virtual time elapsed {}", sim.transport().now());
 
-    let counter = sim.node(1).memory.read_u64(TARGET_REGION_BASE).unwrap();
-    println!("DPU counter after two increments of 5: {counter}");
-    assert_eq!(counter, 10);
-    println!("virtual time elapsed: {}", sim.now());
+    // 2. Same scenario, real threads: node runtimes on OS threads exchanging
+    //    the same frames over channels (wall-clock, no timing model).
+    let mut threaded = builder().build(Backend::Threads);
+    let (first_t, cached_t, counter_t) = run(&mut threaded);
+    println!("threads : first send {first_t} B, cached send {cached_t} B, counter {counter_t}");
+    assert_eq!((first_t, cached_t, counter_t), (first, cached, counter));
+    threaded.shutdown();
+
+    println!("both backends agree — one builder, pluggable transports");
 }

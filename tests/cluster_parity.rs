@@ -1,0 +1,185 @@
+//! Backend parity: the same TSI and X-RDMA scenarios run through one
+//! `ClusterBuilder` on both first-class transports — the calibrated
+//! discrete-event simulation and real OS threads — and must produce identical
+//! functional results (counter values, execution counts, result values).
+//! Timing is backend-specific by design; function is not.
+
+use std::sync::Arc;
+use tc_bitir::{BinOp, Module, ModuleBuilder, ScalarType};
+use tc_core::layout::TARGET_REGION_BASE;
+use tc_core::{build_ifunc_library, Backend, Cluster, ClusterBuilder, NativeAmHandler, Transport};
+use tc_workloads::{platform_toolchain, tsi_module};
+
+const SERVERS: usize = 4;
+const SENDS_PER_SERVER: u64 = 5;
+
+/// What a scenario observed on one backend; compared across backends.
+#[derive(Debug, PartialEq, Eq)]
+struct ScenarioOutcome {
+    counters: Vec<u64>,
+    ifuncs_executed: Vec<u64>,
+    jit_compilations: Vec<u64>,
+    truncated_frames: Vec<u64>,
+    am_counter: u64,
+    doubled: u64,
+    dropped: u64,
+}
+
+/// An ifunc that doubles a payload value and returns it through the X-RDMA
+/// result mailbox.  Payload: `[client u64][slot u64][value u64]`.
+fn doubler_module() -> Module {
+    let mut mb = ModuleBuilder::new("parity_doubler");
+    {
+        let mut f = mb.entry_function();
+        let payload = f.param(0);
+        let client = f.load(ScalarType::U64, payload, 0);
+        let slot = f.load(ScalarType::U64, payload, 8);
+        let value = f.load(ScalarType::U64, payload, 16);
+        let two = f.const_u64(2);
+        let doubled = f.bin(BinOp::Mul, ScalarType::U64, value, two);
+        f.call_ext("tc_return_result", vec![client, slot, doubled], true);
+        let z = f.const_i64(0);
+        f.ret(z);
+        f.finish();
+    }
+    mb.build()
+}
+
+fn tsi_am_handler() -> NativeAmHandler {
+    Arc::new(|ctx, payload| {
+        use tc_jit::MemoryExt;
+        let delta = u64::from(payload.first().copied().unwrap_or(0));
+        let old = ctx.memory.read_u64(TARGET_REGION_BASE).unwrap_or(0);
+        let _ = ctx.memory.write_u64(TARGET_REGION_BASE, old + delta);
+        24
+    })
+}
+
+/// The shared scenario, written once against the unified API and oblivious
+/// to which transport is underneath.
+fn run_scenario<T: Transport>(cluster: &mut Cluster<T>) -> ScenarioOutcome {
+    let platform = tc_simnet::Platform::thor_bf2();
+
+    // 1. TSI over ifuncs: first send ships code and JITs, the rest ride the
+    //    sender cache as truncated frames.
+    let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let tsi_handle = cluster.register_ifunc(tsi);
+    let msg = cluster.bitcode_message(tsi_handle, vec![3]).unwrap();
+    for _ in 0..SENDS_PER_SERVER {
+        for server in 1..=SERVERS {
+            cluster.send_ifunc(&msg, server).unwrap();
+        }
+    }
+
+    // 2. The AM baseline next to it on server 1.
+    cluster
+        .deploy_am("parity_tsi_am", tsi_am_handler())
+        .unwrap();
+    cluster.send_am("parity_tsi_am", 1, vec![7]).unwrap();
+
+    // 3. X-RDMA: ship the doubler to server 2 and wait on the typed handle.
+    let doubler = build_ifunc_library(&doubler_module(), &platform_toolchain(&platform)).unwrap();
+    let doubler_handle = cluster.register_ifunc(doubler);
+    let slot = cluster.result_slot();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    payload.extend_from_slice(&slot.slot().to_le_bytes());
+    payload.extend_from_slice(&21u64.to_le_bytes());
+    let dmsg = cluster.bitcode_message(doubler_handle, payload).unwrap();
+    cluster.send_ifunc(&dmsg, 2).unwrap();
+    let doubled = cluster.wait(&slot).unwrap();
+
+    // 4. Let everything settle, then observe through the transport.
+    cluster.run_until_idle(1_000_000).unwrap();
+    let mut outcome = ScenarioOutcome {
+        counters: Vec::new(),
+        ifuncs_executed: Vec::new(),
+        jit_compilations: Vec::new(),
+        truncated_frames: Vec::new(),
+        am_counter: 0,
+        doubled,
+        dropped: cluster.metrics().messages_dropped,
+    };
+    for server in 1..=SERVERS {
+        let stats = cluster.stats(server).unwrap();
+        outcome.ifuncs_executed.push(stats.ifuncs_executed);
+        outcome.jit_compilations.push(stats.jit_compilations);
+        outcome
+            .truncated_frames
+            .push(stats.truncated_frames_received);
+        outcome
+            .counters
+            .push(cluster.read_u64(server, TARGET_REGION_BASE).unwrap());
+    }
+    // The AM incremented server 1's counter past the ifunc contribution.
+    outcome.am_counter = outcome.counters[0];
+    outcome
+}
+
+#[test]
+fn same_scenario_identical_results_on_both_backends() {
+    let builder = || {
+        ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_bf2())
+            .servers(SERVERS)
+    };
+
+    let mut sim = builder().build(Backend::Simnet);
+    let sim_outcome = run_scenario(&mut sim);
+
+    let mut threaded = builder().build(Backend::Threads);
+    let threaded_outcome = run_scenario(&mut threaded);
+    threaded.shutdown();
+
+    // Functional parity: every observable agrees across backends.
+    assert_eq!(sim_outcome, threaded_outcome);
+
+    // Sanity: and both match the analytic expectation.
+    assert_eq!(sim_outcome.doubled, 42);
+    assert_eq!(sim_outcome.dropped, 0);
+    for (rank0, &counter) in sim_outcome.counters.iter().enumerate() {
+        let expected = 3 * SENDS_PER_SERVER + if rank0 == 0 { 7 } else { 0 };
+        assert_eq!(counter, expected, "server {} counter", rank0 + 1);
+    }
+    for (rank0, &n) in sim_outcome.ifuncs_executed.iter().enumerate() {
+        let expected = SENDS_PER_SERVER + if rank0 == 1 { 1 } else { 0 }; // +doubler
+        assert_eq!(n, expected, "server {} executions", rank0 + 1);
+    }
+    for (rank0, &n) in sim_outcome.jit_compilations.iter().enumerate() {
+        let expected = 1 + if rank0 == 1 { 1 } else { 0 }; // tsi (+doubler on 2)
+        assert_eq!(n, expected, "server {} JITs", rank0 + 1);
+    }
+}
+
+#[test]
+fn simulated_backend_still_produces_a_populated_timing_log() {
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_xeon())
+        .servers(2)
+        .build_sim();
+    let platform = tc_simnet::Platform::thor_xeon();
+    let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(tsi);
+    let msg = cluster.bitcode_message(handle, vec![1]).unwrap();
+    // Let the full frame land before the truncated one chases it (the tiny
+    // cached frame has lower fabric latency and would otherwise overtake the
+    // code-carrying frame).
+    cluster.send_ifunc(&msg, 1).unwrap();
+    cluster.run_until_idle(10_000).unwrap();
+    cluster.send_ifunc(&msg, 1).unwrap();
+    cluster.run_until_idle(10_000).unwrap();
+
+    let timings = cluster.transport().timings();
+    assert!(
+        !timings.records.is_empty(),
+        "simnet path must keep its TimingLog"
+    );
+    let first = timings
+        .last_of_kind(tc_core::OutcomeKind::IfuncExecutedFirstArrival)
+        .expect("first-arrival record");
+    assert!(first.jit.as_millis_f64() > 0.0);
+    let cached = timings
+        .last_of_kind(tc_core::OutcomeKind::IfuncExecutedCached)
+        .expect("cached record");
+    assert!(cached.end_to_end() < first.end_to_end());
+}

@@ -12,7 +12,11 @@ use tc_workloads::{
 
 #[test]
 fn tsi_full_pipeline_on_all_platforms() {
-    for platform in [Platform::ookami(), Platform::thor_bf2(), Platform::thor_xeon()] {
+    for platform in [
+        Platform::ookami(),
+        Platform::thor_bf2(),
+        Platform::thor_xeon(),
+    ] {
         let results = run_tsi(platform, 50);
         // Qualitative claims of Tables I–VI, per platform:
         // 1. the uncached path is much slower end-to-end than the cached one;
@@ -25,7 +29,11 @@ fn tsi_full_pipeline_on_all_platforms() {
         );
         // 2. cached bitcode is within a few percent of Active Messages;
         let ratio = results.cached_rate.latency_us / results.am_rate.latency_us;
-        assert!(ratio > 0.9 && ratio < 1.15, "{}: cached/AM ratio {ratio}", platform.name);
+        assert!(
+            ratio > 0.9 && ratio < 1.15,
+            "{}: cached/AM ratio {ratio}",
+            platform.name
+        );
         // 3. cached bitcode sustains a higher message rate than AM;
         assert!(results.cached_rate.message_rate > results.am_rate.message_rate);
         // 4. JIT is a one-time, millisecond-scale cost.
@@ -51,7 +59,10 @@ fn recursive_chaser_visits_many_servers_and_returns_correctly() {
     let servers_used = (1..=8)
         .filter(|&r| exp.sim().node(r).stats.ifuncs_executed > 0)
         .count();
-    assert!(servers_used >= 4, "only {servers_used} servers executed ifuncs");
+    assert!(
+        servers_used >= 4,
+        "only {servers_used} servers executed ifuncs"
+    );
     // Each server JIT-compiled the chaser at most once (propagated code is
     // cached on every hop).
     for r in 1..=8 {
@@ -158,10 +169,13 @@ fn ifunc_can_write_remote_memory_and_payload_roundtrips() {
     sim.run_until_idle(100_000);
     let mut out = vec![0u8; 8];
     use tc_jit::Memory;
-    sim.node(1).memory.read(TARGET_REGION_BASE, &mut out).unwrap();
+    sim.node(1)
+        .memory
+        .read(TARGET_REGION_BASE, &mut out)
+        .unwrap();
     assert_eq!(&out, b"!edoctib");
     assert!(sim
-        .timings
+        .timings()
         .last_of_kind(OutcomeKind::IfuncExecutedFirstArrival)
         .is_some());
 }
@@ -172,8 +186,8 @@ fn toolchain_options_match_paper_deployment_sizes() {
     // archive), the uncached frame is kilobytes and the cached frame tens of
     // bytes — the 26 B / 5185 B split of Section V-A.
     let platform = Platform::thor_bf2();
-    let lib = build_ifunc_library(&tc_workloads::tsi_module(), &platform_toolchain(&platform))
-        .unwrap();
+    let lib =
+        build_ifunc_library(&tc_workloads::tsi_module(), &platform_toolchain(&platform)).unwrap();
     assert_eq!(lib.fat_bitcode.triples().len(), 2);
     assert!(lib.bitcode_size() > 3_000 && lib.bitcode_size() < 12_000);
 

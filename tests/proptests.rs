@@ -1,126 +1,200 @@
 //! Property-based tests over the reproduction's core invariants.
+//!
+//! The build environment has no access to crates.io, so instead of `proptest`
+//! these use a small deterministic generator (splitmix64) and run each
+//! property over many seeded cases.  Failures print the case seed so a run
+//! can be reproduced by fixing `CASE_SEED_BASE`.
 
-use proptest::prelude::*;
 use tc_core::{CodeRepr, MessageFrame, SendDecision, SenderCache};
 use tc_ucx::WorkerAddr;
 use tc_workloads::PointerTable;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
+const CASE_SEED_BASE: u64 = 0x3C3C_0001;
 
-    /// Full frames roundtrip for arbitrary names, payloads, code and deps.
-    #[test]
-    fn frame_full_roundtrip(
-        name in "[a-z][a-z0-9_]{0,24}",
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        code in proptest::collection::vec(any::<u8>(), 0..4096),
-        deps in proptest::collection::vec("[a-z]{1,12}\\.so", 0..4),
-        binary in any::<bool>(),
-    ) {
-        let repr = if binary { CodeRepr::Binary } else { CodeRepr::Bitcode };
-        let frame = MessageFrame::new(name.clone(), repr, payload.clone(), code.clone(), deps.clone());
-        let decoded = MessageFrame::decode(&frame.encode_full()).unwrap();
-        prop_assert_eq!(decoded.ifunc_name, name);
-        prop_assert_eq!(decoded.repr, repr);
-        prop_assert_eq!(decoded.payload, payload);
-        prop_assert_eq!(decoded.code.unwrap(), code);
-        prop_assert_eq!(decoded.deps, deps);
+/// Deterministic case generator over the shared splitmix64 stream.
+struct Gen(tc_simnet::SplitMix64);
+
+impl Gen {
+    fn for_case(case: u64) -> Self {
+        Gen(tc_simnet::SplitMix64::new(
+            CASE_SEED_BASE.wrapping_add(case.wrapping_mul(0x9e37_79b9)),
+        ))
     }
 
-    /// Truncated frames always decode as truncated, carry the payload, and
-    /// are never larger than the full frame.
-    #[test]
-    fn frame_truncation_invariants(
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-        code in proptest::collection::vec(any::<u8>(), 1..2048),
-    ) {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `lo..hi` (hi > lo).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.0.range(lo, hi)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        self.0.bytes(max_len)
+    }
+
+    /// A lowercase identifier of 1..=max_len characters.
+    fn ident(&mut self, max_len: usize) -> String {
+        let len = self.range(1, max_len as u64 + 1) as usize;
+        (0..len)
+            .map(|i| {
+                let alphabet = if i == 0 {
+                    b"abcdefghijklmnopqrstuvwxyz".as_slice()
+                } else {
+                    b"abcdefghijklmnopqrstuvwxyz0123456789_".as_slice()
+                };
+                alphabet[self.range(0, alphabet.len() as u64) as usize] as char
+            })
+            .collect()
+    }
+}
+
+/// Full frames roundtrip for arbitrary names, payloads, code and deps.
+#[test]
+fn frame_full_roundtrip() {
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
+        let name = g.ident(25);
+        let payload = g.bytes(512);
+        let code = g.bytes(4096);
+        let deps: Vec<String> = (0..g.range(0, 4))
+            .map(|_| format!("{}.so", g.ident(12)))
+            .collect();
+        let repr = if g.bool() {
+            CodeRepr::Binary
+        } else {
+            CodeRepr::Bitcode
+        };
+        let frame = MessageFrame::new(
+            name.clone(),
+            repr,
+            payload.clone(),
+            code.clone(),
+            deps.clone(),
+        );
+        let decoded = MessageFrame::decode(&frame.encode_full()).unwrap();
+        assert_eq!(decoded.ifunc_name, name, "case {case}");
+        assert_eq!(decoded.repr, repr, "case {case}");
+        assert_eq!(decoded.payload, payload, "case {case}");
+        assert_eq!(decoded.code.as_ref(), Some(&code), "case {case}");
+        assert_eq!(decoded.deps, deps, "case {case}");
+    }
+}
+
+/// Truncated frames always decode as truncated, carry the payload, and are
+/// never larger than the full frame.
+#[test]
+fn frame_truncation_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
+        let payload = g.bytes(256);
+        let mut code = g.bytes(2047);
+        code.push(g.next_u64() as u8); // at least one code byte
         let frame = MessageFrame::new("f", CodeRepr::Bitcode, payload.clone(), code, vec![]);
         let truncated = frame.encode_truncated();
         let full = frame.encode_full();
-        prop_assert!(truncated.len() < full.len());
+        assert!(truncated.len() < full.len(), "case {case}");
         let decoded = MessageFrame::decode(&truncated).unwrap();
-        prop_assert!(decoded.is_truncated());
-        prop_assert_eq!(decoded.payload, payload);
+        assert!(decoded.is_truncated(), "case {case}");
+        assert_eq!(decoded.payload, payload, "case {case}");
     }
+}
 
-    /// Decoding never panics on arbitrary bytes.
-    #[test]
-    fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Decoding never panics on arbitrary bytes.
+#[test]
+fn frame_decode_never_panics() {
+    for case in 0..CASES * 4 {
+        let mut g = Gen::for_case(case);
+        let bytes = g.bytes(512);
         let _ = MessageFrame::decode(&bytes);
     }
+}
 
-    /// The sender cache sends the full frame exactly once per (ifunc,
-    /// endpoint) pair regardless of the send order.
-    #[test]
-    fn sender_cache_full_once_per_pair(
-        sends in proptest::collection::vec((0u32..4, 0u32..6), 1..64)
-    ) {
+/// The sender cache sends the full frame exactly once per (ifunc, endpoint)
+/// pair regardless of the send order.
+#[test]
+fn sender_cache_full_once_per_pair() {
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
         let mut cache = SenderCache::new();
         let mut seen = std::collections::HashSet::new();
-        for (ifunc, ep) in sends {
+        for _ in 0..g.range(1, 64) {
+            let ifunc = g.range(0, 4) as u32;
+            let ep = g.range(0, 6) as u32;
             let name = format!("ifunc{ifunc}");
             let decision = cache.on_send(&name, WorkerAddr(ep));
             let first_time = seen.insert((ifunc, ep));
             if first_time {
-                prop_assert_eq!(decision, SendDecision::SendFull);
+                assert_eq!(decision, SendDecision::SendFull, "case {case}");
             } else {
-                prop_assert_eq!(decision, SendDecision::SendTruncated);
+                assert_eq!(decision, SendDecision::SendTruncated, "case {case}");
             }
         }
-        prop_assert_eq!(cache.len(), seen.len());
-        prop_assert_eq!(cache.full_sends as usize, seen.len());
+        assert_eq!(cache.len(), seen.len(), "case {case}");
+        assert_eq!(cache.full_sends as usize, seen.len(), "case {case}");
     }
+}
 
-    /// Generated pointer tables are always a single cycle covering every
-    /// entry, whatever the shape and seed.
-    #[test]
-    fn pointer_table_is_single_cycle(
-        servers in 1usize..9,
-        shard in 1usize..65,
-        seed in any::<u64>(),
-    ) {
+/// Generated pointer tables are always a single cycle covering every entry,
+/// whatever the shape and seed.
+#[test]
+fn pointer_table_is_single_cycle() {
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
+        let servers = g.range(1, 9) as usize;
+        let shard = g.range(1, 65) as usize;
+        let seed = g.next_u64();
         let table = PointerTable::generate(servers, shard, seed);
         let total = table.total_entries();
         let mut visited = vec![false; total];
         let mut idx = 0u64;
         for _ in 0..total {
-            prop_assert!(!visited[idx as usize]);
+            assert!(!visited[idx as usize], "case {case}");
             visited[idx as usize] = true;
             idx = table.next(idx);
-            prop_assert!((idx as usize) < total);
+            assert!((idx as usize) < total, "case {case}");
         }
-        prop_assert_eq!(idx, 0);
-        prop_assert!(visited.into_iter().all(|v| v));
+        assert_eq!(idx, 0, "case {case}");
+        assert!(visited.into_iter().all(|v| v), "case {case}");
     }
+}
 
-    /// Ownership maps every index to a valid server rank and chase ground
-    /// truth is consistent with repeated single steps.
-    #[test]
-    fn pointer_table_ownership_and_chase(
-        servers in 1usize..6,
-        shard in 1usize..33,
-        start_raw in any::<u64>(),
-        depth in 0u64..64,
-    ) {
+/// Ownership maps every index to a valid server rank and chase ground truth
+/// is consistent with repeated single steps.
+#[test]
+fn pointer_table_ownership_and_chase() {
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
+        let servers = g.range(1, 6) as usize;
+        let shard = g.range(1, 33) as usize;
         let table = PointerTable::generate(servers, shard, 7);
         let total = table.total_entries() as u64;
-        let start = start_raw % total;
+        let start = g.next_u64() % total;
+        let depth = g.range(0, 64);
         let owner = table.owner_rank(start);
-        prop_assert!(owner >= 1 && owner <= servers);
+        assert!(owner >= 1 && owner <= servers, "case {case}");
         let mut idx = start;
         for _ in 0..depth {
             idx = table.next(idx);
         }
-        prop_assert_eq!(idx, table.chase(start, depth));
+        assert_eq!(idx, table.chase(start, depth), "case {case}");
     }
+}
 
-    /// Bitcode encode/decode roundtrips for modules with arbitrary payload
-    /// constants (structural fuzz of the encoder's varint paths).
-    #[test]
-    fn bitcode_roundtrip_with_arbitrary_constants(
-        consts in proptest::collection::vec(any::<u64>(), 1..32)
-    ) {
-        use tc_bitir::{ModuleBuilder, ScalarType, BinOp};
+/// Bitcode encode/decode roundtrips for modules with arbitrary payload
+/// constants (structural fuzz of the encoder's varint paths).
+#[test]
+fn bitcode_roundtrip_with_arbitrary_constants() {
+    use tc_bitir::{BinOp, ModuleBuilder, ScalarType};
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
+        let consts: Vec<u64> = (0..g.range(1, 32)).map(|_| g.next_u64()).collect();
         let mut mb = ModuleBuilder::new("fuzzed");
         {
             let mut f = mb.entry_function();
@@ -138,14 +212,18 @@ proptest! {
         let module = mb.build();
         let bytes = tc_bitir::encode_module(&module);
         let decoded = tc_bitir::decode_module(&bytes).unwrap();
-        prop_assert_eq!(module, decoded);
+        assert_eq!(module, decoded, "case {case}");
     }
+}
 
-    /// The interpreter computes the same wrapping sum the host would.
-    #[test]
-    fn interpreter_matches_host_arithmetic(values in proptest::collection::vec(any::<u64>(), 1..16)) {
-        use tc_bitir::{ModuleBuilder, ScalarType, BinOp};
-        use tc_jit::{Engine, NoExternals, VecMemory, MemoryExt, CompileOptions};
+/// The interpreter computes the same wrapping sum the host would.
+#[test]
+fn interpreter_matches_host_arithmetic() {
+    use tc_bitir::{BinOp, ModuleBuilder, ScalarType};
+    use tc_jit::{CompileOptions, Engine, MemoryExt, NoExternals, VecMemory};
+    for case in 0..CASES {
+        let mut g = Gen::for_case(case);
+        let values: Vec<u64> = (0..g.range(1, 16)).map(|_| g.next_u64()).collect();
         let mut mb = ModuleBuilder::new("sum");
         {
             let mut f = mb.function("sum", vec![], Some(ScalarType::U64));
@@ -157,16 +235,27 @@ proptest! {
             f.ret(acc);
             f.finish();
         }
-        let compiled = tc_jit::compile_module(&mb.build(), CompileOptions {
-            opt_level: tc_jit::OptLevel::O0,
-            verify: true,
-        }).unwrap();
+        let compiled = tc_jit::compile_module(
+            &mb.build(),
+            CompileOptions {
+                opt_level: tc_jit::OptLevel::O0,
+                verify: true,
+            },
+        )
+        .unwrap();
         let mut mem = VecMemory::new(0, 8);
         let out = Engine::new()
-            .run(&compiled.module, "sum", &[], &[], &mut mem, &mut NoExternals)
+            .run(
+                &compiled.module,
+                "sum",
+                &[],
+                &[],
+                &mut mem,
+                &mut NoExternals,
+            )
             .unwrap();
         let expected = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
-        prop_assert_eq!(out.return_value, expected);
+        assert_eq!(out.return_value, expected, "case {case}");
         let _ = mem.read_u64(0);
     }
 }

@@ -1,136 +1,130 @@
-//! Real-concurrency integration test: node runtimes running on OS threads
-//! connected by crossbeam channels (the `tc-simnet` threaded transport),
-//! exchanging genuine ifunc frames.  No virtual time is involved — this
-//! checks that the framework's state machines (auto-registration, caching,
-//! execution, result return) are correct under actual parallelism.
+//! Real-concurrency integration tests: the cluster API on the thread-backed
+//! transport.  Node runtimes run on OS threads connected by channels and
+//! exchange genuine ifunc frames — no virtual time is involved.  This checks
+//! that the framework's state machines (auto-registration, caching,
+//! execution, result return) are correct under actual parallelism, driven
+//! through exactly the same `ClusterBuilder` API as the simulated backend.
 
-use std::time::Duration;
 use tc_core::layout::TARGET_REGION_BASE;
-use tc_core::{build_ifunc_library, NodeRuntime, ToolchainOptions};
-use tc_jit::MemoryExt;
-use tc_simnet::{Envelope, NodeCtx, ThreadCluster, ThreadedNode};
-use tc_ucx::{OutgoingMessage, RequestId, UcpOp, WorkerAddr};
-use tc_workloads::tsi_module;
-
-/// Message tags used on the threaded transport.
-const TAG_IFUNC: u64 = 1;
-const TAG_QUERY_COUNTER: u64 = 2;
-
-/// A server node: owns a full Three-Chains runtime and executes whatever
-/// ifunc frames arrive.
-struct ServerNode {
-    runtime: NodeRuntime,
-    executed: u64,
-}
-
-impl ServerNode {
-    fn new(node_id: usize, num_nodes: usize) -> Self {
-        ServerNode {
-            runtime: NodeRuntime::new(
-                WorkerAddr(node_id as u32),
-                num_nodes as u32,
-                tc_bitir::TargetTriple::THOR_BF2,
-            ),
-            executed: 0,
-        }
-    }
-}
-
-impl ThreadedNode for ServerNode {
-    fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
-        match msg.tag {
-            TAG_IFUNC => {
-                self.runtime.deliver(OutgoingMessage {
-                    src: WorkerAddr(u32::MAX),
-                    dst: self.runtime.node_id(),
-                    request: RequestId(0),
-                    op: UcpOp::IfuncFrame { bytes: msg.data },
-                });
-                let outcomes = self.runtime.poll(usize::MAX);
-                for outcome in outcomes {
-                    outcome.expect("ifunc processing must succeed");
-                    self.executed += 1;
-                }
-            }
-            TAG_QUERY_COUNTER => {
-                let counter = self.runtime.memory.read_u64(TARGET_REGION_BASE).unwrap_or(0);
-                let mut reply = counter.to_le_bytes().to_vec();
-                reply.extend_from_slice(&self.executed.to_le_bytes());
-                ctx.send_external(msg.tag, reply);
-            }
-            _ => {}
-        }
-    }
-}
+use tc_core::{build_ifunc_library, ClusterBuilder, Transport};
+use tc_ucx::{UcpOp, WorkerAddr};
+use tc_workloads::{platform_toolchain, tsi_module};
 
 #[test]
 fn threaded_servers_execute_ifuncs_concurrently_and_cache_code() {
     const SERVERS: usize = 6;
     const SENDS_PER_SERVER: usize = 8;
 
-    // Build the TSI ifunc on the "client" (the test driver) and precompute
-    // the full and truncated frame encodings the way the sender cache would.
-    let library = build_ifunc_library(&tsi_module(), &ToolchainOptions::default()).unwrap();
-    let mut client = NodeRuntime::new(
-        WorkerAddr(100),
-        SERVERS as u32 + 1,
-        tc_bitir::TargetTriple::THOR_XEON,
-    );
-    let handle = client.register_library(library);
-    let message = client.create_bitcode_message(handle, vec![3]).unwrap();
-    let full_frame = message.frame.encode_full();
-    let truncated_frame = message.frame.encode_truncated();
+    let platform = tc_simnet::Platform::thor_bf2();
+    let mut cluster = ClusterBuilder::new()
+        .platform(platform)
+        .servers(SERVERS)
+        .build_threaded();
 
-    let cluster = ThreadCluster::start(SERVERS, |id| ServerNode::new(id, SERVERS));
+    let library = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(library);
+    let message = cluster.bitcode_message(handle, vec![3]).unwrap();
 
-    // First send to every server carries the code; subsequent sends are
-    // truncated — exactly what the sender-side cache would transmit.
-    for server in 0..SERVERS {
-        cluster.send(server, TAG_IFUNC, full_frame.clone());
-        for _ in 1..SENDS_PER_SERVER {
-            cluster.send(server, TAG_IFUNC, truncated_frame.clone());
+    // Interleave sends across all servers; the sender-side cache ships the
+    // full frame only on each server's first send and truncated frames after.
+    for round in 0..SENDS_PER_SERVER {
+        for server in 1..=SERVERS {
+            let bytes = cluster.send_ifunc(&message, server).unwrap();
+            if round == 0 {
+                assert!(bytes > 2_000, "first frame to {server} must carry code");
+            } else {
+                assert!(
+                    bytes < 64,
+                    "subsequent frames to {server} must be truncated"
+                );
+            }
         }
     }
-    // Ask every server for its counter; channel FIFO ordering guarantees the
-    // query is handled after all the ifunc frames.
-    for server in 0..SERVERS {
-        cluster.send(server, TAG_QUERY_COUNTER, vec![]);
-    }
 
-    let replies = cluster.collect_external(SERVERS, Duration::from_secs(30));
-    assert_eq!(replies.len(), SERVERS, "all servers must report back");
-    for reply in replies {
-        let counter = u64::from_le_bytes(reply.data[..8].try_into().unwrap());
-        let executed = u64::from_le_bytes(reply.data[8..16].try_into().unwrap());
+    // The control plane is FIFO-ordered behind the data plane on each node's
+    // channel, so a stats query is a per-server barrier: no sleeps needed.
+    for server in 1..=SERVERS {
+        let stats = cluster.stats(server).unwrap();
+        assert_eq!(
+            stats.ifuncs_executed, SENDS_PER_SERVER as u64,
+            "server {server}"
+        );
+        assert_eq!(
+            stats.jit_compilations, 1,
+            "server {server} must JIT exactly once"
+        );
+        assert_eq!(
+            stats.truncated_frames_received,
+            SENDS_PER_SERVER as u64 - 1,
+            "server {server}"
+        );
+        let counter = cluster.read_u64(server, TARGET_REGION_BASE).unwrap();
         assert_eq!(
             counter,
             3 * SENDS_PER_SERVER as u64,
-            "server {} counter",
-            reply.from
+            "server {server} counter"
         );
-        assert_eq!(executed, SENDS_PER_SERVER as u64);
     }
+
+    let metrics = cluster.metrics();
+    assert_eq!(metrics.messages_dropped, 0);
+    assert!(cluster.transport().errors().is_empty());
     cluster.shutdown();
 }
 
 #[test]
 fn threaded_truncated_frame_to_cold_server_is_rejected_not_crashing() {
-    let library = build_ifunc_library(&tsi_module(), &ToolchainOptions::default()).unwrap();
-    let mut client = NodeRuntime::new(WorkerAddr(9), 2, tc_bitir::TargetTriple::THOR_XEON);
-    let handle = client.register_library(library);
-    let message = client.create_bitcode_message(handle, vec![1]).unwrap();
-    let truncated = message.frame.encode_truncated();
+    let platform = tc_simnet::Platform::thor_bf2();
+    let mut cluster = ClusterBuilder::new()
+        .platform(platform)
+        .servers(1)
+        .build_threaded();
+    let library = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(library);
+    let message = cluster.bitcode_message(handle, vec![1]).unwrap();
 
-    // A single runtime, no prior full frame: handling must return an error,
-    // not panic, and the counter must stay untouched.
-    let mut server = NodeRuntime::new(WorkerAddr(0), 2, tc_bitir::TargetTriple::THOR_BF2);
-    server.deliver(OutgoingMessage {
-        src: WorkerAddr(9),
-        dst: WorkerAddr(0),
-        request: RequestId(0),
-        op: UcpOp::IfuncFrame { bytes: truncated },
-    });
-    let outcomes = server.poll(usize::MAX);
-    assert!(outcomes[0].is_err());
-    assert_eq!(server.memory.read_u64(TARGET_REGION_BASE).unwrap(), 0);
+    // Forge a truncated frame to a server that has never seen the code,
+    // bypassing the sender cache.
+    let truncated = message.frame.encode_truncated();
+    cluster
+        .client_mut()
+        .worker
+        .post(WorkerAddr(1), UcpOp::IfuncFrame { bytes: truncated });
+    cluster.transport_mut().flush_client().unwrap();
+
+    // The server reports the failure through the transport's error channel;
+    // the stats barrier guarantees it has already handled the frame.
+    // The external channel is FIFO, so the node's error report arrives (and
+    // is collected) before the stats reply that follows it.
+    let stats = cluster.stats(1).unwrap();
+    assert_eq!(stats.ifuncs_executed, 0);
+    let errors = cluster.transport().errors();
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.to_string().contains("never registered")),
+        "expected a registration error, got {errors:?}"
+    );
+    assert_eq!(cluster.read_u64(1, TARGET_REGION_BASE).unwrap(), 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn threaded_sends_to_unknown_ranks_are_counted_not_lost_silently() {
+    let platform = tc_simnet::Platform::thor_xeon();
+    let mut cluster = ClusterBuilder::new()
+        .platform(platform)
+        .servers(2)
+        .build_threaded();
+    let library = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(library);
+    let message = cluster.bitcode_message(handle, vec![1]).unwrap();
+
+    cluster.send_ifunc(&message, 99).unwrap(); // no such rank
+    assert_eq!(cluster.metrics().messages_dropped, 1);
+
+    // Deliverable traffic still flows.
+    cluster.send_ifunc(&message, 1).unwrap();
+    assert_eq!(cluster.stats(1).unwrap().ifuncs_executed, 1);
+    cluster.shutdown();
 }
