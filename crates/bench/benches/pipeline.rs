@@ -4,11 +4,11 @@
 //! time (not virtual time) and guard against performance regressions in the
 //! framework itself.
 
-use tc_bench::crit::{Criterion, Throughput};
+use tc_bench::crit::{BenchmarkId, Criterion, Throughput};
 use tc_bench::{criterion_group, criterion_main};
 use tc_binfmt::{load_object, LoadOptions, MapResolver};
 use tc_bitir::{decode_module, encode_module, lower_for_target, FatBitcode, TargetTriple};
-use tc_core::{CodeRepr, MessageFrame};
+use tc_core::{ClusterBuilder, CodeRepr, MessageFrame};
 use tc_jit::{build_object, CompileOptions, Engine, MemoryExt, NoExternals, VecMemory};
 use tc_workloads::{chaser_module, tsi_module};
 
@@ -96,11 +96,69 @@ fn bench_interpreter(c: &mut Criterion) {
     group.finish();
 }
 
+/// Large-payload PUT/GET throughput over the real-concurrency (threaded)
+/// backend: the end-to-end data plane — payload hand-off, wire encode,
+/// channel transfer, wire decode, memory apply — measured in wall-clock time.
+fn bench_data_plane(c: &mut Criterion) {
+    const PUTS_PER_ITER: usize = 8;
+    const GETS_PER_ITER: usize = 8;
+    for size in [64 * 1024usize, 256 * 1024] {
+        let mut group = c.benchmark_group("data_plane");
+        group.sample_size(20);
+
+        let mut cluster = ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_xeon())
+            .servers(1)
+            .build_threaded();
+        let addr = tc_core::layout::DATA_REGION_BASE;
+        // A shared payload view: cloning it per PUT is a refcount bump, so
+        // the measurement is the data plane, not the benchmark's own memcpy.
+        let payload = tc_ucx::Bytes::from(vec![0xA5u8; size]);
+
+        // Warm the path once (pool slots, sparse-memory pages) so the timed
+        // samples measure steady state rather than first-touch costs.
+        cluster.put(1, addr, payload.clone()).unwrap();
+        let warm = cluster.get(1, addr, size as u64).unwrap();
+        cluster.wait(&warm).unwrap();
+
+        group.throughput(Throughput::Bytes((PUTS_PER_ITER * size) as u64));
+        group.bench_with_input(BenchmarkId::new("put", size), &size, |b, _| {
+            b.iter(|| {
+                for _ in 0..PUTS_PER_ITER {
+                    cluster.put(1, addr, payload.clone()).unwrap();
+                }
+                // The control plane is FIFO behind the data plane, so this
+                // read is a barrier: every PUT above has been applied.
+                cluster.read_u64(1, addr).unwrap()
+            });
+        });
+
+        cluster.write_memory(1, addr, &payload).unwrap();
+        group.throughput(Throughput::Bytes((GETS_PER_ITER * size) as u64));
+        group.bench_with_input(BenchmarkId::new("get", size), &size, |b, _| {
+            b.iter(|| {
+                // Pipelined GETs: post the window, then collect every reply —
+                // throughput, not single-request latency.
+                let handles: Vec<_> = (0..GETS_PER_ITER)
+                    .map(|_| cluster.get(1, addr, size as u64).unwrap())
+                    .collect();
+                for handle in &handles {
+                    let data = cluster.wait(handle).unwrap();
+                    assert_eq!(data.len(), size);
+                }
+            });
+        });
+        cluster.shutdown();
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_frame_codec,
     bench_bitcode_codec,
     bench_jit_and_binary,
-    bench_interpreter
+    bench_interpreter,
+    bench_data_plane
 );
 criterion_main!(benches);

@@ -9,15 +9,201 @@
 //! statistical machinery of Criterion (outlier rejection, regression
 //! analysis) is intentionally out of scope — these benches guard against
 //! order-of-magnitude regressions, not single-digit-percent ones.
+//!
+//! In addition to the stderr report every run **appends machine-readable
+//! results to `BENCH.json`** at the workspace root (override the path with
+//! `TC_BENCH_JSON`), so the perf trajectory of the repository is tracked
+//! across PRs.  Entries are keyed by `(bin, name)`: re-running a bench binary
+//! replaces its own previous entries and leaves the other binaries' entries
+//! in place.
 
+use std::cell::RefCell;
 use std::fmt::Display;
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
+/// One benchmark result, as serialized into `BENCH.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Bench binary this result came from (e.g. `pipeline`).
+    pub bin: String,
+    /// Full benchmark name, `group/id`.
+    pub name: String,
+    /// Mean sample wall-clock time in nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Work-per-iteration annotation, if the group declared one.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    /// Derived rate: bytes/s or elements/s from the mean time, when the
+    /// benchmark was annotated with a [`Throughput`].
+    pub fn per_second(&self) -> Option<f64> {
+        let mean_s = self.mean_ns as f64 / 1e9;
+        self.throughput.map(|t| match t {
+            Throughput::Bytes(b) => b as f64 / mean_s,
+            Throughput::Elements(n) => n as f64 / mean_s,
+        })
+    }
+
+    fn to_json_line(&self) -> String {
+        let mut extra = String::new();
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                extra = format!(
+                    ",\"bytes_per_iter\":{b},\"bytes_per_sec\":{:.1}",
+                    self.per_second().unwrap_or(0.0)
+                );
+            }
+            Some(Throughput::Elements(n)) => {
+                extra = format!(
+                    ",\"elems_per_iter\":{n},\"elems_per_sec\":{:.1}",
+                    self.per_second().unwrap_or(0.0)
+                );
+            }
+            None => {}
+        }
+        format!(
+            "{{\"bin\":{},\"name\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}{extra}}}",
+            json_string(&self.bin),
+            json_string(&self.name),
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+        )
+    }
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Resolve where `BENCH.json` lives: `TC_BENCH_JSON` wins; otherwise walk up
+/// from the crate manifest dir to the workspace root (the directory holding
+/// `Cargo.lock`), falling back to the current directory.
+pub fn bench_json_path() -> PathBuf {
+    if let Ok(p) = std::env::var("TC_BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return PathBuf::from("BENCH.json"),
+        }
+    }
+}
+
+/// Name of the running bench binary with cargo's trailing `-<hash>` stripped.
+fn bin_name() -> String {
+    let raw = std::env::args()
+        .next()
+        .map(|a| {
+            PathBuf::from(a)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        })
+        .unwrap_or_default();
+    // cargo bench executables are named e.g. `pipeline-0a1b2c3d4e5f6789`.
+    match raw.rsplit_once('-') {
+        Some((stem, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            stem.to_string()
+        }
+        _ => raw,
+    }
+}
+
+/// Merge `new` records into the JSON file.  The *first* write of a bench
+/// process drops every existing row of this binary (so renamed or deleted
+/// benchmarks leave no stale entries); subsequent writes from the same
+/// process (one per `criterion_group!`) merge by `(bin, name)`.  Rows from
+/// other bench binaries are always preserved.  The file is line-oriented
+/// (one entry object per line) precisely so this merge needs no JSON
+/// parser.
+fn write_bench_json(new: &[BenchRecord]) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static PURGED_OWN_ROWS: AtomicBool = AtomicBool::new(false);
+    if new.is_empty() {
+        return;
+    }
+    let first_write = !PURGED_OWN_ROWS.swap(true, Ordering::SeqCst);
+    let own_bin_prefix = format!("{{\"bin\":{},", json_string(&bin_name()));
+    let path = bench_json_path();
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let entry = line.trim().trim_end_matches(',');
+            if !entry.starts_with("{\"bin\":") {
+                continue;
+            }
+            if first_write && entry.starts_with(&own_bin_prefix) {
+                continue;
+            }
+            let replaced = new.iter().any(|r| {
+                entry.contains(&format!(
+                    "\"bin\":{},\"name\":{}",
+                    json_string(&r.bin),
+                    json_string(&r.name)
+                ))
+            });
+            if !replaced {
+                kept.push(entry.to_string());
+            }
+        }
+    }
+    kept.extend(new.iter().map(BenchRecord::to_json_line));
+    let mut out = String::from("{\n\"schema\":1,\n\"benches\":[\n");
+    for (i, line) in kept.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < kept.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+type Results = Rc<RefCell<Vec<BenchRecord>>>;
+
 /// Top-level benchmark driver, handed to every `criterion_group!` target.
+/// Writes collected results to `BENCH.json` when dropped.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    results: Results,
 }
 
 impl Criterion {
@@ -29,7 +215,14 @@ impl Criterion {
             name,
             sample_size: default_sample_size(),
             throughput: None,
+            results: Rc::clone(&self.results),
         }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        write_bench_json(&self.results.borrow());
     }
 }
 
@@ -81,6 +274,7 @@ pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    results: Results,
 }
 
 impl BenchmarkGroup {
@@ -141,6 +335,15 @@ impl BenchmarkGroup {
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
         let max = samples.iter().max().copied().unwrap_or_default();
+        self.results.borrow_mut().push(BenchRecord {
+            bin: bin_name(),
+            name: format!("{}/{id}", self.name),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: samples.len(),
+            throughput: self.throughput,
+        });
         let rate = self.throughput.map(|t| match t {
             Throughput::Bytes(b) => {
                 format!(

@@ -61,7 +61,7 @@ use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
 use tc_bitir::TargetTriple;
 use tc_jit::OptLevel;
 use tc_simnet::Platform;
-use tc_ucx::{RequestId, WorkerAddr};
+use tc_ucx::{Bytes, RequestId, WorkerAddr};
 
 /// Which first-class backend a [`ClusterBuilder`] should instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -230,9 +230,9 @@ impl GetHandle {
 }
 
 impl CompletionHandle for GetHandle {
-    type Output = Vec<u8>;
+    type Output = Bytes;
 
-    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<Vec<u8>> {
+    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<Bytes> {
         let pos = pending.iter().position(
             |c| matches!(c, Completion::Get { request, .. } if *request == self.request),
         )?;
@@ -416,7 +416,12 @@ impl<T: Transport> Cluster<T> {
     }
 
     /// Send an Active Message to a predeployed handler on `dst`.
-    pub fn send_am(&mut self, handler: &str, dst: usize, payload: Vec<u8>) -> Result<usize> {
+    pub fn send_am(
+        &mut self,
+        handler: &str,
+        dst: usize,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize> {
         let size = self
             .transport
             .client_mut()
@@ -427,7 +432,8 @@ impl<T: Transport> Cluster<T> {
 
     /// Post a one-sided PUT into `dst`'s memory.  PUTs have no completion
     /// event in this model; the returned id identifies the posted request.
-    pub fn put(&mut self, dst: usize, addr: u64, data: Vec<u8>) -> Result<RequestId> {
+    /// Passing a [`Bytes`] view makes the post zero-copy end to end.
+    pub fn put(&mut self, dst: usize, addr: u64, data: impl Into<Bytes>) -> Result<RequestId> {
         let request = self
             .transport
             .client_mut()

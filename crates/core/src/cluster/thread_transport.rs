@@ -29,14 +29,27 @@ use tc_ucx::WorkerAddr;
 /// the cluster-wide handler ids.
 type AmRegistry = Arc<Mutex<Vec<(String, NativeAmHandler)>>>;
 
-/// How long one driver `step` waits for traffic before reporting idleness.
-const STEP_TIMEOUT: Duration = Duration::from_millis(5);
+/// How long one driver `step` parks waiting for traffic before checking the
+/// cluster's pending-message counter.  The park wakes immediately when a
+/// node enqueues an external message (mpsc `recv_timeout`), so this bounds
+/// *idle-detection* latency only, not delivery latency.
+const STEP_TIMEOUT: Duration = Duration::from_millis(20);
+/// Upper bound one `step` keeps waiting while node threads are verifiably
+/// busy (messages enqueued or mid-processing) without producing external
+/// traffic.  Guards against a runaway ifunc wedging the driver forever.
+const BUSY_STEP_TIMEOUT: Duration = Duration::from_secs(1);
+/// Most external envelopes drained per `step` after a wakeup (batch drain:
+/// one park, many messages).
+const STEP_BATCH: usize = 128;
 /// How long a control-plane round trip (peek/poke/stats) may take.
 const CONTROL_TIMEOUT: Duration = Duration::from_secs(10);
-/// Consecutive idle steps before waits give up (~0.5 s of silence — two to
-/// three orders of magnitude above any single node-side processing step in
-/// this in-process runtime).
-const IDLE_GRACE: u32 = 100;
+/// Consecutive idle steps before waits give up.  A step only reports idle
+/// after `STEP_TIMEOUT` of silence with zero pending node-bound messages,
+/// so two suffice: the second covers the one-step race where a node
+/// enqueued an external message right as the first park timed out.  An
+/// idle cluster is detected (and can shut down) in ~40 ms instead of the
+/// former ~0.5 s polling budget.
+const IDLE_GRACE: u32 = 2;
 
 /// A server node: owns a full Three-Chains runtime and speaks the transport's
 /// wire protocol.
@@ -59,37 +72,71 @@ impl ServerNode {
     fn route_outgoing(&mut self, ctx: &NodeCtx) {
         for msg in self.runtime.take_outgoing() {
             let dst = msg.dst.index();
-            let bytes = wire::encode_op(&msg);
-            // Drops are counted by the ThreadCluster's delivery counters and
-            // surfaced through the transport metrics.
+            // Scatter-gather: the head is pooled, large payloads ship as a
+            // shared view (no copy).  Drops are counted by the ThreadCluster's
+            // delivery counters and surfaced through the transport metrics.
+            let (head, payload) = wire::encode_op_vectored(&msg);
             let _ = if dst == 0 {
-                ctx.send_external(wire::TAG_OP, bytes)
+                ctx.send_external_vectored(wire::TAG_OP, head, payload)
             } else {
-                ctx.send(dst - 1, wire::TAG_OP, bytes)
+                ctx.send_vectored(dst - 1, wire::TAG_OP, head, payload)
             };
         }
     }
 }
 
 impl ThreadedNode for ServerNode {
-    fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
+    /// One wakeup's worth of envelopes.  Consecutive data-plane messages are
+    /// delivered together and polled/flushed once, so a burst of N ifunc
+    /// frames pays for one poll loop and one outgoing flush instead of N.
+    /// Control messages are handled strictly in FIFO position (the control
+    /// plane doubles as a barrier behind the data plane).
+    fn on_batch(&mut self, msgs: Vec<Envelope>, ctx: &NodeCtx) {
         self.sync_am();
-        match msg.tag {
-            wire::TAG_OP => {
-                match wire::decode_op(&msg.data) {
-                    Ok(op) => self.runtime.deliver(op),
+        let mut pending_ops = false;
+        for msg in msgs {
+            if msg.tag == wire::TAG_OP {
+                match wire::decode_op_vectored(&msg.data, &msg.payload) {
+                    Ok(op) => {
+                        self.runtime.deliver(op);
+                        pending_ops = true;
+                    }
                     Err(e) => {
                         let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
-                        return;
                     }
                 }
-                for outcome in self.runtime.poll(usize::MAX) {
-                    if let Err(e) = outcome {
-                        let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
-                    }
-                }
-                self.route_outgoing(ctx);
+                continue;
             }
+            if pending_ops {
+                self.process_delivered(ctx);
+                pending_ops = false;
+            }
+            self.on_control(msg, ctx);
+        }
+        if pending_ops {
+            self.process_delivered(ctx);
+        }
+    }
+
+    fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
+        self.on_batch(vec![msg], ctx);
+    }
+}
+
+impl ServerNode {
+    /// Poll every delivered operation and flush whatever the runtime posted.
+    fn process_delivered(&mut self, ctx: &NodeCtx) {
+        for outcome in self.runtime.poll(usize::MAX) {
+            if let Err(e) = outcome {
+                let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
+            }
+        }
+        self.route_outgoing(ctx);
+    }
+
+    /// Handle one control-plane envelope.
+    fn on_control(&mut self, msg: Envelope, ctx: &NodeCtx) {
+        match msg.tag {
             wire::TAG_PEEK => {
                 let Ok((token, body)) = wire::decode_control(&msg.data) else {
                     return;
@@ -202,7 +249,7 @@ impl ThreadTransport {
     /// Handle one external envelope on the driver side.
     fn handle_external(&mut self, env: Envelope) {
         match env.tag {
-            wire::TAG_OP => match wire::decode_op(&env.data) {
+            wire::TAG_OP => match wire::decode_op_vectored(&env.data, &env.payload) {
                 Ok(msg) => {
                     self.client.deliver(msg);
                     for outcome in self.client.poll(usize::MAX) {
@@ -256,7 +303,8 @@ impl ThreadTransport {
                 // node) are recorded in the cluster's counters and show up in
                 // the transport metrics, mirroring the fabric's
                 // lossy-but-accounted model.
-                let _ = cluster.send(dst - 1, wire::TAG_OP, wire::encode_op(&msg));
+                let (head, payload) = wire::encode_op_vectored(&msg);
+                let _ = cluster.send_vectored(dst - 1, wire::TAG_OP, head, payload);
             }
         }
     }
@@ -349,15 +397,37 @@ impl Transport for ThreadTransport {
     }
 
     fn step(&mut self) -> Result<bool> {
-        let Some(cluster) = &self.cluster else {
-            return Ok(false);
-        };
-        match cluster.recv_external(STEP_TIMEOUT) {
-            Some(env) => {
-                self.handle_external(env);
-                Ok(true)
+        let busy_deadline = Instant::now() + BUSY_STEP_TIMEOUT;
+        loop {
+            let Some(cluster) = &self.cluster else {
+                return Ok(false);
+            };
+            match cluster.recv_external(STEP_TIMEOUT) {
+                Some(env) => {
+                    // Drain the burst behind the first envelope: one park,
+                    // one batch of work.
+                    let mut batch = vec![env];
+                    while batch.len() < STEP_BATCH {
+                        match cluster.try_recv_external() {
+                            Some(env) => batch.push(env),
+                            None => break,
+                        }
+                    }
+                    for env in batch {
+                        self.handle_external(env);
+                    }
+                    return Ok(true);
+                }
+                None => {
+                    // recv_timeout parks and wakes on enqueue, so reaching
+                    // here means STEP_TIMEOUT of genuine silence.  Only call
+                    // it idleness when no node-bound message is queued or
+                    // mid-processing; otherwise keep waiting (bounded).
+                    if cluster.pending_messages() == 0 || Instant::now() >= busy_deadline {
+                        return Ok(false);
+                    }
+                }
             }
-            None => Ok(false),
         }
     }
 

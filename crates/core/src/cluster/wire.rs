@@ -19,7 +19,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::metrics::RuntimeStats;
-use tc_ucx::{AmHandlerId, OutgoingMessage, RequestId, UcpOp, WorkerAddr};
+use tc_ucx::{AmHandlerId, BufPool, Bytes, OutgoingMessage, RequestId, UcpOp, WorkerAddr};
 
 /// Envelope tag: encoded fabric operation (data plane).
 pub const TAG_OP: u64 = 1;
@@ -44,43 +44,183 @@ const OP_GET_REPLY: u8 = 2;
 const OP_AM: u8 = 3;
 const OP_IFUNC: u8 = 4;
 
-/// Encode a fabric operation for a [`TAG_OP`] envelope.
-pub fn encode_op(msg: &OutgoingMessage) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32 + msg.op.wire_size());
-    out.extend_from_slice(&msg.src.0.to_le_bytes());
-    out.extend_from_slice(&msg.dst.0.to_le_bytes());
-    out.extend_from_slice(&msg.request.0.to_le_bytes());
+/// Exact encoded size of a [`TAG_OP`] envelope for `msg`.
+fn encoded_op_size(op: &UcpOp) -> usize {
+    17 + match op {
+        UcpOp::Put { data, .. } => 8 + data.len(),
+        UcpOp::Get { .. } => 16,
+        UcpOp::GetReply { data, .. } => 8 + data.len(),
+        UcpOp::ActiveMessage { payload, .. } => 2 + payload.len(),
+        UcpOp::IfuncFrame { bytes } => bytes.len(),
+    }
+}
+
+/// Encode a fabric operation for a [`TAG_OP`] envelope into a buffer from
+/// `pool`.  Steady-state sends reuse released pool slots, so the encode path
+/// performs one payload copy and zero allocations.
+pub fn encode_op_with(msg: &OutgoingMessage, pool: &mut BufPool) -> Bytes {
+    let mut out = pool.acquire(encoded_op_size(&msg.op));
+    out.put_u32_le(msg.src.0);
+    out.put_u32_le(msg.dst.0);
+    out.put_u64_le(msg.request.0);
     match &msg.op {
         UcpOp::Put { remote_addr, data } => {
-            out.push(OP_PUT);
-            out.extend_from_slice(&remote_addr.to_le_bytes());
-            out.extend_from_slice(data);
+            out.put_u8(OP_PUT);
+            out.put_u64_le(*remote_addr);
+            out.put_slice(data);
         }
         UcpOp::Get { remote_addr, len } => {
-            out.push(OP_GET);
-            out.extend_from_slice(&remote_addr.to_le_bytes());
-            out.extend_from_slice(&len.to_le_bytes());
+            out.put_u8(OP_GET);
+            out.put_u64_le(*remote_addr);
+            out.put_u64_le(*len);
         }
         UcpOp::GetReply { request, data } => {
-            out.push(OP_GET_REPLY);
-            out.extend_from_slice(&request.0.to_le_bytes());
-            out.extend_from_slice(data);
+            out.put_u8(OP_GET_REPLY);
+            out.put_u64_le(request.0);
+            out.put_slice(data);
         }
         UcpOp::ActiveMessage { handler, payload } => {
-            out.push(OP_AM);
-            out.extend_from_slice(&handler.0.to_le_bytes());
-            out.extend_from_slice(payload);
+            out.put_u8(OP_AM);
+            out.put_u16_le(handler.0);
+            out.put_slice(payload);
         }
         UcpOp::IfuncFrame { bytes } => {
-            out.push(OP_IFUNC);
-            out.extend_from_slice(bytes);
+            out.put_u8(OP_IFUNC);
+            out.put_slice(bytes);
         }
     }
-    out
+    out.freeze(pool)
+}
+
+/// Encode a fabric operation with this thread's encode pool.
+pub fn encode_op(msg: &OutgoingMessage) -> Bytes {
+    tc_ucx::bytes::with_pool(|pool| encode_op_with(msg, pool))
+}
+
+/// Payloads at or above this many bytes travel as a detached scatter-gather
+/// envelope segment instead of being copied into the encoded head buffer.
+/// Below it, the copy is cheaper than handling a second segment.
+pub const SCATTER_THRESHOLD: usize = 512;
+
+/// Scatter-gather encode: returns `(head, payload)` where `head` is the
+/// encoded envelope minus the bulk payload and `payload` is a shared view of
+/// the operation's payload bytes (empty when the operation is small or has
+/// no payload).  Together with [`decode_op_vectored`] this makes large sends
+/// **zero-copy**: the payload crosses the transport as a refcount, never as
+/// a memcpy.  The logical wire image is `head ‖ payload`, identical to what
+/// [`encode_op`] produces in one buffer.
+pub fn encode_op_vectored_with(msg: &OutgoingMessage, pool: &mut BufPool) -> (Bytes, Bytes) {
+    let detached = match &msg.op {
+        UcpOp::Put { data, .. } if data.len() >= SCATTER_THRESHOLD => data.clone(),
+        UcpOp::GetReply { data, .. } if data.len() >= SCATTER_THRESHOLD => data.clone(),
+        UcpOp::ActiveMessage { payload, .. } if payload.len() >= SCATTER_THRESHOLD => {
+            payload.clone()
+        }
+        UcpOp::IfuncFrame { bytes } if bytes.len() >= SCATTER_THRESHOLD => bytes.clone(),
+        _ => return (encode_op_with(msg, pool), Bytes::new()),
+    };
+    let mut out = pool.acquire(17 + 8);
+    out.put_u32_le(msg.src.0);
+    out.put_u32_le(msg.dst.0);
+    out.put_u64_le(msg.request.0);
+    match &msg.op {
+        UcpOp::Put { remote_addr, .. } => {
+            out.put_u8(OP_PUT);
+            out.put_u64_le(*remote_addr);
+        }
+        UcpOp::GetReply { request, .. } => {
+            out.put_u8(OP_GET_REPLY);
+            out.put_u64_le(request.0);
+        }
+        UcpOp::ActiveMessage { handler, .. } => {
+            out.put_u8(OP_AM);
+            out.put_u16_le(handler.0);
+        }
+        UcpOp::IfuncFrame { .. } => {
+            out.put_u8(OP_IFUNC);
+        }
+        UcpOp::Get { .. } => unreachable!("GET has no detachable payload"),
+    }
+    (out.freeze(pool), detached)
+}
+
+/// Scatter-gather encode with this thread's encode pool.
+pub fn encode_op_vectored(msg: &OutgoingMessage) -> (Bytes, Bytes) {
+    tc_ucx::bytes::with_pool(|pool| encode_op_vectored_with(msg, pool))
+}
+
+/// Inverse of [`encode_op_vectored`]: decode `(head, payload)` back into a
+/// fabric operation.  The reconstructed operation's payload *is* the
+/// detached segment (refcount clone) — nothing is copied.
+pub fn decode_op_vectored(head: &Bytes, payload: &Bytes) -> Result<OutgoingMessage> {
+    if payload.is_empty() {
+        return decode_op(head);
+    }
+    let err = |msg: &str| CoreError::Transport(format!("bad vectored op envelope: {msg}"));
+    if head.len() < 17 {
+        return Err(err("head shorter than the fixed header"));
+    }
+    let src = WorkerAddr(u32::from_le_bytes(head[0..4].try_into().unwrap()));
+    let dst = WorkerAddr(u32::from_le_bytes(head[4..8].try_into().unwrap()));
+    let request = RequestId(u64::from_le_bytes(head[8..16].try_into().unwrap()));
+    let tag = head[16];
+    let body = &head[17..];
+    let op = match tag {
+        OP_PUT => {
+            if body.len() != 8 {
+                return Err(err("PUT head must carry exactly the address"));
+            }
+            UcpOp::Put {
+                remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
+                data: payload.clone(),
+            }
+        }
+        OP_GET_REPLY => {
+            if body.len() != 8 {
+                return Err(err("GetReply head must carry exactly the request id"));
+            }
+            UcpOp::GetReply {
+                request: RequestId(u64::from_le_bytes(body[0..8].try_into().unwrap())),
+                data: payload.clone(),
+            }
+        }
+        OP_AM => {
+            if body.len() != 2 {
+                return Err(err("ActiveMessage head must carry exactly the handler id"));
+            }
+            UcpOp::ActiveMessage {
+                handler: AmHandlerId(u16::from_le_bytes(body[0..2].try_into().unwrap())),
+                payload: payload.clone(),
+            }
+        }
+        OP_IFUNC => {
+            if !body.is_empty() {
+                return Err(err("IfuncFrame head must be bare"));
+            }
+            UcpOp::IfuncFrame {
+                bytes: payload.clone(),
+            }
+        }
+        other => {
+            return Err(err(&format!(
+                "op tag {other} cannot carry a payload segment"
+            )))
+        }
+    };
+    Ok(OutgoingMessage {
+        src,
+        dst,
+        request,
+        op,
+    })
 }
 
 /// Decode a [`TAG_OP`] envelope payload back into a fabric operation.
-pub fn decode_op(bytes: &[u8]) -> Result<OutgoingMessage> {
+///
+/// Zero-copy: the payload of the returned operation (`Put` data, `GetReply`
+/// data, AM payload, ifunc frame bytes) is a sub-view of `bytes`' shared
+/// allocation — nothing is copied on the receive path.
+pub fn decode_op(bytes: &Bytes) -> Result<OutgoingMessage> {
     let err = |msg: &str| CoreError::Transport(format!("bad op envelope: {msg}"));
     if bytes.len() < 17 {
         return Err(err("shorter than the fixed header"));
@@ -97,7 +237,7 @@ pub fn decode_op(bytes: &[u8]) -> Result<OutgoingMessage> {
             }
             UcpOp::Put {
                 remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
-                data: body[8..].to_vec(),
+                data: bytes.slice(17 + 8..),
             }
         }
         OP_GET => {
@@ -115,7 +255,7 @@ pub fn decode_op(bytes: &[u8]) -> Result<OutgoingMessage> {
             }
             UcpOp::GetReply {
                 request: RequestId(u64::from_le_bytes(body[0..8].try_into().unwrap())),
-                data: body[8..].to_vec(),
+                data: bytes.slice(17 + 8..),
             }
         }
         OP_AM => {
@@ -124,11 +264,11 @@ pub fn decode_op(bytes: &[u8]) -> Result<OutgoingMessage> {
             }
             UcpOp::ActiveMessage {
                 handler: AmHandlerId(u16::from_le_bytes(body[0..2].try_into().unwrap())),
-                payload: body[2..].to_vec(),
+                payload: bytes.slice(17 + 2..),
             }
         }
         OP_IFUNC => UcpOp::IfuncFrame {
-            bytes: body.to_vec(),
+            bytes: bytes.slice(17..),
         },
         other => return Err(err(&format!("unknown op tag {other}"))),
     };
@@ -214,12 +354,11 @@ pub fn decode_stats(bytes: &[u8]) -> Result<RuntimeStats> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn op_codec_roundtrips_every_variant() {
-        let ops = [
+    fn sample_ops() -> Vec<UcpOp> {
+        vec![
             UcpOp::Put {
                 remote_addr: 0x40,
-                data: vec![1, 2, 3],
+                data: vec![1, 2, 3].into(),
             },
             UcpOp::Get {
                 remote_addr: 0x80,
@@ -227,17 +366,21 @@ mod tests {
             },
             UcpOp::GetReply {
                 request: RequestId(9),
-                data: vec![7; 8],
+                data: vec![7; 8].into(),
             },
             UcpOp::ActiveMessage {
                 handler: AmHandlerId(3),
-                payload: vec![5],
+                payload: vec![5].into(),
             },
             UcpOp::IfuncFrame {
-                bytes: vec![0xAB; 64],
+                bytes: vec![0xAB; 64].into(),
             },
-        ];
-        for op in ops {
+        ]
+    }
+
+    #[test]
+    fn op_codec_roundtrips_every_variant() {
+        for op in sample_ops() {
             let msg = OutgoingMessage {
                 src: WorkerAddr(2),
                 dst: WorkerAddr(5),
@@ -250,10 +393,99 @@ mod tests {
     }
 
     #[test]
-    fn op_decode_rejects_garbage() {
-        assert!(decode_op(&[]).is_err());
-        assert!(decode_op(&[0; 16]).is_err());
-        let mut bad = encode_op(&OutgoingMessage {
+    fn op_decode_is_zero_copy_and_pool_reuses_buffers() {
+        // A dedicated copy-counting pool: every allocation is visible in
+        // `stats.allocated`, every recycled buffer in `stats.reused`.
+        let mut pool = BufPool::new();
+        for (i, op) in sample_ops().into_iter().enumerate() {
+            let msg = OutgoingMessage {
+                src: WorkerAddr(1),
+                dst: WorkerAddr(2),
+                request: RequestId(i as u64),
+                op,
+            };
+            let encoded = encode_op_with(&msg, &mut pool);
+            let decoded = decode_op(&encoded).unwrap();
+            assert_eq!(decoded, msg);
+            // Decode must alias the envelope buffer, not copy out of it.
+            match &decoded.op {
+                UcpOp::Put { data, .. } => assert!(data.shares_storage(&encoded)),
+                UcpOp::GetReply { data, .. } => assert!(data.shares_storage(&encoded)),
+                UcpOp::ActiveMessage { payload, .. } => {
+                    assert!(payload.shares_storage(&encoded))
+                }
+                UcpOp::IfuncFrame { bytes } => assert!(bytes.shares_storage(&encoded)),
+                UcpOp::Get { .. } => {}
+            }
+            drop(decoded);
+            drop(encoded);
+        }
+        // Every envelope fits the first slot, and each is released before
+        // the next encode: exactly one allocation, the rest reuses.
+        assert_eq!(pool.stats.allocated, 1, "{:?}", pool.stats);
+        assert_eq!(pool.stats.reused, 4);
+    }
+
+    #[test]
+    fn vectored_codec_roundtrips_and_never_copies_large_payloads() {
+        let mut pool = BufPool::new();
+        let large = Bytes::from(vec![0x42u8; 8 * 1024]);
+        let ops = vec![
+            UcpOp::Put {
+                remote_addr: 0x40,
+                data: large.clone(),
+            },
+            UcpOp::GetReply {
+                request: RequestId(9),
+                data: large.clone(),
+            },
+            UcpOp::ActiveMessage {
+                handler: AmHandlerId(3),
+                payload: large.clone(),
+            },
+            UcpOp::IfuncFrame {
+                bytes: large.clone(),
+            },
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let msg = OutgoingMessage {
+                src: WorkerAddr(1),
+                dst: WorkerAddr(2),
+                request: RequestId(i as u64),
+                op,
+            };
+            let (head, payload) = encode_op_vectored_with(&msg, &mut pool);
+            // The payload segment IS the original buffer — no copy at all.
+            assert!(payload.shares_storage(&large));
+            assert!(head.len() <= 25, "head must be tiny, got {}", head.len());
+            let decoded = decode_op_vectored(&head, &payload).unwrap();
+            assert_eq!(decoded, msg);
+            // The logical wire image equals the single-buffer encoding.
+            let mut joined = head.to_vec();
+            joined.extend_from_slice(&payload);
+            assert_eq!(joined, encode_op_with(&msg, &mut pool).to_vec());
+        }
+        // Small operations stay single-buffer.
+        let small = OutgoingMessage {
+            src: WorkerAddr(0),
+            dst: WorkerAddr(1),
+            request: RequestId(0),
+            op: UcpOp::Put {
+                remote_addr: 8,
+                data: vec![1, 2, 3].into(),
+            },
+        };
+        let (head, payload) = encode_op_vectored_with(&small, &mut pool);
+        assert!(payload.is_empty());
+        assert_eq!(decode_op_vectored(&head, &payload).unwrap(), small);
+    }
+
+    #[test]
+    fn vectored_decode_rejects_malformed_heads() {
+        let payload = Bytes::from(vec![0u8; 600]);
+        assert!(decode_op_vectored(&Bytes::new(), &payload).is_err());
+        // A GET head cannot carry a payload segment.
+        let get = encode_op(&OutgoingMessage {
             src: WorkerAddr(0),
             dst: WorkerAddr(1),
             request: RequestId(0),
@@ -262,8 +494,25 @@ mod tests {
                 len: 8,
             },
         });
+        assert!(decode_op_vectored(&get, &payload).is_err());
+    }
+
+    #[test]
+    fn op_decode_rejects_garbage() {
+        assert!(decode_op(&Bytes::new()).is_err());
+        assert!(decode_op(&Bytes::from(vec![0u8; 16])).is_err());
+        let mut bad = encode_op(&OutgoingMessage {
+            src: WorkerAddr(0),
+            dst: WorkerAddr(1),
+            request: RequestId(0),
+            op: UcpOp::Get {
+                remote_addr: 0,
+                len: 8,
+            },
+        })
+        .to_vec();
         bad[16] = 99; // unknown op tag
-        assert!(decode_op(&bad).is_err());
+        assert!(decode_op(&Bytes::from(bad)).is_err());
     }
 
     #[test]

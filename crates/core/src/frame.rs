@@ -12,6 +12,7 @@
 //! trusting the sender.
 
 use crate::error::{CoreError, Result};
+use tc_ucx::{BufPool, Bytes};
 
 /// The MAGIC delimiter bytes (one before the code section, one after it).
 pub const FRAME_MAGIC: [u8; 4] = *b"3CMG";
@@ -66,9 +67,11 @@ pub struct MessageFrame {
     /// Code representation of the code section.
     pub repr: CodeRepr,
     /// User payload handed to the ifunc entry function on the target.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
     /// Encoded code section (fat-bitcode archive or binary object bytes).
-    pub code: Vec<u8>,
+    /// A shared view: constructing frames from a library or a received
+    /// frame copies nothing.
+    pub code: Bytes,
     /// Shared-library dependency names (bitcode frames only; binary objects
     /// embed their own dependency list).
     pub deps: Vec<String>,
@@ -79,71 +82,129 @@ impl MessageFrame {
     pub fn new(
         ifunc_name: impl Into<String>,
         repr: CodeRepr,
-        payload: Vec<u8>,
-        code: Vec<u8>,
+        payload: impl Into<Bytes>,
+        code: impl Into<Bytes>,
         deps: Vec<String>,
     ) -> Self {
         MessageFrame {
             ifunc_name: ifunc_name.into(),
             repr,
-            payload,
-            code,
+            payload: payload.into(),
+            code: code.into(),
             deps,
         }
     }
 
-    fn header_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.ifunc_name.len());
-        out.push(FRAME_VERSION);
-        out.push(self.repr.tag());
-        let name = self.ifunc_name.as_bytes();
-        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
-        out.extend_from_slice(name);
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.deps.len() as u16).to_le_bytes());
-        out
+    fn header_size(&self) -> usize {
+        // version + repr + name len + name + payload len + code len + deps
+        // count.
+        1 + 1 + 2 + self.ifunc_name.len() + 4 + 4 + 2
     }
 
-    /// Encode the *full* frame: HEADER | PAYLOAD | MAGIC | CODE | DEPS | MAGIC.
-    pub fn encode_full(&self) -> Vec<u8> {
-        let mut out = self.header_bytes();
-        out.extend_from_slice(&self.payload);
-        out.extend_from_slice(&FRAME_MAGIC);
-        out.extend_from_slice(&self.code);
+    fn write_header(&self, w: &mut tc_ucx::PoolWriter) {
+        w.put_u8(FRAME_VERSION);
+        w.put_u8(self.repr.tag());
+        let name = self.ifunc_name.as_bytes();
+        w.put_u16_le(name.len() as u16);
+        w.put_slice(name);
+        w.put_u32_le(self.payload.len() as u32);
+        w.put_u32_le(self.code.len() as u32);
+        w.put_u16_le(self.deps.len() as u16);
+    }
+
+    /// Encode the *full* frame into a pooled buffer:
+    /// HEADER | PAYLOAD | MAGIC | CODE | DEPS | MAGIC.
+    pub fn encode_full_with(&self, pool: &mut BufPool) -> Bytes {
+        let mut w = pool.acquire(self.full_size());
+        self.write_header(&mut w);
+        w.put_slice(&self.payload);
+        w.put_slice(&FRAME_MAGIC);
+        w.put_slice(&self.code);
         for d in &self.deps {
             let b = d.as_bytes();
-            out.extend_from_slice(&(b.len() as u16).to_le_bytes());
-            out.extend_from_slice(b);
+            w.put_u16_le(b.len() as u16);
+            w.put_slice(b);
         }
-        out.extend_from_slice(&FRAME_MAGIC);
-        out
+        w.put_slice(&FRAME_MAGIC);
+        w.freeze(pool)
     }
 
-    /// Encode the *truncated* frame sent when the target has already cached
-    /// this ifunc type: everything up to and including the first MAGIC, i.e.
-    /// the code section and trailer are elided.
-    pub fn encode_truncated(&self) -> Vec<u8> {
-        let mut out = self.header_bytes();
-        out.extend_from_slice(&self.payload);
-        out.extend_from_slice(&FRAME_MAGIC);
-        out
+    /// Encode the *truncated* frame into a pooled buffer: everything up to
+    /// and including the first MAGIC — sent when the target has already
+    /// cached this ifunc type, so the code section and trailer are elided.
+    pub fn encode_truncated_with(&self, pool: &mut BufPool) -> Bytes {
+        let mut w = pool.acquire(self.truncated_size());
+        self.write_header(&mut w);
+        w.put_slice(&self.payload);
+        w.put_slice(&FRAME_MAGIC);
+        w.freeze(pool)
     }
 
-    /// Size in bytes of the full encoding.
+    /// Encode the full frame with this thread's encode pool.
+    pub fn encode_full(&self) -> Bytes {
+        tc_ucx::bytes::with_pool(|pool| self.encode_full_with(pool))
+    }
+
+    /// Encode the truncated frame with this thread's encode pool.
+    pub fn encode_truncated(&self) -> Bytes {
+        tc_ucx::bytes::with_pool(|pool| self.encode_truncated_with(pool))
+    }
+
+    /// Size in bytes of the full encoding (computed, not materialised).
     pub fn full_size(&self) -> usize {
-        self.encode_full().len()
+        self.truncated_size()
+            + self.code.len()
+            + self.deps.iter().map(|d| 2 + d.len()).sum::<usize>()
+            + FRAME_MAGIC.len()
     }
 
-    /// Size in bytes of the truncated encoding.
+    /// Size in bytes of the truncated encoding (computed, not materialised).
     pub fn truncated_size(&self) -> usize {
-        self.encode_truncated().len()
+        self.header_size() + self.payload.len() + FRAME_MAGIC.len()
     }
 
-    /// Decode a frame from received bytes.  Returns the frame contents plus a
-    /// flag saying whether the code section was present (full frame) or
-    /// elided (truncated frame).
+    /// Decode a frame from a borrowed slice.  The payload and code of the
+    /// returned [`DecodedFrame`] are copied out of `bytes` (one copy each);
+    /// prefer [`MessageFrame::decode_view`] on the receive path, which
+    /// borrows sub-views of the shared buffer and copies nothing.
     pub fn decode(bytes: &[u8]) -> Result<DecodedFrame> {
+        let layout = FrameLayout::parse(bytes)?;
+        Ok(DecodedFrame {
+            ifunc_name: layout.ifunc_name,
+            repr: layout.repr,
+            payload: Bytes::copy_from_slice(&bytes[layout.payload]),
+            code: layout.code.map(|r| Bytes::copy_from_slice(&bytes[r])),
+            deps: layout.deps,
+        })
+    }
+
+    /// Decode a frame as zero-copy views into a shared receive buffer: the
+    /// payload and code sections of the result alias `bytes`' allocation.
+    pub fn decode_view(bytes: &Bytes) -> Result<DecodedFrame> {
+        let layout = FrameLayout::parse(bytes)?;
+        Ok(DecodedFrame {
+            ifunc_name: layout.ifunc_name,
+            repr: layout.repr,
+            payload: bytes.slice(layout.payload),
+            code: layout.code.map(|r| bytes.slice(r)),
+            deps: layout.deps,
+        })
+    }
+}
+
+/// Parsed offsets of one encoded frame: byte ranges for the bulk sections,
+/// decoded values for the small ones.  Computed once; both the copying and
+/// the zero-copy decoders are thin wrappers over it.
+struct FrameLayout {
+    ifunc_name: String,
+    repr: CodeRepr,
+    payload: std::ops::Range<usize>,
+    code: Option<std::ops::Range<usize>>,
+    deps: Vec<String>,
+}
+
+impl FrameLayout {
+    fn parse(bytes: &[u8]) -> Result<FrameLayout> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
             if bytes.len() < *pos + n {
@@ -167,12 +228,15 @@ impl MessageFrame {
         let repr = CodeRepr::from_tag(repr_tag)
             .ok_or_else(|| CoreError::Frame(format!("bad code representation tag {repr_tag}")))?;
         let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
-        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
-            .map_err(|_| CoreError::Frame("ifunc name is not UTF-8".into()))?;
+        let name = std::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| CoreError::Frame("ifunc name is not UTF-8".into()))?
+            .to_string();
         let payload_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let code_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let deps_count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
-        let payload = take(&mut pos, payload_len)?.to_vec();
+        let payload_start = pos;
+        take(&mut pos, payload_len)?;
+        let payload = payload_start..pos;
         let magic = take(&mut pos, 4)?;
         if magic != FRAME_MAGIC {
             return Err(CoreError::Frame(
@@ -182,7 +246,7 @@ impl MessageFrame {
 
         if pos == bytes.len() {
             // Truncated frame: code section elided by the sender-side cache.
-            return Ok(DecodedFrame {
+            return Ok(FrameLayout {
                 ifunc_name: name,
                 repr,
                 payload,
@@ -191,12 +255,15 @@ impl MessageFrame {
             });
         }
 
-        let code = take(&mut pos, code_len)?.to_vec();
+        let code_start = pos;
+        take(&mut pos, code_len)?;
+        let code = code_start..pos;
         let mut deps = Vec::with_capacity(deps_count);
         for _ in 0..deps_count {
             let dlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
-            let dep = String::from_utf8(take(&mut pos, dlen)?.to_vec())
-                .map_err(|_| CoreError::Frame("dependency name is not UTF-8".into()))?;
+            let dep = std::str::from_utf8(take(&mut pos, dlen)?)
+                .map_err(|_| CoreError::Frame("dependency name is not UTF-8".into()))?
+                .to_string();
             deps.push(dep);
         }
         let trailer = take(&mut pos, 4)?;
@@ -209,7 +276,7 @@ impl MessageFrame {
                 bytes.len() - pos
             )));
         }
-        Ok(DecodedFrame {
+        Ok(FrameLayout {
             ifunc_name: name,
             repr,
             payload,
@@ -219,7 +286,9 @@ impl MessageFrame {
     }
 }
 
-/// A decoded frame as seen by the receiver.
+/// A decoded frame as seen by the receiver.  Produced by
+/// [`MessageFrame::decode_view`] its bulk sections are zero-copy views of
+/// the receive buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedFrame {
     /// Ifunc library name.
@@ -227,9 +296,9 @@ pub struct DecodedFrame {
     /// Code representation.
     pub repr: CodeRepr,
     /// User payload.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
     /// Code section bytes; `None` when the sender elided them (cached path).
-    pub code: Option<Vec<u8>>,
+    pub code: Option<Bytes>,
     /// Dependency names (empty for truncated frames).
     pub deps: Vec<String>,
 }
@@ -251,7 +320,7 @@ mod tests {
             CodeRepr::Bitcode,
             vec![1],
             vec![0xAB; 5000],
-            vec!["libc.so".into(), "libm.so".into()],
+            vec!["libc.so".to_string(), "libm.so".to_string()],
         )
     }
 
@@ -297,9 +366,9 @@ mod tests {
     #[test]
     fn corrupt_magic_rejected() {
         let f = frame();
-        let mut bytes = f.encode_full();
+        let mut bytes = f.encode_full().to_vec();
         // Find and damage the first MAGIC (right after header+payload).
-        let hdr = f.encode_truncated().len();
+        let hdr = f.truncated_size();
         bytes[hdr - 1] ^= 0xff;
         assert!(MessageFrame::decode(&bytes).is_err());
     }
@@ -307,11 +376,11 @@ mod tests {
     #[test]
     fn bad_version_and_repr_rejected() {
         let f = frame();
-        let mut bytes = f.encode_full();
+        let mut bytes = f.encode_full().to_vec();
         bytes[0] = 99;
         assert!(MessageFrame::decode(&bytes).is_err());
 
-        let mut bytes = f.encode_full();
+        let mut bytes = f.encode_full().to_vec();
         bytes[1] = 9;
         assert!(MessageFrame::decode(&bytes).is_err());
     }
@@ -334,9 +403,32 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let f = frame();
-        let mut bytes = f.encode_full();
+        let mut bytes = f.encode_full().to_vec();
         bytes.push(0);
         assert!(MessageFrame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_view_borrows_payload_and_code_zero_copy() {
+        let f = frame();
+        let encoded = f.encode_full();
+        let decoded = MessageFrame::decode_view(&encoded).unwrap();
+        assert!(decoded.payload.shares_storage(&encoded));
+        assert!(decoded.code.as_ref().unwrap().shares_storage(&encoded));
+        assert_eq!(decoded.payload, f.payload);
+        assert_eq!(decoded.code.as_ref().unwrap(), &f.code);
+
+        let truncated = f.encode_truncated();
+        let decoded = MessageFrame::decode_view(&truncated).unwrap();
+        assert!(decoded.is_truncated());
+        assert!(decoded.payload.shares_storage(&truncated));
+    }
+
+    #[test]
+    fn computed_sizes_match_encodings() {
+        let f = frame();
+        assert_eq!(f.full_size(), f.encode_full().len());
+        assert_eq!(f.truncated_size(), f.encode_truncated().len());
     }
 
     #[test]

@@ -15,9 +15,10 @@
 use crate::error::{CoreError, Result};
 use crate::frame::{CodeRepr, MessageFrame};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tc_bitir::{FatBitcode, Module, TargetTriple};
 use tc_jit::{build_object, CompileOptions, OptLevel};
+use tc_ucx::Bytes;
 
 /// Output of the toolchain for one ifunc library.
 #[derive(Debug, Clone)]
@@ -29,7 +30,9 @@ pub struct IfuncLibrary {
     /// Fat-bitcode archive (bitcode representation).
     pub fat_bitcode: FatBitcode,
     /// Encoded fat-bitcode bytes (what ships in the frame's code section).
-    pub fat_bitcode_bytes: Vec<u8>,
+    /// A shared view: every message created from this library references the
+    /// same allocation.
+    pub fat_bitcode_bytes: Bytes,
     /// Per-target binary objects, keyed by triple name (binary representation).
     pub binaries: HashMap<String, Vec<u8>>,
     /// Dependency list (the `.deps` file contents).
@@ -94,7 +97,7 @@ pub fn build_ifunc_library(module: &Module, options: &ToolchainOptions) -> Resul
         )));
     }
     let fat = FatBitcode::from_module(module, &options.targets)?;
-    let fat_bytes = fat.encode();
+    let fat_bytes = Bytes::from(fat.encode());
 
     let mut binaries = HashMap::new();
     if options.build_binaries {
@@ -195,15 +198,47 @@ impl IfuncRegistry {
 /// A user-facing ifunc message: a registered library plus a payload, bound to
 /// a code representation.  Creating the message materialises the full frame;
 /// the caching layer decides per-destination how much of it to transmit.
+///
+/// The frame is never modified by sending, so both wire encodings are
+/// computed at most once ([`IfuncMessage::wire_full`] /
+/// [`IfuncMessage::wire_truncated`]) and every send after the first clones a
+/// shared [`Bytes`] view — re-sending a message to many destinations copies
+/// nothing.
+#[derive(Debug, Clone, Default)]
+struct WireCache {
+    full: OnceLock<Bytes>,
+    truncated: OnceLock<Bytes>,
+}
+
+/// See [`WireCache`] above for the send-side encoding cache.
 #[derive(Debug, Clone)]
 pub struct IfuncMessage {
     /// The library handle this message is an instance of.
     pub handle: IfuncHandle,
     /// The frame (header + payload + code), never modified by sending.
     pub frame: MessageFrame,
+    wire: WireCache,
 }
 
 impl IfuncMessage {
+    /// The full wire encoding (header + payload + code), encoded on first
+    /// use and shared by every subsequent send.
+    pub fn wire_full(&self) -> Bytes {
+        self.wire
+            .full
+            .get_or_init(|| self.frame.encode_full())
+            .clone()
+    }
+
+    /// The truncated wire encoding (code section elided), encoded on first
+    /// use and shared by every subsequent send.
+    pub fn wire_truncated(&self) -> Bytes {
+        self.wire
+            .truncated
+            .get_or_init(|| self.frame.encode_truncated())
+            .clone()
+    }
+
     /// Create a bitcode-representation message.
     pub fn bitcode(handle: IfuncHandle, library: &IfuncLibrary, payload: Vec<u8>) -> Self {
         IfuncMessage {
@@ -215,6 +250,7 @@ impl IfuncMessage {
                 library.fat_bitcode_bytes.clone(),
                 library.deps.clone(),
             ),
+            wire: WireCache::default(),
         }
     }
 
@@ -230,6 +266,7 @@ impl IfuncMessage {
         let code = library.binary_for(target_triple)?.to_vec();
         Ok(IfuncMessage {
             handle,
+            wire: WireCache::default(),
             frame: MessageFrame::new(
                 library.name.clone(),
                 CodeRepr::Binary,

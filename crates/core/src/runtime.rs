@@ -34,7 +34,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use tc_bitir::{FatBitcode, TargetTriple};
 use tc_jit::{Engine, ExternalHost, JitError, MachModule, Memory, OptLevel, OrcJit, SparseMemory};
-use tc_ucx::{AmHandlerId, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent};
+use tc_ucx::{
+    AmHandlerId, BufPool, Bytes, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent,
+};
 
 /// Follow-on work requested by executing code (ifunc externals or native AM
 /// handlers); the runtime converts these into posted fabric operations after
@@ -111,8 +113,8 @@ pub enum Completion {
     Get {
         /// The GET's request id.
         request: RequestId,
-        /// Fetched bytes.
-        data: Vec<u8>,
+        /// Fetched bytes (zero-copy view of the received wire buffer).
+        data: Bytes,
     },
     /// An X-RDMA result arrived in the local mailbox.
     Result {
@@ -126,10 +128,10 @@ pub enum Completion {
 /// Target-side record of an ifunc that has been received and registered.
 struct ReceivedIfunc {
     repr: CodeRepr,
-    /// The code section as originally received (kept so this node can itself
-    /// forward the ifunc to peers that have not seen it — recursive
-    /// propagation).
-    code: Vec<u8>,
+    /// The code section as originally received — a shared view of the
+    /// arrival buffer, kept so this node can itself forward the ifunc to
+    /// peers that have not seen it (recursive propagation) without copying.
+    code: Bytes,
     deps: Vec<String>,
     /// Loaded machine module for binary ifuncs (bitcode ifuncs live in the
     /// JIT cache keyed by name).
@@ -154,6 +156,8 @@ pub struct NodeRuntime {
     am_names: Vec<String>,
     am_ids: HashMap<String, AmHandlerId>,
     completions: Vec<Completion>,
+    /// Recycled scratch buffers for reply payloads (GET serving).
+    reply_pool: BufPool,
     /// Cumulative counters.
     pub stats: RuntimeStats,
 }
@@ -200,6 +204,7 @@ impl NodeRuntime {
             am_names: Vec::new(),
             am_ids: HashMap::new(),
             completions: Vec::new(),
+            reply_pool: BufPool::new(),
             stats: RuntimeStats::default(),
         }
     }
@@ -269,14 +274,16 @@ impl NodeRuntime {
     /// Send an ifunc message to `dst`, applying the sender-side code cache.
     /// Returns the number of bytes actually posted to the fabric.
     pub fn send_ifunc(&mut self, message: &IfuncMessage, dst: WorkerAddr) -> usize {
+        // Both encodings are cached on the message: repeat sends (to any
+        // destination) clone a shared buffer instead of re-encoding.
         let bytes = match self.sender_cache.on_send(&message.frame.ifunc_name, dst) {
             SendDecision::SendFull => {
                 self.stats.ifunc_full_sends += 1;
-                message.frame.encode_full()
+                message.wire_full()
             }
             SendDecision::SendTruncated => {
                 self.stats.ifunc_truncated_sends += 1;
-                message.frame.encode_truncated()
+                message.wire_truncated()
             }
         };
         let len = bytes.len();
@@ -297,8 +304,10 @@ impl NodeRuntime {
         )
     }
 
-    /// Post a one-sided PUT of `data` at `addr` on node `dst`.
-    pub fn post_put(&mut self, dst: WorkerAddr, addr: u64, data: Vec<u8>) -> RequestId {
+    /// Post a one-sided PUT of `data` at `addr` on node `dst`.  Passing a
+    /// [`Bytes`] view makes the post zero-copy end to end.
+    pub fn post_put(&mut self, dst: WorkerAddr, addr: u64, data: impl Into<Bytes>) -> RequestId {
+        let data = data.into();
         self.stats.bytes_sent += (24 + data.len()) as u64;
         self.worker.post(
             dst,
@@ -311,7 +320,12 @@ impl NodeRuntime {
 
     /// Send an Active Message to a predeployed handler on `dst`.  Returns the
     /// wire size posted.
-    pub fn send_am(&mut self, handler: &str, dst: WorkerAddr, payload: Vec<u8>) -> Result<usize> {
+    pub fn send_am(
+        &mut self,
+        handler: &str,
+        dst: WorkerAddr,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize> {
         let id = self
             .am_ids
             .get(handler)
@@ -321,7 +335,7 @@ impl NodeRuntime {
             })?;
         let op = UcpOp::ActiveMessage {
             handler: id,
-            payload,
+            payload: payload.into(),
         };
         let size = op.wire_size();
         self.stats.bytes_sent += size as u64;
@@ -423,10 +437,13 @@ impl NodeRuntime {
                 len,
                 request,
             } => {
-                let mut data = vec![0u8; len as usize];
+                // Read straight into a recycled pool buffer: serving a GET
+                // allocates nothing in steady state.
+                let mut writer = self.reply_pool.acquire(len as usize);
                 self.memory
-                    .read(addr, &mut data)
+                    .read(addr, writer.reserve(len as usize))
                     .map_err(|e| CoreError::Sim(e.to_string()))?;
+                let data = writer.freeze(&mut self.reply_pool);
                 self.worker.post(from, UcpOp::GetReply { request, data });
                 self.stats.gets_served += 1;
                 Ok(ProcessOutcome::passive(OutcomeKind::GetServed))
@@ -478,8 +495,10 @@ impl NodeRuntime {
         })
     }
 
-    fn handle_ifunc_frame(&mut self, bytes: &[u8]) -> Result<ProcessOutcome> {
-        let frame = MessageFrame::decode(bytes)?;
+    fn handle_ifunc_frame(&mut self, bytes: &Bytes) -> Result<ProcessOutcome> {
+        // Zero-copy: payload and code of the decoded frame are views of the
+        // received buffer.
+        let frame = MessageFrame::decode_view(bytes)?;
         let name = frame.ifunc_name.clone();
 
         let mut jit_bitcode_bytes = None;
@@ -548,6 +567,7 @@ impl NodeRuntime {
                     frame.ifunc_name.clone(),
                     ReceivedIfunc {
                         repr: CodeRepr::Bitcode,
+                        // A view of the arrival buffer — no copy.
                         code: code.clone(),
                         deps: frame.deps.clone(),
                         binary: None,

@@ -192,7 +192,12 @@ impl ClusterSim {
     }
 
     /// Send an Active Message from the client to server rank `dst`.
-    pub fn client_send_am(&mut self, handler: &str, dst: usize, payload: Vec<u8>) -> Result<usize> {
+    pub fn client_send_am(
+        &mut self,
+        handler: &str,
+        dst: usize,
+        payload: impl Into<tc_ucx::Bytes>,
+    ) -> Result<usize> {
         self.inner.send_am(handler, dst, payload)
     }
 
@@ -204,8 +209,14 @@ impl ClusterSim {
             .request()
     }
 
-    /// Post a PUT from the client against server rank `dst`.
-    pub fn client_put(&mut self, dst: usize, addr: u64, data: Vec<u8>) -> RequestId {
+    /// Post a PUT from the client against server rank `dst`.  A
+    /// [`tc_ucx::Bytes`] argument is posted zero-copy.
+    pub fn client_put(
+        &mut self,
+        dst: usize,
+        addr: u64,
+        data: impl Into<tc_ucx::Bytes>,
+    ) -> RequestId {
         let req = self.inner.transport_mut().client_mut().post_put(
             tc_ucx::WorkerAddr(dst as u32),
             addr,

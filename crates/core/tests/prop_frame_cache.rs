@@ -105,7 +105,7 @@ fn decode_never_panics_on_mutated_or_clipped_frames() {
     for case in 0..CASES {
         let mut g = Gen::for_case(case);
         let frame = g.frame();
-        let mut bytes = frame.encode_full();
+        let mut bytes = frame.encode_full().to_vec();
 
         // Clip at an arbitrary boundary: either an error or (exactly at the
         // truncation point) a truncated decode — never a panic.

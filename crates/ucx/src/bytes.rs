@@ -1,0 +1,577 @@
+//! Shared, cheaply-cloneable payload buffers and a recycling buffer pool.
+//!
+//! Every hop of the data plane used to own its payload as a `Vec<u8>`,
+//! so a PUT travelling client → wire → node memory was reallocated and
+//! memcpy'd several times.  [`Bytes`] replaces those owned vectors with a
+//! reference-counted slice view: cloning is a refcount bump, and
+//! [`Bytes::slice`] produces sub-views of the same allocation — the receive
+//! path can hand the payload of a decoded wire envelope straight to the
+//! runtime without copying a byte.
+//!
+//! [`BufPool`] complements it on the *send* side: encode scratch buffers are
+//! `Arc<[u8]>` allocations the pool keeps a reference to.  While a message is
+//! in flight the pool's slot is shared (refcount ≥ 2) and untouchable; once
+//! the last `Bytes` view drops, the slot becomes unique again and the next
+//! [`BufPool::acquire`] reuses it in place — steady-state sends allocate
+//! nothing.  The pool counts allocations vs. reuses, which doubles as the
+//! copy/allocation instrumentation the wire-parity tests assert on.
+
+use std::cell::RefCell;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable view into reference-counted bytes.
+///
+/// `Bytes` dereferences to `[u8]`, compares by content, and clones by
+/// refcount.  Sub-views created with [`Bytes::slice`] / [`Bytes::split_to`]
+/// share the backing allocation with their parent (checkable through
+/// [`Bytes::shares_storage`]).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Copy a slice into a fresh allocation.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(src),
+            start: 0,
+            len: src.len(),
+        }
+    }
+
+    /// Wrap an existing shared allocation whole.
+    pub fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes {
+            data,
+            start: 0,
+            len,
+        }
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// A sub-view of this view (zero-copy; shares the backing allocation).
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds, mirroring slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            begin <= end && end <= self.len,
+            "Bytes::slice range {begin}..{end} out of bounds for length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            len: end - begin,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest in `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.start += at;
+        self.len -= at;
+        head
+    }
+
+    /// Split off and return the bytes from `at` onward, keeping the first
+    /// `at` bytes in `self`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.len = at;
+        tail
+    }
+
+    /// True when both views are backed by the same allocation — the
+    /// zero-copy property tests' witness that no bytes were copied.
+    pub fn shares_storage(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Copy the viewed bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} B)", self.len)?;
+        if self.len <= 16 {
+            write!(f, " {:02x?}", self.as_slice())?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&a)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.to_vec()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+/// Allocation/reuse counters of a [`BufPool`] — the "copy-counting" hooks the
+/// zero-copy tests assert on.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers newly allocated because no free slot was large enough.
+    pub allocated: u64,
+    /// Buffers recycled from a previously released slot.
+    pub reused: u64,
+    /// Total bytes handed out across all acquires.
+    pub bytes_acquired: u64,
+}
+
+/// A recycling pool of `Arc<[u8]>` encode-scratch buffers.
+///
+/// The pool retains a reference to every buffer it has handed out.  A slot
+/// whose refcount has dropped back to one (every [`Bytes`] view of it is
+/// gone) is writable again and gets reused by the next [`BufPool::acquire`]
+/// that fits, so the steady-state send path performs **zero allocations**:
+/// the same few buffers rotate through the fabric.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    slots: Vec<Arc<[u8]>>,
+    max_slots: usize,
+    /// Allocation/reuse counters.
+    pub stats: PoolStats,
+}
+
+/// Smallest buffer the pool allocates; tiny envelopes share slots.
+const MIN_BUF: usize = 256;
+/// Default cap on retained slots (beyond it, freed buffers are dropped).
+const DEFAULT_MAX_SLOTS: usize = 64;
+
+impl BufPool {
+    /// A pool retaining up to the default number of slots.
+    pub fn new() -> Self {
+        Self::with_max_slots(DEFAULT_MAX_SLOTS)
+    }
+
+    /// A pool retaining up to `max_slots` buffers.
+    pub fn with_max_slots(max_slots: usize) -> Self {
+        BufPool {
+            slots: Vec::new(),
+            max_slots,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Number of slots currently retained (free or in flight).
+    pub fn retained(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Acquire a writable buffer of capacity at least `len`.  Call
+    /// [`PoolWriter::freeze`] to turn the written prefix into a [`Bytes`] and
+    /// return the slot to the pool for reuse once all views drop.
+    pub fn acquire(&mut self, len: usize) -> PoolWriter {
+        self.stats.bytes_acquired += len as u64;
+        // A retained slot is free exactly when the pool holds the only
+        // reference; `get_mut` is the authoritative uniqueness check.
+        let free = self
+            .slots
+            .iter_mut()
+            .position(|s| s.len() >= len && Arc::get_mut(s).is_some());
+        let buf = match free {
+            Some(i) => {
+                self.stats.reused += 1;
+                self.slots.swap_remove(i)
+            }
+            None => {
+                self.stats.allocated += 1;
+                let cap = len.next_power_of_two().max(MIN_BUF);
+                Arc::from(vec![0u8; cap])
+            }
+        };
+        PoolWriter { buf, len: 0 }
+    }
+}
+
+/// A writable pool buffer with an append cursor.  Produced by
+/// [`BufPool::acquire`]; consumed by [`PoolWriter::freeze`].
+#[derive(Debug)]
+pub struct PoolWriter {
+    buf: Arc<[u8]>,
+    len: usize,
+}
+
+impl PoolWriter {
+    /// Bytes written so far.
+    pub fn written(&self) -> usize {
+        self.len
+    }
+
+    fn buf_mut(&mut self) -> &mut [u8] {
+        Arc::get_mut(&mut self.buf).expect("pool writer buffer is uniquely owned")
+    }
+
+    /// Append a slice.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        let at = self.len;
+        self.buf_mut()[at..at + src.len()].copy_from_slice(src);
+        self.len += src.len();
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u16.
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Direct access to `n` writable bytes starting at the cursor; the
+    /// cursor advances by `n`.  For callers that fill the region themselves
+    /// (e.g. a memory read straight into the wire buffer).
+    pub fn reserve(&mut self, n: usize) -> &mut [u8] {
+        let at = self.len;
+        self.len += n;
+        &mut self.buf_mut()[at..at + n]
+    }
+
+    /// Freeze the written prefix into an immutable [`Bytes`] view and hand
+    /// the slot back to `pool` for reuse after all views drop.
+    pub fn freeze(self, pool: &mut BufPool) -> Bytes {
+        let PoolWriter { buf, len } = self;
+        if pool.slots.len() < pool.max_slots {
+            pool.slots.push(Arc::clone(&buf));
+        }
+        Bytes {
+            data: buf,
+            start: 0,
+            len,
+        }
+    }
+
+    /// Freeze without returning the slot to any pool (one-off buffers).
+    pub fn freeze_detached(self) -> Bytes {
+        Bytes {
+            data: self.buf,
+            start: 0,
+            len: self.len,
+        }
+    }
+}
+
+thread_local! {
+    static TLS_POOL: RefCell<BufPool> = RefCell::new(BufPool::new());
+}
+
+/// Run `f` with this thread's encode pool.  The wire codecs use this so hot
+/// send paths need no pool plumbing; each transport thread recycles its own
+/// buffers.
+pub fn with_pool<R>(f: impl FnOnce(&mut BufPool) -> R) -> R {
+    TLS_POOL.with(|p| f(&mut p.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_split_share_storage_and_preserve_content() {
+        let b = Bytes::from((0u8..64).collect::<Vec<u8>>());
+        let mid = b.slice(16..48);
+        assert_eq!(mid.len(), 32);
+        assert_eq!(mid[0], 16);
+        assert!(mid.shares_storage(&b));
+
+        let sub = mid.slice(4..8);
+        assert_eq!(sub, [20, 21, 22, 23]);
+        assert!(sub.shares_storage(&b));
+
+        let mut rest = b.clone();
+        let head = rest.split_to(10);
+        assert_eq!(head.len(), 10);
+        assert_eq!(rest.len(), 54);
+        assert_eq!(rest[0], 10);
+        assert!(head.shares_storage(&rest));
+
+        let tail = rest.split_off(50);
+        assert_eq!(tail, [60, 61, 62, 63]);
+        assert_eq!(rest.len(), 50);
+    }
+
+    /// Seeded property test (no external crates): arbitrary chains of
+    /// slice/split operations must agree with the same operations on a plain
+    /// `Vec` model, and every derived view must alias the root allocation.
+    #[test]
+    fn random_slice_chains_match_vec_model_and_alias_storage() {
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // SplitMix64, same generator family as tc_simnet's.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..64 {
+            let len = (next() % 512 + 1) as usize;
+            let model: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let root = Bytes::from(model.clone());
+            let mut view = root.clone();
+            let mut window = 0..model.len();
+            for _ in 0..16 {
+                match next() % 3 {
+                    0 => {
+                        let a = (next() as usize) % (view.len() + 1);
+                        let b = a + (next() as usize) % (view.len() - a + 1);
+                        view = view.slice(a..b);
+                        window = window.start + a..window.start + b;
+                    }
+                    1 => {
+                        let at = (next() as usize) % (view.len() + 1);
+                        let head = view.split_to(at);
+                        assert_eq!(head, model[window.start..window.start + at]);
+                        assert!(head.shares_storage(&root));
+                        window.start += at;
+                    }
+                    _ => {
+                        let at = (next() as usize) % (view.len() + 1);
+                        let tail = view.split_off(at);
+                        assert_eq!(tail, model[window.start + at..window.end]);
+                        assert!(tail.shares_storage(&root));
+                        window.end = window.start + at;
+                    }
+                }
+                assert_eq!(view, model[window.clone()], "window {window:?}");
+                assert!(view.shares_storage(&root), "views must not reallocate");
+                assert_eq!(view.to_vec(), model[window.clone()].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn equality_is_by_content_not_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert!(!a.shares_storage(&b));
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(a, [1u8, 2, 3]);
+        assert_eq!(a.slice(1..), [2u8, 3]);
+    }
+
+    #[test]
+    fn pool_reuses_buffer_after_views_drop() {
+        let mut pool = BufPool::new();
+        let mut w = pool.acquire(100);
+        w.put_slice(&[7; 100]);
+        let bytes = w.freeze(&mut pool);
+        assert_eq!(pool.stats.allocated, 1);
+        assert_eq!(pool.retained(), 1);
+
+        // In flight: the slot is shared, a second acquire must allocate.
+        let w2 = pool.acquire(100);
+        assert_eq!(pool.stats.allocated, 2);
+        let bytes2 = w2.freeze(&mut pool);
+
+        drop(bytes);
+        drop(bytes2);
+        // Both slots free again: the next two acquires allocate nothing.
+        let w3 = pool.acquire(64).freeze(&mut pool);
+        let w4 = pool.acquire(128).freeze(&mut pool);
+        assert_eq!(pool.stats.allocated, 2);
+        assert_eq!(pool.stats.reused, 2);
+        drop((w3, w4));
+    }
+
+    #[test]
+    fn pool_respects_slot_cap_and_min_size() {
+        let mut pool = BufPool::with_max_slots(1);
+        let a = pool.acquire(10).freeze(&mut pool);
+        let b = pool.acquire(10).freeze(&mut pool);
+        assert_eq!(pool.retained(), 1, "cap of one slot");
+        drop((a, b));
+        let w = pool.acquire(1);
+        assert!(w.buf.len() >= MIN_BUF);
+        drop(w);
+    }
+
+    #[test]
+    fn writer_cursor_and_reserve() {
+        let mut pool = BufPool::new();
+        let mut w = pool.acquire(32);
+        w.put_u8(0xAB);
+        w.put_u16_le(0x1234);
+        w.put_u32_le(0xDEADBEEF);
+        w.put_u64_le(42);
+        w.reserve(2).copy_from_slice(&[9, 9]);
+        assert_eq!(w.written(), 17);
+        let b = w.freeze(&mut pool);
+        assert_eq!(b.len(), 17);
+        assert_eq!(b[0], 0xAB);
+        assert_eq!(u16::from_le_bytes(b[1..3].try_into().unwrap()), 0x1234);
+        assert_eq!(&b[15..], &[9, 9]);
+    }
+
+    #[test]
+    fn freeze_detached_keeps_buffer_out_of_pool() {
+        let mut pool = BufPool::new();
+        let b = pool.acquire(8).freeze_detached();
+        assert_eq!(pool.retained(), 0);
+        drop(b);
+        assert_eq!(pool.stats.allocated, 1);
+    }
+}

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bytes;
 pub mod loopback;
 pub mod worker;
 
+pub use bytes::{BufPool, Bytes, PoolStats, PoolWriter};
 pub use loopback::LoopbackNetwork;
 pub use worker::{
     AmHandlerId, Endpoint, OutgoingMessage, RequestId, UcpOp, Worker, WorkerAddr, WorkerEvent,

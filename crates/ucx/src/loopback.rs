@@ -81,6 +81,7 @@ impl LoopbackNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::worker::{AmHandlerId, UcpOp, WorkerEvent};
 
     #[test]
@@ -103,7 +104,7 @@ mod tests {
             WorkerAddr(7),
             UcpOp::Put {
                 remote_addr: 0,
-                data: vec![],
+                data: Bytes::new(),
             },
         );
         assert_eq!(net.route_all(), 1);
@@ -117,7 +118,7 @@ mod tests {
             WorkerAddr(1),
             UcpOp::Put {
                 remote_addr: 4,
-                data: vec![1],
+                data: vec![1].into(),
             },
         );
         let rounds = net.route_until_quiescent(10);

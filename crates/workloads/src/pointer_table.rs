@@ -9,7 +9,7 @@
 
 use tc_core::layout::DATA_REGION_BASE;
 use tc_core::ClusterSim;
-use tc_jit::MemoryExt;
+use tc_jit::Memory;
 use tc_simnet::SplitMix64;
 
 /// In-place Fisher–Yates shuffle driven by [`SplitMix64`].
@@ -94,14 +94,17 @@ impl PointerTable {
         );
         for server in 0..self.num_servers {
             let rank = server + 1;
-            for local in 0..self.shard_size {
-                let g = server * self.shard_size + local;
-                let value = self.entries[g];
-                sim.node_mut(rank)
-                    .memory
-                    .write_u64(DATA_REGION_BASE + (local as u64) * 8, value)
-                    .expect("sparse memory write cannot fail");
+            // One bulk write per shard instead of one per entry: serialise
+            // the shard once and hand the whole image to the node's memory.
+            let shard = &self.entries[server * self.shard_size..(server + 1) * self.shard_size];
+            let mut image = Vec::with_capacity(shard.len() * 8);
+            for value in shard {
+                image.extend_from_slice(&value.to_le_bytes());
             }
+            sim.node_mut(rank)
+                .memory
+                .write(DATA_REGION_BASE, &image)
+                .expect("sparse memory write cannot fail");
         }
     }
 

@@ -82,7 +82,7 @@ fn frame_full_roundtrip() {
         assert_eq!(decoded.ifunc_name, name, "case {case}");
         assert_eq!(decoded.repr, repr, "case {case}");
         assert_eq!(decoded.payload, payload, "case {case}");
-        assert_eq!(decoded.code.as_ref(), Some(&code), "case {case}");
+        assert_eq!(decoded.code.as_deref(), Some(&code[..]), "case {case}");
         assert_eq!(decoded.deps, deps, "case {case}");
     }
 }

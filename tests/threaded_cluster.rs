@@ -110,6 +110,48 @@ fn threaded_truncated_frame_to_cold_server_is_rejected_not_crashing() {
 }
 
 #[test]
+fn idle_cluster_detects_quiescence_and_shuts_down_fast() {
+    // The transport parks on `recv_timeout` (woken instantly by enqueues)
+    // and consults the fabric's pending-message counter, so an idle cluster
+    // must be detected and torn down in well under 100 ms — the former
+    // fixed polling budget was ~0.5 s.
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_bf2())
+        .servers(8)
+        .build_threaded();
+    let start = std::time::Instant::now();
+    cluster.run_until_idle(1_000).unwrap();
+    cluster.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_millis(100),
+        "idle 8-node cluster took {elapsed:?} to quiesce and shut down"
+    );
+}
+
+#[test]
+fn large_put_and_get_payloads_cross_the_cluster_unchanged() {
+    // End-to-end exercise of the scatter-gather data plane: a large PUT
+    // travels as a shared payload segment, and the GET reply of the same
+    // region round-trips bit-exact.
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_xeon())
+        .servers(2)
+        .build_threaded();
+    let addr = tc_core::layout::DATA_REGION_BASE;
+    let payload: tc_ucx::Bytes = (0..192 * 1024).map(|i| (i * 31 % 251) as u8).collect();
+    cluster.put(2, addr, payload.clone()).unwrap();
+    let handle = cluster.get(2, addr, payload.len() as u64).unwrap();
+    let fetched = cluster.wait(&handle).unwrap();
+    assert_eq!(fetched, payload);
+    // And via the control plane, which reads the node's memory directly.
+    let peeked = cluster.read_memory(2, addr, payload.len()).unwrap();
+    assert_eq!(peeked, payload);
+    assert_eq!(cluster.metrics().messages_dropped, 0);
+    cluster.shutdown();
+}
+
+#[test]
 fn threaded_sends_to_unknown_ranks_are_counted_not_lost_silently() {
     let platform = tc_simnet::Platform::thor_xeon();
     let mut cluster = ClusterBuilder::new()
