@@ -1,0 +1,412 @@
+//! The deterministic fault-decision machine.
+//!
+//! [`ChaosEngine::decide`] is the single choke point both backends consult
+//! for every link traversal.  Each directed link owns an independent
+//! splitmix64 stream seeded from `(plan.seed, src, dst)` and a traversal
+//! counter; a decision always draws the same number of values from the
+//! stream regardless of outcome, so the fault schedule of one link never
+//! depends on what happened on another.
+
+use crate::plan::FaultPlan;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use tc_simnet::SplitMix64;
+
+/// What kind of fault a decision injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Probabilistic drop.
+    Drop,
+    /// Probabilistic duplication.
+    Duplicate,
+    /// Probabilistic delay.
+    Delay,
+    /// Probabilistic reorder.
+    Reorder,
+    /// Drop because a scheduled partition is active on the link.
+    PartitionDrop,
+    /// Drop because an endpoint is inside a crash window.
+    CrashDrop,
+}
+
+/// The fate of one message on one link traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// False when the message is dropped (see `dropped_by` for why).
+    pub deliver: bool,
+    /// Why the message was dropped, when it was.
+    pub dropped_by: Option<FaultKind>,
+    /// Deliver a second copy (only meaningful when `deliver`).
+    pub duplicate: bool,
+    /// Extra delay in abstract latency units (0 = none).
+    pub delay_units: u32,
+    /// Reorder this message behind the link's next traffic.
+    pub reorder: bool,
+}
+
+impl Decision {
+    /// The boring decision: deliver exactly once, on time, in order.
+    pub const CLEAN: Decision = Decision {
+        deliver: true,
+        dropped_by: None,
+        duplicate: false,
+        delay_units: 0,
+        reorder: false,
+    };
+
+    /// True when this decision injected any fault at all.
+    pub fn is_faulty(&self) -> bool {
+        !self.deliver || self.duplicate || self.delay_units > 0 || self.reorder
+    }
+}
+
+/// Cumulative counters of injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Total decisions made (= link traversals observed).
+    pub decisions: u64,
+    /// Probabilistic drops.
+    pub drops: u64,
+    /// Duplicated deliveries.
+    pub duplicates: u64,
+    /// Delayed deliveries.
+    pub delays: u64,
+    /// Reordered deliveries.
+    pub reorders: u64,
+    /// Drops caused by an active partition.
+    pub partition_drops: u64,
+    /// Drops caused by a crash window.
+    pub crash_drops: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected, of any kind.
+    pub fn total_injected(&self) -> u64 {
+        self.drops
+            + self.duplicates
+            + self.delays
+            + self.reorders
+            + self.partition_drops
+            + self.crash_drops
+    }
+}
+
+struct LinkState {
+    rng: SplitMix64,
+    traversals: u64,
+}
+
+/// The deterministic decision machine for one [`FaultPlan`].
+#[derive(Debug)]
+pub struct ChaosEngine {
+    plan: FaultPlan,
+    links: HashMap<(usize, usize), LinkState>,
+    /// Traversals touching each node (inbound + outbound), for crash
+    /// windows.
+    node_traffic: HashMap<usize, u64>,
+    stats: ChaosStats,
+}
+
+impl std::fmt::Debug for LinkState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkState")
+            .field("traversals", &self.traversals)
+            .finish()
+    }
+}
+
+fn mix_link_seed(seed: u64, src: usize, dst: usize) -> u64 {
+    // One splitmix step over a src/dst tag keeps per-link streams disjoint.
+    let mut s = SplitMix64::new(
+        seed ^ ((src as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ ((dst as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)),
+    );
+    s.next_u64()
+}
+
+impl ChaosEngine {
+    /// Build the engine for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosEngine {
+            plan,
+            links: HashMap::new(),
+            node_traffic: HashMap::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// Decide the fate of the next message crossing the directed link
+    /// `(src, dst)`.  Advances the link's traversal counter and both
+    /// endpoints' traffic counters.
+    pub fn decide(&mut self, src: usize, dst: usize) -> Decision {
+        self.stats.decisions += 1;
+        let faults = self.plan.faults_for(src, dst);
+        let state = self.links.entry((src, dst)).or_insert_with(|| LinkState {
+            rng: SplitMix64::new(mix_link_seed(self.plan.seed, src, dst)),
+            traversals: 0,
+        });
+        let n = state.traversals;
+        state.traversals += 1;
+        // Always draw the same number of values so one fault never shifts
+        // the schedule of the others.
+        let draw_drop = state.rng.next_u64();
+        let draw_dup = state.rng.next_u64();
+        let draw_delay = state.rng.next_u64();
+        let draw_reorder = state.rng.next_u64();
+        let draw_units = state.rng.next_u64();
+
+        let src_traffic = {
+            let c = self.node_traffic.entry(src).or_insert(0);
+            *c += 1;
+            *c - 1
+        };
+        let dst_traffic = {
+            let c = self.node_traffic.entry(dst).or_insert(0);
+            *c += 1;
+            *c - 1
+        };
+
+        // Scheduled faults first: a partitioned or crashed endpoint drops
+        // the message regardless of the probabilistic draws.
+        for crash in &self.plan.crashes {
+            let touched = if crash.node == src {
+                Some(src_traffic)
+            } else if crash.node == dst {
+                Some(dst_traffic)
+            } else {
+                None
+            };
+            if let Some(t) = touched {
+                if t >= crash.from && t < crash.to {
+                    self.stats.crash_drops += 1;
+                    return Decision {
+                        deliver: false,
+                        dropped_by: Some(FaultKind::CrashDrop),
+                        ..Decision::CLEAN
+                    };
+                }
+            }
+        }
+        for p in &self.plan.partitions {
+            if p.crosses(src, dst) && n >= p.from && n < p.to {
+                self.stats.partition_drops += 1;
+                return Decision {
+                    deliver: false,
+                    dropped_by: Some(FaultKind::PartitionDrop),
+                    ..Decision::CLEAN
+                };
+            }
+        }
+
+        let hit = |draw: u64, p: f64| -> bool { p > 0.0 && (draw as f64) < p * (u64::MAX as f64) };
+        if hit(draw_drop, faults.drop) {
+            self.stats.drops += 1;
+            return Decision {
+                deliver: false,
+                dropped_by: Some(FaultKind::Drop),
+                ..Decision::CLEAN
+            };
+        }
+        let duplicate = hit(draw_dup, faults.duplicate);
+        let delayed = faults.max_delay_units > 0 && hit(draw_delay, faults.delay);
+        let reorder = hit(draw_reorder, faults.reorder);
+        let delay_units = if delayed {
+            1 + (draw_units % faults.max_delay_units as u64) as u32
+        } else {
+            0
+        };
+        if duplicate {
+            self.stats.duplicates += 1;
+        }
+        if delayed {
+            self.stats.delays += 1;
+        }
+        if reorder {
+            self.stats.reorders += 1;
+        }
+        Decision {
+            deliver: true,
+            dropped_by: None,
+            duplicate,
+            delay_units,
+            reorder,
+        }
+    }
+}
+
+/// A clonable, thread-safe handle to a shared [`ChaosEngine`].
+///
+/// The threaded backend's envelope filter runs on many node threads at once;
+/// the simulated backend is single-threaded but shares the same interface so
+/// transports are written once.  All methods lock internally.
+#[derive(Clone, Debug)]
+pub struct ChaosSession {
+    engine: Arc<Mutex<ChaosEngine>>,
+}
+
+impl ChaosSession {
+    /// Start a session executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosSession {
+            engine: Arc::new(Mutex::new(ChaosEngine::new(plan))),
+        }
+    }
+
+    /// Decide the fate of the next `(src, dst)` traversal.
+    pub fn decide(&self, src: usize, dst: usize) -> Decision {
+        self.engine
+            .lock()
+            .expect("chaos engine poisoned")
+            .decide(src, dst)
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.engine.lock().expect("chaos engine poisoned").stats()
+    }
+
+    /// Clone of the underlying plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.engine
+            .lock()
+            .expect("chaos engine poisoned")
+            .plan()
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, LinkFaults};
+
+    fn decisions(engine: &mut ChaosEngine, src: usize, dst: usize, n: usize) -> Vec<Decision> {
+        (0..n).map(|_| engine.decide(src, dst)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::seeded(42).drop_rate(0.2).duplicate_rate(0.1);
+        let mut a = ChaosEngine::new(plan.clone());
+        let mut b = ChaosEngine::new(plan);
+        assert_eq!(decisions(&mut a, 0, 1, 256), decisions(&mut b, 0, 1, 256));
+    }
+
+    #[test]
+    fn different_links_have_independent_streams() {
+        let plan = FaultPlan::seeded(42).drop_rate(0.5);
+        let mut a = ChaosEngine::new(plan.clone());
+        let mut b = ChaosEngine::new(plan);
+        // Interleaving traffic on another link must not shift link (0, 1).
+        let solo = decisions(&mut a, 0, 1, 64);
+        let mut interleaved = Vec::new();
+        for _ in 0..64 {
+            let _ = b.decide(0, 2);
+            interleaved.push(b.decide(0, 1));
+            let _ = b.decide(2, 0);
+        }
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn empty_plan_is_always_clean() {
+        let mut e = ChaosEngine::new(FaultPlan::seeded(1));
+        for d in decisions(&mut e, 0, 3, 128) {
+            assert_eq!(d, Decision::CLEAN);
+        }
+        assert_eq!(e.stats().total_injected(), 0);
+        assert_eq!(e.stats().decisions, 128);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut e = ChaosEngine::new(FaultPlan::seeded(7).drop_rate(0.1));
+        let ds = decisions(&mut e, 0, 1, 20_000);
+        let drops = ds.iter().filter(|d| !d.deliver).count();
+        assert!(
+            (1_400..2_600).contains(&drops),
+            "10% of 20k traversals should drop ~2000, got {drops}"
+        );
+        assert_eq!(e.stats().drops as usize, drops);
+    }
+
+    #[test]
+    fn partition_window_opens_and_heals() {
+        let plan = FaultPlan::seeded(5).partition(&[1], 3, 6);
+        let mut e = ChaosEngine::new(plan);
+        let ds = decisions(&mut e, 0, 1, 10);
+        for (i, d) in ds.iter().enumerate() {
+            let partitioned = (3..6).contains(&(i as u64));
+            assert_eq!(!d.deliver, partitioned, "traversal {i}");
+            if partitioned {
+                assert_eq!(d.dropped_by, Some(FaultKind::PartitionDrop));
+            }
+        }
+        // A link inside group_a's side is unaffected.
+        assert!(e.decide(0, 2).deliver);
+        assert_eq!(e.stats().partition_drops, 3);
+    }
+
+    #[test]
+    fn crash_window_blackholes_all_node_traffic() {
+        let plan = FaultPlan::seeded(5).crash(2, 0, 4);
+        let mut e = ChaosEngine::new(plan);
+        // Traffic *touching* node 2 is dropped until 4 traversals passed.
+        assert!(!e.decide(0, 2).deliver); // node 2 traffic: 1
+        assert!(!e.decide(2, 1).deliver); // 2
+        assert!(e.decide(0, 1).deliver); // does not touch node 2
+        assert!(!e.decide(1, 2).deliver); // 3
+        assert!(!e.decide(0, 2).deliver); // 4 — last dropped
+        assert!(e.decide(0, 2).deliver, "restarted after the window");
+        assert_eq!(e.stats().crash_drops, 4);
+    }
+
+    #[test]
+    fn delay_units_respect_bound() {
+        let plan = FaultPlan::seeded(11).delay_rate(1.0);
+        let mut e = ChaosEngine::new(plan);
+        for d in decisions(&mut e, 0, 1, 200) {
+            assert!(d.delay_units >= 1 && d.delay_units <= 4, "{d:?}");
+        }
+        assert_eq!(e.stats().delays, 200);
+    }
+
+    #[test]
+    fn session_is_shareable_and_counts() {
+        let session = ChaosSession::new(FaultPlan::seeded(3).drop_rate(1.0));
+        let s2 = session.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..10 {
+                assert!(!s2.decide(0, 1).deliver);
+            }
+        });
+        h.join().unwrap();
+        for _ in 0..5 {
+            let _ = session.decide(1, 0);
+        }
+        assert_eq!(session.stats().decisions, 15);
+        assert_eq!(session.stats().drops, 15);
+        assert_eq!(session.plan().default_link.drop, 1.0);
+    }
+
+    #[test]
+    fn link_override_changes_one_direction_only() {
+        let loud = LinkFaults {
+            drop: 1.0,
+            ..LinkFaults::default()
+        };
+        let mut e = ChaosEngine::new(FaultPlan::seeded(1).link(0, 1, loud));
+        assert!(!e.decide(0, 1).deliver);
+        assert!(e.decide(1, 0).deliver);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tc-chaos — the deterministic fault-injection plane
+//!
+//! The paper's X-RDMA/ifunc pattern assumes a lossless fabric; real fabrics
+//! (and the ROADMAP's production ambitions) are not so polite.  This crate
+//! defines the *fault model* both cluster backends inject and the reliable
+//! delivery layer in `tc-core` must survive:
+//!
+//! * [`FaultPlan`] — a seeded, declarative description of what goes wrong:
+//!   per-link drop / duplicate / delay / reorder probabilities, scheduled
+//!   network [`Partition`]s, and node [`CrashWindow`]s;
+//! * [`ChaosEngine`] — the deterministic decision machine: given a plan and
+//!   a `(src, dst)` link traversal it answers "what happens to this
+//!   message?", drawing from a per-link splitmix64 stream so the same plan
+//!   produces the same fault schedule on every run;
+//! * [`ChaosSession`] — a cheaply clonable, thread-safe handle shared
+//!   between a transport's send paths (the simulated event engine injects
+//!   faults as virtual-time effects; the threaded backend interposes an
+//!   envelope filter), with a [`ChaosStats`] snapshot for reporting.
+//!
+//! Determinism contract: fault decisions are a pure function of
+//! `(plan.seed, src, dst, per-link traversal count)`.  Every traversal of a
+//! link — first sends, retransmits, acks — consumes exactly one decision, so
+//! a partition window expressed in traversal counts heals the same way on
+//! both backends even though their notions of time differ.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{ChaosEngine, ChaosSession, ChaosStats, Decision, FaultKind};
+pub use plan::{CrashWindow, FaultPlan, LinkFaults, Partition};

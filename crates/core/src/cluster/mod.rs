@@ -46,12 +46,15 @@
 //! assert_eq!(cluster.stats(1).unwrap().ifuncs_executed, 1);
 //! ```
 
+pub mod reliable;
 pub mod sim_transport;
 pub mod thread_transport;
 pub mod wire;
 
+pub use reliable::{RelConfig, RelMetrics};
 pub use sim_transport::SimTransport;
-pub use thread_transport::ThreadTransport;
+pub use tc_chaos::{ChaosSession, ChaosStats, FaultPlan, LinkFaults};
+pub use thread_transport::{ThreadTransport, ThreadTuning};
 
 use crate::error::{CoreError, Result};
 use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage};
@@ -95,6 +98,15 @@ pub struct TransportMetrics {
     /// [`RuntimeStats::bytes_sent`] via [`Transport::node_stats`] is the
     /// comparable per-node measure.)
     pub bytes_sent: u64,
+    /// Messages re-sent by the reliable-delivery layer (0 without a fault
+    /// plan).
+    pub retransmits: u64,
+    /// Duplicate arrivals dropped by receiver-side dedup (0 without a
+    /// fault plan).
+    pub dup_drops: u64,
+    /// Faults the chaos engine injected — drops, duplicates, delays,
+    /// reorders, partition and crash drops (0 without a fault plan).
+    pub faults_injected: u64,
 }
 
 /// A pluggable cluster backend: hosts the node runtimes and moves fabric
@@ -153,6 +165,18 @@ pub trait Transport {
     /// Fabric-level counters (deliveries, drops, bytes).
     fn metrics(&self) -> TransportMetrics;
 
+    /// Reliability counters of one node — retransmits, dup drops,
+    /// out-of-order parks (`None` without a fault plan).
+    fn node_reliability(&self, _rank: usize) -> Option<RelMetrics> {
+        None
+    }
+
+    /// Injected-fault counters of the chaos engine (`None` without a fault
+    /// plan).
+    fn chaos_stats(&self) -> Option<tc_chaos::ChaosStats> {
+        None
+    }
+
     /// Tear the backend down (join threads).  Idempotent; the default is a
     /// no-op for in-process backends.
     fn shutdown(&mut self) {}
@@ -197,6 +221,12 @@ impl Transport for Box<dyn Transport> {
     }
     fn metrics(&self) -> TransportMetrics {
         (**self).metrics()
+    }
+    fn node_reliability(&self, rank: usize) -> Option<RelMetrics> {
+        (**self).node_reliability(rank)
+    }
+    fn chaos_stats(&self) -> Option<tc_chaos::ChaosStats> {
+        (**self).chaos_stats()
     }
     fn shutdown(&mut self) {
         (**self).shutdown()
@@ -593,6 +623,8 @@ pub struct ClusterBuilder {
     client_triple: Option<TargetTriple>,
     server_triple: Option<TargetTriple>,
     opt_level: OptLevel,
+    fault_plan: Option<tc_chaos::FaultPlan>,
+    tuning: thread_transport::ThreadTuning,
 }
 
 impl Default for ClusterBuilder {
@@ -610,6 +642,8 @@ impl ClusterBuilder {
             client_triple: None,
             server_triple: None,
             opt_level: OptLevel::O2,
+            fault_plan: None,
+            tuning: thread_transport::ThreadTuning::default(),
         }
     }
 
@@ -644,6 +678,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Install a seeded [`tc_chaos::FaultPlan`]: every fabric traversal
+    /// consults the chaos engine (drop / duplicate / delay / reorder,
+    /// scheduled partitions, crash windows) and the data plane runs over
+    /// the reliable-delivery layer, making PUT/GET/ifunc injection
+    /// exactly-once despite the injected faults.  Without a plan the
+    /// transports keep their original zero-overhead lossless path.
+    pub fn fault_plan(mut self, plan: tc_chaos::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Tune the threaded backend's scheduling constants (park timeout,
+    /// batch caps, idle grace, control timeout) — formerly hard-coded.
+    /// Ignored by the simulated backend.
+    pub fn thread_tuning(mut self, tuning: thread_transport::ThreadTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     fn resolved_triples(&self) -> (TargetTriple, TargetTriple) {
         let client = self.client_triple.unwrap_or_else(|| {
             TargetTriple::parse(self.platform.client_triple).unwrap_or(TargetTriple::X86_64_GENERIC)
@@ -657,12 +710,13 @@ impl ClusterBuilder {
 
     /// Build on the discrete-event backend.
     pub fn build_sim(self) -> Cluster<SimTransport> {
-        let transport = SimTransport::with_triples_and_opt(
+        let transport = SimTransport::with_config(
             self.platform,
             self.servers,
             self.client_triple,
             self.server_triple,
             self.opt_level,
+            self.fault_plan,
         );
         Cluster::new(transport)
     }
@@ -670,11 +724,13 @@ impl ClusterBuilder {
     /// Build on the real-thread backend.
     pub fn build_threaded(self) -> Cluster<ThreadTransport> {
         let (client, server) = self.resolved_triples();
-        Cluster::new(ThreadTransport::with_opt(
+        Cluster::new(ThreadTransport::with_config(
             self.servers,
             client,
             server,
             self.opt_level,
+            self.tuning,
+            self.fault_plan,
         ))
     }
 

@@ -1,0 +1,419 @@
+//! The reliable-delivery sublayer: exactly-once, in-order links over a
+//! lossy fabric.
+//!
+//! The paper's transports assume a lossless RDMA fabric; under a
+//! [`tc_chaos::FaultPlan`] that assumption is gone — envelopes drop,
+//! duplicate and reorder.  This module implements the classic fix at the
+//! framework level, once, for both backends:
+//!
+//! * **per-link sequence numbers** — every data message on a directed link
+//!   carries a monotonically increasing sequence number;
+//! * **cumulative acks** — receivers acknowledge the highest in-order
+//!   sequence delivered, piggybacked on data and echoed as pure acks;
+//! * **timeout-based retransmission with bounded backoff** — unacked
+//!   messages are re-sent after an RTO that doubles per silent round up to
+//!   a cap (the retries themselves are unbounded: a partition heals
+//!   *because* retransmissions keep probing it);
+//! * **receiver-side dedup and reordering** — duplicates are dropped,
+//!   out-of-order arrivals are buffered until the gap fills.
+//!
+//! The state machine is transport-agnostic: it never touches clocks,
+//! channels or event queues.  Callers feed it their own notion of "now" in
+//! nanoseconds — virtual time for [`super::SimTransport`], wall-clock time
+//! for [`super::ThreadTransport`] — and transmit whatever frames it hands
+//! back.  `M` is the caller's message representation (a decoded
+//! [`tc_ucx::OutgoingMessage`] in the simulator, an encoded envelope pair in
+//! the threaded backend).
+
+use std::collections::BTreeMap;
+
+/// Reliability tunables.  Times are in nanoseconds of the caller's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelConfig {
+    /// Initial retransmission timeout.
+    pub rto: u64,
+    /// Backoff cap: the RTO doubles each silent round but never exceeds
+    /// this.
+    pub rto_max: u64,
+}
+
+impl RelConfig {
+    /// Defaults for the discrete-event backend (virtual microseconds).
+    pub fn sim_default() -> Self {
+        RelConfig {
+            rto: 100_000,       // 100 µs
+            rto_max: 2_000_000, // 2 ms
+        }
+    }
+
+    /// Defaults for the threaded backend (wall-clock milliseconds).
+    pub fn threads_default() -> Self {
+        RelConfig {
+            rto: 30_000_000,      // 30 ms
+            rto_max: 480_000_000, // 480 ms
+        }
+    }
+}
+
+/// Cumulative reliability counters of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelMetrics {
+    /// Messages re-sent after an RTO expiry.
+    pub retransmits: u64,
+    /// Duplicate arrivals dropped by the receiver.
+    pub dup_drops: u64,
+    /// Out-of-order arrivals parked until their gap filled.
+    pub out_of_order: u64,
+    /// Pure acks emitted.
+    pub acks_sent: u64,
+}
+
+/// A frame the caller must (re)transmit: message `m` to `peer` with
+/// reliability header `(seq, ack)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelFrame<M> {
+    /// Destination peer rank.
+    pub peer: u32,
+    /// The frame's sequence number on the `(local, peer)` link.
+    pub seq: u64,
+    /// Cumulative ack to piggyback (highest in-order seq received *from*
+    /// `peer`).
+    pub ack: u64,
+    /// The message payload.
+    pub m: M,
+}
+
+/// What [`ReliableSet::on_data`] decided about one arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataOutcome<M> {
+    /// Messages now deliverable in order (possibly several, when this
+    /// arrival filled a gap; empty for duplicates and parked arrivals).
+    pub deliver: Vec<M>,
+    /// Cumulative ack to send back to the peer (always returned — the
+    /// sender needs it even, especially, for duplicates).
+    pub ack: u64,
+    /// True when the arrival was a duplicate and was dropped.
+    pub dup: bool,
+}
+
+#[derive(Debug)]
+struct PeerLink<M> {
+    /// Next sequence number to assign (first message is 1).
+    next_seq: u64,
+    /// Sent but not yet cumulatively acked, keyed by seq.
+    unacked: BTreeMap<u64, M>,
+    /// Consecutive silent RTO rounds (resets on ack progress).
+    backoff: u32,
+    /// Caller-clock deadline of the next retransmission round.
+    next_retx_at: u64,
+    /// Highest in-order sequence received from the peer.
+    recv_cum: u64,
+    /// Out-of-order arrivals parked until the gap fills.
+    parked: BTreeMap<u64, M>,
+}
+
+impl<M> Default for PeerLink<M> {
+    fn default() -> Self {
+        PeerLink {
+            next_seq: 1,
+            unacked: BTreeMap::new(),
+            backoff: 0,
+            next_retx_at: u64::MAX,
+            recv_cum: 0,
+            parked: BTreeMap::new(),
+        }
+    }
+}
+
+/// One node's reliability state across all of its links.
+#[derive(Debug)]
+pub struct ReliableSet<M> {
+    cfg: RelConfig,
+    /// Keyed by peer rank.  A BTreeMap so [`ReliableSet::tick`] visits
+    /// links in rank order — the retransmission path feeds the chaos
+    /// engine, whose crash windows count *global* traffic, so iteration
+    /// order is part of the same-seed-same-faults contract.
+    peers: BTreeMap<u32, PeerLink<M>>,
+    /// Cumulative counters (public: transports export them).
+    pub metrics: RelMetrics,
+}
+
+impl<M: Clone> ReliableSet<M> {
+    /// Fresh state under the given tunables.
+    pub fn new(cfg: RelConfig) -> Self {
+        ReliableSet {
+            cfg,
+            peers: BTreeMap::new(),
+            metrics: RelMetrics::default(),
+        }
+    }
+
+    fn link(&mut self, peer: u32) -> &mut PeerLink<M> {
+        self.peers.entry(peer).or_default()
+    }
+
+    /// Register an outgoing message on the `(local, peer)` link: assigns its
+    /// sequence number, buffers it for retransmission and arms the RTO.
+    /// Returns the reliability header `(seq, ack)` to attach.
+    pub fn send(&mut self, peer: u32, m: M, now: u64) -> (u64, u64) {
+        let rto = self.cfg.rto;
+        let link = self.link(peer);
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        link.unacked.insert(seq, m);
+        if link.next_retx_at == u64::MAX {
+            link.next_retx_at = now.saturating_add(rto);
+        }
+        (seq, link.recv_cum)
+    }
+
+    /// Process an arriving data frame from `peer` carrying `(seq, ack)`.
+    pub fn on_data(&mut self, peer: u32, seq: u64, ack: u64, m: M, now: u64) -> DataOutcome<M> {
+        self.on_ack(peer, ack, now);
+        let link = self.link(peer);
+        if seq <= link.recv_cum || link.parked.contains_key(&seq) {
+            self.metrics.dup_drops += 1;
+            let ack = self.link(peer).recv_cum;
+            self.metrics.acks_sent += 1;
+            return DataOutcome {
+                deliver: Vec::new(),
+                ack,
+                dup: true,
+            };
+        }
+        let mut deliver = Vec::new();
+        let mut parked = false;
+        if seq == link.recv_cum + 1 {
+            link.recv_cum = seq;
+            deliver.push(m);
+            while let Some(next) = link.parked.remove(&(link.recv_cum + 1)) {
+                link.recv_cum += 1;
+                deliver.push(next);
+            }
+        } else {
+            link.parked.insert(seq, m);
+            parked = true;
+        }
+        let ack = link.recv_cum;
+        if parked {
+            self.metrics.out_of_order += 1;
+        }
+        self.metrics.acks_sent += 1;
+        DataOutcome {
+            deliver,
+            ack,
+            dup: false,
+        }
+    }
+
+    /// Process a cumulative ack from `peer`: everything at or below `ack`
+    /// leaves the retransmission buffer.  Progress resets the backoff *and*
+    /// re-arms the RTO from `now` — the link is demonstrably live, so any
+    /// surviving gap should be probed at the base timeout instead of
+    /// waiting out a stale backed-off deadline.
+    pub fn on_ack(&mut self, peer: u32, ack: u64, now: u64) {
+        let rto = self.cfg.rto;
+        let link = self.link(peer);
+        let before = link.unacked.len();
+        link.unacked.retain(|&seq, _| seq > ack);
+        if link.unacked.is_empty() {
+            link.next_retx_at = u64::MAX;
+            link.backoff = 0;
+        } else if link.unacked.len() < before {
+            link.backoff = 0;
+            link.next_retx_at = now.saturating_add(rto);
+        }
+    }
+
+    /// Retransmission timer: returns every frame whose link's RTO expired
+    /// (all unacked messages of that link, oldest first, with a fresh
+    /// cumulative ack), doubling that link's RTO up to the cap.
+    pub fn tick(&mut self, now: u64) -> Vec<RelFrame<M>> {
+        let mut out = Vec::new();
+        let RelConfig { rto, rto_max } = self.cfg;
+        let mut retx = 0u64;
+        for (&peer, link) in self.peers.iter_mut() {
+            if link.unacked.is_empty() || now < link.next_retx_at {
+                continue;
+            }
+            for (&seq, m) in link.unacked.iter() {
+                out.push(RelFrame {
+                    peer,
+                    seq,
+                    ack: link.recv_cum,
+                    m: m.clone(),
+                });
+                retx += 1;
+            }
+            link.backoff = link.backoff.saturating_add(1);
+            let delay = rto
+                .saturating_mul(1u64 << link.backoff.min(24))
+                .min(rto_max);
+            link.next_retx_at = now.saturating_add(delay);
+        }
+        self.metrics.retransmits += retx;
+        out
+    }
+
+    /// Caller-clock instant of the earliest armed RTO (`None` when nothing
+    /// is outstanding).
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.peers
+            .values()
+            .filter(|l| !l.unacked.is_empty())
+            .map(|l| l.next_retx_at)
+            .min()
+    }
+
+    /// Total messages awaiting acknowledgement across all links.
+    pub fn unacked_total(&self) -> u64 {
+        self.peers.values().map(|l| l.unacked.len() as u64).sum()
+    }
+
+    /// Current cumulative ack for `peer` (to piggyback on unrelated sends).
+    pub fn recv_cum(&mut self, peer: u32) -> u64 {
+        self.link(peer).recv_cum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: RelConfig = RelConfig {
+        rto: 100,
+        rto_max: 1_000,
+    };
+
+    #[test]
+    fn in_order_delivery_and_ack_clears_buffer() {
+        let mut a: ReliableSet<&'static str> = ReliableSet::new(CFG);
+        let mut b: ReliableSet<&'static str> = ReliableSet::new(CFG);
+        let (s1, _) = a.send(1, "x", 0);
+        let (s2, _) = a.send(1, "y", 0);
+        assert_eq!((s1, s2), (1, 2));
+        assert_eq!(a.unacked_total(), 2);
+
+        let o1 = b.on_data(0, s1, 0, "x", 0);
+        assert_eq!(o1.deliver, vec!["x"]);
+        assert_eq!(o1.ack, 1);
+        let o2 = b.on_data(0, s2, 0, "y", 0);
+        assert_eq!(o2.deliver, vec!["y"]);
+        assert_eq!(o2.ack, 2);
+
+        a.on_ack(1, 2, 0);
+        assert_eq!(a.unacked_total(), 0);
+        assert_eq!(a.next_deadline(), None);
+    }
+
+    #[test]
+    fn reorder_is_parked_then_released_in_order() {
+        let mut b: ReliableSet<u32> = ReliableSet::new(CFG);
+        let late = b.on_data(0, 2, 0, 22, 0);
+        assert!(late.deliver.is_empty());
+        assert_eq!(late.ack, 0, "cumulative ack cannot pass the gap");
+        assert!(!late.dup);
+        let first = b.on_data(0, 1, 0, 11, 0);
+        assert_eq!(first.deliver, vec![11, 22], "gap fill releases both");
+        assert_eq!(first.ack, 2);
+        assert_eq!(b.metrics.out_of_order, 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_but_reacked() {
+        let mut b: ReliableSet<u32> = ReliableSet::new(CFG);
+        assert_eq!(b.on_data(0, 1, 0, 5, 0).deliver, vec![5]);
+        let dup = b.on_data(0, 1, 0, 5, 0);
+        assert!(dup.dup);
+        assert!(dup.deliver.is_empty());
+        assert_eq!(dup.ack, 1, "the ack still travels so the sender stops");
+        assert_eq!(b.metrics.dup_drops, 1);
+        // A parked message re-arriving is also a duplicate.
+        assert!(!b.on_data(0, 3, 0, 7, 0).dup);
+        assert!(b.on_data(0, 3, 0, 7, 0).dup);
+    }
+
+    #[test]
+    fn tick_retransmits_with_bounded_backoff() {
+        let mut a: ReliableSet<&'static str> = ReliableSet::new(CFG);
+        let _ = a.send(1, "m", 0);
+        assert!(a.tick(50).is_empty(), "RTO not expired yet");
+        let r1 = a.tick(100);
+        assert_eq!(r1.len(), 1);
+        assert_eq!((r1[0].peer, r1[0].seq), (1, 1));
+        // Backoff doubles: next at 100 + 200.
+        assert!(a.tick(250).is_empty());
+        assert_eq!(a.tick(300).len(), 1);
+        // Cap: after enough rounds the inter-retransmit delay pins to
+        // rto_max.
+        let mut last_now = 0;
+        for _ in 0..10 {
+            let now = a.next_deadline().unwrap();
+            assert!(!a.tick(now).is_empty());
+            last_now = now;
+        }
+        assert_eq!(a.next_deadline().unwrap(), last_now + CFG.rto_max);
+        assert_eq!(a.metrics.retransmits, 12);
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff() {
+        let mut a: ReliableSet<u32> = ReliableSet::new(CFG);
+        let _ = a.send(1, 1, 0);
+        let _ = a.send(1, 2, 0);
+        let _ = a.tick(100); // round 1: backoff 1
+        let _ = a.tick(300); // round 2: backoff 2
+        a.on_ack(1, 1, 500); // partial progress
+        assert_eq!(a.unacked_total(), 1);
+        // Next tick retransmits only the survivor...
+        let r = a.tick(u64::MAX / 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].seq, 2);
+    }
+
+    #[test]
+    fn lossy_link_simulation_is_exactly_once() {
+        // Drop every 3rd transmission attempt, deliver the rest; the
+        // protocol must hand the receiver each message exactly once, in
+        // order, despite drops hitting first sends and retransmits alike.
+        let mut a: ReliableSet<u64> = ReliableSet::new(CFG);
+        let mut b: ReliableSet<u64> = ReliableSet::new(CFG);
+        let mut now = 0u64;
+        let mut attempts = 0u64;
+        let mut received: Vec<u64> = Vec::new();
+        let mut wire: Vec<(u64, u64, u64)> = Vec::new(); // (seq, ack, m)
+        for i in 0..20u64 {
+            let (seq, ack) = a.send(1, i, now);
+            wire.push((seq, ack, i));
+        }
+        for round in 0..200 {
+            // Transmit queued frames through the lossy medium.
+            for (seq, ack, m) in std::mem::take(&mut wire) {
+                attempts += 1;
+                if attempts.is_multiple_of(3) {
+                    continue; // dropped
+                }
+                let out = b.on_data(0, seq, ack, m, now);
+                received.extend(out.deliver);
+                // The pure ack travels back, also lossy — and the first
+                // rounds lose every ack, forcing retransmits of messages
+                // that DID arrive (the dedup path).
+                attempts += 1;
+                if round >= 2 && !attempts.is_multiple_of(3) {
+                    a.on_ack(1, out.ack, now);
+                }
+            }
+            if a.unacked_total() == 0 {
+                break;
+            }
+            now = a.next_deadline().unwrap_or(now + CFG.rto);
+            for f in a.tick(now) {
+                wire.push((f.seq, f.ack, f.m));
+            }
+        }
+        assert_eq!(received, (0..20).collect::<Vec<_>>());
+        assert_eq!(a.unacked_total(), 0);
+        assert!(a.metrics.retransmits > 0);
+        assert!(b.metrics.dup_drops > 0, "retransmit races must be deduped");
+    }
+}

@@ -17,22 +17,48 @@
 //! reconstruct the paper's overhead breakdown (transmission / lookup / JIT /
 //! execution) without re-instrumenting the runtime.
 
+use super::reliable::{RelConfig, RelMetrics, ReliableSet};
 use super::{Transport, TransportMetrics};
 use crate::error::{CoreError, Result};
 use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
 use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
 use crate::sim::{DeliveryRecord, TimingLog};
 use tc_bitir::TargetTriple;
+use tc_chaos::{ChaosSession, ChaosStats, FaultPlan};
 use tc_jit::{Memory, OptLevel};
 use tc_simnet::{EventQueue, FabricOp, Platform, SimDuration, SimTime};
 use tc_ucx::{OutgoingMessage, UcpOp};
 
 #[derive(Debug)]
-struct InFlight {
-    msg: OutgoingMessage,
-    transmission: SimDuration,
-    wire_bytes: usize,
+enum InFlight {
+    /// A fabric message (data plane).  `rel` carries the reliability header
+    /// when a fault plan is installed.
+    Frame {
+        msg: OutgoingMessage,
+        rel: Option<(u64, u64)>,
+        transmission: SimDuration,
+        wire_bytes: usize,
+    },
+    /// A pure cumulative ack of the reliability layer (chaos mode only).
+    Ack { src: usize, dst: usize, ack: u64 },
+    /// Periodic retransmission-timer sweep (chaos mode only).
+    RetxTick,
 }
+
+/// Chaos-mode state of the simulated backend: the shared fault-decision
+/// session plus one reliability state machine per node, driven in virtual
+/// time.
+struct SimChaos {
+    session: ChaosSession,
+    rel: Vec<ReliableSet<OutgoingMessage>>,
+    /// True while a [`InFlight::RetxTick`] is in the queue.
+    tick_scheduled: bool,
+}
+
+/// Virtual-time cadence of the retransmission-timer sweep.
+const RETX_TICK: SimDuration = SimDuration(50_000); // 50 µs
+/// Wire size charged for a pure ack frame.
+const ACK_WIRE_BYTES: usize = 24;
 
 /// The discrete-event cluster backend (virtual time, calibrated models).
 pub struct SimTransport {
@@ -48,6 +74,7 @@ pub struct SimTransport {
     errors: Vec<CoreError>,
     delivered: u64,
     dropped_misaddressed: u64,
+    chaos: Option<SimChaos>,
 }
 
 impl std::fmt::Debug for SimTransport {
@@ -78,6 +105,28 @@ impl SimTransport {
         server_triple: Option<TargetTriple>,
         opt_level: OptLevel,
     ) -> Self {
+        Self::with_config(
+            platform,
+            servers,
+            client_triple,
+            server_triple,
+            opt_level,
+            None,
+        )
+    }
+
+    /// Constructor with an optional fault plan: when present, every fabric
+    /// traversal consults the chaos engine (drop / duplicate / delay /
+    /// reorder, partitions, crash windows) and the data plane runs over the
+    /// reliable-delivery layer in virtual time.
+    pub fn with_config(
+        platform: Platform,
+        servers: usize,
+        client_triple: Option<TargetTriple>,
+        server_triple: Option<TargetTriple>,
+        opt_level: OptLevel,
+        fault_plan: Option<FaultPlan>,
+    ) -> Self {
         let total = servers + 1;
         let client_triple = client_triple.unwrap_or_else(|| {
             TargetTriple::parse(platform.client_triple).unwrap_or(TargetTriple::X86_64_GENERIC)
@@ -107,7 +156,27 @@ impl SimTransport {
             errors: Vec::new(),
             delivered: 0,
             dropped_misaddressed: 0,
+            chaos: fault_plan.map(|plan| SimChaos {
+                session: ChaosSession::new(plan),
+                rel: (0..total)
+                    .map(|_| ReliableSet::new(RelConfig::sim_default()))
+                    .collect(),
+                tick_scheduled: false,
+            }),
         }
+    }
+
+    /// Snapshot of the injected-fault counters (chaos mode only).
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.session.stats())
+    }
+
+    /// Reliability counters of one node (chaos mode only).
+    pub fn rel_metrics(&self, rank: usize) -> Option<RelMetrics> {
+        self.chaos
+            .as_ref()
+            .and_then(|c| c.rel.get(rank))
+            .map(|r| r.metrics)
     }
 
     /// The platform this backend models.
@@ -145,16 +214,66 @@ impl SimTransport {
         let Some((arrival, inflight)) = self.queue.pop() else {
             return false;
         };
-        let InFlight {
-            msg,
-            transmission,
-            wire_bytes,
-        } = inflight;
+        match inflight {
+            InFlight::Frame {
+                msg,
+                rel,
+                transmission,
+                wire_bytes,
+            } => self.handle_frame(arrival, msg, rel, transmission, wire_bytes),
+            InFlight::Ack { src, dst, ack } => {
+                if let Some(chaos) = &mut self.chaos {
+                    if let Some(rel) = chaos.rel.get_mut(dst) {
+                        rel.on_ack(src as u32, ack, arrival.as_nanos());
+                    }
+                }
+            }
+            InFlight::RetxTick => self.handle_retx_tick(arrival),
+        }
+        true
+    }
+
+    /// Handle an arriving fabric frame: run it through the destination's
+    /// reliability state (chaos mode), then deliver whatever came out in
+    /// order.
+    fn handle_frame(
+        &mut self,
+        arrival: SimTime,
+        msg: OutgoingMessage,
+        rel: Option<(u64, u64)>,
+        transmission: SimDuration,
+        wire_bytes: usize,
+    ) {
         let dst = msg.dst.index();
         if dst >= self.nodes.len() {
             self.dropped_misaddressed += 1;
-            return true; // misaddressed message: dropped (and counted)
+            return; // misaddressed message: dropped (and counted)
         }
+        let deliverable = match (rel, &mut self.chaos) {
+            (Some((seq, ack)), Some(chaos)) => {
+                let src = msg.src.index();
+                let out = chaos.rel[dst].on_data(src as u32, seq, ack, msg, arrival.as_nanos());
+                // The cumulative ack travels back over the (faulty) fabric.
+                self.schedule_ack(dst, src, out.ack);
+                out.deliver
+            }
+            _ => vec![msg],
+        };
+        for m in deliverable {
+            self.deliver_and_charge(arrival, m, transmission, wire_bytes);
+        }
+    }
+
+    /// Deliver one message to its destination runtime and charge virtual
+    /// time for the processing it caused.
+    fn deliver_and_charge(
+        &mut self,
+        arrival: SimTime,
+        msg: OutgoingMessage,
+        transmission: SimDuration,
+        wire_bytes: usize,
+    ) {
+        let dst = msg.dst.index();
         self.delivered += 1;
         self.nodes[dst].deliver(msg);
 
@@ -175,7 +294,137 @@ impl SimTransport {
         self.node_ready_at[dst] = finish;
         // Whatever the processing posted departs after processing completes.
         self.flush_node_at(dst, finish);
-        true
+    }
+
+    /// Send a pure cumulative ack `from → to` through the chaos engine.
+    fn schedule_ack(&mut self, from: usize, to: usize, ack: u64) {
+        let Some(chaos) = &mut self.chaos else {
+            return;
+        };
+        let decision = chaos.session.decide(from, to);
+        if !decision.deliver {
+            return; // a lost ack: the peer retransmits, the dup is dropped
+        }
+        let latency = self.platform.fabric.latency(FabricOp::Put, ACK_WIRE_BYTES);
+        let extra = SimDuration(
+            latency
+                .as_nanos()
+                .saturating_mul(decision.delay_units as u64 + decision.reorder as u64),
+        );
+        let copies = 1 + decision.duplicate as u32;
+        for _ in 0..copies {
+            self.queue.schedule_after(
+                latency + extra,
+                InFlight::Ack {
+                    src: from,
+                    dst: to,
+                    ack,
+                },
+            );
+        }
+    }
+
+    /// Retransmission-timer sweep: re-send every expired unacked frame
+    /// (through the chaos engine — retransmits can be dropped too) and
+    /// re-arm the timer while anything is outstanding.
+    fn handle_retx_tick(&mut self, now: SimTime) {
+        let now_ns = now.as_nanos();
+        let mut to_send = Vec::new();
+        {
+            let Some(chaos) = &mut self.chaos else {
+                return;
+            };
+            chaos.tick_scheduled = false;
+            for (rank, rel) in chaos.rel.iter_mut().enumerate() {
+                for f in rel.tick(now_ns) {
+                    to_send.push((rank, f));
+                }
+            }
+        }
+        for (rank, f) in to_send {
+            self.schedule_frame(rank, f.m, Some((f.seq, f.ack)), false, now);
+        }
+        self.ensure_retx_tick();
+    }
+
+    /// Arm the retransmission timer if any frame is outstanding and no tick
+    /// is already queued.
+    fn ensure_retx_tick(&mut self) {
+        let need = match &self.chaos {
+            Some(c) => !c.tick_scheduled && c.rel.iter().any(|r| r.unacked_total() > 0),
+            None => false,
+        };
+        if need {
+            if let Some(c) = &mut self.chaos {
+                c.tick_scheduled = true;
+            }
+            self.queue.schedule_after(RETX_TICK, InFlight::RetxTick);
+        }
+    }
+
+    /// Schedule one frame onto the fabric: fabric timing (injection gap for
+    /// first sends, latency always) plus, in chaos mode, the fault decision
+    /// for this traversal (drop / duplicate / delay / reorder).
+    fn schedule_frame(
+        &mut self,
+        rank: usize,
+        msg: OutgoingMessage,
+        rel: Option<(u64, u64)>,
+        use_gap: bool,
+        earliest: SimTime,
+    ) {
+        let wire_bytes = msg.op.wire_size() + if rel.is_some() { 16 } else { 0 };
+        let class = match &msg.op {
+            UcpOp::Get { .. } => FabricOp::Get,
+            UcpOp::ActiveMessage { .. } => FabricOp::ActiveMessage,
+            _ => FabricOp::Put,
+        };
+        let fabric = self.platform.fabric;
+        let latency = fabric.latency(class, wire_bytes);
+        let depart = if use_gap {
+            let gap = fabric.injection_gap(class, wire_bytes);
+            let depart = self.link_ready_at[rank].max(earliest);
+            self.link_ready_at[rank] = depart + gap;
+            depart
+        } else {
+            earliest
+        };
+        if rel.is_some() {
+            let decision = match &mut self.chaos {
+                Some(chaos) => chaos.session.decide(rank, msg.dst.index()),
+                None => tc_chaos::Decision::CLEAN,
+            };
+            if !decision.deliver {
+                return; // dropped by the plan; the retransmit timer recovers
+            }
+            let extra = SimDuration(
+                latency
+                    .as_nanos()
+                    .saturating_mul(decision.delay_units as u64 + decision.reorder as u64),
+            );
+            let copies = 1 + decision.duplicate as u32;
+            for _ in 0..copies {
+                self.queue.schedule_at(
+                    depart + latency + extra,
+                    InFlight::Frame {
+                        msg: msg.clone(),
+                        rel,
+                        transmission: latency,
+                        wire_bytes,
+                    },
+                );
+            }
+            return;
+        }
+        self.queue.schedule_at(
+            depart + latency,
+            InFlight::Frame {
+                msg,
+                rel,
+                transmission: latency,
+                wire_bytes,
+            },
+        );
     }
 
     /// Convert a processing outcome into charged virtual time.
@@ -241,28 +490,22 @@ impl SimTransport {
 
     fn flush_node_at(&mut self, rank: usize, earliest: SimTime) {
         let outgoing = self.nodes[rank].take_outgoing();
+        let now_ns = self.queue.now().as_nanos();
         for msg in outgoing {
-            let wire_bytes = msg.op.wire_size();
-            let class = match &msg.op {
-                UcpOp::Get { .. } => FabricOp::Get,
-                UcpOp::ActiveMessage { .. } => FabricOp::ActiveMessage,
-                _ => FabricOp::Put,
+            let dst = msg.dst.index();
+            // Chaos mode: register the message with the sender's
+            // reliability state (assigning its sequence number) unless it
+            // is a loopback or misaddressed — those bypass the fabric model
+            // the fault plan describes.
+            let rel = match &mut self.chaos {
+                Some(chaos) if dst < self.nodes.len() && dst != rank => {
+                    Some(chaos.rel[rank].send(dst as u32, msg.clone(), now_ns))
+                }
+                _ => None,
             };
-            let fabric = self.platform.fabric;
-            let gap = fabric.injection_gap(class, wire_bytes);
-            let latency = fabric.latency(class, wire_bytes);
-            let depart = self.link_ready_at[rank].max(earliest);
-            self.link_ready_at[rank] = depart + gap;
-            let arrival = depart + latency;
-            self.queue.schedule_at(
-                arrival,
-                InFlight {
-                    msg,
-                    transmission: latency,
-                    wire_bytes,
-                },
-            );
+            self.schedule_frame(rank, msg, rel, true, earliest);
         }
+        self.ensure_retx_tick();
     }
 }
 
@@ -333,10 +576,34 @@ impl Transport for SimTransport {
     }
 
     fn metrics(&self) -> TransportMetrics {
+        let (retransmits, dup_drops) = self
+            .chaos
+            .as_ref()
+            .map(|c| {
+                c.rel.iter().fold((0, 0), |(r, d), set| {
+                    (r + set.metrics.retransmits, d + set.metrics.dup_drops)
+                })
+            })
+            .unwrap_or((0, 0));
         TransportMetrics {
             messages_delivered: self.delivered,
             messages_dropped: self.dropped_misaddressed,
             bytes_sent: self.nodes[0].stats.bytes_sent,
+            retransmits,
+            dup_drops,
+            faults_injected: self
+                .chaos
+                .as_ref()
+                .map(|c| c.session.stats().total_injected())
+                .unwrap_or(0),
         }
+    }
+
+    fn node_reliability(&self, rank: usize) -> Option<RelMetrics> {
+        self.rel_metrics(rank)
+    }
+
+    fn chaos_stats(&self) -> Option<ChaosStats> {
+        SimTransport::chaos_stats(self)
     }
 }

@@ -14,42 +14,209 @@
 //! order) before handling each message, so `AmHandlerId`s agree cluster-wide
 //! without shipping closures through channels.
 
+use super::reliable::{RelConfig, RelMetrics, ReliableSet};
 use super::{wire, Transport, TransportMetrics};
 use crate::error::{CoreError, Result};
 use crate::metrics::RuntimeStats;
 use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tc_bitir::TargetTriple;
+use tc_chaos::{ChaosSession, ChaosStats, FaultPlan};
 use tc_jit::{Memory, OptLevel};
-use tc_simnet::{Envelope, NodeCtx, ThreadCluster, ThreadedNode};
-use tc_ucx::WorkerAddr;
+use tc_simnet::{
+    Envelope, EnvelopeFilter, NodeCtx, ThreadCluster, ThreadConfig, ThreadedNode, EXTERNAL_SENDER,
+};
+use tc_ucx::{Bytes, WorkerAddr};
 
 /// Shared, append-only list of predeployed AM handlers.  Deploy order defines
 /// the cluster-wide handler ids.
 type AmRegistry = Arc<Mutex<Vec<(String, NativeAmHandler)>>>;
 
-/// How long one driver `step` parks waiting for traffic before checking the
-/// cluster's pending-message counter.  The park wakes immediately when a
-/// node enqueues an external message (mpsc `recv_timeout`), so this bounds
-/// *idle-detection* latency only, not delivery latency.
-const STEP_TIMEOUT: Duration = Duration::from_millis(20);
-/// Upper bound one `step` keeps waiting while node threads are verifiably
-/// busy (messages enqueued or mid-processing) without producing external
-/// traffic.  Guards against a runaway ifunc wedging the driver forever.
-const BUSY_STEP_TIMEOUT: Duration = Duration::from_secs(1);
-/// Most external envelopes drained per `step` after a wakeup (batch drain:
-/// one park, many messages).
-const STEP_BATCH: usize = 128;
-/// How long a control-plane round trip (peek/poke/stats) may take.
-const CONTROL_TIMEOUT: Duration = Duration::from_secs(10);
-/// Consecutive idle steps before waits give up.  A step only reports idle
-/// after `STEP_TIMEOUT` of silence with zero pending node-bound messages,
-/// so two suffice: the second covers the one-step race where a node
-/// enqueued an external message right as the first park timed out.  An
-/// idle cluster is detected (and can shut down) in ~40 ms instead of the
-/// former ~0.5 s polling budget.
-const IDLE_GRACE: u32 = 2;
+/// Scheduling tunables of the threaded backend — every value that used to
+/// be a hard-coded constant, configurable through
+/// [`super::ClusterBuilder::thread_tuning`].  The defaults reproduce the
+/// former behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadTuning {
+    /// How long one driver `step` parks waiting for traffic before checking
+    /// the cluster's pending-message counter.  The park wakes immediately
+    /// when a node enqueues an external message (mpsc `recv_timeout`), so
+    /// this bounds *idle-detection* latency only, not delivery latency.
+    pub step_timeout: Duration,
+    /// Upper bound one `step` keeps waiting while node threads are
+    /// verifiably busy (messages enqueued or mid-processing) without
+    /// producing external traffic.  Guards against a runaway ifunc wedging
+    /// the driver forever.
+    pub busy_step_timeout: Duration,
+    /// Most external envelopes drained per `step` after a wakeup (batch
+    /// drain: one park, many messages).
+    pub step_batch: usize,
+    /// Consecutive idle steps before waits give up.  A step only reports
+    /// idle after `step_timeout` of silence with zero pending node-bound
+    /// messages, so two suffice: the second covers the one-step race where
+    /// a node enqueued an external message right as the first park timed
+    /// out.
+    pub idle_grace: u32,
+    /// Most messages a *node thread* drains per wakeup (the former
+    /// `MAX_BATCH` in `tc_simnet::threaded`).
+    pub node_batch: usize,
+    /// How long a control-plane round trip (peek/poke/stats) may take.
+    pub control_timeout: Duration,
+}
+
+impl Default for ThreadTuning {
+    fn default() -> Self {
+        ThreadTuning {
+            step_timeout: Duration::from_millis(20),
+            busy_step_timeout: Duration::from_secs(1),
+            step_batch: 128,
+            idle_grace: 2,
+            node_batch: 128,
+            control_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Map a threaded-fabric sender/receiver id to a cluster rank: thread node
+/// `n` is rank `n + 1`, the external driver is the client (rank 0).
+fn rank_of(thread_id: usize) -> usize {
+    if thread_id == EXTERNAL_SENDER {
+        0
+    } else {
+        thread_id + 1
+    }
+}
+
+/// An encoded-but-unwrapped data-plane message buffered for retransmission:
+/// the op head (without the reliability prefix — each transmission gets a
+/// fresh cumulative ack) and the detached payload segment.
+type StoredEnv = (Bytes, Bytes);
+
+/// Per-rank reliability counters published by their single writer (the
+/// owning node thread, or the driver for rank 0) and read by the driver.
+#[derive(Default)]
+struct RelSlot {
+    retransmits: AtomicU64,
+    dup_drops: AtomicU64,
+    out_of_order: AtomicU64,
+    acks_sent: AtomicU64,
+    unacked: AtomicU64,
+}
+
+/// Shared table of every rank's reliability counters.
+struct RelTable {
+    slots: Vec<RelSlot>,
+}
+
+impl RelTable {
+    fn new(ranks: usize) -> Self {
+        RelTable {
+            slots: (0..ranks).map(|_| RelSlot::default()).collect(),
+        }
+    }
+
+    fn publish(&self, rank: usize, set: &ReliableSet<StoredEnv>) {
+        let s = &self.slots[rank];
+        s.retransmits
+            .store(set.metrics.retransmits, Ordering::Relaxed);
+        s.dup_drops.store(set.metrics.dup_drops, Ordering::Relaxed);
+        s.out_of_order
+            .store(set.metrics.out_of_order, Ordering::Relaxed);
+        s.acks_sent.store(set.metrics.acks_sent, Ordering::Relaxed);
+        // SeqCst: the driver's idleness check must not miss outstanding
+        // frames behind a relaxed store.
+        s.unacked.store(set.unacked_total(), Ordering::SeqCst);
+    }
+
+    fn snapshot(&self, rank: usize) -> Option<RelMetrics> {
+        let s = self.slots.get(rank)?;
+        Some(RelMetrics {
+            retransmits: s.retransmits.load(Ordering::Relaxed),
+            dup_drops: s.dup_drops.load(Ordering::Relaxed),
+            out_of_order: s.out_of_order.load(Ordering::Relaxed),
+            acks_sent: s.acks_sent.load(Ordering::Relaxed),
+        })
+    }
+
+    fn total_unacked(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.unacked.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        self.slots.iter().fold((0, 0), |(r, d), s| {
+            (
+                r + s.retransmits.load(Ordering::Relaxed),
+                d + s.dup_drops.load(Ordering::Relaxed),
+            )
+        })
+    }
+}
+
+/// Reliability state of one node thread (server side).
+struct NodeRel {
+    set: ReliableSet<StoredEnv>,
+    table: Arc<RelTable>,
+    rank: usize,
+    epoch: Instant,
+}
+
+impl NodeRel {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Transmit a reliable envelope to `peer` (rank) through the node ctx.
+    fn transmit(ctx: &NodeCtx, peer: usize, seq: u64, ack: u64, head: &Bytes, payload: Bytes) {
+        let data = wire::encode_rel_head(seq, ack, head);
+        let _ = if peer == 0 {
+            ctx.send_external_vectored(wire::TAG_ROP, data, payload)
+        } else {
+            ctx.send_vectored(peer - 1, wire::TAG_ROP, data, payload)
+        };
+    }
+
+    /// Send a pure ack to `peer` (rank).
+    fn send_ack(ctx: &NodeCtx, peer: usize, ack: u64) {
+        let bytes = wire::encode_ack(ack);
+        let _ = if peer == 0 {
+            ctx.send_external(wire::TAG_ACK, bytes)
+        } else {
+            ctx.send(peer - 1, wire::TAG_ACK, bytes)
+        };
+    }
+}
+
+/// Transmit a reliable envelope from the driver to server rank `peer`
+/// (used by first sends and retransmissions alike — the one place the
+/// driver-side TAG_ROP framing lives).
+fn driver_transmit(
+    cluster: &ThreadCluster,
+    peer: usize,
+    seq: u64,
+    ack: u64,
+    head: &Bytes,
+    payload: Bytes,
+) {
+    let data = wire::encode_rel_head(seq, ack, head);
+    let _ = cluster.send_vectored(peer - 1, wire::TAG_ROP, data, payload);
+}
+
+/// Driver-side chaos state: the shared fault session, the client's
+/// reliability links, and the shared counter table.
+struct DriverChaos {
+    session: ChaosSession,
+    rel: ReliableSet<StoredEnv>,
+    table: Arc<RelTable>,
+    epoch: Instant,
+    last_tick: Instant,
+    tick: Duration,
+}
 
 /// A server node: owns a full Three-Chains runtime and speaks the transport's
 /// wire protocol.
@@ -57,6 +224,9 @@ struct ServerNode {
     runtime: NodeRuntime,
     am_registry: AmRegistry,
     am_applied: usize,
+    /// Reliability state when a fault plan is installed; `None` keeps the
+    /// original lossless fast path byte-for-byte.
+    rel: Option<NodeRel>,
 }
 
 impl ServerNode {
@@ -76,11 +246,35 @@ impl ServerNode {
             // shared view (no copy).  Drops are counted by the ThreadCluster's
             // delivery counters and surfaced through the transport metrics.
             let (head, payload) = wire::encode_op_vectored(&msg);
-            let _ = if dst == 0 {
-                ctx.send_external_vectored(wire::TAG_OP, head, payload)
-            } else {
-                ctx.send_vectored(dst - 1, wire::TAG_OP, head, payload)
-            };
+            // Two cases bypass the reliability layer and go out raw:
+            // misaddressed sends (rank beyond the cluster — they would
+            // retransmit forever; the raw path lets the fabric count the
+            // drop, exactly like the driver path) and self-sends (the
+            // simulated backend excludes loopback from the fault model, so
+            // the threaded backend must too or the chaos schedules
+            // diverge).  Valid remote ranks are 0 (driver) and
+            // 1..=node_count().
+            let own_rank = self.runtime.node_id().index();
+            let bypass_rel = dst != 0 && (dst > ctx.node_count() || dst == own_rank);
+            match &mut self.rel {
+                Some(rel) if !bypass_rel => {
+                    let now = rel.now();
+                    let (seq, ack) = rel
+                        .set
+                        .send(dst as u32, (head.clone(), payload.clone()), now);
+                    NodeRel::transmit(ctx, dst, seq, ack, &head, payload);
+                }
+                _ => {
+                    let _ = if dst == 0 {
+                        ctx.send_external_vectored(wire::TAG_OP, head, payload)
+                    } else {
+                        ctx.send_vectored(dst - 1, wire::TAG_OP, head, payload)
+                    };
+                }
+            }
+        }
+        if let Some(rel) = &self.rel {
+            rel.table.publish(rel.rank, &rel.set);
         }
     }
 }
@@ -107,6 +301,18 @@ impl ThreadedNode for ServerNode {
                 }
                 continue;
             }
+            if msg.tag == wire::TAG_ROP {
+                pending_ops |= self.on_reliable_op(msg, ctx);
+                continue;
+            }
+            if msg.tag == wire::TAG_ACK {
+                if let (Some(rel), Ok(ack)) = (&mut self.rel, wire::decode_ack(&msg.data)) {
+                    let now = rel.now();
+                    rel.set.on_ack(rank_of(msg.from) as u32, ack, now);
+                    rel.table.publish(rel.rank, &rel.set);
+                }
+                continue;
+            }
             if pending_ops {
                 self.process_delivered(ctx);
                 pending_ops = false;
@@ -121,9 +327,60 @@ impl ThreadedNode for ServerNode {
     fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
         self.on_batch(vec![msg], ctx);
     }
+
+    fn on_tick(&mut self, ctx: &NodeCtx) {
+        let Some(rel) = &mut self.rel else {
+            return;
+        };
+        let now = rel.now();
+        for f in rel.set.tick(now) {
+            NodeRel::transmit(ctx, f.peer as usize, f.seq, f.ack, &f.m.0, f.m.1.clone());
+        }
+        rel.table.publish(rel.rank, &rel.set);
+    }
 }
 
 impl ServerNode {
+    /// Handle one reliable data-plane envelope: run it through the node's
+    /// reliability state, ack the sender, deliver whatever became in-order.
+    /// Returns true when operations were delivered to the runtime.
+    fn on_reliable_op(&mut self, msg: Envelope, ctx: &NodeCtx) -> bool {
+        let Some(rel) = &mut self.rel else {
+            let _ = ctx.send_external(
+                wire::TAG_ERROR,
+                b"reliable envelope on a node without a fault plan".to_vec(),
+            );
+            return false;
+        };
+        let src = rank_of(msg.from);
+        let (seq, ack, head) = match wire::decode_rel_head(&msg.data) {
+            Ok(parts) => parts,
+            Err(e) => {
+                let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
+                return false;
+            }
+        };
+        let now = rel.now();
+        let out = rel
+            .set
+            .on_data(src as u32, seq, ack, (head, msg.payload), now);
+        NodeRel::send_ack(ctx, src, out.ack);
+        rel.table.publish(rel.rank, &rel.set);
+        let mut delivered = false;
+        for (h, p) in out.deliver {
+            match wire::decode_op_vectored(&h, &p) {
+                Ok(op) => {
+                    self.runtime.deliver(op);
+                    delivered = true;
+                }
+                Err(e) => {
+                    let _ = ctx.send_external(wire::TAG_ERROR, e.to_string().into_bytes());
+                }
+            }
+        }
+        delivered
+    }
+
     /// Poll every delivered operation and flush whatever the runtime posted.
     fn process_delivered(&mut self, ctx: &NodeCtx) {
         for outcome in self.runtime.poll(usize::MAX) {
@@ -177,6 +434,51 @@ impl ServerNode {
     }
 }
 
+/// Build the interposing envelope filter that injects a [`ChaosSession`]'s
+/// decisions into the threaded fabric.  Only reliable data-plane traffic
+/// ([`wire::TAG_ROP`]) and acks ([`wire::TAG_ACK`]) are faulted; the
+/// control plane (peek/poke/stats) stays exact so observation never lies.
+///
+/// Delay and reorder share one mechanism — the envelope is *held back* and
+/// released behind the link's next traffic (wall-clock sleeping inside a
+/// sender is not an option).  A held envelope that is never overtaken is
+/// recovered by the retransmission timer, whose re-send also flushes it.
+fn chaos_filter(session: ChaosSession) -> EnvelopeFilter {
+    let held: Mutex<HashMap<(usize, usize), Envelope>> = Mutex::new(HashMap::new());
+    Arc::new(move |env: Envelope| {
+        if env.tag != wire::TAG_ROP && env.tag != wire::TAG_ACK {
+            return vec![env];
+        }
+        let src = rank_of(env.from);
+        let dst = rank_of(env.to);
+        let decision = session.decide(src, dst);
+        if !decision.deliver {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut held = held.lock().expect("chaos hold-back table poisoned");
+        if decision.reorder || decision.delay_units > 0 {
+            if decision.duplicate {
+                out.push(env.clone());
+            }
+            // Park this envelope; release whatever the link previously
+            // parked (it has now been overtaken at least once).
+            if let Some(prev) = held.insert((src, dst), env) {
+                out.push(prev);
+            }
+            return out;
+        }
+        if decision.duplicate {
+            out.push(env.clone());
+        }
+        out.push(env);
+        if let Some(prev) = held.remove(&(src, dst)) {
+            out.push(prev);
+        }
+        out
+    })
+}
+
 /// The real-concurrency cluster backend (threads + channels, wall-clock time).
 pub struct ThreadTransport {
     client: NodeRuntime,
@@ -188,6 +490,16 @@ pub struct ThreadTransport {
     am_registry: AmRegistry,
     errors: Vec<CoreError>,
     next_token: u64,
+    tuning: ThreadTuning,
+    /// Chaos-mode state (fault session + client reliability); `None` keeps
+    /// the lossless fast path.
+    chaos: Option<DriverChaos>,
+    /// Since when `step` has seen zero external traffic while reliability
+    /// frames stay unacked (chaos mode).  Bounds how long outstanding
+    /// retransmissions can keep the driver reporting "busy" — a frame that
+    /// can never be acked (e.g. a dead node thread) must eventually let
+    /// waits time out instead of spinning forever.
+    stalled_since: Option<Instant>,
 }
 
 impl std::fmt::Debug for ThreadTransport {
@@ -207,17 +519,63 @@ impl ThreadTransport {
         Self::with_opt(servers, client_triple, server_triple, OptLevel::O2)
     }
 
-    /// Full-control constructor used by the cluster builder.
+    /// Constructor with default tuning and no fault plan.
     pub fn with_opt(
         servers: usize,
         client_triple: TargetTriple,
         server_triple: TargetTriple,
         opt_level: OptLevel,
     ) -> Self {
+        Self::with_config(
+            servers,
+            client_triple,
+            server_triple,
+            opt_level,
+            ThreadTuning::default(),
+            None,
+        )
+    }
+
+    /// Full-control constructor used by the cluster builder: scheduling
+    /// tunables plus an optional fault plan.  With a plan installed, every
+    /// data-plane envelope passes the chaos engine's envelope filter and
+    /// travels over the reliable-delivery layer (sequence numbers,
+    /// cumulative acks, retransmission, dedup).
+    pub fn with_config(
+        servers: usize,
+        client_triple: TargetTriple,
+        server_triple: TargetTriple,
+        opt_level: OptLevel,
+        tuning: ThreadTuning,
+        fault_plan: Option<FaultPlan>,
+    ) -> Self {
         let total = (servers + 1) as u32;
         let am_registry: AmRegistry = Arc::new(Mutex::new(Vec::new()));
         let registry_for_nodes = Arc::clone(&am_registry);
-        let cluster = ThreadCluster::start(servers, move |thread_id| {
+
+        let chaos = fault_plan.map(|plan| {
+            let rel_cfg = RelConfig::threads_default();
+            DriverChaos {
+                session: ChaosSession::new(plan),
+                rel: ReliableSet::new(rel_cfg),
+                table: Arc::new(RelTable::new(servers + 1)),
+                epoch: Instant::now(),
+                last_tick: Instant::now(),
+                tick: Duration::from_nanos(rel_cfg.rto / 2),
+            }
+        });
+
+        let mut config = ThreadConfig {
+            max_batch: tuning.node_batch,
+            ..ThreadConfig::default()
+        };
+        let node_chaos = chaos.as_ref().map(|c| {
+            config.tick = Some(c.tick);
+            config.filter = Some(chaos_filter(c.session.clone()));
+            (Arc::clone(&c.table), c.epoch)
+        });
+
+        let cluster = ThreadCluster::start_with_config(servers, config, move |thread_id| {
             let rank = thread_id as u32 + 1;
             ServerNode {
                 runtime: NodeRuntime::with_opt_level(
@@ -228,6 +586,12 @@ impl ThreadTransport {
                 ),
                 am_registry: Arc::clone(&registry_for_nodes),
                 am_applied: 0,
+                rel: node_chaos.as_ref().map(|(table, epoch)| NodeRel {
+                    set: ReliableSet::new(RelConfig::threads_default()),
+                    table: Arc::clone(table),
+                    rank: rank as usize,
+                    epoch: *epoch,
+                }),
             }
         });
         ThreadTransport {
@@ -238,7 +602,20 @@ impl ThreadTransport {
             am_registry,
             errors: Vec::new(),
             next_token: 1,
+            tuning,
+            chaos,
+            stalled_since: None,
         }
+    }
+
+    /// Snapshot of the injected-fault counters (chaos mode only).
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.session.stats())
+    }
+
+    /// Reliability counters of one rank (chaos mode only).
+    pub fn rel_metrics(&self, rank: usize) -> Option<RelMetrics> {
+        self.chaos.as_ref().and_then(|c| c.table.snapshot(rank))
     }
 
     /// Errors reported by server nodes (or transport-level decode failures).
@@ -250,19 +627,52 @@ impl ThreadTransport {
     fn handle_external(&mut self, env: Envelope) {
         match env.tag {
             wire::TAG_OP => match wire::decode_op_vectored(&env.data, &env.payload) {
-                Ok(msg) => {
-                    self.client.deliver(msg);
-                    for outcome in self.client.poll(usize::MAX) {
-                        if let Err(e) = outcome {
-                            self.errors.push(e);
-                        }
-                    }
-                    // The client may respond (e.g. serve a GET against its own
-                    // memory); those ops go back out immediately.
-                    let _ = self.dispatch_client_outgoing();
-                }
+                Ok(msg) => self.deliver_to_client(msg),
                 Err(e) => self.errors.push(e),
             },
+            wire::TAG_ROP => {
+                let src = rank_of(env.from);
+                let (seq, ack, head) = match wire::decode_rel_head(&env.data) {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        self.errors.push(e);
+                        return;
+                    }
+                };
+                let Some(chaos) = &mut self.chaos else {
+                    self.errors.push(CoreError::Transport(
+                        "reliable envelope without a fault plan".into(),
+                    ));
+                    return;
+                };
+                let now = chaos.epoch.elapsed().as_nanos() as u64;
+                let out = chaos
+                    .rel
+                    .on_data(src as u32, seq, ack, (head, env.payload), now);
+                chaos.table.publish(0, &chaos.rel);
+                if let Some(cluster) = &self.cluster {
+                    let _ = cluster.send(env.from, wire::TAG_ACK, wire::encode_ack(out.ack));
+                }
+                let mut ops = Vec::new();
+                for (h, p) in out.deliver {
+                    match wire::decode_op_vectored(&h, &p) {
+                        Ok(msg) => ops.push(msg),
+                        Err(e) => self.errors.push(e),
+                    }
+                }
+                for msg in ops {
+                    self.deliver_to_client(msg);
+                }
+            }
+            wire::TAG_ACK => {
+                if let Ok(ack) = wire::decode_ack(&env.data) {
+                    if let Some(chaos) = &mut self.chaos {
+                        let now = chaos.epoch.elapsed().as_nanos() as u64;
+                        chaos.rel.on_ack(rank_of(env.from) as u32, ack, now);
+                        chaos.table.publish(0, &chaos.rel);
+                    }
+                }
+            }
             wire::TAG_ERROR => {
                 self.errors.push(CoreError::Transport(
                     String::from_utf8_lossy(&env.data).into_owned(),
@@ -272,6 +682,39 @@ impl ThreadTransport {
             // live ones are intercepted by `control_roundtrip` before this.
             _ => {}
         }
+    }
+
+    /// Deliver one in-order fabric operation to the client runtime and
+    /// flush anything it posted in response.
+    fn deliver_to_client(&mut self, msg: tc_ucx::OutgoingMessage) {
+        self.client.deliver(msg);
+        for outcome in self.client.poll(usize::MAX) {
+            if let Err(e) = outcome {
+                self.errors.push(e);
+            }
+        }
+        // The client may respond (e.g. serve a GET against its own
+        // memory); those ops go back out immediately.
+        let _ = self.dispatch_client_outgoing();
+    }
+
+    /// Run the client's retransmission timer if its tick cadence elapsed.
+    fn client_tick(&mut self) {
+        let Some(cluster) = &self.cluster else {
+            return;
+        };
+        let Some(chaos) = &mut self.chaos else {
+            return;
+        };
+        if chaos.last_tick.elapsed() < chaos.tick {
+            return;
+        }
+        chaos.last_tick = Instant::now();
+        let now = chaos.epoch.elapsed().as_nanos() as u64;
+        for f in chaos.rel.tick(now) {
+            driver_transmit(cluster, f.peer as usize, f.seq, f.ack, &f.m.0, f.m.1);
+        }
+        chaos.table.publish(0, &chaos.rel);
     }
 
     /// Move everything the client posted into the threaded fabric, looping
@@ -304,7 +747,28 @@ impl ThreadTransport {
                 // the transport metrics, mirroring the fabric's
                 // lossy-but-accounted model.
                 let (head, payload) = wire::encode_op_vectored(&msg);
-                let _ = cluster.send_vectored(dst - 1, wire::TAG_OP, head, payload);
+                match &mut self.chaos {
+                    None => {
+                        let _ = cluster.send_vectored(dst - 1, wire::TAG_OP, head, payload);
+                    }
+                    Some(chaos) if dst <= self.servers => {
+                        let now = chaos.epoch.elapsed().as_nanos() as u64;
+                        let (seq, ack) =
+                            chaos
+                                .rel
+                                .send(dst as u32, (head.clone(), payload.clone()), now);
+                        driver_transmit(cluster, dst, seq, ack, &head, payload);
+                    }
+                    Some(_) => {
+                        // Misaddressed in chaos mode: skip reliability (it
+                        // would retransmit forever) and let the fabric count
+                        // the drop, as in the lossless path.
+                        let _ = cluster.send_vectored(dst - 1, wire::TAG_OP, head, payload);
+                    }
+                }
+            }
+            if let Some(chaos) = &self.chaos {
+                chaos.table.publish(0, &chaos.rel);
             }
         }
     }
@@ -335,7 +799,7 @@ impl ThreadTransport {
                 "control request to rank {rank} not delivered: {status:?}"
             )));
         }
-        let deadline = Instant::now() + CONTROL_TIMEOUT;
+        let deadline = Instant::now() + self.tuning.control_timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -397,22 +861,27 @@ impl Transport for ThreadTransport {
     }
 
     fn step(&mut self) -> Result<bool> {
-        let busy_deadline = Instant::now() + BUSY_STEP_TIMEOUT;
+        let busy_deadline = Instant::now() + self.tuning.busy_step_timeout;
+        let step_timeout = self.tuning.step_timeout;
+        let step_batch = self.tuning.step_batch;
         loop {
+            // The retransmission timer must run even while traffic flows.
+            self.client_tick();
             let Some(cluster) = &self.cluster else {
                 return Ok(false);
             };
-            match cluster.recv_external(STEP_TIMEOUT) {
+            match cluster.recv_external(step_timeout) {
                 Some(env) => {
                     // Drain the burst behind the first envelope: one park,
                     // one batch of work.
                     let mut batch = vec![env];
-                    while batch.len() < STEP_BATCH {
+                    while batch.len() < step_batch {
                         match cluster.try_recv_external() {
                             Some(env) => batch.push(env),
                             None => break,
                         }
                     }
+                    self.stalled_since = None;
                     for env in batch {
                         self.handle_external(env);
                     }
@@ -420,9 +889,32 @@ impl Transport for ThreadTransport {
                 }
                 None => {
                     // recv_timeout parks and wakes on enqueue, so reaching
-                    // here means STEP_TIMEOUT of genuine silence.  Only call
+                    // here means step_timeout of genuine silence.  Only call
                     // it idleness when no node-bound message is queued or
-                    // mid-processing; otherwise keep waiting (bounded).
+                    // mid-processing — and, in chaos mode, no frame anywhere
+                    // awaits an ack (a partitioned link with retransmits
+                    // pending is *busy*, not idle) — otherwise keep waiting
+                    // (bounded).
+                    let unacked = self
+                        .chaos
+                        .as_ref()
+                        .map(|c| c.table.total_unacked())
+                        .unwrap_or(0);
+                    if unacked > 0 {
+                        // Reliability work is outstanding: report progress
+                        // so waits keep driving the retransmission timer —
+                        // but bound the total silence.  A frame that stays
+                        // unacked through many busy budgets with zero
+                        // traffic (dead node thread, unhealable partition)
+                        // must not wedge idleness detection forever.
+                        let now = Instant::now();
+                        let since = *self.stalled_since.get_or_insert(now);
+                        if now.duration_since(since) < self.tuning.busy_step_timeout * 10 {
+                            return Ok(true);
+                        }
+                        return Ok(false);
+                    }
+                    self.stalled_since = None;
                     if cluster.pending_messages() == 0 || Instant::now() >= busy_deadline {
                         return Ok(false);
                     }
@@ -432,7 +924,7 @@ impl Transport for ThreadTransport {
     }
 
     fn idle_grace(&self) -> u32 {
-        IDLE_GRACE
+        self.tuning.idle_grace
     }
 
     fn take_completions(&mut self) -> Vec<Completion> {
@@ -495,11 +987,31 @@ impl Transport for ThreadTransport {
             .as_ref()
             .map(|c| c.metrics())
             .unwrap_or(self.final_metrics);
+        let (retransmits, dup_drops) = self
+            .chaos
+            .as_ref()
+            .map(|c| c.table.totals())
+            .unwrap_or((0, 0));
         TransportMetrics {
             messages_delivered: m.delivered,
             messages_dropped: m.dropped(),
             bytes_sent: self.client.stats.bytes_sent,
+            retransmits,
+            dup_drops,
+            faults_injected: self
+                .chaos
+                .as_ref()
+                .map(|c| c.session.stats().total_injected())
+                .unwrap_or(0),
         }
+    }
+
+    fn node_reliability(&self, rank: usize) -> Option<RelMetrics> {
+        self.rel_metrics(rank)
+    }
+
+    fn chaos_stats(&self) -> Option<ChaosStats> {
+        ThreadTransport::chaos_stats(self)
     }
 
     fn shutdown(&mut self) {

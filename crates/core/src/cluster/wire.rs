@@ -37,6 +37,57 @@ pub const TAG_STATS: u64 = 6;
 pub const TAG_STATS_REPLY: u64 = 7;
 /// Envelope tag: node reports a processing error to the driver.
 pub const TAG_ERROR: u64 = 8;
+/// Envelope tag: a *reliable* data-plane operation — a 16-byte reliability
+/// header (`[seq u64][cumulative ack u64]`) followed by the same head bytes
+/// a [`TAG_OP`] envelope carries.  Used instead of [`TAG_OP`] when a fault
+/// plan is installed.
+pub const TAG_ROP: u64 = 9;
+/// Envelope tag: a pure cumulative ack (`[ack u64]`) for the reliable
+/// delivery layer.
+pub const TAG_ACK: u64 = 10;
+
+/// Prefix an encoded op head with the reliability header, producing the
+/// data segment of a [`TAG_ROP`] envelope.  (Chaos mode only — the
+/// fault-free path ships the head untouched as [`TAG_OP`], so this copy
+/// never lands on the zero-copy hot path.)
+pub fn encode_rel_head(seq: u64, ack: u64, head: &[u8]) -> Bytes {
+    tc_ucx::bytes::with_pool(|pool| {
+        let mut out = pool.acquire(16 + head.len());
+        out.put_u64_le(seq);
+        out.put_u64_le(ack);
+        out.put_slice(head);
+        out.freeze(pool)
+    })
+}
+
+/// Split a [`TAG_ROP`] data segment into `(seq, ack, op head)`.  The head is
+/// a zero-copy sub-view.
+pub fn decode_rel_head(bytes: &Bytes) -> Result<(u64, u64, Bytes)> {
+    if bytes.len() < 16 {
+        return Err(CoreError::Transport(
+            "reliable envelope shorter than its header".into(),
+        ));
+    }
+    let seq = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let ack = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    Ok((seq, ack, bytes.slice(16..)))
+}
+
+/// Encode a pure cumulative ack for a [`TAG_ACK`] envelope.
+pub fn encode_ack(ack: u64) -> Vec<u8> {
+    ack.to_le_bytes().to_vec()
+}
+
+/// Decode a [`TAG_ACK`] payload.
+pub fn decode_ack(bytes: &[u8]) -> Result<u64> {
+    if bytes.len() != 8 {
+        return Err(CoreError::Transport(format!(
+            "ack envelope must be 8 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    Ok(u64::from_le_bytes(bytes[0..8].try_into().unwrap()))
+}
 
 const OP_PUT: u8 = 0;
 const OP_GET: u8 = 1;
@@ -513,6 +564,32 @@ mod tests {
         .to_vec();
         bad[16] = 99; // unknown op tag
         assert!(decode_op(&Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn rel_header_roundtrips_and_aliases_the_head() {
+        let head = encode_op(&OutgoingMessage {
+            src: WorkerAddr(0),
+            dst: WorkerAddr(1),
+            request: RequestId(4),
+            op: UcpOp::Put {
+                remote_addr: 0x20,
+                data: vec![9, 9].into(),
+            },
+        });
+        let wrapped = encode_rel_head(7, 3, &head);
+        let (seq, ack, inner) = decode_rel_head(&wrapped).unwrap();
+        assert_eq!((seq, ack), (7, 3));
+        assert_eq!(inner, head);
+        assert!(inner.shares_storage(&wrapped), "head must be a sub-view");
+        assert!(decode_rel_head(&Bytes::from(vec![0u8; 15])).is_err());
+    }
+
+    #[test]
+    fn ack_codec_roundtrips() {
+        assert_eq!(decode_ack(&encode_ack(42)).unwrap(), 42);
+        assert!(decode_ack(&[1, 2, 3]).is_err());
+        assert!(decode_ack(&[0; 9]).is_err());
     }
 
     #[test]

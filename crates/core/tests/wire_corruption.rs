@@ -1,0 +1,243 @@
+//! Wire-format robustness: seeded corruption of encoded envelopes and
+//! frames.
+//!
+//! The chaos plane injects *fabric* faults (drop/dup/reorder); this suite
+//! covers the next failure class down — corrupted bytes.  Every decoder on
+//! the receive path (`wire::decode_op`, `wire::decode_op_vectored`,
+//! `wire::decode_rel_head`, `wire::decode_ack`, `wire::decode_control`,
+//! `wire::decode_stats`, `MessageFrame::decode_view`) must return an error
+//! for malformed input — never panic, never misindex — because a production
+//! fabric will eventually hand it garbage.
+
+use tc_core::cluster::wire;
+use tc_core::frame::{CodeRepr, MessageFrame};
+use tc_simnet::SplitMix64;
+use tc_ucx::{AmHandlerId, Bytes, OutgoingMessage, RequestId, UcpOp, WorkerAddr};
+
+fn sample_messages() -> Vec<OutgoingMessage> {
+    let ops = vec![
+        UcpOp::Put {
+            remote_addr: 0x4000,
+            data: vec![7; 48].into(),
+        },
+        UcpOp::Get {
+            remote_addr: 0x80,
+            len: 64,
+        },
+        UcpOp::GetReply {
+            request: RequestId(3),
+            data: vec![1, 2, 3, 4].into(),
+        },
+        UcpOp::ActiveMessage {
+            handler: AmHandlerId(2),
+            payload: vec![9; 16].into(),
+        },
+        UcpOp::IfuncFrame {
+            bytes: vec![0xCD; 96].into(),
+        },
+    ];
+    ops.into_iter()
+        .enumerate()
+        .map(|(i, op)| OutgoingMessage {
+            src: WorkerAddr(0),
+            dst: WorkerAddr(1),
+            request: RequestId(i as u64),
+            op,
+        })
+        .collect()
+}
+
+fn sample_frame() -> MessageFrame {
+    MessageFrame::new(
+        "corruption_probe",
+        CodeRepr::Bitcode,
+        vec![1, 2, 3, 4, 5],
+        vec![0xAB; 256],
+        vec!["libtc.so".to_string(), "libm.so".to_string()],
+    )
+}
+
+/// Truncate `bytes` to every possible prefix length: each must decode to
+/// `Ok` or `Err`, never panic.  Returns how many prefixes decoded `Ok`.
+fn truncation_sweep(bytes: &[u8], mut decode: impl FnMut(&[u8]) -> bool) -> usize {
+    (0..bytes.len()).filter(|&n| decode(&bytes[..n])).count()
+}
+
+#[test]
+fn op_decode_survives_every_truncation() {
+    for msg in sample_messages() {
+        let enc = wire::encode_op(&msg);
+        let ok = truncation_sweep(&enc, |b| {
+            wire::decode_op(&Bytes::copy_from_slice(b)).is_ok()
+        });
+        // Some truncations of payload-carrying ops are still structurally
+        // valid (a shorter payload); what matters is that none panicked and
+        // the full encoding round-trips.
+        assert!(wire::decode_op(&enc).is_ok());
+        let _ = ok;
+    }
+}
+
+#[test]
+fn op_decode_survives_seeded_bit_flips() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for msg in sample_messages() {
+        let enc = wire::encode_op(&msg).to_vec();
+        for _ in 0..200 {
+            let mut bad = enc.clone();
+            let byte = rng.below(bad.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            bad[byte] ^= 1 << bit;
+            // Must not panic; on success the decoded op may simply differ.
+            let _ = wire::decode_op(&Bytes::from(bad));
+        }
+    }
+}
+
+#[test]
+fn op_decode_rejects_structurally_broken_bodies() {
+    // GET body must be exactly 16 bytes.
+    let get = wire::encode_op(&OutgoingMessage {
+        src: WorkerAddr(0),
+        dst: WorkerAddr(1),
+        request: RequestId(0),
+        op: UcpOp::Get {
+            remote_addr: 0,
+            len: 8,
+        },
+    })
+    .to_vec();
+    assert!(wire::decode_op(&Bytes::from(get[..get.len() - 1].to_vec())).is_err());
+    let mut long = get.clone();
+    long.push(0);
+    assert!(wire::decode_op(&Bytes::from(long)).is_err());
+    // Unknown op tag.
+    let mut bad_tag = get;
+    bad_tag[16] = 0xEE;
+    assert!(wire::decode_op(&Bytes::from(bad_tag)).is_err());
+    // Shorter than any header.
+    for n in 0..17 {
+        assert!(wire::decode_op(&Bytes::from(vec![0u8; n])).is_err());
+    }
+}
+
+#[test]
+fn vectored_decode_survives_corrupt_heads() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    let payload = Bytes::from(vec![0x55u8; 1024]);
+    for msg in sample_messages() {
+        let (head, _) = wire::encode_op_vectored(&msg);
+        for _ in 0..200 {
+            let mut bad = head.to_vec();
+            if bad.is_empty() {
+                continue;
+            }
+            let byte = rng.below(bad.len() as u64) as usize;
+            bad[byte] = rng.next_u64() as u8;
+            let _ = wire::decode_op_vectored(&Bytes::from(bad), &payload);
+        }
+        for n in 0..head.len() {
+            let _ = wire::decode_op_vectored(&Bytes::copy_from_slice(&head[..n]), &payload);
+        }
+    }
+}
+
+#[test]
+fn frame_decode_view_survives_truncation_and_flips() {
+    let frame = sample_frame();
+    for enc in [frame.encode_full(), frame.encode_truncated()] {
+        // Every truncation: error or ok, never a panic.  The intact
+        // encodings must round-trip.
+        truncation_sweep(&enc, |b| {
+            MessageFrame::decode_view(&Bytes::copy_from_slice(b)).is_ok()
+        });
+        assert!(MessageFrame::decode_view(&enc).is_ok());
+
+        let mut rng = SplitMix64::new(0xF00D);
+        let bytes = enc.to_vec();
+        for _ in 0..500 {
+            let mut bad = bytes.clone();
+            let byte = rng.below(bad.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            bad[byte] ^= 1 << bit;
+            let _ = MessageFrame::decode_view(&Bytes::from(bad));
+        }
+    }
+}
+
+#[test]
+fn frame_decode_rejects_specific_corruptions() {
+    let frame = sample_frame();
+    let full = frame.encode_full().to_vec();
+
+    // Bad version byte.
+    let mut bad = full.clone();
+    bad[0] = 0x7F;
+    assert!(MessageFrame::decode_view(&Bytes::from(bad)).is_err());
+
+    // Bad representation tag.
+    let mut bad = full.clone();
+    bad[1] = 9;
+    assert!(MessageFrame::decode_view(&Bytes::from(bad)).is_err());
+
+    // Non-UTF-8 ifunc name (name starts after version+repr+len = 4 bytes).
+    let mut bad = full.clone();
+    bad[4] = 0xFF;
+    bad[5] = 0xFE;
+    assert!(MessageFrame::decode_view(&Bytes::from(bad)).is_err());
+
+    // Broken MAGIC delimiter after the payload.
+    let name_len = frame.ifunc_name.len();
+    let payload_len = 5;
+    let magic_at = 1 + 1 + 2 + name_len + 4 + 4 + 2 + payload_len;
+    let mut bad = full.clone();
+    bad[magic_at] = b'X';
+    assert!(MessageFrame::decode_view(&Bytes::from(bad)).is_err());
+
+    // Trailing garbage after the trailer MAGIC.
+    let mut bad = full.clone();
+    bad.push(0);
+    assert!(MessageFrame::decode_view(&Bytes::from(bad)).is_err());
+
+    // Broken trailer MAGIC.
+    let mut bad = full;
+    let last = bad.len() - 1;
+    bad[last] = b'!';
+    assert!(MessageFrame::decode_view(&Bytes::from(bad)).is_err());
+}
+
+#[test]
+fn control_plane_codecs_reject_garbage() {
+    let mut rng = SplitMix64::new(0xD00D);
+    for _ in 0..500 {
+        let junk = rng.bytes(64);
+        let _ = wire::decode_control(&junk);
+        let _ = wire::decode_stats(&junk);
+        let _ = wire::decode_ack(&junk);
+        let _ = wire::decode_rel_head(&Bytes::copy_from_slice(&junk));
+    }
+    assert!(wire::decode_control(&[0; 7]).is_err());
+    assert!(wire::decode_stats(&[0; 87]).is_err());
+    assert!(wire::decode_ack(&[0; 7]).is_err());
+    assert!(wire::decode_rel_head(&Bytes::from(vec![0u8; 15])).is_err());
+}
+
+#[test]
+fn reliable_envelope_corruption_is_contained() {
+    // Corrupting the reliability prefix yields garbage seq/ack values (the
+    // protocol tolerates those — dedup and retransmission are defensive) or
+    // an error; corrupting the inner head must surface as a decode error,
+    // not a panic.
+    let msg = &sample_messages()[0];
+    let head = wire::encode_op(msg);
+    let wrapped = wire::encode_rel_head(9, 4, &head).to_vec();
+    let mut rng = SplitMix64::new(0xACE);
+    for _ in 0..500 {
+        let mut bad = wrapped.clone();
+        let byte = rng.below(bad.len() as u64) as usize;
+        bad[byte] = rng.next_u64() as u8;
+        if let Ok((_seq, _ack, inner)) = wire::decode_rel_head(&Bytes::from(bad)) {
+            let _ = wire::decode_op(&inner);
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub use fabric::{paper_sizes, FabricOp, FabricProfile};
 pub use platform::{Platform, PlatformId};
 pub use rand::SplitMix64;
 pub use threaded::{
-    Envelope, NodeCtx, SendStatus, ThreadCluster, ThreadMetrics, ThreadedNode, EXTERNAL_SENDER,
+    Envelope, EnvelopeFilter, NodeCtx, SendStatus, ThreadCluster, ThreadConfig, ThreadMetrics,
+    ThreadedNode, EXTERNAL_SENDER,
 };
 pub use time::{SimDuration, SimTime};

@@ -30,15 +30,59 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tc_ucx::Bytes;
 
 /// Sender id used for messages injected from outside the cluster.
 pub const EXTERNAL_SENDER: usize = usize::MAX;
 
-/// Most messages a node thread drains per wakeup before handing the batch to
-/// the node (bounds per-batch latency under sustained load).
-const MAX_BATCH: usize = 128;
+/// Default for [`ThreadConfig::max_batch`]: most messages a node thread
+/// drains per wakeup before handing the batch to the node (bounds per-batch
+/// latency under sustained load).
+pub const DEFAULT_MAX_BATCH: usize = 128;
+
+/// An interposed envelope filter: sees every envelope entering the fabric
+/// (node-to-node, driver-to-node and node-to-driver) *before* it is
+/// enqueued, and decides what actually travels.  Returning the envelope
+/// unchanged is a pass-through; returning an empty vector absorbs it
+/// (reported as [`SendStatus::Filtered`], not counted as a fabric drop);
+/// returning several delivers each — which is how fault injection expresses
+/// duplication and release of previously held-back traffic.
+pub type EnvelopeFilter = Arc<dyn Fn(Envelope) -> Vec<Envelope> + Send + Sync>;
+
+/// Tunables of a [`ThreadCluster`], all defaulted to the former hard-coded
+/// behaviour.
+#[derive(Clone, Default)]
+pub struct ThreadConfig {
+    /// Most messages a node thread drains per wakeup (0 = default).
+    pub max_batch: usize,
+    /// When set, node threads park with this timeout and receive
+    /// [`ThreadedNode::on_tick`] callbacks at least this often — the hook
+    /// reliability layers use for timeout-based retransmission.
+    pub tick: Option<Duration>,
+    /// Interposed envelope filter (fault injection).
+    pub filter: Option<EnvelopeFilter>,
+}
+
+impl std::fmt::Debug for ThreadConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadConfig")
+            .field("max_batch", &self.max_batch)
+            .field("tick", &self.tick)
+            .field("filter", &self.filter.is_some())
+            .finish()
+    }
+}
+
+impl ThreadConfig {
+    fn effective_batch(&self) -> usize {
+        if self.max_batch == 0 {
+            DEFAULT_MAX_BATCH
+        } else {
+            self.max_batch
+        }
+    }
+}
 
 /// A message travelling between threaded nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +122,9 @@ pub enum SendStatus {
     /// The destination node has stopped and its channel is closed; the
     /// message was dropped (and counted).
     Disconnected,
+    /// The interposed [`EnvelopeFilter`] absorbed the message (fault
+    /// injection); counted separately from fabric drops.
+    Filtered,
 }
 
 impl SendStatus {
@@ -93,6 +140,7 @@ struct Counters {
     delivered: AtomicU64,
     dropped_unknown: AtomicU64,
     dropped_disconnected: AtomicU64,
+    filtered: AtomicU64,
     /// Node-bound messages enqueued but not yet fully processed.
     in_flight: AtomicU64,
 }
@@ -106,6 +154,9 @@ pub struct ThreadMetrics {
     pub dropped_unknown: u64,
     /// Messages dropped because the destination node had stopped.
     pub dropped_disconnected: u64,
+    /// Messages absorbed by the interposed envelope filter (fault
+    /// injection); not part of [`ThreadMetrics::dropped`].
+    pub filtered: u64,
 }
 
 impl ThreadMetrics {
@@ -121,6 +172,7 @@ impl Counters {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped_unknown: self.dropped_unknown.load(Ordering::Relaxed),
             dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            filtered: self.filtered.load(Ordering::Relaxed),
         }
     }
 
@@ -129,6 +181,7 @@ impl Counters {
             SendStatus::Delivered => &self.delivered,
             SendStatus::UnknownNode => &self.dropped_unknown,
             SendStatus::Disconnected => &self.dropped_disconnected,
+            SendStatus::Filtered => &self.filtered,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         status
@@ -158,12 +211,57 @@ fn send_control(peers: &[Sender<Control>], counters: &Counters, env: Envelope) -
     }
 }
 
+/// Route one envelope to its destination queue: a node channel, or the
+/// external observer when `env.to` is [`EXTERNAL_SENDER`].
+fn route_env(
+    peers: &[Sender<Control>],
+    external: &Sender<Envelope>,
+    counters: &Counters,
+    env: Envelope,
+) -> SendStatus {
+    if env.to == EXTERNAL_SENDER {
+        match external.send(env) {
+            Ok(()) => counters.record(SendStatus::Delivered),
+            Err(_) => counters.record(SendStatus::Disconnected),
+        }
+    } else {
+        send_control(peers, counters, env)
+    }
+}
+
+/// Pass an envelope through the interposed filter (if any) and route
+/// whatever survives.  The returned status describes the *original*
+/// envelope: [`SendStatus::Filtered`] when the filter absorbed it, the
+/// first routed envelope's status otherwise.
+fn dispatch_env(
+    peers: &[Sender<Control>],
+    external: &Sender<Envelope>,
+    counters: &Counters,
+    filter: Option<&EnvelopeFilter>,
+    env: Envelope,
+) -> SendStatus {
+    let Some(filter) = filter else {
+        return route_env(peers, external, counters, env);
+    };
+    let survivors = filter(env);
+    if survivors.is_empty() {
+        return counters.record(SendStatus::Filtered);
+    }
+    let mut first = None;
+    for e in survivors {
+        let status = route_env(peers, external, counters, e);
+        first.get_or_insert(status);
+    }
+    first.unwrap_or(SendStatus::Filtered)
+}
+
 /// Handle through which a node sends messages and inspects the cluster.
 pub struct NodeCtx {
     node_id: usize,
     peers: Vec<Sender<Control>>,
     external: Sender<Envelope>,
     counters: Arc<Counters>,
+    filter: Option<EnvelopeFilter>,
 }
 
 impl NodeCtx {
@@ -181,25 +279,17 @@ impl NodeCtx {
     /// dropped, reported through the returned [`SendStatus`] and counted in
     /// the cluster's [`ThreadMetrics`].
     pub fn send(&self, to: usize, tag: u64, data: impl Into<Bytes>) -> SendStatus {
-        send_control(
-            &self.peers,
-            &self.counters,
-            Envelope {
-                from: self.node_id,
-                to,
-                tag,
-                data: data.into(),
-                payload: Bytes::new(),
-            },
-        )
+        self.send_vectored(to, tag, data.into(), Bytes::new())
     }
 
     /// Send a two-segment message (`data ‖ payload`) to another node without
     /// copying the payload: the bulk segment is moved as a shared view.
     pub fn send_vectored(&self, to: usize, tag: u64, data: Bytes, payload: Bytes) -> SendStatus {
-        send_control(
+        dispatch_env(
             &self.peers,
+            &self.external,
             &self.counters,
+            self.filter.as_ref(),
             Envelope {
                 from: self.node_id,
                 to,
@@ -217,17 +307,19 @@ impl NodeCtx {
 
     /// Two-segment send to the external observer (zero-copy payload).
     pub fn send_external_vectored(&self, tag: u64, data: Bytes, payload: Bytes) -> SendStatus {
-        let env = Envelope {
-            from: self.node_id,
-            to: EXTERNAL_SENDER,
-            tag,
-            data,
-            payload,
-        };
-        match self.external.send(env) {
-            Ok(()) => self.counters.record(SendStatus::Delivered),
-            Err(_) => self.counters.record(SendStatus::Disconnected),
-        }
+        dispatch_env(
+            &self.peers,
+            &self.external,
+            &self.counters,
+            self.filter.as_ref(),
+            Envelope {
+                from: self.node_id,
+                to: EXTERNAL_SENDER,
+                tag,
+                data,
+                payload,
+            },
+        )
     }
 
     /// Snapshot of the cluster-wide delivery counters.
@@ -253,19 +345,37 @@ pub trait ThreadedNode: Send {
             self.on_message(msg, ctx);
         }
     }
+
+    /// Called at least every [`ThreadConfig::tick`] (when configured),
+    /// whether or not traffic arrived — the hook for timeout-driven work
+    /// such as retransmission.  Never called when no tick is configured.
+    fn on_tick(&mut self, _ctx: &NodeCtx) {}
 }
 
 /// A running cluster of threaded nodes.
 pub struct ThreadCluster {
     senders: Vec<Sender<Control>>,
+    external_tx: Sender<Envelope>,
     external_rx: Receiver<Envelope>,
     handles: Vec<JoinHandle<()>>,
     counters: Arc<Counters>,
+    filter: Option<EnvelopeFilter>,
 }
 
 impl ThreadCluster {
-    /// Start `n` nodes, constructing each with `factory(node_id)`.
+    /// Start `n` nodes with default tunables, constructing each with
+    /// `factory(node_id)`.
     pub fn start<N, F>(n: usize, factory: F) -> Self
+    where
+        N: ThreadedNode + 'static,
+        F: Fn(usize) -> N,
+    {
+        Self::start_with_config(n, ThreadConfig::default(), factory)
+    }
+
+    /// Start `n` nodes under explicit [`ThreadConfig`] tunables (batch cap,
+    /// tick cadence, interposed envelope filter).
+    pub fn start_with_config<N, F>(n: usize, config: ThreadConfig, factory: F) -> Self
     where
         N: ThreadedNode + 'static,
         F: Fn(usize) -> N,
@@ -275,6 +385,8 @@ impl ThreadCluster {
         let senders: Vec<Sender<Control>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let (ext_tx, ext_rx) = channel();
         let counters = Arc::new(Counters::default());
+        let max_batch = config.effective_batch();
+        let tick = config.tick;
 
         let mut handles = Vec::with_capacity(n);
         for (node_id, (_, rx)) in channels.into_iter().enumerate() {
@@ -283,6 +395,7 @@ impl ThreadCluster {
                 peers: senders.clone(),
                 external: ext_tx.clone(),
                 counters: Arc::clone(&counters),
+                filter: config.filter.clone(),
             };
             let mut node = factory(node_id);
             let handle = std::thread::Builder::new()
@@ -290,7 +403,23 @@ impl ThreadCluster {
                 .spawn(move || {
                     node.on_start(&ctx);
                     let mut batch: Vec<Envelope> = Vec::new();
-                    'run: while let Ok(ctrl) = rx.recv() {
+                    let mut last_tick = Instant::now();
+                    'run: loop {
+                        let ctrl = match tick {
+                            None => match rx.recv() {
+                                Ok(ctrl) => ctrl,
+                                Err(_) => break 'run,
+                            },
+                            Some(period) => match rx.recv_timeout(period) {
+                                Ok(ctrl) => ctrl,
+                                Err(RecvTimeoutError::Timeout) => {
+                                    node.on_tick(&ctx);
+                                    last_tick = Instant::now();
+                                    continue 'run;
+                                }
+                                Err(RecvTimeoutError::Disconnected) => break 'run,
+                            },
+                        };
                         match ctrl {
                             Control::Deliver(env) => batch.push(env),
                             Control::Stop => break 'run,
@@ -298,7 +427,7 @@ impl ThreadCluster {
                         // Drain the burst that accumulated while we were
                         // parked (or busy), then process it in one go.
                         let mut stop = false;
-                        while batch.len() < MAX_BATCH {
+                        while batch.len() < max_batch {
                             match rx.try_recv() {
                                 Ok(Control::Deliver(env)) => batch.push(env),
                                 Ok(Control::Stop) => {
@@ -315,6 +444,14 @@ impl ThreadCluster {
                         let count = batch.len() as u64;
                         node.on_batch(std::mem::take(&mut batch), &ctx);
                         ctx.counters.in_flight.fetch_sub(count, Ordering::SeqCst);
+                        // A saturated node never hits the park timeout, so
+                        // honour the tick cadence between batches too.
+                        if let Some(period) = tick {
+                            if last_tick.elapsed() >= period {
+                                node.on_tick(&ctx);
+                                last_tick = Instant::now();
+                            }
+                        }
                         if stop {
                             break 'run;
                         }
@@ -335,9 +472,11 @@ impl ThreadCluster {
 
         ThreadCluster {
             senders,
+            external_tx: ext_tx,
             external_rx: ext_rx,
             handles,
             counters,
+            filter: config.filter,
         }
     }
 
@@ -371,9 +510,11 @@ impl ThreadCluster {
     /// Inject a two-segment message (`data ‖ payload`) without copying the
     /// payload segment.
     pub fn send_vectored(&self, to: usize, tag: u64, data: Bytes, payload: Bytes) -> SendStatus {
-        send_control(
+        dispatch_env(
             &self.senders,
+            &self.external_tx,
             &self.counters,
+            self.filter.as_ref(),
             Envelope {
                 from: EXTERNAL_SENDER,
                 to,
@@ -599,6 +740,129 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(cluster.pending_messages(), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn filter_can_absorb_duplicate_and_pass() {
+        // A filter that drops tag 0, duplicates tag 1, passes the rest.
+        let filter: EnvelopeFilter = Arc::new(|env: Envelope| match env.tag {
+            0 => vec![],
+            1 => vec![env.clone(), env],
+            _ => vec![env],
+        });
+        let cluster = ThreadCluster::start_with_config(
+            1,
+            ThreadConfig {
+                filter: Some(filter),
+                ..ThreadConfig::default()
+            },
+            |_| CountingNode {
+                count: 0,
+                batches: 0,
+            },
+        );
+        assert_eq!(cluster.send(0, 0, vec![]), SendStatus::Filtered); // absorbed
+        for _ in 0..3 {
+            assert!(cluster.send(0, 1, vec![]).is_delivered()); // doubled
+        }
+        // tag 0 counts deliveries; the query tag (2 here) is remapped by the
+        // node to "report": CountingNode reports on any tag != 0.
+        let _ = cluster.send(0, 2, vec![]);
+        let env = cluster
+            .recv_external(Duration::from_secs(5))
+            .expect("count");
+        assert_eq!(
+            u64::from_le_bytes(env.data[..8].try_into().unwrap()),
+            0, // the three tag-1 sends report, not count
+        );
+        let metrics = cluster.metrics();
+        assert_eq!(metrics.filtered, 1);
+        // 3 duplicated sends -> 6 deliveries, +1 query, +external reports.
+        assert!(metrics.delivered >= 7);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn filter_applies_to_external_sends_too() {
+        // Absorb everything a node reports outward.
+        let filter: EnvelopeFilter = Arc::new(|env: Envelope| {
+            if env.to == EXTERNAL_SENDER {
+                vec![]
+            } else {
+                vec![env]
+            }
+        });
+        struct Reporter;
+        impl ThreadedNode for Reporter {
+            fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
+                let _ = ctx.send_external(msg.tag, msg.data);
+            }
+        }
+        let cluster = ThreadCluster::start_with_config(
+            1,
+            ThreadConfig {
+                filter: Some(filter),
+                ..ThreadConfig::default()
+            },
+            |_| Reporter,
+        );
+        let _ = cluster.send(0, 7, 5u64.to_le_bytes().to_vec());
+        assert!(cluster.recv_external(Duration::from_millis(100)).is_none());
+        assert!(cluster.metrics().filtered >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn configured_tick_fires_without_traffic() {
+        struct TickNode;
+        impl ThreadedNode for TickNode {
+            fn on_message(&mut self, _msg: Envelope, _ctx: &NodeCtx) {}
+            fn on_tick(&mut self, ctx: &NodeCtx) {
+                let _ = ctx.send_external(99, vec![]);
+            }
+        }
+        let cluster = ThreadCluster::start_with_config(
+            1,
+            ThreadConfig {
+                tick: Some(Duration::from_millis(5)),
+                ..ThreadConfig::default()
+            },
+            |_| TickNode,
+        );
+        let env = cluster
+            .recv_external(Duration::from_secs(5))
+            .expect("tick fired with no traffic at all");
+        assert_eq!(env.tag, 99);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn custom_max_batch_bounds_drain() {
+        let cluster = ThreadCluster::start_with_config(
+            1,
+            ThreadConfig {
+                max_batch: 4,
+                ..ThreadConfig::default()
+            },
+            |_| CountingNode {
+                count: 0,
+                batches: 0,
+            },
+        );
+        for _ in 0..64 {
+            let _ = cluster.send(0, 0, vec![]);
+        }
+        let _ = cluster.send(0, 1, vec![]);
+        let env = cluster
+            .recv_external(Duration::from_secs(5))
+            .expect("count");
+        assert_eq!(u64::from_le_bytes(env.data[..8].try_into().unwrap()), 64);
+        let batches = u64::from_le_bytes(env.data[8..16].try_into().unwrap());
+        assert!(
+            batches >= 65 / 4,
+            "65 messages with max_batch 4 need ≥ 17 batches, saw {batches}"
+        );
         cluster.shutdown();
     }
 

@@ -19,12 +19,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos_sweep;
 pub mod dapc;
 pub mod kernels;
 pub mod pointer_table;
 pub mod report;
 pub mod tsi;
 
+pub use chaos_sweep::{
+    chaos_sweep, run_chaos_point, sweep_plan, ChaosSweepConfig, ChaosSweepRow, NodeFaultStats,
+};
 pub use dapc::{
     depth_sweep, scaling_sweep, ChaseConfig, ChaseMode, ChaseResult, DapcExperiment, SweepPoint,
 };
@@ -33,5 +37,8 @@ pub use kernels::{
     CHASER_CHAINLANG_SRC, TSI_CHAINLANG_SRC,
 };
 pub use pointer_table::PointerTable;
-pub use report::{render_figure, render_figure_csv, render_overhead_table, render_rate_table};
+pub use report::{
+    render_chaos_nodes, render_chaos_table, render_figure, render_figure_csv,
+    render_overhead_table, render_rate_table,
+};
 pub use tsi::{platform_toolchain, run_tsi, tsi_am_handler, TsiBreakdown, TsiRate, TsiResults};

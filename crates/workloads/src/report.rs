@@ -1,5 +1,7 @@
-//! Text rendering of the paper's tables and figures from measured results.
+//! Text rendering of the paper's tables and figures from measured results,
+//! plus fault-statistics tables for chaos sweeps.
 
+use crate::chaos_sweep::ChaosSweepRow;
 use crate::dapc::{ChaseMode, SweepPoint};
 use crate::tsi::TsiResults;
 
@@ -146,9 +148,67 @@ pub fn render_figure_csv(xs: &[u64], points: &[SweepPoint], modes: &[ChaseMode])
     out
 }
 
+/// Render a chaos sweep as an aligned table: one row per `(backend, drop
+/// rate)` point, fault statistics alongside the timing.
+pub fn render_chaos_table(title: &str, rows: &[ChaosSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>11} {:>8} {:>12} {:>10} {:>10} {:>8}\n",
+        "Backend", "Drop", "Delivered", "Faults", "Retransmits", "DupDrops", "Elapsed", "Result"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>6.1}% {:>11} {:>8} {:>12} {:>10} {:>7.1}ms {:>8}\n",
+            r.backend,
+            r.drop_rate * 100.0,
+            r.messages_delivered,
+            r.faults_injected,
+            r.retransmits,
+            r.dup_drops,
+            r.elapsed_ms,
+            if r.exact { "exact" } else { "LOST" },
+        ));
+    }
+    out
+}
+
+/// Render the per-node fault statistics of one sweep point: drop-recovery
+/// and dedup counters per rank next to its execution count.
+pub fn render_chaos_nodes(row: &ChaosSweepRow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "per-node fault statistics ({} @ {:.1}% drop)\n",
+        row.backend,
+        row.drop_rate * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>10} {:>12} {:>10} {:>8}\n",
+        "Rank", "Retransmits", "DupDrops", "OutOfOrder", "AcksSent", "Ifuncs"
+    ));
+    for n in &row.per_node {
+        let name = if n.rank == 0 {
+            "client".to_string()
+        } else {
+            format!("srv {}", n.rank)
+        };
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>10} {:>12} {:>10} {:>8}\n",
+            name,
+            n.rel.retransmits,
+            n.rel.dup_drops,
+            n.rel.out_of_order,
+            n.rel.acks_sent,
+            n.ifuncs_executed
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos_sweep::NodeFaultStats;
     use crate::dapc::ChaseResult;
 
     fn fake_point(depth: u64, get: f64, bitcode: f64) -> SweepPoint {
@@ -201,5 +261,51 @@ mod tests {
     fn pct_diff_matches_definition() {
         let p = fake_point(1, 1000.0, 1300.0);
         assert!((p.get_vs_bitcode_pct().unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chaos_tables_render_fault_statistics() {
+        let row = ChaosSweepRow {
+            backend: "simnet".into(),
+            drop_rate: 0.05,
+            exact: true,
+            messages_delivered: 123,
+            faults_injected: 17,
+            retransmits: 9,
+            dup_drops: 4,
+            elapsed_ms: 2.5,
+            per_node: vec![
+                NodeFaultStats {
+                    rank: 0,
+                    rel: tc_core::RelMetrics {
+                        retransmits: 9,
+                        dup_drops: 0,
+                        out_of_order: 2,
+                        acks_sent: 0,
+                    },
+                    ifuncs_executed: 0,
+                },
+                NodeFaultStats {
+                    rank: 1,
+                    rel: tc_core::RelMetrics {
+                        retransmits: 0,
+                        dup_drops: 4,
+                        out_of_order: 1,
+                        acks_sent: 40,
+                    },
+                    ifuncs_executed: 25,
+                },
+            ],
+        };
+        let table = render_chaos_table("chaos", std::slice::from_ref(&row));
+        assert!(table.contains("simnet"));
+        assert!(table.contains("5.0%"));
+        assert!(table.contains("exact"));
+        assert!(table.contains("17"));
+        let nodes = render_chaos_nodes(&row);
+        assert!(nodes.contains("client"));
+        assert!(nodes.contains("srv 1"));
+        assert!(nodes.contains("25"));
+        assert!(nodes.contains("40"));
     }
 }

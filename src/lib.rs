@@ -28,6 +28,7 @@
 pub use tc_binfmt as binfmt;
 pub use tc_bitir as bitir;
 pub use tc_chainlang as chainlang;
+pub use tc_chaos as chaos;
 pub use tc_core as core;
 pub use tc_jit as jit;
 pub use tc_simnet as simnet;

@@ -1,0 +1,339 @@
+//! Chaos parity: the `tests/cluster_parity.rs` TSI + X-RDMA scenario, run
+//! under a seeded `FaultPlan` that drops, duplicates and reorders envelopes
+//! and opens (then heals) a network partition mid-run — on BOTH backends.
+//!
+//! The reliable-delivery layer must make the run indistinguishable from a
+//! fault-free one at the functional level: identical counters, execution
+//! counts and result values on the simulated and the threaded transport,
+//! with `TransportMetrics` proving the faults actually fired (retransmits,
+//! dedup drops, injected-fault counts all nonzero).
+
+use std::sync::Arc;
+use tc_bitir::{BinOp, Module, ModuleBuilder, ScalarType};
+use tc_core::layout::TARGET_REGION_BASE;
+use tc_core::{
+    build_ifunc_library, Backend, Cluster, ClusterBuilder, FaultPlan, NativeAmHandler, Transport,
+};
+use tc_workloads::{platform_toolchain, tsi_module};
+
+const SERVERS: usize = 4;
+const SENDS_PER_SERVER: u64 = 5;
+
+/// The acceptance-criteria plan: ≥1% drop, reorder, duplication, and one
+/// partition that cuts server 2 off mid-run and heals after a dozen
+/// traversals of each crossing link (retransmissions burn through the
+/// window, so the heal is reached deterministically).
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::seeded(0x3C4A05)
+        .drop_rate(0.02)
+        .duplicate_rate(0.02)
+        .reorder_rate(0.05)
+        .partition(&[2], 4, 12)
+}
+
+/// What a scenario observed on one backend; compared across backends.
+#[derive(Debug, PartialEq, Eq)]
+struct ScenarioOutcome {
+    counters: Vec<u64>,
+    ifuncs_executed: Vec<u64>,
+    jit_compilations: Vec<u64>,
+    am_counter: u64,
+    doubled: u64,
+}
+
+/// An ifunc that doubles a payload value and returns it through the X-RDMA
+/// result mailbox.  Payload: `[client u64][slot u64][value u64]`.
+fn doubler_module() -> Module {
+    let mut mb = ModuleBuilder::new("chaos_doubler");
+    {
+        let mut f = mb.entry_function();
+        let payload = f.param(0);
+        let client = f.load(ScalarType::U64, payload, 0);
+        let slot = f.load(ScalarType::U64, payload, 8);
+        let value = f.load(ScalarType::U64, payload, 16);
+        let two = f.const_u64(2);
+        let doubled = f.bin(BinOp::Mul, ScalarType::U64, value, two);
+        f.call_ext("tc_return_result", vec![client, slot, doubled], true);
+        let z = f.const_i64(0);
+        f.ret(z);
+        f.finish();
+    }
+    mb.build()
+}
+
+fn tsi_am_handler() -> NativeAmHandler {
+    Arc::new(|ctx, payload| {
+        use tc_jit::MemoryExt;
+        let delta = u64::from(payload.first().copied().unwrap_or(0));
+        let old = ctx.memory.read_u64(TARGET_REGION_BASE).unwrap_or(0);
+        let _ = ctx.memory.write_u64(TARGET_REGION_BASE, old + delta);
+        24
+    })
+}
+
+/// The shared scenario — the same shape as `cluster_parity.rs`, oblivious
+/// to both the transport underneath and the faults being injected.
+fn run_scenario<T: Transport>(cluster: &mut Cluster<T>) -> ScenarioOutcome {
+    let platform = tc_simnet::Platform::thor_bf2();
+
+    // 1. TSI over ifuncs: first send ships code and JITs, the rest ride the
+    //    sender cache as truncated frames.  Under chaos, the reliability
+    //    layer must keep them exactly-once and in order per link (a
+    //    truncated frame overtaking its code-carrying predecessor would
+    //    error out).
+    let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let tsi_handle = cluster.register_ifunc(tsi);
+    let msg = cluster.bitcode_message(tsi_handle, vec![3]).unwrap();
+    for _ in 0..SENDS_PER_SERVER {
+        for server in 1..=SERVERS {
+            cluster.send_ifunc(&msg, server).unwrap();
+        }
+    }
+
+    // 2. The AM baseline next to it on server 1.
+    cluster.deploy_am("chaos_tsi_am", tsi_am_handler()).unwrap();
+    cluster.send_am("chaos_tsi_am", 1, vec![7]).unwrap();
+
+    // 3. X-RDMA through the partitioned server: ship the doubler to server
+    //    2 — the node the partition cuts off — and wait on the typed
+    //    handle.  This only completes after the partition heals.
+    let doubler = build_ifunc_library(&doubler_module(), &platform_toolchain(&platform)).unwrap();
+    let doubler_handle = cluster.register_ifunc(doubler);
+    let slot = cluster.result_slot();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    payload.extend_from_slice(&slot.slot().to_le_bytes());
+    payload.extend_from_slice(&21u64.to_le_bytes());
+    let dmsg = cluster.bitcode_message(doubler_handle, payload).unwrap();
+    cluster.send_ifunc(&dmsg, 2).unwrap();
+    let doubled = cluster.wait(&slot).unwrap();
+
+    // 4. Let retransmissions drain, then observe through the transport
+    //    (the control plane is never faulted, so reads are exact).
+    cluster.run_until_idle(10_000_000).unwrap();
+    let mut outcome = ScenarioOutcome {
+        counters: Vec::new(),
+        ifuncs_executed: Vec::new(),
+        jit_compilations: Vec::new(),
+        am_counter: 0,
+        doubled,
+    };
+    for server in 1..=SERVERS {
+        let stats = cluster.stats(server).unwrap();
+        outcome.ifuncs_executed.push(stats.ifuncs_executed);
+        outcome.jit_compilations.push(stats.jit_compilations);
+        outcome
+            .counters
+            .push(cluster.read_u64(server, TARGET_REGION_BASE).unwrap());
+    }
+    outcome.am_counter = outcome.counters[0];
+    outcome
+}
+
+fn assert_analytic_expectation(outcome: &ScenarioOutcome) {
+    assert_eq!(outcome.doubled, 42);
+    for (rank0, &counter) in outcome.counters.iter().enumerate() {
+        let expected = 3 * SENDS_PER_SERVER + if rank0 == 0 { 7 } else { 0 };
+        assert_eq!(
+            counter,
+            expected,
+            "server {} counter: exactly-once delivery must make the chaos \
+             run equal the fault-free run",
+            rank0 + 1
+        );
+    }
+    for (rank0, &n) in outcome.ifuncs_executed.iter().enumerate() {
+        let expected = SENDS_PER_SERVER + if rank0 == 1 { 1 } else { 0 }; // +doubler
+        assert_eq!(n, expected, "server {} executions", rank0 + 1);
+    }
+    for (rank0, &n) in outcome.jit_compilations.iter().enumerate() {
+        let expected = 1 + if rank0 == 1 { 1 } else { 0 }; // tsi (+doubler on 2)
+        assert_eq!(
+            n,
+            expected,
+            "server {} JITs (dedup must prevent re-JIT)",
+            rank0 + 1
+        );
+    }
+}
+
+#[test]
+fn chaos_scenario_identical_results_on_both_backends() {
+    let builder = || {
+        ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_bf2())
+            .servers(SERVERS)
+            .fault_plan(chaos_plan())
+    };
+
+    let mut sim = builder().build(Backend::Simnet);
+    let sim_outcome = run_scenario(&mut sim);
+    let sim_metrics = sim.metrics();
+    let sim_chaos = sim.transport().chaos_stats().expect("chaos installed");
+
+    let mut threaded = builder().build(Backend::Threads);
+    let threaded_outcome = run_scenario(&mut threaded);
+    let threaded_metrics = threaded.metrics();
+    let threaded_chaos = threaded.transport().chaos_stats().expect("chaos installed");
+    threaded.shutdown();
+
+    // Functional parity: every observable agrees across backends despite
+    // each backend realising the fault plan in its own time domain.
+    assert_eq!(sim_outcome, threaded_outcome);
+    assert_analytic_expectation(&sim_outcome);
+
+    // The faults really fired, and the reliability layer really worked.
+    for (name, metrics, chaos) in [
+        ("simnet", sim_metrics, sim_chaos),
+        ("threads", threaded_metrics, threaded_chaos),
+    ] {
+        assert!(
+            chaos.total_injected() > 0,
+            "{name}: the plan must inject faults"
+        );
+        assert!(
+            chaos.partition_drops > 0,
+            "{name}: the partition must actually cut traffic"
+        );
+        assert!(
+            metrics.retransmits > 0,
+            "{name}: recovery must come from retransmission"
+        );
+        assert_eq!(
+            metrics.faults_injected,
+            chaos.total_injected(),
+            "{name}: transport metrics must surface the chaos counters"
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_keeps_reliability_invisible() {
+    // An empty plan still routes the data plane through the reliability
+    // layer; nothing should be injected and nothing retransmitted.
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_bf2())
+        .servers(2)
+        .fault_plan(FaultPlan::seeded(1))
+        .build_sim();
+    let platform = tc_simnet::Platform::thor_bf2();
+    let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(tsi);
+    let msg = cluster.bitcode_message(handle, vec![2]).unwrap();
+    for server in 1..=2 {
+        cluster.send_ifunc(&msg, server).unwrap();
+        cluster.send_ifunc(&msg, server).unwrap();
+    }
+    cluster.run_until_idle(1_000_000).unwrap();
+    for server in 1..=2 {
+        assert_eq!(cluster.read_u64(server, TARGET_REGION_BASE).unwrap(), 4);
+    }
+    let m = cluster.metrics();
+    assert_eq!(m.retransmits, 0);
+    assert_eq!(m.dup_drops, 0);
+    assert_eq!(m.faults_injected, 0);
+    assert!(cluster.transport().chaos_stats().unwrap().decisions > 0);
+}
+
+#[test]
+fn heavy_drop_rate_still_exactly_once_on_sim() {
+    // 20% drop + duplication + reorder on the deterministic backend: a
+    // stress level the retransmission timer must grind through.
+    let plan = FaultPlan::seeded(99)
+        .drop_rate(0.20)
+        .duplicate_rate(0.10)
+        .reorder_rate(0.10);
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_bf2())
+        .servers(2)
+        .fault_plan(plan)
+        .build_sim();
+    let platform = tc_simnet::Platform::thor_bf2();
+    let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(tsi);
+    let msg = cluster.bitcode_message(handle, vec![1]).unwrap();
+    for _ in 0..20 {
+        cluster.send_ifunc(&msg, 1).unwrap();
+        cluster.send_ifunc(&msg, 2).unwrap();
+    }
+    cluster.run_until_idle(10_000_000).unwrap();
+    for server in 1..=2 {
+        assert_eq!(
+            cluster.read_u64(server, TARGET_REGION_BASE).unwrap(),
+            20,
+            "server {server}: 20 increments exactly"
+        );
+        assert_eq!(cluster.stats(server).unwrap().ifuncs_executed, 20);
+    }
+    let m = cluster.metrics();
+    assert!(m.retransmits > 0);
+    assert!(m.dup_drops > 0);
+    assert!(m.faults_injected > 0);
+}
+
+#[test]
+fn misaddressed_sends_under_chaos_do_not_wedge_either_side() {
+    // Reliability must never adopt a message the fabric can only drop
+    // (unknown rank): it would retransmit forever and idleness detection
+    // would wedge.  Exercise both origins — a client send to a bogus rank
+    // (driver path) and an ifunc that forwards itself to a bogus rank
+    // (server path) — on the threaded backend under an active plan.
+    let mut mb = ModuleBuilder::new("bad_forwarder");
+    {
+        let mut f = mb.entry_function();
+        let payload = f.param(0);
+        let len = f.param(1);
+        let bogus = f.const_u64(99);
+        f.call_ext("tc_forward_self", vec![bogus, payload, len], true);
+        let z = f.const_i64(0);
+        f.ret(z);
+        f.finish();
+    }
+    let platform = tc_simnet::Platform::thor_bf2();
+    let mut cluster = ClusterBuilder::new()
+        .platform(platform)
+        .servers(2)
+        .fault_plan(FaultPlan::seeded(11).drop_rate(0.05))
+        .build_threaded();
+    let lib = build_ifunc_library(&mb.build(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(lib);
+    let msg = cluster.bitcode_message(handle, vec![1]).unwrap();
+    cluster.send_ifunc(&msg, 1).unwrap(); // server 1 forwards to rank 99
+    cluster.send_ifunc(&msg, 99).unwrap(); // client sends to rank 99
+    let start = std::time::Instant::now();
+    cluster.run_until_idle(100_000).unwrap();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(20),
+        "misaddressed reliable sends must not retransmit forever"
+    );
+    assert!(
+        cluster.metrics().messages_dropped >= 2,
+        "both bogus sends must be counted as fabric drops"
+    );
+    assert_eq!(cluster.stats(1).unwrap().ifuncs_executed, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_window_heals_and_delivery_resumes() {
+    // Crash server 1 for its first 6 traversals: the very first sends are
+    // blackholed, the restart happens, retransmits complete the job.
+    let plan = FaultPlan::seeded(5).crash(1, 0, 6);
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_bf2())
+        .servers(1)
+        .fault_plan(plan)
+        .build_sim();
+    let platform = tc_simnet::Platform::thor_bf2();
+    let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(tsi);
+    let msg = cluster.bitcode_message(handle, vec![4]).unwrap();
+    for _ in 0..5 {
+        cluster.send_ifunc(&msg, 1).unwrap();
+    }
+    cluster.run_until_idle(10_000_000).unwrap();
+    assert_eq!(cluster.read_u64(1, TARGET_REGION_BASE).unwrap(), 20);
+    let chaos = cluster.transport().chaos_stats().unwrap();
+    assert!(chaos.crash_drops > 0, "the crash window must have fired");
+    assert!(cluster.metrics().retransmits > 0);
+}

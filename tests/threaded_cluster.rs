@@ -170,3 +170,38 @@ fn threaded_sends_to_unknown_ranks_are_counted_not_lost_silently() {
     assert_eq!(cluster.stats(1).unwrap().ifuncs_executed, 1);
     cluster.shutdown();
 }
+
+#[test]
+fn thread_tuning_is_configurable_through_the_builder() {
+    // The former hard-coded scheduling constants (park timeout, batch caps,
+    // idle grace, control timeout) are builder-configurable; a deliberately
+    // unusual combination must still run the scenario correctly.
+    let platform = tc_simnet::Platform::thor_bf2();
+    let tuning = tc_core::ThreadTuning {
+        step_timeout: std::time::Duration::from_millis(5),
+        busy_step_timeout: std::time::Duration::from_millis(200),
+        step_batch: 8,
+        idle_grace: 4,
+        node_batch: 4,
+        control_timeout: std::time::Duration::from_secs(2),
+    };
+    let mut cluster = ClusterBuilder::new()
+        .platform(platform)
+        .servers(3)
+        .thread_tuning(tuning)
+        .build_threaded();
+    let library = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+    let handle = cluster.register_ifunc(library);
+    let message = cluster.bitcode_message(handle, vec![2]).unwrap();
+    for _ in 0..10 {
+        for server in 1..=3 {
+            cluster.send_ifunc(&message, server).unwrap();
+        }
+    }
+    cluster.run_until_idle(100_000).unwrap();
+    for server in 1..=3 {
+        assert_eq!(cluster.read_u64(server, TARGET_REGION_BASE).unwrap(), 20);
+        assert_eq!(cluster.stats(server).unwrap().ifuncs_executed, 10);
+    }
+    cluster.shutdown();
+}
