@@ -153,12 +153,88 @@ fn bench_data_plane(c: &mut Criterion) {
     }
 }
 
+/// Pipelining speedup of the async completion plane: the same 256 GETs
+/// against 4 servers (round-robin) driven with a window of 1
+/// (send-one-wait-one), 16, or 256 outstanding requests through
+/// `CompletionSet`/`wait_any` on the threaded backend.  A window of 1
+/// serialises every round trip; wider windows overlap round trips *and* let
+/// all four server threads serve concurrently.  Throughput is operations
+/// per second; the depth-256 row divided by the depth-1 row is the
+/// pipelining speedup recorded in EXPERIMENTS.md.
+fn bench_data_plane_inflight(c: &mut Criterion) {
+    use tc_core::cluster::CompletionSet;
+    const OPS: usize = 256;
+    const SIZE: usize = 1024;
+    const SERVERS: usize = 4;
+    let mut group = c.benchmark_group("data_plane");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    // Deep pipelines benefit from larger drain batches on both the driver
+    // and the node threads (one wakeup amortised over more envelopes).
+    let tuning = tc_core::ThreadTuning {
+        step_batch: 512,
+        node_batch: 512,
+        ..tc_core::ThreadTuning::default()
+    };
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_xeon())
+        .servers(SERVERS)
+        .thread_tuning(tuning)
+        .build_threaded();
+    let addr = tc_core::layout::DATA_REGION_BASE;
+    for rank in 1..=SERVERS {
+        cluster
+            .write_memory(rank, addr, &vec![0x5Au8; SIZE])
+            .unwrap();
+        // Warm the path (pool slots, pages) before timing.
+        let warm = cluster.get(rank, addr, SIZE as u64).unwrap();
+        cluster.wait(&warm).unwrap();
+    }
+
+    for inflight in [1usize, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("get_inflight", inflight),
+            &inflight,
+            |b, &inflight| {
+                b.iter(|| {
+                    let mut set = CompletionSet::new();
+                    let mut issued = 0usize;
+                    let mut done = 0usize;
+                    while done < OPS {
+                        // Post the window refill as one flushed burst.
+                        let mut posted = false;
+                        while issued < OPS && set.len() < inflight {
+                            let rank = 1 + issued % SERVERS;
+                            set.add_get(cluster.post_get(rank, addr, SIZE as u64));
+                            issued += 1;
+                            posted = true;
+                        }
+                        if posted {
+                            cluster.flush().unwrap();
+                        }
+                        let (_, ready) = cluster.wait_any(&mut set).unwrap();
+                        match ready {
+                            tc_core::Ready::Get(data) => assert_eq!(data.len(), SIZE),
+                            other => panic!("unexpected readiness {other:?}"),
+                        }
+                        done += 1;
+                    }
+                });
+            },
+        );
+    }
+    cluster.shutdown();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frame_codec,
     bench_bitcode_codec,
     bench_jit_and_binary,
     bench_interpreter,
-    bench_data_plane
+    bench_data_plane,
+    bench_data_plane_inflight
 );
 criterion_main!(benches);

@@ -46,11 +46,13 @@
 //! assert_eq!(cluster.stats(1).unwrap().ifuncs_executed, 1);
 //! ```
 
+pub mod completion;
 pub mod reliable;
 pub mod sim_transport;
 pub mod thread_transport;
 pub mod wire;
 
+pub use completion::{ClaimTable, CompletionSet, CompletionToken, PutHandle, Ready};
 pub use reliable::{RelConfig, RelMetrics};
 pub use sim_transport::SimTransport;
 pub use tc_chaos::{ChaosSession, ChaosStats, FaultPlan, LinkFaults};
@@ -148,9 +150,34 @@ pub trait Transport {
         1
     }
 
-    /// Drain completions (GET results, X-RDMA results) that reached the
-    /// client.
+    /// Drain completions (GET results, X-RDMA results, confirmed-PUT acks)
+    /// that reached the client.
     fn take_completions(&mut self) -> Vec<Completion>;
+
+    /// The transport's clock in nanoseconds: virtual time for the simulated
+    /// backend, wall-clock time for the threaded one.  Per-handle deadlines
+    /// in a [`CompletionSet`] are measured on this clock.  Transports
+    /// without a meaningful clock may return 0 (deadlines then never expire
+    /// by time, only by quiescence).
+    fn now_nanos(&self) -> u64 {
+        0
+    }
+
+    /// Messages the reliable-delivery layer still holds unacknowledged,
+    /// summed across all nodes (0 without a fault plan).  The cluster's wait
+    /// loops consult this so a quiet-but-retransmitting fabric is never
+    /// mistaken for a quiescent one.
+    fn unacked_total(&self) -> u64 {
+        0
+    }
+
+    /// Earliest armed retransmission deadline across all nodes, on the
+    /// [`Transport::now_nanos`] clock (`None` when nothing is outstanding).
+    /// Implement together with [`Transport::unacked_total`]: the wait loops
+    /// treat unacked frames as busy only while a deadline is armed.
+    fn next_rel_deadline(&self) -> Option<u64> {
+        None
+    }
 
     /// Read `len` bytes at `addr` from node `rank`'s memory.
     fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>>;
@@ -210,6 +237,15 @@ impl Transport for Box<dyn Transport> {
     fn take_completions(&mut self) -> Vec<Completion> {
         (**self).take_completions()
     }
+    fn now_nanos(&self) -> u64 {
+        (**self).now_nanos()
+    }
+    fn unacked_total(&self) -> u64 {
+        (**self).unacked_total()
+    }
+    fn next_rel_deadline(&self) -> Option<u64> {
+        (**self).next_rel_deadline()
+    }
     fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
         (**self).read_memory(rank, addr, len)
     }
@@ -234,13 +270,18 @@ impl Transport for Box<dyn Transport> {
 }
 
 /// A handle that can be waited on through [`Cluster::wait`], claiming a typed
-/// value from the stream of client completions.
+/// value from the indexed [`ClaimTable`] of client completions.
 pub trait CompletionHandle {
     /// What the completed operation yields.
     type Output;
 
-    /// Remove and return this handle's completion from `pending`, if present.
-    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<Self::Output>;
+    /// Remove and return this handle's completion from the claim table, if
+    /// present.
+    fn try_claim(&self, claims: &mut ClaimTable) -> Option<Self::Output>;
+
+    /// Arrival order of this handle's completion, if it is pending — used
+    /// by [`CompletionSet`] for first-arrived fairness.
+    fn ready_at(&self, claims: &ClaimTable) -> Option<u64>;
 
     /// Human-readable description for timeout errors.
     fn describe(&self) -> String;
@@ -262,14 +303,12 @@ impl GetHandle {
 impl CompletionHandle for GetHandle {
     type Output = Bytes;
 
-    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<Bytes> {
-        let pos = pending.iter().position(
-            |c| matches!(c, Completion::Get { request, .. } if *request == self.request),
-        )?;
-        match pending.swap_remove(pos) {
-            Completion::Get { data, .. } => Some(data),
-            _ => unreachable!("position matched a GET completion"),
-        }
+    fn try_claim(&self, claims: &mut ClaimTable) -> Option<Bytes> {
+        claims.claim_get(self.request)
+    }
+
+    fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
+        claims.get_arrival(self.request)
     }
 
     fn describe(&self) -> String {
@@ -286,6 +325,13 @@ pub struct ResultHandle {
 
 impl ResultHandle {
     /// A handle for an explicitly chosen mailbox slot.
+    ///
+    /// **Contract:** slots named this way share the one mailbox with slots
+    /// handed out by [`Cluster::result_slot`].  To keep the allocator from
+    /// colliding with a manually chosen slot, reserve it first with
+    /// [`Cluster::reserve_result_slot`] (which also returns the handle) —
+    /// the allocator then skips it.  Unreserved manual slots are only safe
+    /// if the driver never calls `result_slot()`.
     pub fn for_slot(slot: u64) -> Self {
         ResultHandle { slot }
     }
@@ -305,14 +351,12 @@ impl ResultHandle {
 impl CompletionHandle for ResultHandle {
     type Output = u64;
 
-    fn try_claim(&self, pending: &mut Vec<Completion>) -> Option<u64> {
-        let pos = pending
-            .iter()
-            .position(|c| matches!(c, Completion::Result { slot, .. } if *slot == self.slot))?;
-        match pending.swap_remove(pos) {
-            Completion::Result { value, .. } => Some(value),
-            _ => unreachable!("position matched a Result completion"),
-        }
+    fn try_claim(&self, claims: &mut ClaimTable) -> Option<u64> {
+        claims.claim_result(self.slot)
+    }
+
+    fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
+        claims.result_arrival(self.slot)
     }
 
     fn describe(&self) -> String {
@@ -328,8 +372,9 @@ impl CompletionHandle for ResultHandle {
 /// back through the transport so the same scenario runs on any backend.
 pub struct Cluster<T: Transport> {
     transport: T,
-    pending: Vec<Completion>,
+    claims: ClaimTable,
     next_result_slot: u64,
+    reserved_slots: std::collections::HashSet<u64>,
 }
 
 impl<T: Transport> std::fmt::Debug for Cluster<T> {
@@ -337,8 +382,58 @@ impl<T: Transport> std::fmt::Debug for Cluster<T> {
         f.debug_struct("Cluster")
             .field("backend", &self.transport.backend_name())
             .field("nodes", &self.transport.node_count())
-            .field("pending_completions", &self.pending.len())
+            .field("pending_completions", &self.claims.len())
             .finish()
+    }
+}
+
+/// How many consecutive idle transport steps the wait loops tolerate while
+/// the reliable-delivery layer still reports unacked frames, before giving
+/// up anyway.  Both built-in transports keep reporting progress while their
+/// retransmission timers are armed, so this only bounds a transport that is
+/// wedged (or a third-party transport with incomplete accounting).
+const REL_STALL_LIMIT: u32 = 64;
+
+/// Shared quiescence tracker of the wait loops: `grace` idle steps in a row
+/// mean quiescent — but an idle step observed while the reliability layer
+/// holds unacked frames does not count (bounded by [`REL_STALL_LIMIT`]).
+struct Idleness {
+    grace: u32,
+    idle: u32,
+    rel_stall: u32,
+}
+
+impl Idleness {
+    fn new(grace: u32) -> Self {
+        Idleness {
+            grace,
+            idle: 0,
+            rel_stall: 0,
+        }
+    }
+
+    /// Record one driven step.  Returns true when the transport should be
+    /// considered quiescent (give up waiting).
+    fn note<T: Transport>(&mut self, transport: &T, progressed: bool) -> bool {
+        if progressed {
+            self.idle = 0;
+            self.rel_stall = 0;
+            return false;
+        }
+        // A retransmitting link is busy, not idle — but only while a
+        // retransmission deadline is actually armed: unacked frames with no
+        // armed timer (`next_rel_deadline() == None`) can never be
+        // re-driven, so waiting on them would just delay the timeout.
+        if transport.unacked_total() > 0
+            && transport.next_rel_deadline().is_some()
+            && self.rel_stall < REL_STALL_LIMIT
+        {
+            self.rel_stall += 1;
+            self.idle = 0;
+            return false;
+        }
+        self.idle += 1;
+        self.idle >= self.grace
     }
 }
 
@@ -347,8 +442,9 @@ impl<T: Transport> Cluster<T> {
     pub fn new(transport: T) -> Self {
         Cluster {
             transport,
-            pending: Vec::new(),
+            claims: ClaimTable::default(),
             next_result_slot: 0,
+            reserved_slots: std::collections::HashSet::new(),
         }
     }
 
@@ -472,114 +568,259 @@ impl<T: Transport> Cluster<T> {
         Ok(request)
     }
 
+    /// Post a *confirmed* one-sided PUT into `dst`'s memory: the destination
+    /// applies the write and acknowledges it through the transport.  Wait on
+    /// the returned [`PutHandle`] (or register it in a [`CompletionSet`])
+    /// for transport-confirmed delivery.
+    pub fn put_confirmed(
+        &mut self,
+        dst: usize,
+        addr: u64,
+        data: impl Into<Bytes>,
+    ) -> Result<PutHandle> {
+        let request =
+            self.transport
+                .client_mut()
+                .post_put_confirmed(WorkerAddr(dst as u32), addr, data);
+        self.transport.flush_client()?;
+        Ok(PutHandle { request })
+    }
+
     /// Post a one-sided GET against `dst`, returning a typed handle to wait
     /// on with [`Cluster::wait`].
     pub fn get(&mut self, dst: usize, addr: u64, len: u64) -> Result<GetHandle> {
+        let handle = self.post_get(dst, addr, len);
+        self.transport.flush_client()?;
+        Ok(handle)
+    }
+
+    /// Post a one-sided GET *without* flushing it into the fabric.  A
+    /// pipelined driver filling a deep window posts the whole burst, then
+    /// calls [`Cluster::flush`] once — paying the fabric hand-off per batch
+    /// instead of per operation.
+    pub fn post_get(&mut self, dst: usize, addr: u64, len: u64) -> GetHandle {
         let request = self
             .transport
             .client_mut()
             .post_get(WorkerAddr(dst as u32), addr, len);
-        self.transport.flush_client()?;
-        Ok(GetHandle { request })
+        GetHandle { request }
+    }
+
+    /// Post a confirmed PUT *without* flushing (see [`Cluster::post_get`]).
+    pub fn post_put_confirmed(
+        &mut self,
+        dst: usize,
+        addr: u64,
+        data: impl Into<Bytes>,
+    ) -> PutHandle {
+        let request =
+            self.transport
+                .client_mut()
+                .post_put_confirmed(WorkerAddr(dst as u32), addr, data);
+        PutHandle { request }
+    }
+
+    /// Move everything posted-but-unflushed into the fabric (the batch
+    /// counterpart of the auto-flush in [`Cluster::get`] / [`Cluster::put`]).
+    pub fn flush(&mut self) -> Result<()> {
+        self.transport.flush_client()
     }
 
     /// Allocate a fresh X-RDMA result-mailbox slot.  Encode
     /// [`ResultHandle::slot`] into the ifunc payload, send, then
-    /// [`Cluster::wait`] on the handle.
+    /// [`Cluster::wait`] on the handle.  Slots reserved through
+    /// [`Cluster::reserve_result_slot`] are skipped, so manually constructed
+    /// handles never collide with allocated ones.
     pub fn result_slot(&mut self) -> ResultHandle {
+        while self.reserved_slots.contains(&self.next_result_slot) {
+            self.next_result_slot += 1;
+        }
         let slot = self.next_result_slot;
         self.next_result_slot += 1;
         ResultHandle { slot }
     }
 
+    /// Reserve an explicitly chosen mailbox slot, returning its handle.  The
+    /// [`Cluster::result_slot`] allocator will never hand out a reserved
+    /// slot, which is the safe way to mix manual
+    /// ([`ResultHandle::for_slot`]) and allocated slots in one driver.
+    pub fn reserve_result_slot(&mut self, slot: u64) -> ResultHandle {
+        self.reserved_slots.insert(slot);
+        ResultHandle { slot }
+    }
+
     // --- completion and progress --------------------------------------------
+
+    fn absorb_completions(&mut self) {
+        self.claims.absorb(self.transport.take_completions());
+    }
 
     /// Drive the transport until `handle`'s completion arrives, returning its
     /// typed value.  Gives up with [`CoreError::WaitTimeout`] once the
-    /// transport stays quiescent for its grace period.
+    /// transport stays quiescent for its grace period — where quiescence
+    /// also requires the reliable-delivery layer to hold no unacked frames
+    /// ([`Transport::unacked_total`]), so a silent-but-retransmitting link
+    /// under a fault plan is never mistaken for idle.
     pub fn wait<H: CompletionHandle>(&mut self, handle: &H) -> Result<H::Output> {
-        let grace = self.transport.idle_grace();
-        let mut idle = 0u32;
+        let mut idleness = Idleness::new(self.transport.idle_grace());
         loop {
-            self.pending.extend(self.transport.take_completions());
-            if let Some(out) = handle.try_claim(&mut self.pending) {
+            self.absorb_completions();
+            if let Some(out) = handle.try_claim(&mut self.claims) {
                 return Ok(out);
             }
-            if self.transport.step()? {
-                idle = 0;
-            } else {
-                idle += 1;
-                if idle >= grace {
-                    return Err(CoreError::WaitTimeout {
-                        what: handle.describe(),
-                    });
-                }
+            let progressed = self.transport.step()?;
+            if idleness.note(&self.transport, progressed) {
+                return Err(CoreError::WaitTimeout {
+                    what: handle.describe(),
+                });
             }
         }
     }
 
     /// Check for `handle`'s completion without driving the transport.
     pub fn try_claim<H: CompletionHandle>(&mut self, handle: &H) -> Option<H::Output> {
-        self.pending.extend(self.transport.take_completions());
-        handle.try_claim(&mut self.pending)
+        self.absorb_completions();
+        handle.try_claim(&mut self.claims)
+    }
+
+    /// Drive the transport until any handle registered in `set` resolves:
+    /// first ready wins (ties broken by completion arrival order), expired
+    /// per-handle deadlines surface as [`Ready::Deadline`].  The resolved
+    /// registration is removed from the set.
+    ///
+    /// When the transport goes quiescent with registrations outstanding, a
+    /// deadline-armed registration (earliest first) resolves as
+    /// [`Ready::Deadline`] — nothing can beat the deadline anymore — and
+    /// only a set with no armed deadlines fails with
+    /// [`CoreError::WaitTimeout`].
+    pub fn wait_any(&mut self, set: &mut CompletionSet) -> Result<(CompletionToken, Ready)> {
+        if set.is_empty() {
+            return Err(CoreError::WaitTimeout {
+                what: "wait_any on an empty completion set".into(),
+            });
+        }
+        let mut idleness = Idleness::new(self.transport.idle_grace());
+        loop {
+            self.absorb_completions();
+            if let Some(ready) = set.claim_earliest(&mut self.claims) {
+                return Ok(ready);
+            }
+            if set.has_deadlines() {
+                let now = self.transport.now_nanos();
+                set.resolve_deadlines(now);
+                if let Some(token) = set.take_expired(now) {
+                    return Ok((token, Ready::Deadline));
+                }
+            }
+            let progressed = self.transport.step()?;
+            if idleness.note(&self.transport, progressed) {
+                if let Some(token) = set.take_any_deadlined() {
+                    return Ok((token, Ready::Deadline));
+                }
+                return Err(CoreError::WaitTimeout {
+                    what: set.describe(),
+                });
+            }
+        }
+    }
+
+    /// Drive the transport until every registration in `set` has resolved,
+    /// returning `(token, outcome)` pairs in resolution order.
+    pub fn wait_all(&mut self, set: &mut CompletionSet) -> Result<Vec<(CompletionToken, Ready)>> {
+        let mut out = Vec::with_capacity(set.len());
+        while !set.is_empty() {
+            out.push(self.wait_any(set)?);
+        }
+        Ok(out)
+    }
+
+    /// Non-blocking check of `set`: absorbs pending completions and resolves
+    /// at most one registration (ready completion first, then expired
+    /// deadline) without driving the transport.
+    pub fn poll_any(&mut self, set: &mut CompletionSet) -> Option<(CompletionToken, Ready)> {
+        self.absorb_completions();
+        if let Some(ready) = set.claim_earliest(&mut self.claims) {
+            return Some(ready);
+        }
+        if !set.has_deadlines() {
+            return None;
+        }
+        let now = self.transport.now_nanos();
+        set.resolve_deadlines(now);
+        set.take_expired(now).map(|t| (t, Ready::Deadline))
+    }
+
+    /// Number of arrived-but-unclaimed completions buffered client-side.
+    pub fn pending_completions(&self) -> usize {
+        self.claims.len()
     }
 
     /// Drive the transport until it goes quiescent or `max_steps` progress
     /// steps have been made.  Returns the number of steps taken.
     pub fn run_until_idle(&mut self, max_steps: u64) -> Result<u64> {
-        let grace = self.transport.idle_grace();
-        let mut idle = 0u32;
+        let mut idleness = Idleness::new(self.transport.idle_grace());
         let mut steps = 0u64;
         while steps < max_steps {
-            if self.transport.step()? {
-                idle = 0;
+            let progressed = self.transport.step()?;
+            if progressed {
                 steps += 1;
-            } else {
-                idle += 1;
-                if idle >= grace {
-                    break;
-                }
+            }
+            if idleness.note(&self.transport, progressed) {
+                break;
             }
         }
         Ok(steps)
     }
 
-    /// Drive the transport until at least `count` completions are pending (or
-    /// quiescence / `max_steps`), then drain and return everything pending.
+    /// Drive the transport until at least `count` *new* completions are
+    /// pending (or quiescence / `max_steps`), then return them in arrival
+    /// order.
+    ///
+    /// Returned completions are **not** consumed: they stay claimable, so a
+    /// later [`Cluster::wait`] on a handle whose completion was already
+    /// returned here still succeeds instead of timing out.  Repeated calls
+    /// return only completions that arrived since the previous call.
     pub fn run_until_completions(
         &mut self,
         count: usize,
         max_steps: u64,
     ) -> Result<Vec<Completion>> {
-        let grace = self.transport.idle_grace();
-        let mut idle = 0u32;
+        let mut idleness = Idleness::new(self.transport.idle_grace());
         let mut steps = 0u64;
         loop {
-            self.pending.extend(self.transport.take_completions());
-            if self.pending.len() >= count || steps >= max_steps {
+            self.absorb_completions();
+            if self.claims.fresh_len() >= count || steps >= max_steps {
                 break;
             }
-            if self.transport.step()? {
-                idle = 0;
+            let progressed = self.transport.step()?;
+            if progressed {
                 steps += 1;
-            } else {
-                idle += 1;
-                if idle >= grace {
-                    break;
-                }
+            }
+            if idleness.note(&self.transport, progressed) {
+                break;
             }
         }
-        Ok(std::mem::take(&mut self.pending))
+        Ok(self.claims.take_fresh())
     }
 
     // --- observation --------------------------------------------------------
 
-    /// Read a u64 from a node's memory through the transport.
+    /// Read a u64 from a node's memory through the transport.  A transport
+    /// that yields fewer than 8 bytes produces a typed
+    /// [`CoreError::ShortRead`] instead of a panic.
     pub fn read_u64(&mut self, rank: usize, addr: u64) -> Result<u64> {
         let bytes = self.transport.read_memory(rank, addr, 8)?;
-        Ok(u64::from_le_bytes(
-            bytes[..8].try_into().expect("8-byte read"),
-        ))
+        let bytes8: [u8; 8] =
+            bytes
+                .get(..8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(CoreError::ShortRead {
+                    rank,
+                    addr,
+                    wanted: 8,
+                    got: bytes.len(),
+                })?;
+        Ok(u64::from_le_bytes(bytes8))
     }
 
     /// Read bytes from a node's memory through the transport.

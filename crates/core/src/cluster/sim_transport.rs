@@ -23,6 +23,7 @@ use crate::error::{CoreError, Result};
 use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
 use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
 use crate::sim::{DeliveryRecord, TimingLog};
+use std::collections::HashMap;
 use tc_bitir::TargetTriple;
 use tc_chaos::{ChaosSession, ChaosStats, FaultPlan};
 use tc_jit::{Memory, OptLevel};
@@ -69,6 +70,12 @@ pub struct SimTransport {
     node_ready_at: Vec<SimTime>,
     /// Earliest time each node's fabric injection port is free.
     link_ready_at: Vec<SimTime>,
+    /// Latest scheduled arrival per directed link.  RDMA RC links deliver
+    /// in posting order, and the truncation protocol *depends* on that: a
+    /// tiny code-elided frame must never overtake the full frame that ships
+    /// the code.  Size-dependent latency alone would let it (small frames
+    /// are faster), so arrivals are clamped to each link's FIFO order.
+    link_last_arrival: HashMap<(usize, usize), SimTime>,
     timings: TimingLog,
     opt_cost_factor: f64,
     errors: Vec<CoreError>,
@@ -151,6 +158,7 @@ impl SimTransport {
             queue: EventQueue::new(),
             node_ready_at: vec![SimTime::ZERO; total],
             link_ready_at: vec![SimTime::ZERO; total],
+            link_last_arrival: HashMap::new(),
             timings: TimingLog::default(),
             opt_cost_factor: opt_level.compile_cost_factor(),
             errors: Vec::new(),
@@ -211,7 +219,15 @@ impl SimTransport {
 
     /// Process a single event.  Returns false when the queue is empty.
     fn step_event(&mut self) -> bool {
-        let Some((arrival, inflight)) = self.queue.pop() else {
+        let popped = self.queue.pop().or_else(|| {
+            // Self-heal: an empty queue while reliability state is
+            // outstanding must not read as quiescence — re-arm the
+            // retransmission timer so virtual time keeps moving until the
+            // unacked frames resolve.
+            self.ensure_retx_tick();
+            self.queue.pop()
+        });
+        let Some((arrival, inflight)) = popped else {
             return false;
         };
         match inflight {
@@ -389,6 +405,22 @@ impl SimTransport {
         } else {
             earliest
         };
+        // Per-link FIFO: this frame's base arrival never precedes an
+        // earlier frame's arrival on the same directed link (equal-time
+        // events pop in schedule order, preserving posting order).  Chaos
+        // delay/reorder offsets are added *after* the clamp — they model
+        // deliberate reordering the reliable layer recovers from.
+        let link = (rank, msg.dst.index());
+        let fifo_arrival = {
+            let base = depart + latency;
+            let clamped = self
+                .link_last_arrival
+                .get(&link)
+                .map(|&last| base.max(last))
+                .unwrap_or(base);
+            self.link_last_arrival.insert(link, clamped);
+            clamped
+        };
         if rel.is_some() {
             let decision = match &mut self.chaos {
                 Some(chaos) => chaos.session.decide(rank, msg.dst.index()),
@@ -405,7 +437,7 @@ impl SimTransport {
             let copies = 1 + decision.duplicate as u32;
             for _ in 0..copies {
                 self.queue.schedule_at(
-                    depart + latency + extra,
+                    fifo_arrival + extra,
                     InFlight::Frame {
                         msg: msg.clone(),
                         rel,
@@ -417,7 +449,7 @@ impl SimTransport {
             return;
         }
         self.queue.schedule_at(
-            depart + latency,
+            fifo_arrival,
             InFlight::Frame {
                 msg,
                 rel,
@@ -544,6 +576,23 @@ impl Transport for SimTransport {
 
     fn take_completions(&mut self) -> Vec<Completion> {
         self.nodes[0].take_completions()
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.queue.now().as_nanos()
+    }
+
+    fn unacked_total(&self) -> u64 {
+        self.chaos
+            .as_ref()
+            .map(|c| c.rel.iter().map(|r| r.unacked_total()).sum())
+            .unwrap_or(0)
+    }
+
+    fn next_rel_deadline(&self) -> Option<u64> {
+        self.chaos
+            .as_ref()
+            .and_then(|c| c.rel.iter().filter_map(|r| r.next_deadline()).min())
     }
 
     fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {

@@ -97,13 +97,28 @@ type StoredEnv = (Bytes, Bytes);
 
 /// Per-rank reliability counters published by their single writer (the
 /// owning node thread, or the driver for rank 0) and read by the driver.
-#[derive(Default)]
 struct RelSlot {
     retransmits: AtomicU64,
     dup_drops: AtomicU64,
     out_of_order: AtomicU64,
     acks_sent: AtomicU64,
     unacked: AtomicU64,
+    /// Earliest armed retransmission deadline of this rank, on the shared
+    /// epoch clock; `u64::MAX` when nothing is outstanding.
+    next_deadline: AtomicU64,
+}
+
+impl Default for RelSlot {
+    fn default() -> Self {
+        RelSlot {
+            retransmits: AtomicU64::new(0),
+            dup_drops: AtomicU64::new(0),
+            out_of_order: AtomicU64::new(0),
+            acks_sent: AtomicU64::new(0),
+            unacked: AtomicU64::new(0),
+            next_deadline: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 /// Shared table of every rank's reliability counters.
@@ -126,6 +141,8 @@ impl RelTable {
         s.out_of_order
             .store(set.metrics.out_of_order, Ordering::Relaxed);
         s.acks_sent.store(set.metrics.acks_sent, Ordering::Relaxed);
+        s.next_deadline
+            .store(set.next_deadline().unwrap_or(u64::MAX), Ordering::Relaxed);
         // SeqCst: the driver's idleness check must not miss outstanding
         // frames behind a relaxed store.
         s.unacked.store(set.unacked_total(), Ordering::SeqCst);
@@ -146,6 +163,14 @@ impl RelTable {
             .iter()
             .map(|s| s.unacked.load(Ordering::SeqCst))
             .sum()
+    }
+
+    fn earliest_deadline(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.next_deadline.load(Ordering::Relaxed))
+            .min()
+            .filter(|&d| d != u64::MAX)
     }
 
     fn totals(&self) -> (u64, u64) {
@@ -216,6 +241,10 @@ struct DriverChaos {
     epoch: Instant,
     last_tick: Instant,
     tick: Duration,
+    /// The reliability layer's backoff cap, in nanoseconds — the longest
+    /// silence a healthy-but-lossy link can exhibit between retransmission
+    /// rounds.  Quiescence detection must out-wait several of these.
+    rto_max: u64,
 }
 
 /// A server node: owns a full Three-Chains runtime and speaks the transport's
@@ -494,6 +523,9 @@ pub struct ThreadTransport {
     /// Chaos-mode state (fault session + client reliability); `None` keeps
     /// the lossless fast path.
     chaos: Option<DriverChaos>,
+    /// Transport-clock origin ([`Transport::now_nanos`] measures from here);
+    /// shared with the reliability layer's timestamps in chaos mode.
+    epoch: Instant,
     /// Since when `step` has seen zero external traffic while reliability
     /// frames stay unacked (chaos mode).  Bounds how long outstanding
     /// retransmissions can keep the driver reporting "busy" — a frame that
@@ -553,15 +585,17 @@ impl ThreadTransport {
         let am_registry: AmRegistry = Arc::new(Mutex::new(Vec::new()));
         let registry_for_nodes = Arc::clone(&am_registry);
 
+        let epoch = Instant::now();
         let chaos = fault_plan.map(|plan| {
             let rel_cfg = RelConfig::threads_default();
             DriverChaos {
                 session: ChaosSession::new(plan),
                 rel: ReliableSet::new(rel_cfg),
                 table: Arc::new(RelTable::new(servers + 1)),
-                epoch: Instant::now(),
+                epoch,
                 last_tick: Instant::now(),
                 tick: Duration::from_nanos(rel_cfg.rto / 2),
+                rto_max: rel_cfg.rto_max,
             }
         });
 
@@ -604,6 +638,7 @@ impl ThreadTransport {
             next_token: 1,
             tuning,
             chaos,
+            epoch,
             stalled_since: None,
         }
     }
@@ -688,13 +723,17 @@ impl ThreadTransport {
     /// flush anything it posted in response.
     fn deliver_to_client(&mut self, msg: tc_ucx::OutgoingMessage) {
         self.client.deliver(msg);
+        self.drain_client();
+    }
+
+    /// Poll everything delivered to the client runtime and flush whatever it
+    /// posted in response (e.g. GET replies served from client memory).
+    fn drain_client(&mut self) {
         for outcome in self.client.poll(usize::MAX) {
             if let Err(e) = outcome {
                 self.errors.push(e);
             }
         }
-        // The client may respond (e.g. serve a GET against its own
-        // memory); those ops go back out immediately.
         let _ = self.dispatch_client_outgoing();
     }
 
@@ -882,8 +921,33 @@ impl Transport for ThreadTransport {
                         }
                     }
                     self.stalled_since = None;
+                    // Fast path for the lossless data plane: decode and
+                    // deliver the whole burst into the client runtime, then
+                    // poll/flush once — a deep pipeline pays the poll and
+                    // outgoing-dispatch overhead per batch, not per reply.
+                    let mut staged = false;
                     for env in batch {
+                        if env.tag == wire::TAG_OP {
+                            match wire::decode_op_vectored(&env.data, &env.payload) {
+                                Ok(msg) => {
+                                    self.client.deliver(msg);
+                                    staged = true;
+                                }
+                                Err(e) => self.errors.push(e),
+                            }
+                            continue;
+                        }
+                        // Rare tags (reliable frames, acks, errors) keep the
+                        // one-at-a-time path; flush staged data-plane ops
+                        // first so arrival order is preserved.
+                        if staged {
+                            self.drain_client();
+                            staged = false;
+                        }
                         self.handle_external(env);
+                    }
+                    if staged {
+                        self.drain_client();
                     }
                     return Ok(true);
                 }
@@ -907,9 +971,25 @@ impl Transport for ThreadTransport {
                         // unacked through many busy budgets with zero
                         // traffic (dead node thread, unhealable partition)
                         // must not wedge idleness detection forever.
+                        //
+                        // The bound must out-wait the retransmission
+                        // machinery itself: with an armed RTO deadline, a
+                        // healthy link can legitimately stay silent for a
+                        // full backed-off round (up to `rto_max`), so a
+                        // horizon shorter than a few such rounds would
+                        // declare `WaitTimeout` on traffic the reliable
+                        // layer was about to recover (the pre-fix bug when
+                        // `busy_step_timeout` was tuned below the RTO
+                        // backoff).
                         let now = Instant::now();
                         let since = *self.stalled_since.get_or_insert(now);
-                        if now.duration_since(since) < self.tuning.busy_step_timeout * 10 {
+                        let rel_horizon = self
+                            .chaos
+                            .as_ref()
+                            .map(|c| Duration::from_nanos(c.rto_max) * 4)
+                            .unwrap_or(Duration::ZERO);
+                        let horizon = (self.tuning.busy_step_timeout * 10).max(rel_horizon);
+                        if now.duration_since(since) < horizon {
                             return Ok(true);
                         }
                         return Ok(false);
@@ -929,6 +1009,23 @@ impl Transport for ThreadTransport {
 
     fn take_completions(&mut self) -> Vec<Completion> {
         self.client.take_completions()
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn unacked_total(&self) -> u64 {
+        self.chaos
+            .as_ref()
+            .map(|c| c.table.total_unacked())
+            .unwrap_or(0)
+    }
+
+    fn next_rel_deadline(&self) -> Option<u64> {
+        self.chaos
+            .as_ref()
+            .and_then(|c| c.table.earliest_deadline())
     }
 
     fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {

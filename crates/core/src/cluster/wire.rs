@@ -94,11 +94,15 @@ const OP_GET: u8 = 1;
 const OP_GET_REPLY: u8 = 2;
 const OP_AM: u8 = 3;
 const OP_IFUNC: u8 = 4;
+const OP_PUT_CONFIRM: u8 = 5;
+const OP_PUT_ACK: u8 = 6;
 
 /// Exact encoded size of a [`TAG_OP`] envelope for `msg`.
 fn encoded_op_size(op: &UcpOp) -> usize {
     17 + match op {
         UcpOp::Put { data, .. } => 8 + data.len(),
+        UcpOp::PutConfirm { data, .. } => 8 + data.len(),
+        UcpOp::PutAck { .. } => 8,
         UcpOp::Get { .. } => 16,
         UcpOp::GetReply { data, .. } => 8 + data.len(),
         UcpOp::ActiveMessage { payload, .. } => 2 + payload.len(),
@@ -119,6 +123,15 @@ pub fn encode_op_with(msg: &OutgoingMessage, pool: &mut BufPool) -> Bytes {
             out.put_u8(OP_PUT);
             out.put_u64_le(*remote_addr);
             out.put_slice(data);
+        }
+        UcpOp::PutConfirm { remote_addr, data } => {
+            out.put_u8(OP_PUT_CONFIRM);
+            out.put_u64_le(*remote_addr);
+            out.put_slice(data);
+        }
+        UcpOp::PutAck { acked } => {
+            out.put_u8(OP_PUT_ACK);
+            out.put_u64_le(acked.0);
         }
         UcpOp::Get { remote_addr, len } => {
             out.put_u8(OP_GET);
@@ -163,6 +176,7 @@ pub const SCATTER_THRESHOLD: usize = 512;
 pub fn encode_op_vectored_with(msg: &OutgoingMessage, pool: &mut BufPool) -> (Bytes, Bytes) {
     let detached = match &msg.op {
         UcpOp::Put { data, .. } if data.len() >= SCATTER_THRESHOLD => data.clone(),
+        UcpOp::PutConfirm { data, .. } if data.len() >= SCATTER_THRESHOLD => data.clone(),
         UcpOp::GetReply { data, .. } if data.len() >= SCATTER_THRESHOLD => data.clone(),
         UcpOp::ActiveMessage { payload, .. } if payload.len() >= SCATTER_THRESHOLD => {
             payload.clone()
@@ -179,6 +193,10 @@ pub fn encode_op_vectored_with(msg: &OutgoingMessage, pool: &mut BufPool) -> (By
             out.put_u8(OP_PUT);
             out.put_u64_le(*remote_addr);
         }
+        UcpOp::PutConfirm { remote_addr, .. } => {
+            out.put_u8(OP_PUT_CONFIRM);
+            out.put_u64_le(*remote_addr);
+        }
         UcpOp::GetReply { request, .. } => {
             out.put_u8(OP_GET_REPLY);
             out.put_u64_le(request.0);
@@ -190,7 +208,9 @@ pub fn encode_op_vectored_with(msg: &OutgoingMessage, pool: &mut BufPool) -> (By
         UcpOp::IfuncFrame { .. } => {
             out.put_u8(OP_IFUNC);
         }
-        UcpOp::Get { .. } => unreachable!("GET has no detachable payload"),
+        UcpOp::Get { .. } | UcpOp::PutAck { .. } => {
+            unreachable!("ops without a detachable payload")
+        }
     }
     (out.freeze(pool), detached)
 }
@@ -222,6 +242,15 @@ pub fn decode_op_vectored(head: &Bytes, payload: &Bytes) -> Result<OutgoingMessa
                 return Err(err("PUT head must carry exactly the address"));
             }
             UcpOp::Put {
+                remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
+                data: payload.clone(),
+            }
+        }
+        OP_PUT_CONFIRM => {
+            if body.len() != 8 {
+                return Err(err("confirmed PUT head must carry exactly the address"));
+            }
+            UcpOp::PutConfirm {
                 remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
                 data: payload.clone(),
             }
@@ -289,6 +318,23 @@ pub fn decode_op(bytes: &Bytes) -> Result<OutgoingMessage> {
             UcpOp::Put {
                 remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
                 data: bytes.slice(17 + 8..),
+            }
+        }
+        OP_PUT_CONFIRM => {
+            if body.len() < 8 {
+                return Err(err("confirmed PUT missing address"));
+            }
+            UcpOp::PutConfirm {
+                remote_addr: u64::from_le_bytes(body[0..8].try_into().unwrap()),
+                data: bytes.slice(17 + 8..),
+            }
+        }
+        OP_PUT_ACK => {
+            if body.len() != 8 {
+                return Err(err("PUT ack body must be 8 bytes"));
+            }
+            UcpOp::PutAck {
+                acked: RequestId(u64::from_le_bytes(body[0..8].try_into().unwrap())),
             }
         }
         OP_GET => {
@@ -426,6 +472,13 @@ mod tests {
             UcpOp::IfuncFrame {
                 bytes: vec![0xAB; 64].into(),
             },
+            UcpOp::PutConfirm {
+                remote_addr: 0x48,
+                data: vec![4, 5].into(),
+            },
+            UcpOp::PutAck {
+                acked: RequestId(31),
+            },
         ]
     }
 
@@ -461,12 +514,13 @@ mod tests {
             // Decode must alias the envelope buffer, not copy out of it.
             match &decoded.op {
                 UcpOp::Put { data, .. } => assert!(data.shares_storage(&encoded)),
+                UcpOp::PutConfirm { data, .. } => assert!(data.shares_storage(&encoded)),
                 UcpOp::GetReply { data, .. } => assert!(data.shares_storage(&encoded)),
                 UcpOp::ActiveMessage { payload, .. } => {
                     assert!(payload.shares_storage(&encoded))
                 }
                 UcpOp::IfuncFrame { bytes } => assert!(bytes.shares_storage(&encoded)),
-                UcpOp::Get { .. } => {}
+                UcpOp::Get { .. } | UcpOp::PutAck { .. } => {}
             }
             drop(decoded);
             drop(encoded);
@@ -474,7 +528,7 @@ mod tests {
         // Every envelope fits the first slot, and each is released before
         // the next encode: exactly one allocation, the rest reuses.
         assert_eq!(pool.stats.allocated, 1, "{:?}", pool.stats);
-        assert_eq!(pool.stats.reused, 4);
+        assert_eq!(pool.stats.reused, 6);
     }
 
     #[test]
@@ -483,6 +537,10 @@ mod tests {
         let large = Bytes::from(vec![0x42u8; 8 * 1024]);
         let ops = vec![
             UcpOp::Put {
+                remote_addr: 0x40,
+                data: large.clone(),
+            },
+            UcpOp::PutConfirm {
                 remote_addr: 0x40,
                 data: large.clone(),
             },

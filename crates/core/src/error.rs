@@ -41,6 +41,19 @@ pub enum CoreError {
         /// Description of what was being waited for.
         what: String,
     },
+    /// A memory read through a transport yielded fewer bytes than requested
+    /// (e.g. [`crate::cluster::Cluster::read_u64`] against a transport that
+    /// could not serve the full width).
+    ShortRead {
+        /// Node the read addressed.
+        rank: usize,
+        /// Address of the read.
+        addr: u64,
+        /// Bytes requested.
+        wanted: usize,
+        /// Bytes the transport actually returned.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -66,6 +79,15 @@ impl fmt::Display for CoreError {
             CoreError::WaitTimeout { what } => {
                 write!(f, "timed out waiting for completion: {what}")
             }
+            CoreError::ShortRead {
+                rank,
+                addr,
+                wanted,
+                got,
+            } => write!(
+                f,
+                "short read on rank {rank} at {addr:#x}: wanted {wanted} bytes, got {got}"
+            ),
         }
     }
 }

@@ -75,9 +75,9 @@ pub mod sim;
 
 pub use cache::{SendDecision, SenderCache};
 pub use cluster::{
-    Backend, ChaosStats, Cluster, ClusterBuilder, CompletionHandle, FaultPlan, GetHandle,
-    LinkFaults, RelConfig, RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning,
-    Transport, TransportMetrics,
+    Backend, ChaosStats, ClaimTable, Cluster, ClusterBuilder, CompletionHandle, CompletionSet,
+    CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready, RelConfig, RelMetrics,
+    ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport, TransportMetrics,
 };
 pub use error::{CoreError, Result};
 pub use frame::{CodeRepr, DecodedFrame, MessageFrame, FRAME_MAGIC};
@@ -92,9 +92,9 @@ pub use sim::{ClusterSim, DeliveryRecord, TimingLog};
 pub mod prelude {
     pub use crate::cache::{SendDecision, SenderCache};
     pub use crate::cluster::{
-        Backend, ChaosStats, Cluster, ClusterBuilder, CompletionHandle, FaultPlan, GetHandle,
-        LinkFaults, RelConfig, RelMetrics, ResultHandle, SimTransport, ThreadTransport,
-        ThreadTuning, Transport, TransportMetrics,
+        Backend, ChaosStats, ClaimTable, Cluster, ClusterBuilder, CompletionHandle, CompletionSet,
+        CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready, RelConfig, RelMetrics,
+        ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport, TransportMetrics,
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::frame::{CodeRepr, MessageFrame};

@@ -13,6 +13,10 @@
 pub enum OutcomeKind {
     /// A one-sided PUT was applied to local memory.
     PutApplied,
+    /// A confirmed PUT was applied to local memory and its ack was posted.
+    PutConfirmed,
+    /// A previously posted confirmed PUT's ack arrived locally.
+    PutAckReceived,
     /// A GET request was served (reply posted).
     GetServed,
     /// A previously posted GET completed locally.

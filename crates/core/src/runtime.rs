@@ -123,6 +123,12 @@ pub enum Completion {
         /// Result value.
         value: u64,
     },
+    /// A confirmed PUT ([`NodeRuntime::post_put_confirmed`]) was applied on
+    /// the remote node and its acknowledgement travelled back.
+    Put {
+        /// The confirmed PUT's request id.
+        request: RequestId,
+    },
 }
 
 /// Target-side record of an ifunc that has been received and registered.
@@ -318,6 +324,26 @@ impl NodeRuntime {
         )
     }
 
+    /// Post a *confirmed* one-sided PUT: the destination applies the write
+    /// and answers with a [`UcpOp::PutAck`], which surfaces locally as
+    /// [`Completion::Put`] carrying the returned request id.
+    pub fn post_put_confirmed(
+        &mut self,
+        dst: WorkerAddr,
+        addr: u64,
+        data: impl Into<Bytes>,
+    ) -> RequestId {
+        let data = data.into();
+        self.stats.bytes_sent += (24 + data.len()) as u64;
+        self.worker.post(
+            dst,
+            UcpOp::PutConfirm {
+                remote_addr: addr,
+                data,
+            },
+        )
+    }
+
     /// Send an Active Message to a predeployed handler on `dst`.  Returns the
     /// wire size posted.
     pub fn send_am(
@@ -415,21 +441,42 @@ impl NodeRuntime {
         let _ = self.memory.write(result_slot_addr(slot), &[0u8; 16]);
     }
 
+    /// Apply a remotely written PUT payload to local memory, surfacing a
+    /// result completion when it lands in the X-RDMA mailbox.
+    fn apply_put(&mut self, addr: u64, data: &Bytes) -> Result<()> {
+        self.memory
+            .write(addr, data)
+            .map_err(|e| CoreError::Sim(e.to_string()))?;
+        self.stats.puts_applied += 1;
+        if is_result_mailbox_addr(addr) {
+            if let (Some(slot), Some(value)) =
+                (result_slot_of_addr(addr), decode_result_record(data))
+            {
+                self.completions.push(Completion::Result { slot, value });
+            }
+        }
+        Ok(())
+    }
+
     fn handle_event(&mut self, event: WorkerEvent) -> Result<ProcessOutcome> {
         match event {
             WorkerEvent::PutReceived { addr, data, .. } => {
-                self.memory
-                    .write(addr, &data)
-                    .map_err(|e| CoreError::Sim(e.to_string()))?;
-                self.stats.puts_applied += 1;
-                if is_result_mailbox_addr(addr) {
-                    if let (Some(slot), Some(value)) =
-                        (result_slot_of_addr(addr), decode_result_record(&data))
-                    {
-                        self.completions.push(Completion::Result { slot, value });
-                    }
-                }
+                self.apply_put(addr, &data)?;
                 Ok(ProcessOutcome::passive(OutcomeKind::PutApplied))
+            }
+            WorkerEvent::PutConfirmReceived {
+                from,
+                addr,
+                data,
+                request,
+            } => {
+                self.apply_put(addr, &data)?;
+                self.worker.post(from, UcpOp::PutAck { acked: request });
+                Ok(ProcessOutcome::passive(OutcomeKind::PutConfirmed))
+            }
+            WorkerEvent::PutAcked { acked } => {
+                self.completions.push(Completion::Put { request: acked });
+                Ok(ProcessOutcome::passive(OutcomeKind::PutAckReceived))
             }
             WorkerEvent::GetRequest {
                 from,

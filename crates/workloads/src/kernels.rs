@@ -85,6 +85,76 @@ pub fn tsi_module_chainlang() -> Module {
         .expect("TSI Chainlang source must compile")
 }
 
+/// Payload layout of the reporting-TSI ifunc: `[client u64][slot u64]
+/// [delta u64][work u64]`, little-endian.  `work` is the number of spin
+/// iterations the kernel burns before returning — target-side compute a
+/// pipelined driver can overlap across servers (0 = pure increment).
+pub mod reporting_tsi_payload {
+    /// Total payload size in bytes.
+    pub const SIZE: usize = 32;
+
+    /// Encode a reporting-TSI payload.
+    pub fn encode(client: u64, slot: u64, delta: u64, work: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SIZE);
+        for v in [client, slot, delta, work] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// A Target-Side Increment kernel for the async completion plane: add the
+/// payload's delta to the target counter, burn `work` iterations of a
+/// mixing loop (its accumulator is stored next to the counter so the work
+/// cannot be elided), and return the post-increment value to the client
+/// through the X-RDMA result mailbox — so a pipelined driver can keep
+/// hundreds of increments in flight, each with observable target-side
+/// compute.  Payload per [`reporting_tsi_payload`].
+pub fn tsi_reporting_module(module_name: &str) -> Module {
+    let mut mb = ModuleBuilder::new(module_name);
+    {
+        let mut f = mb.entry_function();
+        let payload = f.param(0);
+        let target = f.param(2);
+        let client = f.load(ScalarType::U64, payload, 0);
+        let slot = f.load(ScalarType::U64, payload, 8);
+        let delta = f.load(ScalarType::U64, payload, 16);
+        let work = f.load(ScalarType::U64, payload, 24);
+        let counter = f.load(ScalarType::U64, target, 0);
+        let sum = f.bin(BinOp::Add, ScalarType::U64, counter, delta);
+        f.store(ScalarType::U64, sum, target, 0);
+
+        // Spin loop: acc = acc * M + A, `work` times.
+        let zero = f.const_u64(0);
+        let one = f.const_u64(1);
+        let mul = f.const_u64(0x5851_F42D_4C95_7F2D);
+        let add = f.const_u64(0x1405_7B7E_F767_814F);
+        let i = f.copy(work);
+        let acc = f.copy(sum);
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.br(head);
+        f.switch_to(head);
+        let is_done = f.cmp(BinOp::CmpEq, ScalarType::U64, i, zero);
+        f.br_if(is_done, done, body);
+        f.switch_to(body);
+        let mixed = f.bin(BinOp::Mul, ScalarType::U64, acc, mul);
+        let mixed = f.bin(BinOp::Add, ScalarType::U64, mixed, add);
+        f.assign(acc, mixed);
+        let next_i = f.sub_i64(i, one);
+        f.assign(i, next_i);
+        f.br(head);
+        f.switch_to(done);
+        f.store(ScalarType::U64, acc, target, 8);
+        f.call_ext("tc_return_result", vec![client, slot, sum], true);
+        let z = f.const_i64(0);
+        f.ret(z);
+        f.finish();
+    }
+    mb.build()
+}
+
 /// The Distributed Adaptive Pointer Chasing chaser ifunc (Section IV-C),
 /// builder-API form.
 ///

@@ -10,6 +10,9 @@
 //!   latency and message rate (Tables I–VI);
 //! * [`dapc`] — Distributed Adaptive Pointer Chasing and the Get-Based
 //!   baseline, with depth sweeps and server-count scaling (Figures 5–12);
+//! * [`pipeline`] — the same workloads as pipelined drivers over the async
+//!   completion plane (`CompletionSet` / `wait_any`, hundreds of operations
+//!   in flight), generic over both backends;
 //! * [`report`] — text/CSV rendering of tables and figures.
 //!
 //! The `tc-bench` crate wraps these in Criterion benchmarks and in the
@@ -22,6 +25,7 @@
 pub mod chaos_sweep;
 pub mod dapc;
 pub mod kernels;
+pub mod pipeline;
 pub mod pointer_table;
 pub mod report;
 pub mod tsi;
@@ -33,8 +37,11 @@ pub use dapc::{
     depth_sweep, scaling_sweep, ChaseConfig, ChaseMode, ChaseResult, DapcExperiment, SweepPoint,
 };
 pub use kernels::{
-    chaser_module, chaser_module_chainlang, chaser_payload, tsi_module, tsi_module_chainlang,
-    CHASER_CHAINLANG_SRC, TSI_CHAINLANG_SRC,
+    chaser_module, chaser_module_chainlang, chaser_payload, reporting_tsi_payload, tsi_module,
+    tsi_module_chainlang, tsi_reporting_module, CHASER_CHAINLANG_SRC, TSI_CHAINLANG_SRC,
+};
+pub use pipeline::{
+    gather_entries, run_pipelined_chases, run_reporting_tsi, ReportingTsiOutcome, Window,
 };
 pub use pointer_table::PointerTable;
 pub use report::{

@@ -7,6 +7,7 @@
 //! first" (Section IV-C): global index `g` lives on server `g / shard_size`
 //! at local offset `g % shard_size`.
 
+use tc_core::cluster::{Cluster, Transport};
 use tc_core::layout::DATA_REGION_BASE;
 use tc_core::ClusterSim;
 use tc_jit::Memory;
@@ -93,19 +94,38 @@ impl PointerTable {
             "simulation has a different number of servers than the table"
         );
         for server in 0..self.num_servers {
-            let rank = server + 1;
             // One bulk write per shard instead of one per entry: serialise
             // the shard once and hand the whole image to the node's memory.
-            let shard = &self.entries[server * self.shard_size..(server + 1) * self.shard_size];
-            let mut image = Vec::with_capacity(shard.len() * 8);
-            for value in shard {
-                image.extend_from_slice(&value.to_le_bytes());
-            }
-            sim.node_mut(rank)
+            sim.node_mut(server + 1)
                 .memory
-                .write(DATA_REGION_BASE, &image)
+                .write(DATA_REGION_BASE, &self.shard_image(server))
                 .expect("sparse memory write cannot fail");
         }
+    }
+
+    /// Serialised image of one server's shard (entries in local order).
+    pub fn shard_image(&self, server: usize) -> Vec<u8> {
+        let shard = &self.entries[server * self.shard_size..(server + 1) * self.shard_size];
+        let mut image = Vec::with_capacity(shard.len() * 8);
+        for value in shard {
+            image.extend_from_slice(&value.to_le_bytes());
+        }
+        image
+    }
+
+    /// Install the table's shards into the server memories of any cluster
+    /// backend through the transport's memory plane (the generic analogue of
+    /// [`PointerTable::install`], usable on the threaded backend too).
+    pub fn install_cluster<T: Transport>(&self, cluster: &mut Cluster<T>) -> tc_core::Result<()> {
+        assert_eq!(
+            cluster.server_count(),
+            self.num_servers,
+            "cluster has a different number of servers than the table"
+        );
+        for server in 0..self.num_servers {
+            cluster.write_memory(server + 1, DATA_REGION_BASE, &self.shard_image(server))?;
+        }
+        Ok(())
     }
 
     /// Fraction of entries whose successor lives on a different server — the
