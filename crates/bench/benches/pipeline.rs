@@ -228,6 +228,65 @@ fn bench_data_plane_inflight(c: &mut Criterion) {
     group.finish();
 }
 
+/// Client-scaling of the injection plane: the same 256 GETs against 4
+/// servers driven by `C ∈ {1, 2, 4, 8}` concurrent client runtimes (each
+/// issuing `256 / C` operations through a window of 32, all streams merged
+/// through one completion set) on the threaded backend.  Throughput is
+/// *aggregate* operations per second; the `data_plane/clients/{C}` rows in
+/// BENCH.json divided by the `clients/1` row give the message-rate scaling
+/// curve recorded in EXPERIMENTS.md.
+fn bench_data_plane_clients(c: &mut Criterion) {
+    use tc_workloads::{multi_client_get_burst, Window};
+    const OPS: usize = 256;
+    const SIZE: usize = 1024;
+    const SERVERS: usize = 4;
+    let mut group = c.benchmark_group("data_plane");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    for clients in [1usize, 2, 4, 8] {
+        let tuning = tc_core::ThreadTuning {
+            step_batch: 512,
+            node_batch: 512,
+            ..tc_core::ThreadTuning::default()
+        };
+        let mut cluster = ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_xeon())
+            .clients(clients)
+            .servers(SERVERS)
+            .thread_tuning(tuning)
+            .build_threaded();
+        let addr = tc_core::layout::DATA_REGION_BASE;
+        for s in 0..SERVERS {
+            cluster
+                .write_memory(cluster.server_rank(s), addr, &vec![0x5Au8; SIZE])
+                .unwrap();
+        }
+        // Warm every client's path (pool slots, pages) before timing.
+        multi_client_get_burst(&mut cluster, 4, addr, SIZE as u64, Window::new(4)).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let done = multi_client_get_burst(
+                        &mut cluster,
+                        OPS / clients,
+                        addr,
+                        SIZE as u64,
+                        Window::new(32),
+                    )
+                    .unwrap();
+                    assert_eq!(done, OPS);
+                });
+            },
+        );
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frame_codec,
@@ -235,6 +294,7 @@ criterion_group!(
     bench_jit_and_binary,
     bench_interpreter,
     bench_data_plane,
-    bench_data_plane_inflight
+    bench_data_plane_inflight,
+    bench_data_plane_clients
 );
 criterion_main!(benches);

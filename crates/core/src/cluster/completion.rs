@@ -24,18 +24,22 @@
 //! contract: completions returned from that call stay *claimable* by later
 //! typed waits until something actually claims them.
 
-use super::{CompletionHandle, GetHandle, ResultHandle};
+use super::{ClientId, CompletionHandle, GetHandle, ResultHandle};
 use crate::runtime::Completion;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use tc_ucx::{Bytes, RequestId};
 
 /// What a pending completion is keyed by — the join point between the claim
-/// table's arrivals and a [`CompletionSet`]'s registrations.
+/// table's arrivals and a [`CompletionSet`]'s registrations.  Every key
+/// carries the owning [`ClientId`]: request ids and mailbox slots are
+/// per-client spaces (each client runtime allocates its own), so two clients
+/// posting concurrently produce *colliding* numeric ids that must never
+/// claim each other's completions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(super) enum ClaimKey {
-    Get(u64),
-    Put(u64),
-    Result(u64),
+    Get(ClientId, u64),
+    Put(ClientId, u64),
+    Result(ClientId, u64),
 }
 
 /// One arrived-but-unclaimed completion value.
@@ -49,19 +53,22 @@ struct Arrived<V> {
     value: V,
 }
 
-/// Indexed buffer of completions that reached the client but have not been
+/// Indexed buffer of completions that reached a client but have not been
 /// claimed by a typed handle yet.
 ///
-/// Keys are what handles wait on: GET request ids, confirmed-PUT request
-/// ids, result-mailbox slots.  Claiming is O(1), and an arrival queue keeps
+/// Keys are what handles wait on: `(client, GET request id)`,
+/// `(client, confirmed-PUT request id)`, `(client, result-mailbox slot)` —
+/// always qualified by the owning [`ClientId`], so completions of different
+/// clients are routed independently even when their numeric ids collide.
+/// Claiming is O(1), and one arrival queue shared across all clients keeps
 /// first-arrived fairness O(1) amortized; with hundreds of operations
 /// outstanding this is the difference between linear and quadratic
 /// completion draining.
 #[derive(Debug, Default)]
 pub struct ClaimTable {
-    gets: HashMap<u64, Arrived<Bytes>>,
-    puts: HashMap<u64, Arrived<()>>,
-    results: HashMap<u64, Arrived<u64>>,
+    gets: HashMap<(ClientId, u64), Arrived<Bytes>>,
+    puts: HashMap<(ClientId, u64), Arrived<()>>,
+    results: HashMap<(ClientId, u64), Arrived<u64>>,
     /// Pending keys in arrival order (entries whose completion was since
     /// claimed are pruned lazily).
     arrivals: VecDeque<ClaimKey>,
@@ -72,44 +79,47 @@ pub struct ClaimTable {
 }
 
 impl ClaimTable {
-    /// Fold a batch of transport completions into the table.
+    /// Fold a batch of one client's transport completions into the table.
     ///
-    /// A result slot holds at most one unclaimed value (the mailbox slot is
-    /// a single 16-byte record; a second arrival before the first claim is
-    /// an overwrite: the entry takes the new value and counts as a *fresh*
-    /// arrival again, though it keeps its original position in the arrival
-    /// queue).  Duplicate confirmed-PUT acks collapse onto the first.
-    pub fn absorb(&mut self, completions: Vec<Completion>) {
+    /// A result slot holds at most one unclaimed value per client (the
+    /// mailbox slot is a single 16-byte record; a second arrival before the
+    /// first claim is an overwrite: the entry takes the new value and counts
+    /// as a *fresh* arrival again, though it keeps its original position in
+    /// the arrival queue).  Duplicate confirmed-PUT acks collapse onto the
+    /// first.
+    pub fn absorb(&mut self, client: ClientId, completions: Vec<Completion>) {
         self.compact_arrivals();
         for c in completions {
             let seq = self.next_seq;
             self.next_seq += 1;
             match c {
                 Completion::Get { request, data } => {
-                    if let std::collections::hash_map::Entry::Vacant(v) = self.gets.entry(request.0)
+                    if let std::collections::hash_map::Entry::Vacant(v) =
+                        self.gets.entry((client, request.0))
                     {
                         v.insert(Arrived {
                             seq,
                             observed: false,
                             value: data,
                         });
-                        self.arrivals.push_back(ClaimKey::Get(request.0));
+                        self.arrivals.push_back(ClaimKey::Get(client, request.0));
                         self.fresh += 1;
                     }
                 }
                 Completion::Put { request } => {
-                    if let std::collections::hash_map::Entry::Vacant(v) = self.puts.entry(request.0)
+                    if let std::collections::hash_map::Entry::Vacant(v) =
+                        self.puts.entry((client, request.0))
                     {
                         v.insert(Arrived {
                             seq,
                             observed: false,
                             value: (),
                         });
-                        self.arrivals.push_back(ClaimKey::Put(request.0));
+                        self.arrivals.push_back(ClaimKey::Put(client, request.0));
                         self.fresh += 1;
                     }
                 }
-                Completion::Result { slot, value } => match self.results.get_mut(&slot) {
+                Completion::Result { slot, value } => match self.results.get_mut(&(client, slot)) {
                     Some(existing) => {
                         // A reused slot delivered a new record: it is a new
                         // completion, even if the previous one was already
@@ -123,14 +133,14 @@ impl ClaimTable {
                     }
                     None => {
                         self.results.insert(
-                            slot,
+                            (client, slot),
                             Arrived {
                                 seq,
                                 observed: false,
                                 value,
                             },
                         );
-                        self.arrivals.push_back(ClaimKey::Result(slot));
+                        self.arrivals.push_back(ClaimKey::Result(client, slot));
                         self.fresh += 1;
                     }
                 },
@@ -140,9 +150,9 @@ impl ClaimTable {
 
     fn is_pending(&self, key: ClaimKey) -> bool {
         match key {
-            ClaimKey::Get(r) => self.gets.contains_key(&r),
-            ClaimKey::Put(r) => self.puts.contains_key(&r),
-            ClaimKey::Result(s) => self.results.contains_key(&s),
+            ClaimKey::Get(c, r) => self.gets.contains_key(&(c, r)),
+            ClaimKey::Put(c, r) => self.puts.contains_key(&(c, r)),
+            ClaimKey::Result(c, s) => self.results.contains_key(&(c, s)),
         }
     }
 
@@ -195,43 +205,43 @@ impl ClaimTable {
         }
     }
 
-    /// Remove and return a GET completion.
-    pub fn claim_get(&mut self, request: RequestId) -> Option<Bytes> {
-        self.gets.remove(&request.0).map(|a| {
+    /// Remove and return one client's GET completion.
+    pub fn claim_get(&mut self, client: ClientId, request: RequestId) -> Option<Bytes> {
+        self.gets.remove(&(client, request.0)).map(|a| {
             Self::note_claimed(&mut self.fresh, a.observed);
             a.value
         })
     }
 
-    /// Remove and return a confirmed-PUT completion.
-    pub fn claim_put(&mut self, request: RequestId) -> Option<()> {
-        self.puts.remove(&request.0).map(|a| {
+    /// Remove and return one client's confirmed-PUT completion.
+    pub fn claim_put(&mut self, client: ClientId, request: RequestId) -> Option<()> {
+        self.puts.remove(&(client, request.0)).map(|a| {
             Self::note_claimed(&mut self.fresh, a.observed);
             a.value
         })
     }
 
-    /// Remove and return an X-RDMA result completion.
-    pub fn claim_result(&mut self, slot: u64) -> Option<u64> {
-        self.results.remove(&slot).map(|a| {
+    /// Remove and return one client's X-RDMA result completion.
+    pub fn claim_result(&mut self, client: ClientId, slot: u64) -> Option<u64> {
+        self.results.remove(&(client, slot)).map(|a| {
             Self::note_claimed(&mut self.fresh, a.observed);
             a.value
         })
     }
 
     /// Arrival order of a pending GET completion, if present.
-    pub fn get_arrival(&self, request: RequestId) -> Option<u64> {
-        self.gets.get(&request.0).map(|a| a.seq)
+    pub fn get_arrival(&self, client: ClientId, request: RequestId) -> Option<u64> {
+        self.gets.get(&(client, request.0)).map(|a| a.seq)
     }
 
     /// Arrival order of a pending confirmed-PUT completion, if present.
-    pub fn put_arrival(&self, request: RequestId) -> Option<u64> {
-        self.puts.get(&request.0).map(|a| a.seq)
+    pub fn put_arrival(&self, client: ClientId, request: RequestId) -> Option<u64> {
+        self.puts.get(&(client, request.0)).map(|a| a.seq)
     }
 
     /// Arrival order of a pending result completion, if present.
-    pub fn result_arrival(&self, slot: u64) -> Option<u64> {
-        self.results.get(&slot).map(|a| a.seq)
+    pub fn result_arrival(&self, client: ClientId, slot: u64) -> Option<u64> {
+        self.results.get(&(client, slot)).map(|a| a.seq)
     }
 
     /// Number of unclaimed completions (observed or not).
@@ -251,10 +261,12 @@ impl ClaimTable {
     }
 
     /// Snapshot the not-yet-observed completions in arrival order, marking
-    /// them observed.  They remain claimable by typed handles.
+    /// them observed.  They remain claimable by typed handles.  (The
+    /// returned [`Completion`] values carry the per-client numeric ids; on a
+    /// multi-client cluster use typed handles to keep the client attribution.)
     pub fn take_fresh(&mut self) -> Vec<Completion> {
         let mut out: Vec<(u64, Completion)> = Vec::new();
-        for (&request, a) in self.gets.iter_mut().filter(|(_, a)| !a.observed) {
+        for (&(_, request), a) in self.gets.iter_mut().filter(|(_, a)| !a.observed) {
             a.observed = true;
             out.push((
                 a.seq,
@@ -264,7 +276,7 @@ impl ClaimTable {
                 },
             ));
         }
-        for (&request, a) in self.puts.iter_mut().filter(|(_, a)| !a.observed) {
+        for (&(_, request), a) in self.puts.iter_mut().filter(|(_, a)| !a.observed) {
             a.observed = true;
             out.push((
                 a.seq,
@@ -273,7 +285,7 @@ impl ClaimTable {
                 },
             ));
         }
-        for (&slot, a) in self.results.iter_mut().filter(|(_, a)| !a.observed) {
+        for (&(_, slot), a) in self.results.iter_mut().filter(|(_, a)| !a.observed) {
             a.observed = true;
             out.push((
                 a.seq,
@@ -295,6 +307,7 @@ impl ClaimTable {
 /// so waiting on this handle means the bytes are durably in remote memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PutHandle {
+    pub(super) client: ClientId,
     pub(super) request: RequestId,
 }
 
@@ -303,21 +316,29 @@ impl PutHandle {
     pub fn request(&self) -> RequestId {
         self.request
     }
+
+    /// The client the confirmed PUT was posted from.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
 }
 
 impl CompletionHandle for PutHandle {
     type Output = ();
 
     fn try_claim(&self, claims: &mut ClaimTable) -> Option<()> {
-        claims.claim_put(self.request)
+        claims.claim_put(self.client, self.request)
     }
 
     fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
-        claims.put_arrival(self.request)
+        claims.put_arrival(self.client, self.request)
     }
 
     fn describe(&self) -> String {
-        format!("confirmed PUT (request {})", self.request.0)
+        format!(
+            "confirmed PUT (client {}, request {})",
+            self.client.0, self.request.0
+        )
     }
 }
 
@@ -363,9 +384,9 @@ enum Registered {
 impl Registered {
     fn key(&self) -> ClaimKey {
         match self {
-            Registered::Get(h) => ClaimKey::Get(h.request().0),
-            Registered::Result(h) => ClaimKey::Result(h.slot()),
-            Registered::Put(h) => ClaimKey::Put(h.request().0),
+            Registered::Get(h) => ClaimKey::Get(h.client(), h.request().0),
+            Registered::Result(h) => ClaimKey::Result(h.client(), h.slot()),
+            Registered::Put(h) => ClaimKey::Put(h.client(), h.request().0),
         }
     }
 
@@ -651,6 +672,9 @@ impl CompletionSet {
 mod tests {
     use super::*;
 
+    const C0: ClientId = ClientId::PRIMARY;
+    const C1: ClientId = ClientId(1);
+
     fn get_completion(id: u64, byte: u8) -> Completion {
         Completion::Get {
             request: RequestId(id),
@@ -661,54 +685,87 @@ mod tests {
     #[test]
     fn claim_table_indexes_by_request_and_slot() {
         let mut t = ClaimTable::default();
-        t.absorb(vec![
-            get_completion(7, 1),
-            Completion::Result { slot: 3, value: 30 },
-            Completion::Put {
-                request: RequestId(9),
-            },
-        ]);
+        t.absorb(
+            C0,
+            vec![
+                get_completion(7, 1),
+                Completion::Result { slot: 3, value: 30 },
+                Completion::Put {
+                    request: RequestId(9),
+                },
+            ],
+        );
         assert_eq!(t.len(), 3);
-        assert!(t.claim_get(RequestId(8)).is_none());
-        assert_eq!(t.claim_get(RequestId(7)).unwrap()[0], 1);
-        assert!(t.claim_get(RequestId(7)).is_none(), "claims are one-shot");
-        assert_eq!(t.claim_result(3), Some(30));
-        assert_eq!(t.claim_put(RequestId(9)), Some(()));
+        assert!(t.claim_get(C0, RequestId(8)).is_none());
+        assert_eq!(t.claim_get(C0, RequestId(7)).unwrap()[0], 1);
+        assert!(
+            t.claim_get(C0, RequestId(7)).is_none(),
+            "claims are one-shot"
+        );
+        assert_eq!(t.claim_result(C0, 3), Some(30));
+        assert_eq!(t.claim_put(C0, RequestId(9)), Some(()));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn claims_never_cross_clients_even_on_colliding_ids() {
+        // Each client runtime allocates its own request ids and mailbox
+        // slots, so numeric collisions across clients are the *normal* case
+        // — the table must treat (client, id) as the key.
+        let mut t = ClaimTable::default();
+        t.absorb(C0, vec![get_completion(7, 1)]);
+        t.absorb(C1, vec![get_completion(7, 2)]);
+        t.absorb(C0, vec![Completion::Result { slot: 4, value: 40 }]);
+        t.absorb(C1, vec![Completion::Result { slot: 4, value: 41 }]);
+        assert_eq!(t.len(), 4, "colliding ids coexist across clients");
+        assert_eq!(t.claim_get(C1, RequestId(7)).unwrap()[0], 2);
+        assert_eq!(t.claim_get(C0, RequestId(7)).unwrap()[0], 1);
+        assert_eq!(t.claim_result(C0, 4), Some(40));
+        assert!(t.claim_result(C0, 4).is_none(), "no double delivery");
+        assert_eq!(t.claim_result(C1, 4), Some(41));
         assert!(t.is_empty());
     }
 
     #[test]
     fn arrival_order_is_preserved_across_kinds() {
         let mut t = ClaimTable::default();
-        t.absorb(vec![
-            Completion::Result { slot: 0, value: 1 },
-            get_completion(1, 2),
-        ]);
-        t.absorb(vec![Completion::Put {
-            request: RequestId(2),
-        }]);
-        assert!(t.result_arrival(0).unwrap() < t.get_arrival(RequestId(1)).unwrap());
-        assert!(t.get_arrival(RequestId(1)).unwrap() < t.put_arrival(RequestId(2)).unwrap());
+        t.absorb(
+            C0,
+            vec![
+                Completion::Result { slot: 0, value: 1 },
+                get_completion(1, 2),
+            ],
+        );
+        t.absorb(
+            C0,
+            vec![Completion::Put {
+                request: RequestId(2),
+            }],
+        );
+        assert!(t.result_arrival(C0, 0).unwrap() < t.get_arrival(C0, RequestId(1)).unwrap());
+        assert!(
+            t.get_arrival(C0, RequestId(1)).unwrap() < t.put_arrival(C0, RequestId(2)).unwrap()
+        );
         // The arrival queue yields pending keys oldest-first.
-        assert_eq!(t.earliest_pending(|_| true), Some(ClaimKey::Result(0)));
-        t.claim_result(0);
-        assert_eq!(t.earliest_pending(|_| true), Some(ClaimKey::Get(1)));
+        assert_eq!(t.earliest_pending(|_| true), Some(ClaimKey::Result(C0, 0)));
+        t.claim_result(C0, 0);
+        assert_eq!(t.earliest_pending(|_| true), Some(ClaimKey::Get(C0, 1)));
         // Selective matching skips (but keeps) non-matching pending keys.
         assert_eq!(
-            t.earliest_pending(|k| matches!(k, ClaimKey::Put(_))),
-            Some(ClaimKey::Put(2))
+            t.earliest_pending(|k| matches!(k, ClaimKey::Put(..))),
+            Some(ClaimKey::Put(C0, 2))
         );
-        assert_eq!(t.earliest_pending(|_| true), Some(ClaimKey::Get(1)));
+        assert_eq!(t.earliest_pending(|_| true), Some(ClaimKey::Get(C0, 1)));
     }
 
     #[test]
     fn result_slot_overwrite_keeps_latest_value() {
         let mut t = ClaimTable::default();
-        t.absorb(vec![Completion::Result { slot: 5, value: 1 }]);
-        t.absorb(vec![Completion::Result { slot: 5, value: 2 }]);
+        t.absorb(C0, vec![Completion::Result { slot: 5, value: 1 }]);
+        t.absorb(C0, vec![Completion::Result { slot: 5, value: 2 }]);
         assert_eq!(t.len(), 1, "a mailbox slot holds one record");
         assert_eq!(t.fresh_len(), 1);
-        assert_eq!(t.claim_result(5), Some(2));
+        assert_eq!(t.claim_result(C0, 5), Some(2));
         assert_eq!(t.fresh_len(), 0);
     }
 
@@ -719,8 +776,8 @@ mod tests {
         // pending completions, not to the lifetime op count.
         let mut t = ClaimTable::default();
         for id in 0..10_000u64 {
-            t.absorb(vec![get_completion(id, 0)]);
-            assert!(t.claim_get(RequestId(id)).is_some());
+            t.absorb(C0, vec![get_completion(id, 0)]);
+            assert!(t.claim_get(C0, RequestId(id)).is_some());
         }
         assert!(t.is_empty());
         assert!(
@@ -736,27 +793,27 @@ mod tests {
         // `run_until_completions` even though the first was already handed
         // out (and never claimed).
         let mut t = ClaimTable::default();
-        t.absorb(vec![Completion::Result { slot: 5, value: 1 }]);
+        t.absorb(C0, vec![Completion::Result { slot: 5, value: 1 }]);
         assert_eq!(t.take_fresh().len(), 1);
         assert_eq!(t.fresh_len(), 0);
-        t.absorb(vec![Completion::Result { slot: 5, value: 2 }]);
+        t.absorb(C0, vec![Completion::Result { slot: 5, value: 2 }]);
         assert_eq!(t.fresh_len(), 1, "the overwrite is a new completion");
         let fresh = t.take_fresh();
         assert_eq!(fresh, vec![Completion::Result { slot: 5, value: 2 }]);
-        assert_eq!(t.claim_result(5), Some(2), "still claimable afterwards");
+        assert_eq!(t.claim_result(C0, 5), Some(2), "still claimable afterwards");
     }
 
     #[test]
     fn take_fresh_marks_observed_but_keeps_claimable() {
         let mut t = ClaimTable::default();
-        t.absorb(vec![get_completion(1, 9), get_completion(2, 8)]);
+        t.absorb(C0, vec![get_completion(1, 9), get_completion(2, 8)]);
         let fresh = t.take_fresh();
         assert_eq!(fresh.len(), 2);
         assert!(matches!(&fresh[0], Completion::Get { request, .. } if request.0 == 1));
         assert_eq!(t.fresh_len(), 0, "observed completions are not re-counted");
         assert_eq!(t.len(), 2, "…but they stay claimable");
         assert!(t.take_fresh().is_empty());
-        assert!(t.claim_get(RequestId(2)).is_some());
+        assert!(t.claim_get(C0, RequestId(2)).is_some());
     }
 
     #[test]
@@ -764,15 +821,19 @@ mod tests {
         let mut claims = ClaimTable::default();
         let mut set = CompletionSet::new();
         let g = GetHandle {
+            client: C0,
             request: RequestId(4),
         };
         let t1 = set.add_get(g);
         let t2 = set.add_get(g); // duplicate registration of the same handle
         let t3 = set.add_result(ResultHandle::for_slot(1));
-        claims.absorb(vec![
-            Completion::Result { slot: 1, value: 11 },
-            get_completion(4, 5),
-        ]);
+        claims.absorb(
+            C0,
+            vec![
+                Completion::Result { slot: 1, value: 11 },
+                get_completion(4, 5),
+            ],
+        );
         // The result arrived first, so it wins even though the GET is also
         // ready and registered earlier.
         let (tok, ready) = set.claim_earliest(&mut claims).unwrap();

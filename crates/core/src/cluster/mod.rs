@@ -86,6 +86,38 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Identity of one driver-side client runtime.
+///
+/// A cluster built with [`ClusterBuilder::clients`]`(C)` hosts `C`
+/// independent injection streams: client `i` *is* fabric rank `i` (clients
+/// occupy ranks `0..C`, servers ranks `C..C+S`).  Every per-client API —
+/// sends, completion claiming, result-slot allocation — is keyed by this id,
+/// so two clients can pipeline against the same servers without stealing
+/// each other's completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub usize);
+
+impl ClientId {
+    /// The primary client (rank 0) — what every single-client wrapper uses.
+    pub const PRIMARY: ClientId = ClientId(0);
+
+    /// The client's index (equal to its fabric rank).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The client's fabric rank (clients occupy ranks `0..client_count`).
+    pub fn rank(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client {}", self.0)
+    }
+}
+
 /// Counters every transport keeps about the fabric itself (as opposed to the
 /// per-node [`RuntimeStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -121,22 +153,28 @@ pub trait Transport {
     /// Short backend name for diagnostics ("simnet", "threads").
     fn backend_name(&self) -> &'static str;
 
-    /// Number of nodes including the client (rank 0).
+    /// Number of nodes including the clients (ranks `0..client_count()`).
     fn node_count(&self) -> usize;
 
-    /// The client runtime (always driver-side and directly accessible).
-    fn client(&self) -> &NodeRuntime;
+    /// Number of driver-side client runtimes (ranks `0..client_count()`).
+    /// Single-client transports keep the default of 1.
+    fn client_count(&self) -> usize {
+        1
+    }
+
+    /// A client runtime (always driver-side and directly accessible).
+    fn client(&self, id: ClientId) -> &NodeRuntime;
 
     /// Mutable client runtime.
-    fn client_mut(&mut self) -> &mut NodeRuntime;
+    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime;
 
     /// Predeploy a native Active-Message handler on every node, assigning
     /// consistent handler ids cluster-wide.
     fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()>;
 
-    /// Pick up operations the client has posted and move them into the
+    /// Pick up operations client `id` has posted and move them into the
     /// fabric.
-    fn flush_client(&mut self) -> Result<()>;
+    fn flush_client(&mut self, id: ClientId) -> Result<()>;
 
     /// Advance the transport by one unit of progress (one simulated event,
     /// or one received envelope).  Returns `false` when nothing happened —
@@ -151,8 +189,8 @@ pub trait Transport {
     }
 
     /// Drain completions (GET results, X-RDMA results, confirmed-PUT acks)
-    /// that reached the client.
-    fn take_completions(&mut self) -> Vec<Completion>;
+    /// that reached client `id`.
+    fn take_completions(&mut self, id: ClientId) -> Vec<Completion>;
 
     /// The transport's clock in nanoseconds: virtual time for the simulated
     /// backend, wall-clock time for the threaded one.  Per-handle deadlines
@@ -216,17 +254,20 @@ impl Transport for Box<dyn Transport> {
     fn node_count(&self) -> usize {
         (**self).node_count()
     }
-    fn client(&self) -> &NodeRuntime {
-        (**self).client()
+    fn client_count(&self) -> usize {
+        (**self).client_count()
     }
-    fn client_mut(&mut self) -> &mut NodeRuntime {
-        (**self).client_mut()
+    fn client(&self, id: ClientId) -> &NodeRuntime {
+        (**self).client(id)
+    }
+    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+        (**self).client_mut(id)
     }
     fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
         (**self).deploy_am(name, handler)
     }
-    fn flush_client(&mut self) -> Result<()> {
-        (**self).flush_client()
+    fn flush_client(&mut self, id: ClientId) -> Result<()> {
+        (**self).flush_client(id)
     }
     fn step(&mut self) -> Result<bool> {
         (**self).step()
@@ -234,8 +275,8 @@ impl Transport for Box<dyn Transport> {
     fn idle_grace(&self) -> u32 {
         (**self).idle_grace()
     }
-    fn take_completions(&mut self) -> Vec<Completion> {
-        (**self).take_completions()
+    fn take_completions(&mut self, id: ClientId) -> Vec<Completion> {
+        (**self).take_completions(id)
     }
     fn now_nanos(&self) -> u64 {
         (**self).now_nanos()
@@ -290,6 +331,7 @@ pub trait CompletionHandle {
 /// Typed handle for a posted one-sided GET; waiting yields the fetched bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GetHandle {
+    client: ClientId,
     request: RequestId,
 }
 
@@ -298,21 +340,30 @@ impl GetHandle {
     pub fn request(&self) -> RequestId {
         self.request
     }
+
+    /// The client the GET was posted from (and whose completion stream the
+    /// reply arrives on).  Request ids are per-client, so routing needs both.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
 }
 
 impl CompletionHandle for GetHandle {
     type Output = Bytes;
 
     fn try_claim(&self, claims: &mut ClaimTable) -> Option<Bytes> {
-        claims.claim_get(self.request)
+        claims.claim_get(self.client, self.request)
     }
 
     fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
-        claims.get_arrival(self.request)
+        claims.get_arrival(self.client, self.request)
     }
 
     fn describe(&self) -> String {
-        format!("GET completion (request {})", self.request.0)
+        format!(
+            "GET completion (client {}, request {})",
+            self.client.0, self.request.0
+        )
     }
 }
 
@@ -320,20 +371,32 @@ impl CompletionHandle for GetHandle {
 /// value an ifunc returned with `tc_return_result`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResultHandle {
+    client: ClientId,
     slot: u64,
 }
 
 impl ResultHandle {
-    /// A handle for an explicitly chosen mailbox slot.
+    /// A handle for an explicitly chosen mailbox slot on the primary client
+    /// (see [`ResultHandle::for_client_slot`] for other clients).
     ///
-    /// **Contract:** slots named this way share the one mailbox with slots
-    /// handed out by [`Cluster::result_slot`].  To keep the allocator from
-    /// colliding with a manually chosen slot, reserve it first with
-    /// [`Cluster::reserve_result_slot`] (which also returns the handle) —
-    /// the allocator then skips it.  Unreserved manual slots are only safe
-    /// if the driver never calls `result_slot()`.
+    /// **Contract:** slots named this way share the one per-client mailbox
+    /// with slots handed out by [`Cluster::result_slot`].  To keep the
+    /// allocator from colliding with a manually chosen slot, reserve it
+    /// first with [`Cluster::reserve_result_slot`] (which also returns the
+    /// handle) — the allocator then skips it.  Unreserved manual slots are
+    /// only safe if the driver never calls `result_slot()`.
     pub fn for_slot(slot: u64) -> Self {
-        ResultHandle { slot }
+        ResultHandle {
+            client: ClientId::PRIMARY,
+            slot,
+        }
+    }
+
+    /// A handle for an explicitly chosen mailbox slot on client `client`.
+    /// Each client owns an independent mailbox, so equal slot numbers on
+    /// different clients never collide.
+    pub fn for_client_slot(client: ClientId, slot: u64) -> Self {
+        ResultHandle { client, slot }
     }
 
     /// The mailbox slot this handle waits on (encode it into the ifunc
@@ -342,7 +405,12 @@ impl ResultHandle {
         self.slot
     }
 
-    /// Address of the slot in the client's result mailbox.
+    /// The client whose mailbox the result arrives in.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Address of the slot in the owning client's result mailbox.
     pub fn mailbox_addr(&self) -> u64 {
         result_slot_addr(self.slot)
     }
@@ -352,29 +420,36 @@ impl CompletionHandle for ResultHandle {
     type Output = u64;
 
     fn try_claim(&self, claims: &mut ClaimTable) -> Option<u64> {
-        claims.claim_result(self.slot)
+        claims.claim_result(self.client, self.slot)
     }
 
     fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
-        claims.result_arrival(self.slot)
+        claims.result_arrival(self.client, self.slot)
     }
 
     fn describe(&self) -> String {
-        format!("X-RDMA result (mailbox slot {})", self.slot)
+        format!(
+            "X-RDMA result (client {}, mailbox slot {})",
+            self.client.0, self.slot
+        )
     }
 }
 
 /// A heterogeneous cluster driven through a pluggable [`Transport`].
 ///
-/// Rank 0 is the client; ranks `1..=server_count()` are servers.  All sends
-/// originate at the client (servers communicate through ifunc follow-on
-/// actions), completions surface as typed handles, and node state is read
-/// back through the transport so the same scenario runs on any backend.
+/// Ranks `0..client_count()` are driver-side clients; ranks
+/// `client_count()..node_count()` are servers.  All sends originate at a
+/// client (servers communicate through ifunc follow-on actions), completions
+/// surface as typed handles routed to the posting client, and node state is
+/// read back through the transport so the same scenario runs on any backend.
+/// Single-client clusters (the default) keep the historical layout: client
+/// at rank 0, servers at ranks `1..=server_count()`.
 pub struct Cluster<T: Transport> {
     transport: T,
     claims: ClaimTable,
-    next_result_slot: u64,
-    reserved_slots: std::collections::HashSet<u64>,
+    /// Per-client result-slot allocator state (indexed by client id).
+    next_result_slot: Vec<u64>,
+    reserved_slots: Vec<std::collections::HashSet<u64>>,
 }
 
 impl<T: Transport> std::fmt::Debug for Cluster<T> {
@@ -440,11 +515,12 @@ impl Idleness {
 impl<T: Transport> Cluster<T> {
     /// Wrap an already-constructed transport.  Prefer [`ClusterBuilder`].
     pub fn new(transport: T) -> Self {
+        let clients = transport.client_count().max(1);
         Cluster {
             transport,
             claims: ClaimTable::default(),
-            next_result_slot: 0,
-            reserved_slots: std::collections::HashSet::new(),
+            next_result_slot: vec![0; clients],
+            reserved_slots: vec![std::collections::HashSet::new(); clients],
         }
     }
 
@@ -464,50 +540,114 @@ impl<T: Transport> Cluster<T> {
         self.transport.backend_name()
     }
 
-    /// Number of nodes including the client.
+    /// Number of nodes including the clients.
     pub fn node_count(&self) -> usize {
         self.transport.node_count()
     }
 
+    /// Number of driver-side client runtimes (ranks `0..client_count()`).
+    pub fn client_count(&self) -> usize {
+        self.transport.client_count()
+    }
+
+    /// Iterator over every client id, `0..client_count()`.
+    pub fn client_ids(&self) -> impl Iterator<Item = ClientId> {
+        (0..self.transport.client_count()).map(ClientId)
+    }
+
     /// Number of server nodes.
     pub fn server_count(&self) -> usize {
-        self.transport.node_count() - 1
+        self.transport.node_count() - self.transport.client_count()
     }
 
-    /// The client runtime.
+    /// Fabric rank of the first server (servers occupy ranks
+    /// `first_server_rank()..node_count()`; 1 on a single-client cluster).
+    pub fn first_server_rank(&self) -> usize {
+        self.transport.client_count()
+    }
+
+    /// Fabric rank of server `idx` (0-based server index).  Use this instead
+    /// of `idx + 1` — server ranks start *after* the client ranks.
+    pub fn server_rank(&self, idx: usize) -> usize {
+        self.transport.client_count() + idx
+    }
+
+    /// The primary client's runtime.
     pub fn client(&self) -> &NodeRuntime {
-        self.transport.client()
+        self.transport.client(ClientId::PRIMARY)
     }
 
-    /// Mutable client runtime (escape hatch for source-side operations the
-    /// high-level API does not cover).
+    /// Mutable primary-client runtime (escape hatch for source-side
+    /// operations the high-level API does not cover).
     pub fn client_mut(&mut self) -> &mut NodeRuntime {
-        self.transport.client_mut()
+        self.transport.client_mut(ClientId::PRIMARY)
+    }
+
+    /// The runtime of client `id`.
+    pub fn client_runtime(&self, id: ClientId) -> &NodeRuntime {
+        self.transport.client(id)
+    }
+
+    /// Mutable runtime of client `id`.
+    pub fn client_runtime_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+        self.transport.client_mut(id)
     }
 
     // --- scenario setup -----------------------------------------------------
 
-    /// Register an ifunc library on the client, returning its handle.
+    /// Register an ifunc library on the primary client, returning its handle.
     pub fn register_ifunc(&mut self, library: IfuncLibrary) -> IfuncHandle {
-        self.transport.client_mut().register_library(library)
+        self.register_ifunc_on(ClientId::PRIMARY, library)
     }
 
-    /// Create a bitcode-representation message for a registered library.
+    /// Register an ifunc library on client `client`.  Handles are
+    /// per-runtime: a library meant to be sent by several clients must be
+    /// registered on each.
+    pub fn register_ifunc_on(&mut self, client: ClientId, library: IfuncLibrary) -> IfuncHandle {
+        self.transport.client_mut(client).register_library(library)
+    }
+
+    /// Create a bitcode-representation message for a library registered on
+    /// the primary client.
     pub fn bitcode_message(&self, handle: IfuncHandle, payload: Vec<u8>) -> Result<IfuncMessage> {
+        self.bitcode_message_on(ClientId::PRIMARY, handle, payload)
+    }
+
+    /// Create a bitcode-representation message for a library registered on
+    /// client `client`.
+    pub fn bitcode_message_on(
+        &self,
+        client: ClientId,
+        handle: IfuncHandle,
+        payload: Vec<u8>,
+    ) -> Result<IfuncMessage> {
         self.transport
-            .client()
+            .client(client)
             .create_bitcode_message(handle, payload)
     }
 
-    /// Create a binary-representation message targeted at a triple.
+    /// Create a binary-representation message targeted at a triple (primary
+    /// client).
     pub fn binary_message(
         &self,
         handle: IfuncHandle,
         target_triple: &str,
         payload: Vec<u8>,
     ) -> Result<IfuncMessage> {
+        self.binary_message_on(ClientId::PRIMARY, handle, target_triple, payload)
+    }
+
+    /// Create a binary-representation message for a library registered on
+    /// client `client`.
+    pub fn binary_message_on(
+        &self,
+        client: ClientId,
+        handle: IfuncHandle,
+        target_triple: &str,
+        payload: Vec<u8>,
+    ) -> Result<IfuncMessage> {
         self.transport
-            .client()
+            .client(client)
             .create_binary_message(handle, target_triple, payload)
     }
 
@@ -530,67 +670,127 @@ impl<T: Transport> Cluster<T> {
 
     // --- sends --------------------------------------------------------------
 
-    /// Send an ifunc message to server `dst`, applying the sender-side code
-    /// cache.  Returns the bytes that actually travelled.
+    /// Send an ifunc message from the primary client to server `dst`,
+    /// applying the sender-side code cache.  Returns the bytes that actually
+    /// travelled.
     pub fn send_ifunc(&mut self, message: &IfuncMessage, dst: usize) -> Result<usize> {
+        self.send_ifunc_from(ClientId::PRIMARY, message, dst)
+    }
+
+    /// Send an ifunc message from client `client` to server `dst`.  Each
+    /// client keeps its own sender-side code cache, so the first send per
+    /// (client, destination) ships the code.
+    pub fn send_ifunc_from(
+        &mut self,
+        client: ClientId,
+        message: &IfuncMessage,
+        dst: usize,
+    ) -> Result<usize> {
         let bytes = self
             .transport
-            .client_mut()
+            .client_mut(client)
             .send_ifunc(message, WorkerAddr(dst as u32));
-        self.transport.flush_client()?;
+        self.transport.flush_client(client)?;
         Ok(bytes)
     }
 
-    /// Send an Active Message to a predeployed handler on `dst`.
+    /// Send an Active Message from the primary client to a predeployed
+    /// handler on `dst`.
     pub fn send_am(
         &mut self,
         handler: &str,
         dst: usize,
         payload: impl Into<Bytes>,
     ) -> Result<usize> {
-        let size = self
-            .transport
-            .client_mut()
-            .send_am(handler, WorkerAddr(dst as u32), payload)?;
-        self.transport.flush_client()?;
+        self.send_am_from(ClientId::PRIMARY, handler, dst, payload)
+    }
+
+    /// Send an Active Message from client `client`.
+    pub fn send_am_from(
+        &mut self,
+        client: ClientId,
+        handler: &str,
+        dst: usize,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize> {
+        let size =
+            self.transport
+                .client_mut(client)
+                .send_am(handler, WorkerAddr(dst as u32), payload)?;
+        self.transport.flush_client(client)?;
         Ok(size)
     }
 
-    /// Post a one-sided PUT into `dst`'s memory.  PUTs have no completion
-    /// event in this model; the returned id identifies the posted request.
-    /// Passing a [`Bytes`] view makes the post zero-copy end to end.
+    /// Post a one-sided PUT into `dst`'s memory from the primary client.
+    /// PUTs have no completion event in this model; the returned id
+    /// identifies the posted request.  Passing a [`Bytes`] view makes the
+    /// post zero-copy end to end.
     pub fn put(&mut self, dst: usize, addr: u64, data: impl Into<Bytes>) -> Result<RequestId> {
-        let request = self
-            .transport
-            .client_mut()
-            .post_put(WorkerAddr(dst as u32), addr, data);
-        self.transport.flush_client()?;
+        self.put_from(ClientId::PRIMARY, dst, addr, data)
+    }
+
+    /// Post a one-sided PUT from client `client`.
+    pub fn put_from(
+        &mut self,
+        client: ClientId,
+        dst: usize,
+        addr: u64,
+        data: impl Into<Bytes>,
+    ) -> Result<RequestId> {
+        let request =
+            self.transport
+                .client_mut(client)
+                .post_put(WorkerAddr(dst as u32), addr, data);
+        self.transport.flush_client(client)?;
         Ok(request)
     }
 
-    /// Post a *confirmed* one-sided PUT into `dst`'s memory: the destination
-    /// applies the write and acknowledges it through the transport.  Wait on
-    /// the returned [`PutHandle`] (or register it in a [`CompletionSet`])
-    /// for transport-confirmed delivery.
+    /// Post a *confirmed* one-sided PUT into `dst`'s memory from the primary
+    /// client: the destination applies the write and acknowledges it through
+    /// the transport.  Wait on the returned [`PutHandle`] (or register it in
+    /// a [`CompletionSet`]) for transport-confirmed delivery.
     pub fn put_confirmed(
         &mut self,
         dst: usize,
         addr: u64,
         data: impl Into<Bytes>,
     ) -> Result<PutHandle> {
-        let request =
-            self.transport
-                .client_mut()
-                .post_put_confirmed(WorkerAddr(dst as u32), addr, data);
-        self.transport.flush_client()?;
-        Ok(PutHandle { request })
+        self.put_confirmed_from(ClientId::PRIMARY, dst, addr, data)
     }
 
-    /// Post a one-sided GET against `dst`, returning a typed handle to wait
-    /// on with [`Cluster::wait`].
+    /// Post a confirmed PUT from client `client`.
+    pub fn put_confirmed_from(
+        &mut self,
+        client: ClientId,
+        dst: usize,
+        addr: u64,
+        data: impl Into<Bytes>,
+    ) -> Result<PutHandle> {
+        let request = self.transport.client_mut(client).post_put_confirmed(
+            WorkerAddr(dst as u32),
+            addr,
+            data,
+        );
+        self.transport.flush_client(client)?;
+        Ok(PutHandle { client, request })
+    }
+
+    /// Post a one-sided GET against `dst` from the primary client, returning
+    /// a typed handle to wait on with [`Cluster::wait`].
     pub fn get(&mut self, dst: usize, addr: u64, len: u64) -> Result<GetHandle> {
-        let handle = self.post_get(dst, addr, len);
-        self.transport.flush_client()?;
+        self.get_from(ClientId::PRIMARY, dst, addr, len)
+    }
+
+    /// Post (and flush) a one-sided GET from client `client`.
+    pub fn get_from(
+        &mut self,
+        client: ClientId,
+        dst: usize,
+        addr: u64,
+        len: u64,
+    ) -> Result<GetHandle> {
+        let handle = self.post_get_from(client, dst, addr, len);
+        self.transport.flush_client(client)?;
         Ok(handle)
     }
 
@@ -599,11 +799,22 @@ impl<T: Transport> Cluster<T> {
     /// calls [`Cluster::flush`] once — paying the fabric hand-off per batch
     /// instead of per operation.
     pub fn post_get(&mut self, dst: usize, addr: u64, len: u64) -> GetHandle {
+        self.post_get_from(ClientId::PRIMARY, dst, addr, len)
+    }
+
+    /// Post a one-sided GET from client `client` without flushing.
+    pub fn post_get_from(
+        &mut self,
+        client: ClientId,
+        dst: usize,
+        addr: u64,
+        len: u64,
+    ) -> GetHandle {
         let request = self
             .transport
-            .client_mut()
+            .client_mut(client)
             .post_get(WorkerAddr(dst as u32), addr, len);
-        GetHandle { request }
+        GetHandle { client, request }
     }
 
     /// Post a confirmed PUT *without* flushing (see [`Cluster::post_get`]).
@@ -613,46 +824,95 @@ impl<T: Transport> Cluster<T> {
         addr: u64,
         data: impl Into<Bytes>,
     ) -> PutHandle {
-        let request =
-            self.transport
-                .client_mut()
-                .post_put_confirmed(WorkerAddr(dst as u32), addr, data);
-        PutHandle { request }
+        self.post_put_confirmed_from(ClientId::PRIMARY, dst, addr, data)
     }
 
-    /// Move everything posted-but-unflushed into the fabric (the batch
-    /// counterpart of the auto-flush in [`Cluster::get`] / [`Cluster::put`]).
+    /// Post a confirmed PUT from client `client` without flushing.
+    pub fn post_put_confirmed_from(
+        &mut self,
+        client: ClientId,
+        dst: usize,
+        addr: u64,
+        data: impl Into<Bytes>,
+    ) -> PutHandle {
+        let request = self.transport.client_mut(client).post_put_confirmed(
+            WorkerAddr(dst as u32),
+            addr,
+            data,
+        );
+        PutHandle { client, request }
+    }
+
+    /// Move everything the primary client posted-but-unflushed into the
+    /// fabric (the batch counterpart of the auto-flush in [`Cluster::get`] /
+    /// [`Cluster::put`]).
     pub fn flush(&mut self) -> Result<()> {
-        self.transport.flush_client()
+        self.transport.flush_client(ClientId::PRIMARY)
     }
 
-    /// Allocate a fresh X-RDMA result-mailbox slot.  Encode
-    /// [`ResultHandle::slot`] into the ifunc payload, send, then
+    /// Flush client `client`'s posted-but-unflushed operations.
+    pub fn flush_from(&mut self, client: ClientId) -> Result<()> {
+        self.transport.flush_client(client)
+    }
+
+    /// Flush every client's staged operations (multi-client drivers that
+    /// post across several clients before driving the transport).
+    pub fn flush_all(&mut self) -> Result<()> {
+        for c in 0..self.transport.client_count() {
+            self.transport.flush_client(ClientId(c))?;
+        }
+        Ok(())
+    }
+
+    /// Allocate a fresh X-RDMA result-mailbox slot on the primary client.
+    /// Encode [`ResultHandle::slot`] into the ifunc payload, send, then
     /// [`Cluster::wait`] on the handle.  Slots reserved through
     /// [`Cluster::reserve_result_slot`] are skipped, so manually constructed
     /// handles never collide with allocated ones.
     pub fn result_slot(&mut self) -> ResultHandle {
-        while self.reserved_slots.contains(&self.next_result_slot) {
-            self.next_result_slot += 1;
-        }
-        let slot = self.next_result_slot;
-        self.next_result_slot += 1;
-        ResultHandle { slot }
+        self.result_slot_on(ClientId::PRIMARY)
     }
 
-    /// Reserve an explicitly chosen mailbox slot, returning its handle.  The
-    /// [`Cluster::result_slot`] allocator will never hand out a reserved
-    /// slot, which is the safe way to mix manual
+    /// Allocate a fresh result-mailbox slot on client `client`.  Allocators
+    /// are per-client: each client owns an independent mailbox, so two
+    /// clients receiving results into equal slot numbers never interfere.
+    pub fn result_slot_on(&mut self, client: ClientId) -> ResultHandle {
+        let next = &mut self.next_result_slot[client.0];
+        let reserved = &self.reserved_slots[client.0];
+        while reserved.contains(next) {
+            *next += 1;
+        }
+        let slot = *next;
+        *next += 1;
+        ResultHandle { client, slot }
+    }
+
+    /// Reserve an explicitly chosen mailbox slot on the primary client,
+    /// returning its handle.  The [`Cluster::result_slot`] allocator will
+    /// never hand out a reserved slot, which is the safe way to mix manual
     /// ([`ResultHandle::for_slot`]) and allocated slots in one driver.
     pub fn reserve_result_slot(&mut self, slot: u64) -> ResultHandle {
-        self.reserved_slots.insert(slot);
-        ResultHandle { slot }
+        self.reserve_result_slot_on(ClientId::PRIMARY, slot)
+    }
+
+    /// Reserve an explicitly chosen mailbox slot on client `client`.
+    /// Reservations are per-client and never affect another client's
+    /// allocator.
+    pub fn reserve_result_slot_on(&mut self, client: ClientId, slot: u64) -> ResultHandle {
+        self.reserved_slots[client.0].insert(slot);
+        ResultHandle { client, slot }
     }
 
     // --- completion and progress --------------------------------------------
 
     fn absorb_completions(&mut self) {
-        self.claims.absorb(self.transport.take_completions());
+        for c in 0..self.transport.client_count() {
+            let client = ClientId(c);
+            let completions = self.transport.take_completions(client);
+            if !completions.is_empty() {
+                self.claims.absorb(client, completions);
+            }
+        }
     }
 
     /// Drive the transport until `handle`'s completion arrives, returning its
@@ -860,6 +1120,7 @@ impl<T: Transport> Cluster<T> {
 #[derive(Debug, Clone)]
 pub struct ClusterBuilder {
     platform: Platform,
+    clients: usize,
     servers: usize,
     client_triple: Option<TargetTriple>,
     server_triple: Option<TargetTriple>,
@@ -879,6 +1140,7 @@ impl ClusterBuilder {
     pub fn new() -> Self {
         ClusterBuilder {
             platform: Platform::thor_bf2(),
+            clients: 1,
             servers: 1,
             client_triple: None,
             server_triple: None,
@@ -886,6 +1148,14 @@ impl ClusterBuilder {
             fault_plan: None,
             tuning: thread_transport::ThreadTuning::default(),
         }
+    }
+
+    /// Number of driver-side client runtimes (at least 1).  Clients occupy
+    /// ranks `0..n`, servers ranks `n..n+servers`; each client injects an
+    /// independent operation stream with its own completion routing.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients.max(1);
+        self
     }
 
     /// Select the testbed platform (fabric and CPU calibration, default
@@ -953,6 +1223,7 @@ impl ClusterBuilder {
     pub fn build_sim(self) -> Cluster<SimTransport> {
         let transport = SimTransport::with_config(
             self.platform,
+            self.clients,
             self.servers,
             self.client_triple,
             self.server_triple,
@@ -966,6 +1237,7 @@ impl ClusterBuilder {
     pub fn build_threaded(self) -> Cluster<ThreadTransport> {
         let (client, server) = self.resolved_triples();
         Cluster::new(ThreadTransport::with_config(
+            self.clients,
             self.servers,
             client,
             server,

@@ -18,7 +18,7 @@
 //! execution) without re-instrumenting the runtime.
 
 use super::reliable::{RelConfig, RelMetrics, ReliableSet};
-use super::{Transport, TransportMetrics};
+use super::{ClientId, Transport, TransportMetrics};
 use crate::error::{CoreError, Result};
 use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
 use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
@@ -64,6 +64,8 @@ const ACK_WIRE_BYTES: usize = 24;
 /// The discrete-event cluster backend (virtual time, calibrated models).
 pub struct SimTransport {
     platform: Platform,
+    /// Ranks `0..clients` are client runtimes, the rest servers.
+    clients: usize,
     nodes: Vec<NodeRuntime>,
     queue: EventQueue<InFlight>,
     /// Earliest time each node's CPU is free to process the next arrival.
@@ -114,6 +116,7 @@ impl SimTransport {
     ) -> Self {
         Self::with_config(
             platform,
+            1,
             servers,
             client_triple,
             server_triple,
@@ -122,19 +125,26 @@ impl SimTransport {
         )
     }
 
-    /// Constructor with an optional fault plan: when present, every fabric
-    /// traversal consults the chaos engine (drop / duplicate / delay /
-    /// reorder, partitions, crash windows) and the data plane runs over the
-    /// reliable-delivery layer in virtual time.
+    /// Constructor with `clients` driver runtimes (ranks `0..clients`),
+    /// `servers` server runtimes (ranks `clients..clients+servers`) and an
+    /// optional fault plan: when present, every fabric traversal consults
+    /// the chaos engine (drop / duplicate / delay / reorder, partitions,
+    /// crash windows) and the data plane runs over the reliable-delivery
+    /// layer in virtual time.  Client injection interleaves
+    /// deterministically: each client owns its own injection port
+    /// (per-rank `link_ready_at`) and flushed sends meet in the one virtual
+    /// time event queue.
     pub fn with_config(
         platform: Platform,
+        clients: usize,
         servers: usize,
         client_triple: Option<TargetTriple>,
         server_triple: Option<TargetTriple>,
         opt_level: OptLevel,
         fault_plan: Option<FaultPlan>,
     ) -> Self {
-        let total = servers + 1;
+        let clients = clients.max(1);
+        let total = servers + clients;
         let client_triple = client_triple.unwrap_or_else(|| {
             TargetTriple::parse(platform.client_triple).unwrap_or(TargetTriple::X86_64_GENERIC)
         });
@@ -143,7 +153,11 @@ impl SimTransport {
         });
         let nodes = (0..total)
             .map(|i| {
-                let triple = if i == 0 { client_triple } else { server_triple };
+                let triple = if i < clients {
+                    client_triple
+                } else {
+                    server_triple
+                };
                 NodeRuntime::with_opt_level(
                     tc_ucx::WorkerAddr(i as u32),
                     total as u32,
@@ -154,6 +168,7 @@ impl SimTransport {
             .collect();
         SimTransport {
             platform,
+            clients,
             nodes,
             queue: EventQueue::new(),
             node_ready_at: vec![SimTime::ZERO; total],
@@ -469,7 +484,7 @@ impl SimTransport {
         wire_bytes: usize,
         outcome: &ProcessOutcome,
     ) -> DeliveryRecord {
-        let cpu = if node == 0 {
+        let cpu = if node < self.clients {
             self.platform.client_cpu
         } else {
             self.platform.server_cpu
@@ -527,10 +542,15 @@ impl SimTransport {
             let dst = msg.dst.index();
             // Chaos mode: register the message with the sender's
             // reliability state (assigning its sequence number) unless it
-            // is a loopback or misaddressed — those bypass the fabric model
-            // the fault plan describes.
+            // bypasses the fabric model the fault plan describes: loopback,
+            // misaddressed, or client-to-client.  Client↔client traffic is
+            // loopback-class — all clients live on the driving side, and
+            // the threaded backend delivers it driver-locally without
+            // touching the fabric, so the fault model must exempt it here
+            // too or the backends' chaos schedules diverge.
+            let client_to_client = rank < self.clients && dst < self.clients;
             let rel = match &mut self.chaos {
-                Some(chaos) if dst < self.nodes.len() && dst != rank => {
+                Some(chaos) if dst < self.nodes.len() && dst != rank && !client_to_client => {
                     Some(chaos.rel[rank].send(dst as u32, msg.clone(), now_ns))
                 }
                 _ => None,
@@ -550,12 +570,18 @@ impl Transport for SimTransport {
         self.nodes.len()
     }
 
-    fn client(&self) -> &NodeRuntime {
-        &self.nodes[0]
+    fn client_count(&self) -> usize {
+        self.clients
     }
 
-    fn client_mut(&mut self) -> &mut NodeRuntime {
-        &mut self.nodes[0]
+    fn client(&self, id: ClientId) -> &NodeRuntime {
+        assert!(id.0 < self.clients, "no client with id {id}");
+        &self.nodes[id.0]
+    }
+
+    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+        assert!(id.0 < self.clients, "no client with id {id}");
+        &mut self.nodes[id.0]
     }
 
     fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
@@ -565,8 +591,11 @@ impl Transport for SimTransport {
         Ok(())
     }
 
-    fn flush_client(&mut self) -> Result<()> {
-        self.flush_node(0);
+    fn flush_client(&mut self, id: ClientId) -> Result<()> {
+        if id.0 >= self.clients {
+            return Err(CoreError::Sim(format!("no client with id {id}")));
+        }
+        self.flush_node(id.0);
         Ok(())
     }
 
@@ -574,8 +603,9 @@ impl Transport for SimTransport {
         Ok(self.step_event())
     }
 
-    fn take_completions(&mut self) -> Vec<Completion> {
-        self.nodes[0].take_completions()
+    fn take_completions(&mut self, id: ClientId) -> Vec<Completion> {
+        assert!(id.0 < self.clients, "no client with id {id}");
+        self.nodes[id.0].take_completions()
     }
 
     fn now_nanos(&self) -> u64 {
@@ -637,7 +667,10 @@ impl Transport for SimTransport {
         TransportMetrics {
             messages_delivered: self.delivered,
             messages_dropped: self.dropped_misaddressed,
-            bytes_sent: self.nodes[0].stats.bytes_sent,
+            bytes_sent: self.nodes[..self.clients]
+                .iter()
+                .map(|n| n.stats.bytes_sent)
+                .sum(),
             retransmits,
             dup_drops,
             faults_injected: self

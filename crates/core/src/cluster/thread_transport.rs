@@ -27,9 +27,11 @@ use tc_bitir::TargetTriple;
 use tc_chaos::{ChaosSession, ChaosStats, FaultPlan};
 use tc_jit::{Memory, OptLevel};
 use tc_simnet::{
-    Envelope, EnvelopeFilter, NodeCtx, ThreadCluster, ThreadConfig, ThreadedNode, EXTERNAL_SENDER,
+    external_port, Envelope, EnvelopeFilter, NodeCtx, ThreadCluster, ThreadConfig, ThreadedNode,
 };
 use tc_ucx::{Bytes, WorkerAddr};
+
+use super::ClientId;
 
 /// Shared, append-only list of predeployed AM handlers.  Deploy order defines
 /// the cluster-wide handler ids.
@@ -80,13 +82,15 @@ impl Default for ThreadTuning {
     }
 }
 
-/// Map a threaded-fabric sender/receiver id to a cluster rank: thread node
-/// `n` is rank `n + 1`, the external driver is the client (rank 0).
-fn rank_of(thread_id: usize) -> usize {
-    if thread_id == EXTERNAL_SENDER {
-        0
-    } else {
-        thread_id + 1
+/// Map a threaded-fabric sender/receiver id to a cluster rank in a cluster
+/// with `clients` driver-side runtimes: external port `p` is client rank
+/// `p`, thread node `n` is rank `n + clients`.  (The single-client layout —
+/// driver rank 0, thread node `n` at rank `n + 1` — is the `clients == 1`
+/// case.)
+fn rank_of(clients: usize, fabric_id: usize) -> usize {
+    match external_port(fabric_id) {
+        Some(port) => port,
+        None => fabric_id + clients,
     }
 }
 
@@ -197,31 +201,43 @@ impl NodeRel {
     }
 
     /// Transmit a reliable envelope to `peer` (rank) through the node ctx.
-    fn transmit(ctx: &NodeCtx, peer: usize, seq: u64, ack: u64, head: &Bytes, payload: Bytes) {
+    /// Ranks below `clients` are driver-side endpoints (external ports).
+    fn transmit(
+        ctx: &NodeCtx,
+        clients: usize,
+        peer: usize,
+        seq: u64,
+        ack: u64,
+        head: &Bytes,
+        payload: Bytes,
+    ) {
         let data = wire::encode_rel_head(seq, ack, head);
-        let _ = if peer == 0 {
-            ctx.send_external_vectored(wire::TAG_ROP, data, payload)
+        let _ = if peer < clients {
+            ctx.send_external_port_vectored(peer, wire::TAG_ROP, data, payload)
         } else {
-            ctx.send_vectored(peer - 1, wire::TAG_ROP, data, payload)
+            ctx.send_vectored(peer - clients, wire::TAG_ROP, data, payload)
         };
     }
 
     /// Send a pure ack to `peer` (rank).
-    fn send_ack(ctx: &NodeCtx, peer: usize, ack: u64) {
+    fn send_ack(ctx: &NodeCtx, clients: usize, peer: usize, ack: u64) {
         let bytes = wire::encode_ack(ack);
-        let _ = if peer == 0 {
-            ctx.send_external(wire::TAG_ACK, bytes)
+        let _ = if peer < clients {
+            ctx.send_external_port(peer, wire::TAG_ACK, bytes)
         } else {
-            ctx.send(peer - 1, wire::TAG_ACK, bytes)
+            ctx.send(peer - clients, wire::TAG_ACK, bytes)
         };
     }
 }
 
-/// Transmit a reliable envelope from the driver to server rank `peer`
-/// (used by first sends and retransmissions alike — the one place the
-/// driver-side TAG_ROP framing lives).
+/// Transmit a reliable envelope from driver-side client `client` to server
+/// rank `peer` (used by first sends and retransmissions alike — the one
+/// place the driver-side TAG_ROP framing lives).
+#[allow(clippy::too_many_arguments)]
 fn driver_transmit(
     cluster: &ThreadCluster,
+    clients: usize,
+    client: usize,
     peer: usize,
     seq: u64,
     ack: u64,
@@ -229,14 +245,16 @@ fn driver_transmit(
     payload: Bytes,
 ) {
     let data = wire::encode_rel_head(seq, ack, head);
-    let _ = cluster.send_vectored(peer - 1, wire::TAG_ROP, data, payload);
+    let _ = cluster.send_vectored_from_port(client, peer - clients, wire::TAG_ROP, data, payload);
 }
 
-/// Driver-side chaos state: the shared fault session, the client's
-/// reliability links, and the shared counter table.
+/// Driver-side chaos state: the shared fault session, one reliability state
+/// machine per client (sequence spaces of different client ranks must never
+/// interfere — each client is its own source endpoint on every link), and
+/// the shared counter table.
 struct DriverChaos {
     session: ChaosSession,
-    rel: ReliableSet<StoredEnv>,
+    rels: Vec<ReliableSet<StoredEnv>>,
     table: Arc<RelTable>,
     epoch: Instant,
     last_tick: Instant,
@@ -247,10 +265,19 @@ struct DriverChaos {
     rto_max: u64,
 }
 
+impl DriverChaos {
+    fn publish(&self, client: usize) {
+        self.table.publish(client, &self.rels[client]);
+    }
+}
+
 /// A server node: owns a full Three-Chains runtime and speaks the transport's
 /// wire protocol.
 struct ServerNode {
     runtime: NodeRuntime,
+    /// Number of driver-side client ranks (this node's rank is
+    /// `clients + thread_id`).
+    clients: usize,
     am_registry: AmRegistry,
     am_applied: usize,
     /// Reliability state when a fault plan is installed; `None` keeps the
@@ -269,6 +296,7 @@ impl ServerNode {
     }
 
     fn route_outgoing(&mut self, ctx: &NodeCtx) {
+        let clients = self.clients;
         for msg in self.runtime.take_outgoing() {
             let dst = msg.dst.index();
             // Scatter-gather: the head is pooled, large payloads ship as a
@@ -281,23 +309,24 @@ impl ServerNode {
             // drop, exactly like the driver path) and self-sends (the
             // simulated backend excludes loopback from the fault model, so
             // the threaded backend must too or the chaos schedules
-            // diverge).  Valid remote ranks are 0 (driver) and
-            // 1..=node_count().
+            // diverge).  Valid remote ranks are `0..clients` (driver-side
+            // clients) and `clients..clients + node_count()` (servers).
             let own_rank = self.runtime.node_id().index();
-            let bypass_rel = dst != 0 && (dst > ctx.node_count() || dst == own_rank);
+            let bypass_rel =
+                dst >= clients && (dst >= clients + ctx.node_count() || dst == own_rank);
             match &mut self.rel {
                 Some(rel) if !bypass_rel => {
                     let now = rel.now();
                     let (seq, ack) = rel
                         .set
                         .send(dst as u32, (head.clone(), payload.clone()), now);
-                    NodeRel::transmit(ctx, dst, seq, ack, &head, payload);
+                    NodeRel::transmit(ctx, clients, dst, seq, ack, &head, payload);
                 }
                 _ => {
-                    let _ = if dst == 0 {
-                        ctx.send_external_vectored(wire::TAG_OP, head, payload)
+                    let _ = if dst < clients {
+                        ctx.send_external_port_vectored(dst, wire::TAG_OP, head, payload)
                     } else {
-                        ctx.send_vectored(dst - 1, wire::TAG_OP, head, payload)
+                        ctx.send_vectored(dst - clients, wire::TAG_OP, head, payload)
                     };
                 }
             }
@@ -335,9 +364,10 @@ impl ThreadedNode for ServerNode {
                 continue;
             }
             if msg.tag == wire::TAG_ACK {
+                let clients = self.clients;
                 if let (Some(rel), Ok(ack)) = (&mut self.rel, wire::decode_ack(&msg.data)) {
                     let now = rel.now();
-                    rel.set.on_ack(rank_of(msg.from) as u32, ack, now);
+                    rel.set.on_ack(rank_of(clients, msg.from) as u32, ack, now);
                     rel.table.publish(rel.rank, &rel.set);
                 }
                 continue;
@@ -358,12 +388,21 @@ impl ThreadedNode for ServerNode {
     }
 
     fn on_tick(&mut self, ctx: &NodeCtx) {
+        let clients = self.clients;
         let Some(rel) = &mut self.rel else {
             return;
         };
         let now = rel.now();
         for f in rel.set.tick(now) {
-            NodeRel::transmit(ctx, f.peer as usize, f.seq, f.ack, &f.m.0, f.m.1.clone());
+            NodeRel::transmit(
+                ctx,
+                clients,
+                f.peer as usize,
+                f.seq,
+                f.ack,
+                &f.m.0,
+                f.m.1.clone(),
+            );
         }
         rel.table.publish(rel.rank, &rel.set);
     }
@@ -374,6 +413,7 @@ impl ServerNode {
     /// reliability state, ack the sender, deliver whatever became in-order.
     /// Returns true when operations were delivered to the runtime.
     fn on_reliable_op(&mut self, msg: Envelope, ctx: &NodeCtx) -> bool {
+        let clients = self.clients;
         let Some(rel) = &mut self.rel else {
             let _ = ctx.send_external(
                 wire::TAG_ERROR,
@@ -381,7 +421,7 @@ impl ServerNode {
             );
             return false;
         };
-        let src = rank_of(msg.from);
+        let src = rank_of(clients, msg.from);
         let (seq, ack, head) = match wire::decode_rel_head(&msg.data) {
             Ok(parts) => parts,
             Err(e) => {
@@ -393,7 +433,7 @@ impl ServerNode {
         let out = rel
             .set
             .on_data(src as u32, seq, ack, (head, msg.payload), now);
-        NodeRel::send_ack(ctx, src, out.ack);
+        NodeRel::send_ack(ctx, clients, src, out.ack);
         rel.table.publish(rel.rank, &rel.set);
         let mut delivered = false;
         for (h, p) in out.deliver {
@@ -472,14 +512,19 @@ impl ServerNode {
 /// released behind the link's next traffic (wall-clock sleeping inside a
 /// sender is not an option).  A held envelope that is never overtaken is
 /// recovered by the retransmission timer, whose re-send also flushes it.
-fn chaos_filter(session: ChaosSession) -> EnvelopeFilter {
+///
+/// `clients` maps fabric ids to cluster ranks, so the per-link decision
+/// streams are drawn for the *true* (src rank, dst rank) pair — a send from
+/// client 1 and one from client 0 to the same server are different links,
+/// exactly as on the simulated backend.
+fn chaos_filter(session: ChaosSession, clients: usize) -> EnvelopeFilter {
     let held: Mutex<HashMap<(usize, usize), Envelope>> = Mutex::new(HashMap::new());
     Arc::new(move |env: Envelope| {
         if env.tag != wire::TAG_ROP && env.tag != wire::TAG_ACK {
             return vec![env];
         }
-        let src = rank_of(env.from);
-        let dst = rank_of(env.to);
+        let src = rank_of(clients, env.from);
+        let dst = rank_of(clients, env.to);
         let decision = session.decide(src, dst);
         if !decision.deliver {
             return Vec::new();
@@ -510,7 +555,11 @@ fn chaos_filter(session: ChaosSession) -> EnvelopeFilter {
 
 /// The real-concurrency cluster backend (threads + channels, wall-clock time).
 pub struct ThreadTransport {
-    client: NodeRuntime,
+    /// Driver-side client runtimes, one per client rank (`0..clients.len()`).
+    /// All live on the driving thread; each keeps its own staging queue
+    /// (worker outgoing), and `step` drains every client's traffic, so
+    /// injections from different clients genuinely overlap on the wire.
+    clients: Vec<NodeRuntime>,
     /// `None` once shut down (threads joined).
     cluster: Option<ThreadCluster>,
     /// Delivery counters captured at shutdown so `metrics` stays meaningful.
@@ -532,13 +581,15 @@ pub struct ThreadTransport {
     /// can never be acked (e.g. a dead node thread) must eventually let
     /// waits time out instead of spinning forever.
     stalled_since: Option<Instant>,
+    /// Reusable per-client staging flags for `step`'s batch fast path.
+    staged_scratch: Vec<bool>,
 }
 
 impl std::fmt::Debug for ThreadTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadTransport")
+            .field("clients", &self.clients.len())
             .field("servers", &self.servers)
-            .field("client", &self.client.node_id())
             .field("errors", &self.errors.len())
             .finish()
     }
@@ -551,7 +602,7 @@ impl ThreadTransport {
         Self::with_opt(servers, client_triple, server_triple, OptLevel::O2)
     }
 
-    /// Constructor with default tuning and no fault plan.
+    /// Constructor with default tuning, one client and no fault plan.
     pub fn with_opt(
         servers: usize,
         client_triple: TargetTriple,
@@ -559,6 +610,7 @@ impl ThreadTransport {
         opt_level: OptLevel,
     ) -> Self {
         Self::with_config(
+            1,
             servers,
             client_triple,
             server_triple,
@@ -568,12 +620,16 @@ impl ThreadTransport {
         )
     }
 
-    /// Full-control constructor used by the cluster builder: scheduling
-    /// tunables plus an optional fault plan.  With a plan installed, every
-    /// data-plane envelope passes the chaos engine's envelope filter and
-    /// travels over the reliable-delivery layer (sequence numbers,
-    /// cumulative acks, retransmission, dedup).
+    /// Full-control constructor used by the cluster builder: `clients`
+    /// driver-side runtimes (ranks `0..clients`), `servers` threaded server
+    /// nodes (ranks `clients..clients+servers`), scheduling tunables plus an
+    /// optional fault plan.  With a plan installed, every data-plane
+    /// envelope passes the chaos engine's envelope filter and travels over
+    /// the reliable-delivery layer (sequence numbers, cumulative acks,
+    /// retransmission, dedup) — with one independent sequence space per
+    /// (client, server) link.
     pub fn with_config(
+        clients: usize,
         servers: usize,
         client_triple: TargetTriple,
         server_triple: TargetTriple,
@@ -581,7 +637,8 @@ impl ThreadTransport {
         tuning: ThreadTuning,
         fault_plan: Option<FaultPlan>,
     ) -> Self {
-        let total = (servers + 1) as u32;
+        let clients = clients.max(1);
+        let total = (servers + clients) as u32;
         let am_registry: AmRegistry = Arc::new(Mutex::new(Vec::new()));
         let registry_for_nodes = Arc::clone(&am_registry);
 
@@ -590,8 +647,8 @@ impl ThreadTransport {
             let rel_cfg = RelConfig::threads_default();
             DriverChaos {
                 session: ChaosSession::new(plan),
-                rel: ReliableSet::new(rel_cfg),
-                table: Arc::new(RelTable::new(servers + 1)),
+                rels: (0..clients).map(|_| ReliableSet::new(rel_cfg)).collect(),
+                table: Arc::new(RelTable::new(servers + clients)),
                 epoch,
                 last_tick: Instant::now(),
                 tick: Duration::from_nanos(rel_cfg.rto / 2),
@@ -605,12 +662,12 @@ impl ThreadTransport {
         };
         let node_chaos = chaos.as_ref().map(|c| {
             config.tick = Some(c.tick);
-            config.filter = Some(chaos_filter(c.session.clone()));
+            config.filter = Some(chaos_filter(c.session.clone(), clients));
             (Arc::clone(&c.table), c.epoch)
         });
 
         let cluster = ThreadCluster::start_with_config(servers, config, move |thread_id| {
-            let rank = thread_id as u32 + 1;
+            let rank = (thread_id + clients) as u32;
             ServerNode {
                 runtime: NodeRuntime::with_opt_level(
                     WorkerAddr(rank),
@@ -618,6 +675,7 @@ impl ThreadTransport {
                     server_triple,
                     opt_level,
                 ),
+                clients,
                 am_registry: Arc::clone(&registry_for_nodes),
                 am_applied: 0,
                 rel: node_chaos.as_ref().map(|(table, epoch)| NodeRel {
@@ -629,7 +687,16 @@ impl ThreadTransport {
             }
         });
         ThreadTransport {
-            client: NodeRuntime::with_opt_level(WorkerAddr(0), total, client_triple, opt_level),
+            clients: (0..clients)
+                .map(|c| {
+                    NodeRuntime::with_opt_level(
+                        WorkerAddr(c as u32),
+                        total,
+                        client_triple,
+                        opt_level,
+                    )
+                })
+                .collect(),
             cluster: Some(cluster),
             final_metrics: tc_simnet::ThreadMetrics::default(),
             servers,
@@ -640,6 +707,7 @@ impl ThreadTransport {
             chaos,
             epoch,
             stalled_since: None,
+            staged_scratch: Vec::new(),
         }
     }
 
@@ -658,15 +726,19 @@ impl ThreadTransport {
         &self.errors
     }
 
-    /// Handle one external envelope on the driver side.
+    /// Handle one external envelope on the driver side.  The envelope's
+    /// `to` field names the external port, i.e. the client rank it was
+    /// addressed to.
     fn handle_external(&mut self, env: Envelope) {
+        let clients = self.clients.len();
         match env.tag {
             wire::TAG_OP => match wire::decode_op_vectored(&env.data, &env.payload) {
                 Ok(msg) => self.deliver_to_client(msg),
                 Err(e) => self.errors.push(e),
             },
             wire::TAG_ROP => {
-                let src = rank_of(env.from);
+                let src = rank_of(clients, env.from);
+                let port = rank_of(clients, env.to);
                 let (seq, ack, head) = match wire::decode_rel_head(&env.data) {
                     Ok(parts) => parts,
                     Err(e) => {
@@ -680,13 +752,22 @@ impl ThreadTransport {
                     ));
                     return;
                 };
+                if port >= chaos.rels.len() {
+                    self.errors.push(CoreError::Transport(format!(
+                        "reliable envelope addressed to unknown client port {port}"
+                    )));
+                    return;
+                }
                 let now = chaos.epoch.elapsed().as_nanos() as u64;
-                let out = chaos
-                    .rel
-                    .on_data(src as u32, seq, ack, (head, env.payload), now);
-                chaos.table.publish(0, &chaos.rel);
+                let out = chaos.rels[port].on_data(src as u32, seq, ack, (head, env.payload), now);
+                chaos.publish(port);
                 if let Some(cluster) = &self.cluster {
-                    let _ = cluster.send(env.from, wire::TAG_ACK, wire::encode_ack(out.ack));
+                    let _ = cluster.send_from_port(
+                        port,
+                        env.from,
+                        wire::TAG_ACK,
+                        wire::encode_ack(out.ack),
+                    );
                 }
                 let mut ops = Vec::new();
                 for (h, p) in out.deliver {
@@ -700,11 +781,14 @@ impl ThreadTransport {
                 }
             }
             wire::TAG_ACK => {
+                let port = rank_of(clients, env.to);
                 if let Ok(ack) = wire::decode_ack(&env.data) {
                     if let Some(chaos) = &mut self.chaos {
-                        let now = chaos.epoch.elapsed().as_nanos() as u64;
-                        chaos.rel.on_ack(rank_of(env.from) as u32, ack, now);
-                        chaos.table.publish(0, &chaos.rel);
+                        if port < chaos.rels.len() {
+                            let now = chaos.epoch.elapsed().as_nanos() as u64;
+                            chaos.rels[port].on_ack(rank_of(clients, env.from) as u32, ack, now);
+                            chaos.publish(port);
+                        }
                     }
                 }
             }
@@ -719,26 +803,35 @@ impl ThreadTransport {
         }
     }
 
-    /// Deliver one in-order fabric operation to the client runtime and
-    /// flush anything it posted in response.
+    /// Deliver one in-order fabric operation to its destination client
+    /// runtime (the op head carries the true destination rank) and flush
+    /// anything it posted in response.
     fn deliver_to_client(&mut self, msg: tc_ucx::OutgoingMessage) {
-        self.client.deliver(msg);
-        self.drain_client();
+        let dst = msg.dst.index();
+        if dst >= self.clients.len() {
+            self.errors.push(CoreError::Transport(format!(
+                "driver received an operation for non-client rank {dst}"
+            )));
+            return;
+        }
+        self.clients[dst].deliver(msg);
+        self.drain_client(dst);
     }
 
-    /// Poll everything delivered to the client runtime and flush whatever it
-    /// posted in response (e.g. GET replies served from client memory).
-    fn drain_client(&mut self) {
-        for outcome in self.client.poll(usize::MAX) {
+    /// Poll everything delivered to client `c`'s runtime and flush whatever
+    /// it posted in response (e.g. GET replies served from client memory).
+    fn drain_client(&mut self, c: usize) {
+        for outcome in self.clients[c].poll(usize::MAX) {
             if let Err(e) = outcome {
                 self.errors.push(e);
             }
         }
-        let _ = self.dispatch_client_outgoing();
+        let _ = self.dispatch_client_outgoing(c);
     }
 
-    /// Run the client's retransmission timer if its tick cadence elapsed.
+    /// Run every client's retransmission timer if the tick cadence elapsed.
     fn client_tick(&mut self) {
+        let clients = self.clients.len();
         let Some(cluster) = &self.cluster else {
             return;
         };
@@ -750,66 +843,103 @@ impl ThreadTransport {
         }
         chaos.last_tick = Instant::now();
         let now = chaos.epoch.elapsed().as_nanos() as u64;
-        for f in chaos.rel.tick(now) {
-            driver_transmit(cluster, f.peer as usize, f.seq, f.ack, &f.m.0, f.m.1);
+        for c in 0..chaos.rels.len() {
+            for f in chaos.rels[c].tick(now) {
+                driver_transmit(
+                    cluster,
+                    clients,
+                    c,
+                    f.peer as usize,
+                    f.seq,
+                    f.ack,
+                    &f.m.0,
+                    f.m.1,
+                );
+            }
+            chaos.publish(c);
         }
-        chaos.table.publish(0, &chaos.rel);
     }
 
-    /// Move everything the client posted into the threaded fabric, looping
-    /// until the outgoing queue is quiescent (client-to-self deliveries can
-    /// post follow-on operations — GET replies, result writes — that must go
-    /// out in the same flush).
-    fn dispatch_client_outgoing(&mut self) -> Result<()> {
-        let Some(cluster) = &self.cluster else {
+    /// Move everything client `origin` posted into the threaded fabric,
+    /// looping until the outgoing queues are quiescent.  Client-to-client
+    /// traffic (including client-to-self) is delivered directly on the
+    /// driver thread — all client runtimes live here — and may post
+    /// follow-on operations (GET replies, result writes) that go out in the
+    /// same flush, possibly from a *different* client than the origin.
+    fn dispatch_client_outgoing(&mut self, origin: usize) -> Result<()> {
+        if self.cluster.is_none() {
             return Err(CoreError::Transport("thread transport is shut down".into()));
         };
-        loop {
-            let outgoing = self.client.take_outgoing();
-            if outgoing.is_empty() {
-                return Ok(());
-            }
-            for msg in outgoing {
-                let dst = msg.dst.index();
-                if dst == 0 {
-                    // Client-to-self delivery: execute locally.
-                    self.client.deliver(msg);
-                    for outcome in self.client.poll(usize::MAX) {
-                        if let Err(e) = outcome {
-                            self.errors.push(e);
-                        }
-                    }
-                    continue;
+        let clients = self.clients.len();
+        let mut dirty = vec![origin];
+        while let Some(c) = dirty.pop() {
+            loop {
+                let outgoing = self.clients[c].take_outgoing();
+                if outgoing.is_empty() {
+                    break;
                 }
-                // Thread node ids are rank - 1.  Drops (unknown rank, stopped
-                // node) are recorded in the cluster's counters and show up in
-                // the transport metrics, mirroring the fabric's
-                // lossy-but-accounted model.
-                let (head, payload) = wire::encode_op_vectored(&msg);
-                match &mut self.chaos {
-                    None => {
-                        let _ = cluster.send_vectored(dst - 1, wire::TAG_OP, head, payload);
+                for msg in outgoing {
+                    let dst = msg.dst.index();
+                    if dst < clients {
+                        // Client-to-client delivery: execute locally on the
+                        // driver thread (loopback-class, like the simulated
+                        // backend's self-delivery — never faulted).
+                        self.clients[dst].deliver(msg);
+                        for outcome in self.clients[dst].poll(usize::MAX) {
+                            if let Err(e) = outcome {
+                                self.errors.push(e);
+                            }
+                        }
+                        if dst != c && !dirty.contains(&dst) {
+                            dirty.push(dst);
+                        }
+                        continue;
                     }
-                    Some(chaos) if dst <= self.servers => {
-                        let now = chaos.epoch.elapsed().as_nanos() as u64;
-                        let (seq, ack) =
-                            chaos
-                                .rel
-                                .send(dst as u32, (head.clone(), payload.clone()), now);
-                        driver_transmit(cluster, dst, seq, ack, &head, payload);
-                    }
-                    Some(_) => {
-                        // Misaddressed in chaos mode: skip reliability (it
-                        // would retransmit forever) and let the fabric count
-                        // the drop, as in the lossless path.
-                        let _ = cluster.send_vectored(dst - 1, wire::TAG_OP, head, payload);
+                    // Thread node ids are rank - clients.  Drops (unknown
+                    // rank, stopped node) are recorded in the cluster's
+                    // counters and show up in the transport metrics,
+                    // mirroring the fabric's lossy-but-accounted model.
+                    let cluster = self.cluster.as_ref().expect("checked above");
+                    let (head, payload) = wire::encode_op_vectored(&msg);
+                    match &mut self.chaos {
+                        None => {
+                            let _ = cluster.send_vectored_from_port(
+                                c,
+                                dst - clients,
+                                wire::TAG_OP,
+                                head,
+                                payload,
+                            );
+                        }
+                        Some(chaos) if dst < clients + self.servers => {
+                            let now = chaos.epoch.elapsed().as_nanos() as u64;
+                            let (seq, ack) = chaos.rels[c].send(
+                                dst as u32,
+                                (head.clone(), payload.clone()),
+                                now,
+                            );
+                            driver_transmit(cluster, clients, c, dst, seq, ack, &head, payload);
+                        }
+                        Some(_) => {
+                            // Misaddressed in chaos mode: skip reliability (it
+                            // would retransmit forever) and let the fabric
+                            // count the drop, as in the lossless path.
+                            let _ = cluster.send_vectored_from_port(
+                                c,
+                                dst - clients,
+                                wire::TAG_OP,
+                                head,
+                                payload,
+                            );
+                        }
                     }
                 }
             }
             if let Some(chaos) = &self.chaos {
-                chaos.table.publish(0, &chaos.rel);
+                chaos.publish(c);
             }
         }
+        Ok(())
     }
 
     /// Issue a control request to server `rank` and wait for its tokened
@@ -821,16 +951,22 @@ impl ThreadTransport {
         reply_tag: u64,
         body: &[u8],
     ) -> Result<Vec<u8>> {
-        if rank == 0 || rank > self.servers {
+        let clients = self.clients.len();
+        if rank < clients || rank >= clients + self.servers {
             return Err(CoreError::Transport(format!(
-                "control request addressed to invalid rank {rank} (1..={} expected)",
-                self.servers
+                "control request addressed to invalid rank {rank} ({}..={} expected)",
+                clients,
+                clients + self.servers - 1
             )));
         }
         let token = self.next_token;
         self.next_token += 1;
         let status = match &self.cluster {
-            Some(cluster) => cluster.send(rank - 1, request_tag, wire::encode_control(token, body)),
+            Some(cluster) => cluster.send(
+                rank - clients,
+                request_tag,
+                wire::encode_control(token, body),
+            ),
             None => return Err(CoreError::Transport("thread transport is shut down".into())),
         };
         if !status.is_delivered() {
@@ -853,7 +989,7 @@ impl ThreadTransport {
             let Some(env) = env else {
                 continue;
             };
-            if env.tag == reply_tag && env.from == rank - 1 {
+            if env.tag == reply_tag && env.from == rank - clients {
                 if let Ok((reply_token, reply_body)) = wire::decode_control(&env.data) {
                     if reply_token == token {
                         return Ok(reply_body.to_vec());
@@ -872,22 +1008,29 @@ impl Transport for ThreadTransport {
     }
 
     fn node_count(&self) -> usize {
-        self.servers + 1
+        self.servers + self.clients.len()
     }
 
-    fn client(&self) -> &NodeRuntime {
-        &self.client
+    fn client_count(&self) -> usize {
+        self.clients.len()
     }
 
-    fn client_mut(&mut self) -> &mut NodeRuntime {
-        &mut self.client
+    fn client(&self, id: ClientId) -> &NodeRuntime {
+        assert!(id.0 < self.clients.len(), "no client with id {id}");
+        &self.clients[id.0]
+    }
+
+    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+        assert!(id.0 < self.clients.len(), "no client with id {id}");
+        &mut self.clients[id.0]
     }
 
     fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
-        // Client applies immediately; servers catch up (in registry order,
+        // Clients apply immediately; servers catch up (in registry order,
         // hence with identical handler ids) before their next message.
-        self.client
-            .deploy_am_handler(name.to_string(), handler.clone());
+        for client in &mut self.clients {
+            client.deploy_am_handler(name.to_string(), handler.clone());
+        }
         self.am_registry
             .lock()
             .map_err(|_| CoreError::Transport("AM registry poisoned".into()))?
@@ -895,8 +1038,11 @@ impl Transport for ThreadTransport {
         Ok(())
     }
 
-    fn flush_client(&mut self) -> Result<()> {
-        self.dispatch_client_outgoing()
+    fn flush_client(&mut self, id: ClientId) -> Result<()> {
+        if id.0 >= self.clients.len() {
+            return Err(CoreError::Transport(format!("no client with id {id}")));
+        }
+        self.dispatch_client_outgoing(id.0)
     }
 
     fn step(&mut self) -> Result<bool> {
@@ -922,17 +1068,32 @@ impl Transport for ThreadTransport {
                     }
                     self.stalled_since = None;
                     // Fast path for the lossless data plane: decode and
-                    // deliver the whole burst into the client runtime, then
-                    // poll/flush once — a deep pipeline pays the poll and
-                    // outgoing-dispatch overhead per batch, not per reply.
-                    let mut staged = false;
+                    // deliver the whole burst into the destination client
+                    // runtimes, then poll/flush each staged client once — a
+                    // deep pipeline pays the poll and outgoing-dispatch
+                    // overhead per batch, not per reply.  All clients'
+                    // replies ride the same burst, so injection streams from
+                    // several clients genuinely overlap on the wire.
+                    let nclients = self.clients.len();
+                    // Reusable per-client staging flags (the scratch lives on
+                    // the transport so the hot loop never allocates).
+                    let mut staged = std::mem::take(&mut self.staged_scratch);
+                    staged.clear();
+                    staged.resize(nclients, false);
+                    let mut any_staged = false;
                     for env in batch {
                         if env.tag == wire::TAG_OP {
                             match wire::decode_op_vectored(&env.data, &env.payload) {
-                                Ok(msg) => {
-                                    self.client.deliver(msg);
-                                    staged = true;
+                                Ok(msg) if msg.dst.index() < nclients => {
+                                    let dst = msg.dst.index();
+                                    self.clients[dst].deliver(msg);
+                                    staged[dst] = true;
+                                    any_staged = true;
                                 }
+                                Ok(msg) => self.errors.push(CoreError::Transport(format!(
+                                    "driver received an operation for non-client rank {}",
+                                    msg.dst.index()
+                                ))),
                                 Err(e) => self.errors.push(e),
                             }
                             continue;
@@ -940,15 +1101,24 @@ impl Transport for ThreadTransport {
                         // Rare tags (reliable frames, acks, errors) keep the
                         // one-at-a-time path; flush staged data-plane ops
                         // first so arrival order is preserved.
-                        if staged {
-                            self.drain_client();
-                            staged = false;
+                        if any_staged {
+                            for (c, s) in staged.iter_mut().enumerate() {
+                                if std::mem::take(s) {
+                                    self.drain_client(c);
+                                }
+                            }
+                            any_staged = false;
                         }
                         self.handle_external(env);
                     }
-                    if staged {
-                        self.drain_client();
+                    if any_staged {
+                        for (c, s) in staged.iter_mut().enumerate() {
+                            if std::mem::take(s) {
+                                self.drain_client(c);
+                            }
+                        }
                     }
+                    self.staged_scratch = staged;
                     return Ok(true);
                 }
                 None => {
@@ -1007,8 +1177,9 @@ impl Transport for ThreadTransport {
         self.tuning.idle_grace
     }
 
-    fn take_completions(&mut self) -> Vec<Completion> {
-        self.client.take_completions()
+    fn take_completions(&mut self, id: ClientId) -> Vec<Completion> {
+        assert!(id.0 < self.clients.len(), "no client with id {id}");
+        self.clients[id.0].take_completions()
     }
 
     fn now_nanos(&self) -> u64 {
@@ -1029,9 +1200,9 @@ impl Transport for ThreadTransport {
     }
 
     fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
-        if rank == 0 {
+        if rank < self.clients.len() {
             let mut buf = vec![0u8; len];
-            self.client
+            self.clients[rank]
                 .memory
                 .read(addr, &mut buf)
                 .map_err(|e| CoreError::Transport(e.to_string()))?;
@@ -1050,9 +1221,8 @@ impl Transport for ThreadTransport {
     }
 
     fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
-        if rank == 0 {
-            return self
-                .client
+        if rank < self.clients.len() {
+            return self.clients[rank]
                 .memory
                 .write(addr, data)
                 .map_err(|e| CoreError::Transport(e.to_string()));
@@ -1071,8 +1241,8 @@ impl Transport for ThreadTransport {
     }
 
     fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats> {
-        if rank == 0 {
-            return Ok(self.client.stats);
+        if rank < self.clients.len() {
+            return Ok(self.clients[rank].stats);
         }
         let reply = self.control_roundtrip(rank, wire::TAG_STATS, wire::TAG_STATS_REPLY, &[])?;
         wire::decode_stats(&reply)
@@ -1092,7 +1262,7 @@ impl Transport for ThreadTransport {
         TransportMetrics {
             messages_delivered: m.delivered,
             messages_dropped: m.dropped(),
-            bytes_sent: self.client.stats.bytes_sent,
+            bytes_sent: self.clients.iter().map(|c| c.stats.bytes_sent).sum(),
             retransmits,
             dup_drops,
             faults_injected: self

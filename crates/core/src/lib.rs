@@ -75,9 +75,10 @@ pub mod sim;
 
 pub use cache::{SendDecision, SenderCache};
 pub use cluster::{
-    Backend, ChaosStats, ClaimTable, Cluster, ClusterBuilder, CompletionHandle, CompletionSet,
-    CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready, RelConfig, RelMetrics,
-    ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport, TransportMetrics,
+    Backend, ChaosStats, ClaimTable, ClientId, Cluster, ClusterBuilder, CompletionHandle,
+    CompletionSet, CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready, RelConfig,
+    RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport,
+    TransportMetrics,
 };
 pub use error::{CoreError, Result};
 pub use frame::{CodeRepr, DecodedFrame, MessageFrame, FRAME_MAGIC};
@@ -92,9 +93,10 @@ pub use sim::{ClusterSim, DeliveryRecord, TimingLog};
 pub mod prelude {
     pub use crate::cache::{SendDecision, SenderCache};
     pub use crate::cluster::{
-        Backend, ChaosStats, ClaimTable, Cluster, ClusterBuilder, CompletionHandle, CompletionSet,
-        CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready, RelConfig, RelMetrics,
-        ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport, TransportMetrics,
+        Backend, ChaosStats, ClaimTable, ClientId, Cluster, ClusterBuilder, CompletionHandle,
+        CompletionSet, CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready,
+        RelConfig, RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning,
+        Transport, TransportMetrics,
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::frame::{CodeRepr, MessageFrame};

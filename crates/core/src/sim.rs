@@ -13,7 +13,7 @@
 //!   direct node access) used throughout the workloads and the benchmark
 //!   harness.
 
-use crate::cluster::{Cluster, ClusterBuilder, SimTransport, Transport};
+use crate::cluster::{Cluster, ClusterBuilder, SimTransport};
 use crate::error::Result;
 use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage};
 use crate::metrics::OutcomeKind;
@@ -217,16 +217,9 @@ impl ClusterSim {
         addr: u64,
         data: impl Into<tc_ucx::Bytes>,
     ) -> RequestId {
-        let req = self.inner.transport_mut().client_mut().post_put(
-            tc_ucx::WorkerAddr(dst as u32),
-            addr,
-            data,
-        );
         self.inner
-            .transport_mut()
-            .flush_client()
-            .expect("simulated flush cannot fail");
-        req
+            .put(dst, addr, data)
+            .expect("simulated puts cannot fail")
     }
 
     /// Run until the event queue drains or `max_events` have been processed.

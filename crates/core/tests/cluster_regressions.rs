@@ -4,7 +4,7 @@
 
 use tc_bitir::TargetTriple;
 use tc_core::cluster::{Cluster, Transport, TransportMetrics};
-use tc_core::{Completion, CoreError, NativeAmHandler, NodeRuntime, RuntimeStats};
+use tc_core::{ClientId, Completion, CoreError, NativeAmHandler, NodeRuntime, RuntimeStats};
 use tc_ucx::{RequestId, WorkerAddr};
 
 /// A transport that serves short memory reads and hand-fed completions.
@@ -33,22 +33,22 @@ impl Transport for MockTransport {
     fn node_count(&self) -> usize {
         2
     }
-    fn client(&self) -> &NodeRuntime {
+    fn client(&self, _id: ClientId) -> &NodeRuntime {
         &self.client
     }
-    fn client_mut(&mut self) -> &mut NodeRuntime {
+    fn client_mut(&mut self, _id: ClientId) -> &mut NodeRuntime {
         &mut self.client
     }
     fn deploy_am(&mut self, _name: &str, _handler: NativeAmHandler) -> tc_core::Result<()> {
         Ok(())
     }
-    fn flush_client(&mut self) -> tc_core::Result<()> {
+    fn flush_client(&mut self, _id: ClientId) -> tc_core::Result<()> {
         Ok(())
     }
     fn step(&mut self) -> tc_core::Result<bool> {
         Ok(false)
     }
-    fn take_completions(&mut self) -> Vec<Completion> {
+    fn take_completions(&mut self, _id: ClientId) -> Vec<Completion> {
         std::mem::take(&mut self.queued)
     }
     fn read_memory(&mut self, _rank: usize, _addr: u64, len: usize) -> tc_core::Result<Vec<u8>> {

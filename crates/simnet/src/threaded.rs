@@ -34,7 +34,31 @@ use std::time::{Duration, Instant};
 use tc_ucx::Bytes;
 
 /// Sender id used for messages injected from outside the cluster.
+///
+/// Equal to [`external_id`]`(0)`: the driver's default identity is external
+/// port 0, so single-client code keeps working unchanged.
 pub const EXTERNAL_SENDER: usize = usize::MAX;
+
+/// Most external ports a cluster can address.  Ids in
+/// `(usize::MAX - MAX_EXTERNAL_PORTS, usize::MAX]` are external; everything
+/// below is a node id — far outside any realistic node count.
+pub const MAX_EXTERNAL_PORTS: usize = 1024;
+
+/// The envelope id of external port `port` (driver-side endpoint `port`).
+/// Port 0 is [`EXTERNAL_SENDER`].
+pub const fn external_id(port: usize) -> usize {
+    usize::MAX - port
+}
+
+/// Inverse of [`external_id`]: `Some(port)` when `id` addresses an external
+/// port, `None` for node ids.
+pub const fn external_port(id: usize) -> Option<usize> {
+    if id > usize::MAX - MAX_EXTERNAL_PORTS {
+        Some(usize::MAX - id)
+    } else {
+        None
+    }
+}
 
 /// Default for [`ThreadConfig::max_batch`]: most messages a node thread
 /// drains per wakeup before handing the batch to the node (bounds per-batch
@@ -212,14 +236,16 @@ fn send_control(peers: &[Sender<Control>], counters: &Counters, env: Envelope) -
 }
 
 /// Route one envelope to its destination queue: a node channel, or the
-/// external observer when `env.to` is [`EXTERNAL_SENDER`].
+/// external observer when `env.to` addresses an external port (see
+/// [`external_id`]; every port shares the driver's one receive queue, and
+/// the envelope's `to` field tells the driver which port it was for).
 fn route_env(
     peers: &[Sender<Control>],
     external: &Sender<Envelope>,
     counters: &Counters,
     env: Envelope,
 ) -> SendStatus {
-    if env.to == EXTERNAL_SENDER {
+    if external_port(env.to).is_some() {
         match external.send(env) {
             Ok(()) => counters.record(SendStatus::Delivered),
             Err(_) => counters.record(SendStatus::Disconnected),
@@ -300,13 +326,30 @@ impl NodeCtx {
         )
     }
 
-    /// Send bytes to the external observer (the driving thread).
+    /// Send bytes to the external observer (the driving thread), port 0.
     pub fn send_external(&self, tag: u64, data: impl Into<Bytes>) -> SendStatus {
         self.send_external_vectored(tag, data.into(), Bytes::new())
     }
 
-    /// Two-segment send to the external observer (zero-copy payload).
+    /// Two-segment send to the external observer (zero-copy payload), port 0.
     pub fn send_external_vectored(&self, tag: u64, data: Bytes, payload: Bytes) -> SendStatus {
+        self.send_external_port_vectored(0, tag, data, payload)
+    }
+
+    /// Send bytes to external port `port` (a specific driver-side endpoint —
+    /// e.g. one of several client runtimes living on the driving thread).
+    pub fn send_external_port(&self, port: usize, tag: u64, data: impl Into<Bytes>) -> SendStatus {
+        self.send_external_port_vectored(port, tag, data.into(), Bytes::new())
+    }
+
+    /// Two-segment send to external port `port` (zero-copy payload).
+    pub fn send_external_port_vectored(
+        &self,
+        port: usize,
+        tag: u64,
+        data: Bytes,
+        payload: Bytes,
+    ) -> SendStatus {
         dispatch_env(
             &self.peers,
             &self.external,
@@ -314,7 +357,7 @@ impl NodeCtx {
             self.filter.as_ref(),
             Envelope {
                 from: self.node_id,
-                to: EXTERNAL_SENDER,
+                to: external_id(port),
                 tag,
                 data,
                 payload,
@@ -502,21 +545,47 @@ impl ThreadCluster {
         self.counters.in_flight.load(Ordering::SeqCst)
     }
 
-    /// Inject a message into the cluster from the driver thread.
+    /// Inject a message into the cluster from the driver thread (external
+    /// port 0).
     pub fn send(&self, to: usize, tag: u64, data: impl Into<Bytes>) -> SendStatus {
         self.send_vectored(to, tag, data.into(), Bytes::new())
     }
 
     /// Inject a two-segment message (`data ‖ payload`) without copying the
-    /// payload segment.
+    /// payload segment (external port 0).
     pub fn send_vectored(&self, to: usize, tag: u64, data: Bytes, payload: Bytes) -> SendStatus {
+        self.send_vectored_from_port(0, to, tag, data, payload)
+    }
+
+    /// Inject a message carrying the identity of external port `port` —
+    /// nodes see `from ==`[`external_id`]`(port)` and can answer the exact
+    /// driver-side endpoint that sent it.
+    pub fn send_from_port(
+        &self,
+        port: usize,
+        to: usize,
+        tag: u64,
+        data: impl Into<Bytes>,
+    ) -> SendStatus {
+        self.send_vectored_from_port(port, to, tag, data.into(), Bytes::new())
+    }
+
+    /// Two-segment injection from external port `port`.
+    pub fn send_vectored_from_port(
+        &self,
+        port: usize,
+        to: usize,
+        tag: u64,
+        data: Bytes,
+        payload: Bytes,
+    ) -> SendStatus {
         dispatch_env(
             &self.senders,
             &self.external_tx,
             &self.counters,
             self.filter.as_ref(),
             Envelope {
-                from: EXTERNAL_SENDER,
+                from: external_id(port),
                 to,
                 tag,
                 data,
@@ -884,6 +953,44 @@ mod tests {
             .expect("echo reply");
         assert!(env.data.shares_storage(&payload));
         assert_eq!(env.data, payload);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn external_ids_roundtrip_and_never_collide_with_nodes() {
+        assert_eq!(external_id(0), EXTERNAL_SENDER);
+        assert_eq!(external_port(EXTERNAL_SENDER), Some(0));
+        for port in [0usize, 1, 7, MAX_EXTERNAL_PORTS - 1] {
+            assert_eq!(external_port(external_id(port)), Some(port));
+        }
+        assert_eq!(external_port(0), None);
+        assert_eq!(external_port(1_000_000), None);
+        assert_eq!(external_port(usize::MAX - MAX_EXTERNAL_PORTS), None);
+    }
+
+    #[test]
+    fn ports_carry_sender_identity_both_ways() {
+        // A node that answers every message back to the external port it
+        // came from, tagged with what it saw as the sender id.
+        struct PortEcho;
+        impl ThreadedNode for PortEcho {
+            fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
+                let port = external_port(msg.from).expect("driver send carries a port");
+                let _ = ctx.send_external_port(port, msg.tag, msg.data);
+            }
+        }
+        let cluster = ThreadCluster::start(1, |_| PortEcho);
+        for port in [0usize, 1, 5] {
+            let _ = cluster.send_from_port(port, 0, 40 + port as u64, vec![port as u8]);
+        }
+        for _ in 0..3 {
+            let env = cluster
+                .recv_external(Duration::from_secs(5))
+                .expect("port echo");
+            let port = external_port(env.to).expect("reply addressed to a port");
+            assert_eq!(env.tag, 40 + port as u64, "reply came back to its port");
+            assert_eq!(env.data[0], port as u8);
+        }
         cluster.shutdown();
     }
 }

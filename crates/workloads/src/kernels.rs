@@ -14,24 +14,29 @@ pub mod chaser_payload {
     pub const INDEX: i64 = 16;
     /// Offset of the remaining chase depth.
     pub const DEPTH: i64 = 24;
-    /// Offset of the number of servers.
-    pub const NUM_SERVERS: i64 = 32;
+    /// Offset of the first server's fabric rank (shard `s` lives on rank
+    /// `base + s`).  On a single-client cluster this is 1; on a cluster with
+    /// `C` clients it is `C`.  The chaser computes hop owners from it, so a
+    /// hardcoded `+ 1` single-client assumption cannot creep back in.
+    pub const BASE: i64 = 32;
     /// Offset of the per-server shard size (entries).
     pub const SHARD: i64 = 40;
     /// Total payload size in bytes.
     pub const SIZE: usize = 48;
 
-    /// Encode a chaser payload.
+    /// Encode a chaser payload.  `base` is the fabric rank of the first
+    /// server (see [`BASE`]); drivers should pass
+    /// `Cluster::first_server_rank()` rather than a literal.
     pub fn encode(
         client: u64,
         slot: u64,
         index: u64,
         depth: u64,
-        num_servers: u64,
+        base: u64,
         shard: u64,
     ) -> Vec<u8> {
         let mut out = Vec::with_capacity(SIZE);
-        for v in [client, slot, index, depth, num_servers, shard] {
+        for v in [client, slot, index, depth, base, shard] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out
@@ -181,6 +186,7 @@ pub fn chaser_module(module_name: &str) -> Module {
         let slot = f.load(ScalarType::U64, payload, P::SLOT);
         let idx0 = f.load(ScalarType::U64, payload, P::INDEX);
         let depth0 = f.load(ScalarType::U64, payload, P::DEPTH);
+        let base = f.load(ScalarType::U64, payload, P::BASE);
         let shard = f.load(ScalarType::U64, payload, P::SHARD);
         let me = f.call_ext("tc_node_id", vec![], true).unwrap();
         let one = f.const_u64(1);
@@ -199,10 +205,12 @@ pub fn chaser_module(module_name: &str) -> Module {
 
         f.br(check_owner);
 
-        // check_owner: does this node own `idx`?
+        // check_owner: does this node own `idx`?  Shard s lives on rank
+        // `base + s` — the first-server rank travels in the payload, so the
+        // same kernel works whatever the client-rank layout is.
         f.switch_to(check_owner);
         let owner_div = f.div_u64(idx, shard);
-        let owner = f.bin(BinOp::Add, ScalarType::U64, owner_div, one);
+        let owner = f.bin(BinOp::Add, ScalarType::U64, owner_div, base);
         let is_mine = f.cmp(BinOp::CmpEq, ScalarType::U64, owner, me);
         f.br_if(is_mine, chase_blk, forward_blk);
 
@@ -249,12 +257,13 @@ pub const CHASER_CHAINLANG_SRC: &str = r#"
         let slot: u64 = load_u64(payload, 8);
         let idx: u64 = load_u64(payload, 16);
         let depth: u64 = load_u64(payload, 24);
+        let base: u64 = load_u64(payload, 32);
         let shard: u64 = load_u64(payload, 40);
         let me: u64 = tc_node_id();
         let table: u64 = 1073741824;
         let running: u64 = 1;
         while running == 1 {
-            let owner: u64 = idx / shard + 1;
+            let owner: u64 = idx / shard + base;
             if owner != me {
                 store_u64(payload, 16, idx);
                 store_u64(payload, 24, depth);

@@ -13,6 +13,9 @@
 //! * [`pipeline`] — the same workloads as pipelined drivers over the async
 //!   completion plane (`CompletionSet` / `wait_any`, hundreds of operations
 //!   in flight), generic over both backends;
+//! * [`multi_client`] — N concurrent driver runtimes each injecting an
+//!   independent stream (per-client completion routing, client-scaling
+//!   message-rate driver);
 //! * [`report`] — text/CSV rendering of tables and figures.
 //!
 //! The `tc-bench` crate wraps these in Criterion benchmarks and in the
@@ -25,6 +28,7 @@
 pub mod chaos_sweep;
 pub mod dapc;
 pub mod kernels;
+pub mod multi_client;
 pub mod pipeline;
 pub mod pointer_table;
 pub mod report;
@@ -40,8 +44,12 @@ pub use kernels::{
     chaser_module, chaser_module_chainlang, chaser_payload, reporting_tsi_payload, tsi_module,
     tsi_module_chainlang, tsi_reporting_module, CHASER_CHAINLANG_SRC, TSI_CHAINLANG_SRC,
 };
+pub use multi_client::{
+    chase_starts, multi_client_get_burst, run_multi_client_streams, MultiClientReport,
+};
 pub use pipeline::{
-    gather_entries, run_pipelined_chases, run_reporting_tsi, ReportingTsiOutcome, Window,
+    gather_entries, gather_entries_from, run_pipelined_chases, run_pipelined_chases_from,
+    run_reporting_tsi, run_reporting_tsi_from, ReportingTsiOutcome, Window,
 };
 pub use pointer_table::PointerTable;
 pub use report::{

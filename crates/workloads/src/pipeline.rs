@@ -21,7 +21,7 @@
 use crate::kernels::{chaser_payload, reporting_tsi_payload};
 use crate::pointer_table::PointerTable;
 use std::collections::HashMap;
-use tc_core::cluster::{Cluster, CompletionSet, CompletionToken, Ready, Transport};
+use tc_core::cluster::{ClientId, Cluster, CompletionSet, CompletionToken, Ready, Transport};
 use tc_core::{CoreError, IfuncMessage, Result};
 
 /// Callback that materialises an [`IfuncMessage`] for one operation's
@@ -47,9 +47,22 @@ impl Window {
 /// GET every entry of `table` through a window of `window.inflight`
 /// outstanding GETs, returning the gathered image in global index order —
 /// byte-identical to a sequential gather regardless of window size, backend
-/// or fault plan.
+/// or fault plan.  Drives the primary client; see [`gather_entries_from`].
 pub fn gather_entries<T: Transport>(
     cluster: &mut Cluster<T>,
+    table: &PointerTable,
+    window: Window,
+) -> Result<Vec<u8>> {
+    gather_entries_from(cluster, ClientId::PRIMARY, table, window)
+}
+
+/// [`gather_entries`] issued from a specific client: GETs address the
+/// owning *server rank* (`cluster.server_rank(owner_index)` — never
+/// `owner + 1`, which silently targets another client on a multi-client
+/// cluster) and the completion stream is `client`'s own.
+pub fn gather_entries_from<T: Transport>(
+    cluster: &mut Cluster<T>,
+    client: ClientId,
     table: &PointerTable,
     window: Window,
 ) -> Result<Vec<u8>> {
@@ -64,13 +77,14 @@ pub fn gather_entries<T: Transport>(
         let mut posted = false;
         while next < total && set.len() < window.inflight {
             let g = next as u64;
-            let handle = cluster.post_get(table.owner_rank(g), table.entry_addr(g), 8);
+            let rank = cluster.server_rank(table.owner_index(g));
+            let handle = cluster.post_get_from(client, rank, table.entry_addr(g), 8);
             owners.insert(set.add_get(handle), next);
             next += 1;
             posted = true;
         }
         if posted {
-            cluster.flush()?;
+            cluster.flush_from(client)?;
         }
         let (token, ready) = cluster.wait_any(&mut set)?;
         let index = owners.remove(&token).expect("token was registered");
@@ -81,7 +95,7 @@ pub fn gather_entries<T: Transport>(
             }
             Ready::Get(data) => {
                 return Err(CoreError::ShortRead {
-                    rank: table.owner_rank(index as u64),
+                    rank: cluster.server_rank(table.owner_index(index as u64)),
                     addr: table.entry_addr(index as u64),
                     wanted: 8,
                     got: data.len(),
@@ -123,6 +137,28 @@ pub fn run_reporting_tsi<T: Transport>(
     window: Window,
     work: u64,
 ) -> Result<ReportingTsiOutcome> {
+    run_reporting_tsi_from(
+        cluster,
+        ClientId::PRIMARY,
+        make_message,
+        total,
+        window,
+        work,
+    )
+}
+
+/// [`run_reporting_tsi`] issued from a specific client: the kernel returns
+/// each result to `client`'s rank and mailbox (the payload encodes the
+/// client's fabric rank — a hardcoded 0 would deliver every result to the
+/// primary client), and destinations are true server ranks.
+pub fn run_reporting_tsi_from<T: Transport>(
+    cluster: &mut Cluster<T>,
+    client: ClientId,
+    make_message: MessageMaker<'_, T>,
+    total: usize,
+    window: Window,
+    work: u64,
+) -> Result<ReportingTsiOutcome> {
     let servers = cluster.server_count();
     let mut set = CompletionSet::new();
     let mut op_of: HashMap<CompletionToken, usize> = HashMap::new();
@@ -131,12 +167,13 @@ pub fn run_reporting_tsi<T: Transport>(
     let mut done = 0usize;
     while done < total {
         while next < total && set.len() < window.inflight {
-            let slot = cluster.result_slot();
-            let dst = 1 + next % servers;
+            let slot = cluster.result_slot_on(client);
+            let dst = cluster.server_rank(next % servers);
             let delta = 1 + (next as u64 % 7);
-            let payload = reporting_tsi_payload::encode(0, slot.slot(), delta, work);
+            let payload =
+                reporting_tsi_payload::encode(client.rank() as u64, slot.slot(), delta, work);
             let msg = make_message(cluster, payload)?;
-            cluster.send_ifunc(&msg, dst)?;
+            cluster.send_ifunc_from(client, &msg, dst)?;
             op_of.insert(set.add_result(slot), next);
             next += 1;
         }
@@ -155,8 +192,11 @@ pub fn run_reporting_tsi<T: Transport>(
         }
     }
     let mut counters = Vec::with_capacity(servers);
-    for rank in 1..=servers {
-        counters.push(cluster.read_u64(rank, tc_core::layout::TARGET_REGION_BASE)?);
+    for server in 0..servers {
+        counters.push(cluster.read_u64(
+            cluster.server_rank(server),
+            tc_core::layout::TARGET_REGION_BASE,
+        )?);
     }
     Ok(ReportingTsiOutcome { counters, reported })
 }
@@ -174,6 +214,32 @@ pub fn run_pipelined_chases<T: Transport>(
     depth: u64,
     window: Window,
 ) -> Result<Vec<u64>> {
+    run_pipelined_chases_from(
+        cluster,
+        ClientId::PRIMARY,
+        make_message,
+        table,
+        starts,
+        depth,
+        window,
+    )
+}
+
+/// [`run_pipelined_chases`] issued from a specific client: the payload
+/// carries `client`'s rank (results come back to *its* mailbox) and the
+/// cluster's first-server rank (the chaser computes hop owners as
+/// `idx / shard + base`, so server-side forwarding stays correct whatever
+/// the client-rank layout is).
+pub fn run_pipelined_chases_from<T: Transport>(
+    cluster: &mut Cluster<T>,
+    client: ClientId,
+    make_message: MessageMaker<'_, T>,
+    table: &PointerTable,
+    starts: &[u64],
+    depth: u64,
+    window: Window,
+) -> Result<Vec<u64>> {
+    let base = cluster.first_server_rank() as u64;
     let mut set = CompletionSet::new();
     let mut chase_of: HashMap<CompletionToken, usize> = HashMap::new();
     let mut values = vec![0u64; starts.len()];
@@ -182,17 +248,17 @@ pub fn run_pipelined_chases<T: Transport>(
     while done < starts.len() {
         while next < starts.len() && set.len() < window.inflight {
             let start = starts[next];
-            let slot = cluster.result_slot();
+            let slot = cluster.result_slot_on(client);
             let payload = chaser_payload::encode(
-                0,
+                client.rank() as u64,
                 slot.slot(),
                 start,
                 depth,
-                table.num_servers as u64,
+                base,
                 table.shard_size as u64,
             );
             let msg = make_message(cluster, payload)?;
-            cluster.send_ifunc(&msg, table.owner_rank(start))?;
+            cluster.send_ifunc_from(client, &msg, cluster.server_rank(table.owner_index(start)))?;
             chase_of.insert(set.add_result(slot), next);
             next += 1;
         }

@@ -60,9 +60,20 @@ impl PointerTable {
         self.entries.len()
     }
 
-    /// Server rank (1-based; rank 0 is the client) owning global index `g`.
+    /// 0-based index of the server owning global index `g`.  Convert to a
+    /// fabric rank with `Cluster::server_rank(owner_index)` — server ranks
+    /// start after the client ranks, so adding 1 is only correct on a
+    /// single-client cluster.
+    pub fn owner_index(&self, g: u64) -> usize {
+        g as usize / self.shard_size
+    }
+
+    /// Server rank owning global index `g` on a *single-client* cluster
+    /// (rank 0 is the one client, servers are 1-based).  Multi-client
+    /// drivers must use [`PointerTable::owner_index`] with
+    /// `Cluster::server_rank` instead.
     pub fn owner_rank(&self, g: u64) -> usize {
-        (g as usize / self.shard_size) + 1
+        self.owner_index(g) + 1
     }
 
     /// Address of global index `g` within its owner's memory.
@@ -123,7 +134,13 @@ impl PointerTable {
             "cluster has a different number of servers than the table"
         );
         for server in 0..self.num_servers {
-            cluster.write_memory(server + 1, DATA_REGION_BASE, &self.shard_image(server))?;
+            // Shard images go to the *server* ranks, which start after the
+            // client ranks (rank server + 1 only on a single-client cluster).
+            cluster.write_memory(
+                cluster.server_rank(server),
+                DATA_REGION_BASE,
+                &self.shard_image(server),
+            )?;
         }
         Ok(())
     }

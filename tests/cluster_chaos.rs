@@ -314,6 +314,194 @@ fn misaddressed_sends_under_chaos_do_not_wedge_either_side() {
     cluster.shutdown();
 }
 
+/// Chaos × multi-client: two driver runtimes inject concurrent gather +
+/// pointer-chase streams under 2% drop + duplication + reorder + a mid-run
+/// partition that heals.  Exactly-once, in-order delivery must hold *per
+/// (client, server) link*: the per-link `ReliableSet` sequence spaces of the
+/// two client ranks are independent, so neither client's dedup can swallow
+/// the other's frames — byte-exact artifacts on BOTH backends are the
+/// functional proof, the reliability counters of both client ranks the
+/// mechanical one.
+#[test]
+fn two_client_streams_survive_chaos_exactly_once() {
+    let plan = || {
+        FaultPlan::seeded(0x2C11E)
+            .drop_rate(0.02)
+            .duplicate_rate(0.02)
+            .reorder_rate(0.05)
+            // Ranks: clients 0..2, servers 2..4 — cut the first server off
+            // mid-run and heal after a dozen traversals per crossing link.
+            .partition(&[2], 4, 12)
+    };
+    let table = tc_workloads::PointerTable::generate(2, 16, 0xC0FFEE);
+    let expected: Vec<u8> = (0..2).flat_map(|s| table.shard_image(s)).collect();
+    for backend in [Backend::Simnet, Backend::Threads] {
+        let mut cluster = ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_bf2())
+            .clients(2)
+            .servers(2)
+            .fault_plan(plan())
+            .build(backend);
+        table.install_cluster(&mut cluster).unwrap();
+        let report = tc_workloads::run_multi_client_streams(
+            &mut cluster,
+            &tc_simnet::Platform::thor_bf2(),
+            &table,
+            4,
+            10,
+            tc_workloads::Window::new(4),
+            0x5EED,
+        )
+        .unwrap();
+        for c in 0..2 {
+            assert_eq!(
+                report.gathered[c], expected,
+                "{backend}: client {c} gather must be exactly-once despite the chaos"
+            );
+            let starts = tc_workloads::chase_starts(&table, tc_core::ClientId(c), 4, 0x5EED);
+            for (i, &start) in starts.iter().enumerate() {
+                assert_eq!(
+                    report.chased[c][i],
+                    table.chase(start, 10),
+                    "{backend}: client {c} chase {i}"
+                );
+            }
+        }
+        let metrics = cluster.metrics();
+        assert!(metrics.retransmits > 0, "{backend}: recovery retransmitted");
+        assert!(metrics.faults_injected > 0, "{backend}: faults fired");
+        let chaos = cluster.transport().chaos_stats().expect("chaos installed");
+        assert!(
+            chaos.partition_drops > 0,
+            "{backend}: the partition must actually cut traffic"
+        );
+        // Both client ranks keep their own reliability state: each acked
+        // its own inbound stream (replies/results) independently.
+        for c in 0..2 {
+            let rel = cluster
+                .transport()
+                .node_reliability(c)
+                .unwrap_or_else(|| panic!("{backend}: client {c} has reliability state"));
+            assert!(
+                rel.acks_sent > 0,
+                "{backend}: client {c} acked its own inbound stream"
+            );
+        }
+        cluster.shutdown();
+    }
+}
+
+/// Chaos × multi-client, reporting-TSI shape: two clients pump increments
+/// into the same two servers concurrently under 2% drop + partition heal.
+/// Whatever the interleaving, exactly-once delivery makes the final counters
+/// the exact sum of both clients' deltas, and per-link in-order delivery
+/// makes every client's per-server report sequence strictly increasing
+/// (each report is the post-increment counter value).
+#[test]
+fn two_client_reporting_tsi_under_chaos_is_exactly_once_in_order() {
+    use tc_core::{ClientId, CompletionSet, Ready};
+    use tc_workloads::reporting_tsi_payload;
+
+    let plan = FaultPlan::seeded(0x77AA)
+        .drop_rate(0.02)
+        .duplicate_rate(0.02)
+        .partition(&[3], 5, 14);
+    let platform = tc_simnet::Platform::thor_bf2();
+    let mut cluster = ClusterBuilder::new()
+        .platform(platform)
+        .clients(2)
+        .servers(2)
+        .fault_plan(plan)
+        .build_sim();
+    let lib = build_ifunc_library(
+        &tc_workloads::tsi_reporting_module("chaos_mc_rtsi"),
+        &platform_toolchain(&platform),
+    )
+    .unwrap();
+    let handles = [
+        cluster.register_ifunc_on(ClientId(0), lib.clone()),
+        cluster.register_ifunc_on(ClientId(1), lib),
+    ];
+
+    const OPS: usize = 16;
+    const WINDOW: usize = 4;
+    let mut set = CompletionSet::new();
+    let mut owner = std::collections::HashMap::new();
+    let mut next = [0usize; 2];
+    let mut inflight = [0usize; 2];
+    // reported[c][op] = (server index, post-increment value)
+    let mut reported = vec![vec![(0usize, 0u64); OPS]; 2];
+    let mut done = 0usize;
+    while done < 2 * OPS {
+        for c in 0..2usize {
+            while next[c] < OPS && inflight[c] < WINDOW {
+                let op = next[c];
+                let server = op % 2;
+                let slot = cluster.result_slot_on(ClientId(c));
+                let delta = 1 + (op as u64 % 3) + c as u64;
+                let payload = reporting_tsi_payload::encode(c as u64, slot.slot(), delta, 1);
+                let msg = cluster
+                    .bitcode_message_on(ClientId(c), handles[c], payload)
+                    .unwrap();
+                cluster
+                    .send_ifunc_from(ClientId(c), &msg, cluster.server_rank(server))
+                    .unwrap();
+                owner.insert(set.add_result(slot), (c, op, server));
+                next[c] += 1;
+                inflight[c] += 1;
+            }
+        }
+        let (token, ready) = cluster.wait_any(&mut set).unwrap();
+        let (c, op, server) = owner.remove(&token).unwrap();
+        match ready {
+            Ready::Result(value) => {
+                reported[c][op] = (server, value);
+                inflight[c] -= 1;
+                done += 1;
+            }
+            other => panic!("client {c} op {op} resolved as {other:?}"),
+        }
+    }
+    cluster.run_until_idle(10_000_000).unwrap();
+
+    // Exactly-once: each server's counter is the exact sum of both clients'
+    // deltas addressed to it.
+    for server in 0..2usize {
+        let expected: u64 = (0..2)
+            .flat_map(|c| {
+                (0..OPS)
+                    .filter(move |op| op % 2 == server)
+                    .map(move |op| 1 + (op as u64 % 3) + c as u64)
+            })
+            .sum();
+        assert_eq!(
+            cluster
+                .read_u64(cluster.server_rank(server), TARGET_REGION_BASE)
+                .unwrap(),
+            expected,
+            "server {server}: dedup must keep both clients' streams exactly-once"
+        );
+    }
+    // In order per (client, server) link: post-increment reports strictly
+    // increase in send order.
+    for (c, per_client) in reported.iter().enumerate() {
+        for server in 0..2usize {
+            let seq: Vec<u64> = per_client
+                .iter()
+                .filter(|(s, _)| *s == server)
+                .map(|(_, v)| *v)
+                .collect();
+            assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "client {c} reports on server {server} must be strictly increasing: {seq:?}"
+            );
+        }
+    }
+    let m = cluster.metrics();
+    assert!(m.retransmits > 0, "the partition must force retransmission");
+    assert!(m.faults_injected > 0);
+}
+
 #[test]
 fn crash_window_heals_and_delivery_resumes() {
     // Crash server 1 for its first 6 traversals: the very first sends are

@@ -6,7 +6,7 @@
 //! through exactly the same `ClusterBuilder` API as the simulated backend.
 
 use tc_core::layout::TARGET_REGION_BASE;
-use tc_core::{build_ifunc_library, ClusterBuilder, Transport};
+use tc_core::{build_ifunc_library, ClusterBuilder};
 use tc_ucx::{UcpOp, WorkerAddr};
 use tc_workloads::{platform_toolchain, tsi_module};
 
@@ -90,7 +90,7 @@ fn threaded_truncated_frame_to_cold_server_is_rejected_not_crashing() {
         .client_mut()
         .worker
         .post(WorkerAddr(1), UcpOp::IfuncFrame { bytes: truncated });
-    cluster.transport_mut().flush_client().unwrap();
+    cluster.flush().unwrap();
 
     // The server reports the failure through the transport's error channel;
     // the stats barrier guarantees it has already handled the frame.
