@@ -287,6 +287,71 @@ fn bench_data_plane_clients(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same pipelined GET workload (256 GETs, window 16, 4 servers) across
+/// the two real-concurrency backends: `threads` (OS threads + channels) and
+/// `socket` (separate OS processes + Unix-domain sockets).  The
+/// `data_plane/transport/{threaded,socket}` rows in BENCH.json put a number
+/// on what crossing a process boundary costs the data plane relative to
+/// crossing a channel.
+fn bench_data_plane_transport(c: &mut Criterion) {
+    use tc_core::cluster::{Backend, CompletionSet};
+    const OPS: usize = 256;
+    const SIZE: usize = 1024;
+    const SERVERS: usize = 4;
+    const WINDOW: usize = 16;
+    let mut group = c.benchmark_group("data_plane");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    for (backend, name) in [(Backend::Threads, "threaded"), (Backend::Socket, "socket")] {
+        let mut builder = ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_xeon())
+            .servers(SERVERS);
+        if backend == Backend::Socket {
+            builder = builder.server_bin(env!("CARGO_BIN_EXE_tc-socket-server-bench"));
+        }
+        let mut cluster = builder.build(backend);
+        let addr = tc_core::layout::DATA_REGION_BASE;
+        for s in 0..SERVERS {
+            let rank = cluster.server_rank(s);
+            cluster
+                .write_memory(rank, addr, &vec![0x5Au8; SIZE])
+                .unwrap();
+            // Warm the path (pool slots, pages, socket buffers) before timing.
+            let warm = cluster.get(rank, addr, SIZE as u64).unwrap();
+            cluster.wait(&warm).unwrap();
+        }
+
+        group.bench_with_input(BenchmarkId::new("transport", name), &backend, |b, _| {
+            b.iter(|| {
+                let mut set = CompletionSet::new();
+                let mut issued = 0usize;
+                let mut done = 0usize;
+                while done < OPS {
+                    let mut posted = false;
+                    while issued < OPS && set.len() < WINDOW {
+                        let rank = cluster.server_rank(issued % SERVERS);
+                        set.add_get(cluster.post_get(rank, addr, SIZE as u64));
+                        issued += 1;
+                        posted = true;
+                    }
+                    if posted {
+                        cluster.flush().unwrap();
+                    }
+                    let (_, ready) = cluster.wait_any(&mut set).unwrap();
+                    match ready {
+                        tc_core::Ready::Get(data) => assert_eq!(data.len(), SIZE),
+                        other => panic!("unexpected readiness {other:?}"),
+                    }
+                    done += 1;
+                }
+            });
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frame_codec,
@@ -295,6 +360,7 @@ criterion_group!(
     bench_interpreter,
     bench_data_plane,
     bench_data_plane_inflight,
-    bench_data_plane_clients
+    bench_data_plane_clients,
+    bench_data_plane_transport
 );
 criterion_main!(benches);

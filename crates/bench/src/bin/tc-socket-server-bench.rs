@@ -1,0 +1,25 @@
+//! The socket-backend server binary for the benchmark suite.
+//!
+//! Identical to the root package's `tc-socket-server`, but defined inside
+//! `tc-bench` because Cargo only exposes `CARGO_BIN_EXE_<name>` to the
+//! tests and benches of the package that defines the binary.
+
+use std::process::ExitCode;
+use tc_core::cluster::{serve_socket, ServerOptions};
+
+fn main() -> ExitCode {
+    let opts = match ServerOptions::from_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("tc-socket-server-bench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve_socket(opts, tc_workloads::am_catalog()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tc-socket-server-bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! PUT/GET round-trip latency across the three transports — the numbers
+//! behind the table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo build -p tc-bench --release --bins
+//! cargo run -p tc-bench --release --bin transport_latency
+//! ```
+//!
+//! Sim latencies are virtual time (the calibrated fabric model); threaded
+//! and socket latencies are wall-clock on this host.  The socket backend
+//! pays for real syscalls and a process hop per round trip, which is the
+//! point: it bounds what the in-process backends abstract away.
+
+use std::time::Instant;
+use tc_core::layout::DATA_REGION_BASE;
+use tc_core::{Backend, Cluster, ClusterBuilder, Transport};
+
+const OPS: usize = 400;
+const SIZE: usize = 1024;
+
+fn builder() -> ClusterBuilder {
+    ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_xeon())
+        .servers(1)
+}
+
+/// The tc-bench copy of the socket server binary, next to this executable.
+fn server_bin() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("exe dir");
+    for name in ["tc-socket-server-bench", "tc-socket-server"] {
+        let p = dir.join(name);
+        if p.is_file() {
+            return p;
+        }
+    }
+    eprintln!(
+        "no socket server binary next to {} — run `cargo build -p tc-bench --release --bins` first",
+        exe.display()
+    );
+    std::process::exit(1);
+}
+
+/// (put_confirmed µs/op, get µs/op) over `OPS` sequential round trips.
+fn measure<T: Transport>(cluster: &mut Cluster<T>, virtual_time: bool) -> (f64, f64) {
+    let rank = cluster.server_rank(0);
+    let payload = vec![0x5Au8; SIZE];
+    // Warm: code paths, buffers, server-side allocation.
+    let h = cluster
+        .put_confirmed(rank, DATA_REGION_BASE, payload.clone())
+        .unwrap();
+    cluster.wait(&h).unwrap();
+    let h = cluster.get(rank, DATA_REGION_BASE, SIZE as u64).unwrap();
+    cluster.wait(&h).unwrap();
+
+    let elapsed_us = |cluster: &mut Cluster<T>, f: &mut dyn FnMut(&mut Cluster<T>)| {
+        if virtual_time {
+            let t0 = cluster.transport().now_nanos();
+            f(cluster);
+            (cluster.transport().now_nanos() - t0) as f64 / 1e3
+        } else {
+            let t0 = Instant::now();
+            f(cluster);
+            t0.elapsed().as_nanos() as f64 / 1e3
+        }
+    };
+
+    let put_us = elapsed_us(cluster, &mut |c| {
+        for _ in 0..OPS {
+            let h = c
+                .put_confirmed(rank, DATA_REGION_BASE, payload.clone())
+                .unwrap();
+            c.wait(&h).unwrap();
+        }
+    }) / OPS as f64;
+    let get_us = elapsed_us(cluster, &mut |c| {
+        for _ in 0..OPS {
+            let h = c.get(rank, DATA_REGION_BASE, SIZE as u64).unwrap();
+            c.wait(&h).unwrap();
+        }
+    }) / OPS as f64;
+    (put_us, get_us)
+}
+
+fn main() {
+    println!("{OPS} sequential {SIZE} B round trips per op, 1 server\n");
+    println!("| transport | PUT (confirmed) | GET |");
+    println!("|---|---|---|");
+
+    let mut sim = builder().build_sim();
+    let (p, g) = measure(&mut sim, true);
+    println!("| simnet (virtual time) | {p:.2} µs | {g:.2} µs |");
+
+    let mut threaded = builder().build(Backend::Threads);
+    let (p, g) = measure(&mut threaded, false);
+    println!("| threads (wall clock) | {p:.2} µs | {g:.2} µs |");
+    threaded.shutdown();
+
+    let mut socket = builder().server_bin(server_bin()).build_socket().unwrap();
+    let (p, g) = measure(&mut socket, false);
+    println!("| socket (wall clock, unix) | {p:.2} µs | {g:.2} µs |");
+    socket.shutdown();
+}

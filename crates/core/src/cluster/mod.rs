@@ -49,13 +49,18 @@
 pub mod completion;
 pub mod reliable;
 pub mod sim_transport;
+pub mod socket;
+pub mod socket_server;
 pub mod thread_transport;
 pub mod wire;
 
 pub use completion::{ClaimTable, CompletionSet, CompletionToken, PutHandle, Ready};
 pub use reliable::{RelConfig, RelMetrics};
 pub use sim_transport::SimTransport;
+pub use socket::{SocketConfig, SocketTransport, SocketTuning};
+pub use socket_server::{serve as serve_socket, ServerOptions};
 pub use tc_chaos::{ChaosSession, ChaosStats, FaultPlan, LinkFaults};
+pub use tc_net::SocketSpec;
 pub use thread_transport::{ThreadTransport, ThreadTuning};
 
 use crate::error::{CoreError, Result};
@@ -75,6 +80,8 @@ pub enum Backend {
     Simnet,
     /// Real OS threads and channels ([`ThreadTransport`]).
     Threads,
+    /// Separate OS processes over TCP/Unix sockets ([`SocketTransport`]).
+    Socket,
 }
 
 impl std::fmt::Display for Backend {
@@ -82,6 +89,7 @@ impl std::fmt::Display for Backend {
         f.write_str(match self {
             Backend::Simnet => "simnet",
             Backend::Threads => "threads",
+            Backend::Socket => "socket",
         })
     }
 }
@@ -1127,6 +1135,7 @@ pub struct ClusterBuilder {
     opt_level: OptLevel,
     fault_plan: Option<tc_chaos::FaultPlan>,
     tuning: thread_transport::ThreadTuning,
+    socket: socket::SocketConfig,
 }
 
 impl Default for ClusterBuilder {
@@ -1147,6 +1156,7 @@ impl ClusterBuilder {
             opt_level: OptLevel::O2,
             fault_plan: None,
             tuning: thread_transport::ThreadTuning::default(),
+            socket: socket::SocketConfig::default(),
         }
     }
 
@@ -1208,6 +1218,38 @@ impl ClusterBuilder {
         self
     }
 
+    /// Set the endpoint the socket backend's driver listens on (default: a
+    /// fresh Unix-domain socket under the system temp directory).  Ignored
+    /// by the other backends.
+    pub fn socket_addr(mut self, spec: SocketSpec) -> Self {
+        self.socket.addr = Some(spec);
+        self
+    }
+
+    /// Point the socket backend at the server binary it should spawn (a
+    /// `tc-socket-server`-style executable).  Without this, the backend
+    /// honours `TC_SOCKET_SERVER_BIN` and then looks for `tc-socket-server`
+    /// next to the current executable.
+    pub fn server_bin(mut self, bin: impl Into<std::path::PathBuf>) -> Self {
+        self.socket.server_bin = Some(bin.into());
+        self
+    }
+
+    /// Don't spawn server processes: wait for externally launched servers
+    /// (e.g. `tc-socket-server --connect ...` on another terminal or host)
+    /// to dial in instead.
+    pub fn socket_external(mut self) -> Self {
+        self.socket.spawn_servers = false;
+        self
+    }
+
+    /// Tune the socket backend's scheduling constants.  Ignored by the
+    /// other backends.
+    pub fn socket_tuning(mut self, tuning: socket::SocketTuning) -> Self {
+        self.socket.tuning = tuning;
+        self
+    }
+
     fn resolved_triples(&self) -> (TargetTriple, TargetTriple) {
         let client = self.client_triple.unwrap_or_else(|| {
             TargetTriple::parse(self.platform.client_triple).unwrap_or(TargetTriple::X86_64_GENERIC)
@@ -1247,6 +1289,23 @@ impl ClusterBuilder {
         ))
     }
 
+    /// Build on the cross-process socket backend: spawns (or awaits) one OS
+    /// process per server rank and handshakes with each.  Unlike the other
+    /// backends, startup is fallible — the server binary may be missing or
+    /// a server process may fail to dial in.
+    pub fn build_socket(self) -> Result<Cluster<SocketTransport>> {
+        let (client, server) = self.resolved_triples();
+        Ok(Cluster::new(SocketTransport::connect_config(
+            self.clients,
+            self.servers,
+            client,
+            server,
+            self.opt_level,
+            self.fault_plan,
+            self.socket,
+        )?))
+    }
+
     /// Build on a runtime-chosen backend behind a trait object — lets one
     /// scenario function iterate over backends.
     pub fn build(self, backend: Backend) -> Cluster<Box<dyn Transport>> {
@@ -1257,6 +1316,11 @@ impl ClusterBuilder {
             Backend::Threads => {
                 Cluster::new(Box::new(self.build_threaded().into_transport()) as Box<dyn Transport>)
             }
+            Backend::Socket => Cluster::new(Box::new(
+                self.build_socket()
+                    .expect("socket backend failed to start")
+                    .into_transport(),
+            ) as Box<dyn Transport>),
         }
     }
 }

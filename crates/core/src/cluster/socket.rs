@@ -1,0 +1,1503 @@
+//! The cross-process backend: each server rank is a separate OS process,
+//! reached over TCP or Unix-domain sockets.
+//!
+//! Topology is a star: the driver process hosts the client runtimes and a
+//! listener; every server process dials in, introduces itself with a HELLO
+//! frame, and receives the cluster configuration (rank layout, target
+//! triple, optimisation level, reliability tunables) in the WELCOME reply.
+//! Server-to-server traffic — recursive ifunc hops, X-RDMA result returns —
+//! is relayed through the driver, preserving end-to-end reliability
+//! semantics per (source, destination) link.
+//!
+//! Frames reuse the [`wire`] codec unchanged: a [`tc_net::Frame`]'s `data`
+//! segment carries exactly the bytes a threaded envelope would, and the
+//! detached `payload` segment is the scatter-gather half of
+//! [`wire::encode_op_vectored`], written to the socket with vectored I/O so
+//! a large PUT or ifunc library crosses the process boundary without a
+//! send-side copy.
+//!
+//! With a [`FaultPlan`] installed, the driver applies the chaos engine's
+//! per-link decisions exactly once per traversal (client egress, server
+//! ingress, server-to-server relay) to reliable data frames and acks —
+//! mirroring the threaded backend's envelope filter — and every endpoint
+//! runs a [`ReliableSet`], so delivery stays exactly-once and in-order over
+//! a lossy socket.
+
+use super::reliable::{RelConfig, RelMetrics, ReliableSet};
+use super::{wire, ClientId, Transport, TransportMetrics};
+use crate::error::{CoreError, Result};
+use crate::metrics::RuntimeStats;
+use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use tc_bitir::TargetTriple;
+use tc_chaos::{ChaosSession, ChaosStats, FaultPlan};
+use tc_jit::{Memory, OptLevel};
+use tc_net::{ChildGuard, Connection, Frame, Listener, NetError, SocketSpec};
+use tc_ucx::Bytes;
+
+/// True when `TC_SOCKET_TRACE` is set: both halves of the socket backend
+/// print per-frame routing decisions to stderr.  For debugging distributed
+/// runs; the check is a single atomic load after the first call.
+pub(crate) fn trace_on() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("TC_SOCKET_TRACE").is_some())
+}
+
+macro_rules! strace {
+    ($($arg:tt)*) => {
+        if crate::cluster::socket::trace_on() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+pub(crate) use strace;
+
+/// Session tag: server → driver introduction (`[magic][version][rank]`).
+pub const TAG_HELLO: u64 = 100;
+/// Session tag: driver → server configuration reply.
+pub const TAG_WELCOME: u64 = 101;
+/// Session tag: driver asks a server to deploy a catalogued AM handler
+/// (control body: handler name bytes).
+pub const TAG_AM_DEPLOY: u64 = 102;
+/// Session tag: server answers a [`TAG_AM_DEPLOY`] (`[1]` deployed, `[0]`
+/// unknown name).
+pub const TAG_AM_ACK: u64 = 103;
+/// Session tag: driver tells a server to flush and exit.
+pub const TAG_SHUTDOWN: u64 = 104;
+/// Session tag: server announces a voluntary close (EOF after this is a
+/// clean exit, not a peer failure).
+pub const TAG_BYE: u64 = 105;
+/// Session tag: server publishes its reliability state (unacked count,
+/// deadline, counters) so the driver's quiescence detection sees the whole
+/// cluster.
+pub const TAG_REL_INFO: u64 = 106;
+
+/// HELLO magic ("TCN1").
+pub const HELLO_MAGIC: u32 = 0x5443_4E31;
+/// Session protocol version.
+pub const PROTO_VERSION: u32 = 1;
+/// HELLO rank value meaning "assign me one".
+pub const RANK_ANY: u32 = u32::MAX;
+/// `from`/`to` value of the driver itself (it is not a rank).
+pub const DRIVER_PORT: u32 = u32::MAX;
+
+/// Encode a HELLO body.
+pub fn encode_hello(rank: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.extend_from_slice(&rank.to_le_bytes());
+    out
+}
+
+/// Decode a HELLO body into the requested rank.
+pub fn decode_hello(body: &[u8]) -> Result<u32> {
+    if body.len() != 12 {
+        return Err(CoreError::Transport(format!(
+            "HELLO must be 12 bytes, got {}",
+            body.len()
+        )));
+    }
+    let magic = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(body[4..8].try_into().unwrap());
+    if magic != HELLO_MAGIC {
+        return Err(CoreError::Transport(format!(
+            "HELLO magic {magic:#x} is not {HELLO_MAGIC:#x}"
+        )));
+    }
+    if version != PROTO_VERSION {
+        return Err(CoreError::Transport(format!(
+            "peer speaks protocol version {version}, this driver speaks {PROTO_VERSION}"
+        )));
+    }
+    Ok(u32::from_le_bytes(body[8..12].try_into().unwrap()))
+}
+
+/// Everything a server process needs to build its runtime, carried by the
+/// WELCOME frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Welcome {
+    /// Driver-side client count (clients occupy ranks `0..clients`).
+    pub clients: u32,
+    /// Server count (servers occupy ranks `clients..clients+servers`).
+    pub servers: u32,
+    /// The rank assigned to this server.
+    pub rank: u32,
+    /// JIT optimisation level for the server runtime.
+    pub opt: OptLevel,
+    /// Whether a fault plan is installed (reliable delivery on).
+    pub reliable: bool,
+    /// Reliability: initial retransmission timeout, nanoseconds.
+    pub rto: u64,
+    /// Reliability: backoff cap, nanoseconds.
+    pub rto_max: u64,
+    /// The server target triple, in its textual form.
+    pub triple: TargetTriple,
+}
+
+/// Encode a WELCOME body.
+pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
+    let triple = w.triple.to_string();
+    let mut out = Vec::with_capacity(32 + triple.len());
+    out.extend_from_slice(&w.clients.to_le_bytes());
+    out.extend_from_slice(&w.servers.to_le_bytes());
+    out.extend_from_slice(&w.rank.to_le_bytes());
+    out.push(match w.opt {
+        OptLevel::O0 => 0,
+        OptLevel::O1 => 1,
+        OptLevel::O2 => 2,
+        OptLevel::O3 => 3,
+    });
+    out.push(w.reliable as u8);
+    out.extend_from_slice(&w.rto.to_le_bytes());
+    out.extend_from_slice(&w.rto_max.to_le_bytes());
+    out.extend_from_slice(&(triple.len() as u16).to_le_bytes());
+    out.extend_from_slice(triple.as_bytes());
+    out
+}
+
+/// Decode a WELCOME body.
+pub fn decode_welcome(body: &[u8]) -> Result<Welcome> {
+    let err = |m: &str| CoreError::Transport(format!("bad WELCOME: {m}"));
+    if body.len() < 32 {
+        return Err(err("shorter than the fixed header"));
+    }
+    let clients = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    let servers = u32::from_le_bytes(body[4..8].try_into().unwrap());
+    let rank = u32::from_le_bytes(body[8..12].try_into().unwrap());
+    let opt = match body[12] {
+        0 => OptLevel::O0,
+        1 => OptLevel::O1,
+        2 => OptLevel::O2,
+        3 => OptLevel::O3,
+        other => return Err(err(&format!("unknown opt level {other}"))),
+    };
+    let reliable = body[13] != 0;
+    let rto = u64::from_le_bytes(body[14..22].try_into().unwrap());
+    let rto_max = u64::from_le_bytes(body[22..30].try_into().unwrap());
+    let triple_len = u16::from_le_bytes(body[30..32].try_into().unwrap()) as usize;
+    if body.len() != 32 + triple_len {
+        return Err(err("triple length disagrees with the body"));
+    }
+    let triple_str = std::str::from_utf8(&body[32..]).map_err(|_| err("triple is not UTF-8"))?;
+    let triple = TargetTriple::parse(triple_str)
+        .ok_or_else(|| err(&format!("unknown triple `{triple_str}`")))?;
+    Ok(Welcome {
+        clients,
+        servers,
+        rank,
+        opt,
+        reliable,
+        rto,
+        rto_max,
+        triple,
+    })
+}
+
+/// One endpoint's reliability digest, as carried by [`TAG_REL_INFO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelInfo {
+    /// Frames sent but not yet cumulatively acked.
+    pub unacked: u64,
+    /// Nanoseconds until the earliest armed retransmission deadline
+    /// (`u64::MAX` when nothing is armed).
+    pub remaining_ns: u64,
+    /// Cumulative reliability counters.
+    pub metrics: RelMetrics,
+}
+
+/// Encode a [`TAG_REL_INFO`] body (48 bytes).
+pub fn encode_rel_info(info: &RelInfo) -> Vec<u8> {
+    let fields = [
+        info.unacked,
+        info.remaining_ns,
+        info.metrics.retransmits,
+        info.metrics.dup_drops,
+        info.metrics.out_of_order,
+        info.metrics.acks_sent,
+    ];
+    let mut out = Vec::with_capacity(48);
+    for f in fields {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a [`TAG_REL_INFO`] body.
+pub fn decode_rel_info(body: &[u8]) -> Result<RelInfo> {
+    if body.len() != 48 {
+        return Err(CoreError::Transport(format!(
+            "REL_INFO must be 48 bytes, got {}",
+            body.len()
+        )));
+    }
+    let f = |i: usize| u64::from_le_bytes(body[i * 8..i * 8 + 8].try_into().unwrap());
+    Ok(RelInfo {
+        unacked: f(0),
+        remaining_ns: f(1),
+        metrics: RelMetrics {
+            retransmits: f(2),
+            dup_drops: f(3),
+            out_of_order: f(4),
+            acks_sent: f(5),
+        },
+    })
+}
+
+/// Scheduling tunables of the socket backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketTuning {
+    /// How long one driver `step` keeps polling for traffic before reporting
+    /// an idle step.
+    pub step_timeout: Duration,
+    /// Upper bound one `step` keeps waiting while writes are still queued
+    /// toward server processes.
+    pub busy_step_timeout: Duration,
+    /// Sleep between poll iterations when the sockets are quiet.
+    pub poll_interval: Duration,
+    /// How long a poll loop busy-yields before it starts sleeping
+    /// `poll_interval` per iteration — the latency/CPU trade: a socket round
+    /// trip is tens of microseconds, far below any sleep quantum.
+    pub spin_window: Duration,
+    /// Consecutive idle steps before waits give up (server processes may be
+    /// mid-computation with nothing on the wire).
+    pub idle_grace: u32,
+    /// How long a control-plane round trip (peek/poke/stats/AM deploy) may
+    /// take.
+    pub control_timeout: Duration,
+    /// How long the driver waits for every server process to dial in and
+    /// complete the HELLO/WELCOME handshake.
+    pub handshake_timeout: Duration,
+    /// How long `shutdown` waits for a server process to exit voluntarily
+    /// after the SHUTDOWN frame before killing it.
+    pub shutdown_timeout: Duration,
+}
+
+impl Default for SocketTuning {
+    fn default() -> Self {
+        SocketTuning {
+            step_timeout: Duration::from_millis(20),
+            busy_step_timeout: Duration::from_secs(1),
+            poll_interval: Duration::from_micros(500),
+            spin_window: Duration::from_micros(300),
+            idle_grace: 2,
+            control_timeout: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(10),
+            shutdown_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How a [`super::ClusterBuilder`] should set up the socket backend.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Endpoint the driver listens on.  `None` picks a fresh Unix-domain
+    /// socket under the system temp directory.
+    pub addr: Option<SocketSpec>,
+    /// The server binary to spawn (a `tc-socket-server`-style executable).
+    /// `None` falls back to `TC_SOCKET_SERVER_BIN` and then to a sibling of
+    /// the current executable.
+    pub server_bin: Option<PathBuf>,
+    /// Spawn the server processes (default).  `false` waits for externally
+    /// launched servers to dial in instead.
+    pub spawn_servers: bool,
+    /// Scheduling tunables.
+    pub tuning: SocketTuning,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            addr: None,
+            server_bin: None,
+            spawn_servers: true,
+            tuning: SocketTuning::default(),
+        }
+    }
+}
+
+fn default_unix_spec() -> SocketSpec {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    SocketSpec::Unix(std::env::temp_dir().join(format!("tc-net-{}-{}.sock", std::process::id(), n)))
+}
+
+/// Locate the server binary: explicit config, then the
+/// `TC_SOCKET_SERVER_BIN` environment variable, then a `tc-socket-server`
+/// next to the current executable (covers `cargo run --example` and
+/// test binaries alike).
+fn resolve_server_bin(config: &SocketConfig) -> Result<PathBuf> {
+    if let Some(bin) = &config.server_bin {
+        return Ok(bin.clone());
+    }
+    if let Ok(bin) = std::env::var("TC_SOCKET_SERVER_BIN") {
+        return Ok(PathBuf::from(bin));
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dirs = Vec::new();
+        if let Some(d) = exe.parent() {
+            dirs.push(d.to_path_buf());
+            if let Some(d2) = d.parent() {
+                dirs.push(d2.to_path_buf());
+                if let Some(d3) = d2.parent() {
+                    dirs.push(d3.to_path_buf());
+                }
+            }
+        }
+        for dir in dirs {
+            let candidate = dir.join("tc-socket-server");
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+    }
+    Err(CoreError::Transport(
+        "cannot locate the tc-socket-server binary: set ClusterBuilder::server_bin, \
+         export TC_SOCKET_SERVER_BIN, or build the `tc-socket-server` bin target first \
+         (`cargo build --bin tc-socket-server`)"
+            .into(),
+    ))
+}
+
+/// An encoded-but-unwrapped data-plane message buffered for retransmission:
+/// op head (without the reliability prefix) plus detached payload.
+type StoredEnv = (Bytes, Bytes);
+
+/// Why a server link is no longer usable.
+#[derive(Debug, Clone)]
+enum LinkState {
+    /// Handshaken and healthy.
+    Active,
+    /// The peer announced a voluntary close (BYE); EOF is expected.
+    Closing,
+    /// The link failed; the typed error is replayed to anyone who touches
+    /// the rank.
+    Dead(CoreError),
+}
+
+/// Driver-side state of one server process.
+struct ServerLink {
+    conn: Option<Connection>,
+    child: Option<ChildGuard>,
+    state: LinkState,
+    /// Latest reliability digest published by the server.  `remaining_ns`
+    /// has been rebased onto the driver clock (absolute deadline).
+    rel_unacked: u64,
+    rel_deadline_abs: u64,
+    rel_metrics: RelMetrics,
+}
+
+impl ServerLink {
+    fn empty() -> Self {
+        ServerLink {
+            conn: None,
+            child: None,
+            state: LinkState::Active,
+            rel_unacked: 0,
+            rel_deadline_abs: u64::MAX,
+            rel_metrics: RelMetrics::default(),
+        }
+    }
+}
+
+/// Driver-side chaos state (mirrors the threaded backend's `DriverChaos`).
+struct SocketChaos {
+    session: ChaosSession,
+    /// One reliability state machine per client rank — sequence spaces of
+    /// different clients must never interfere.
+    rels: Vec<ReliableSet<StoredEnv>>,
+    /// Held-back frames implementing delay/reorder: one slot per directed
+    /// link, released behind the link's next traffic.
+    held: HashMap<(usize, usize), Frame>,
+    last_tick: Instant,
+    tick: Duration,
+    rto_max: u64,
+}
+
+/// The cross-process cluster backend (OS processes + sockets, wall-clock
+/// time).
+pub struct SocketTransport {
+    clients: Vec<NodeRuntime>,
+    links: Vec<ServerLink>,
+    listener: Option<Listener>,
+    servers: usize,
+    errors: Vec<CoreError>,
+    /// Fatal link errors waiting to be surfaced from `step`.
+    pending_errors: VecDeque<CoreError>,
+    next_token: u64,
+    tuning: SocketTuning,
+    chaos: Option<SocketChaos>,
+    epoch: Instant,
+    stalled_since: Option<Instant>,
+    delivered: u64,
+    dropped: u64,
+    shut_down: bool,
+    /// Frames read but not yet routed (control round trips intercept their
+    /// replies here).
+    inbox: VecDeque<Frame>,
+}
+
+impl std::fmt::Debug for SocketTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers)
+            .field("errors", &self.errors.len())
+            .finish()
+    }
+}
+
+impl SocketTransport {
+    /// Start the backend: bind the listener, spawn (or await) `servers`
+    /// server processes, run the HELLO/WELCOME handshake with each, and
+    /// return once every rank is connected.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_config(
+        clients: usize,
+        servers: usize,
+        client_triple: TargetTriple,
+        server_triple: TargetTriple,
+        opt_level: OptLevel,
+        fault_plan: Option<FaultPlan>,
+        config: SocketConfig,
+    ) -> Result<Self> {
+        let clients = clients.max(1);
+        let total = (clients + servers) as u32;
+        let tuning = config.tuning;
+        let spec = config.addr.clone().unwrap_or_else(default_unix_spec);
+        let listener = Listener::bind(&spec)
+            .map_err(|e| CoreError::Transport(format!("binding {spec}: {e}")))?;
+        let actual = listener
+            .local_spec()
+            .map_err(|e| CoreError::Transport(e.to_string()))?;
+
+        let epoch = Instant::now();
+        let rel_cfg = RelConfig::threads_default();
+        let chaos = fault_plan.map(|plan| SocketChaos {
+            session: ChaosSession::new(plan),
+            rels: (0..clients).map(|_| ReliableSet::new(rel_cfg)).collect(),
+            held: HashMap::new(),
+            last_tick: Instant::now(),
+            tick: Duration::from_nanos(rel_cfg.rto / 2),
+            rto_max: rel_cfg.rto_max,
+        });
+        let reliable = chaos.is_some();
+
+        let mut links: Vec<ServerLink> = (0..servers).map(|_| ServerLink::empty()).collect();
+        if config.spawn_servers {
+            let bin = resolve_server_bin(&config)?;
+            for (idx, link) in links.iter_mut().enumerate() {
+                let rank = (clients + idx) as u32;
+                link.child = Some(
+                    tc_net::spawn_server(&bin, &actual, rank)
+                        .map_err(|e| CoreError::Transport(e.to_string()))?,
+                );
+            }
+        }
+
+        // Handshake: accept connections, read HELLOs, assign ranks, send
+        // WELCOMEs, until every server rank has a live link.
+        let deadline = Instant::now() + tuning.handshake_timeout;
+        let mut pending: Vec<Connection> = Vec::new();
+        let mut connected = 0usize;
+        while connected < servers {
+            if Instant::now() >= deadline {
+                return Err(CoreError::Transport(format!(
+                    "socket handshake timed out with {connected}/{servers} servers connected \
+                     on {actual}"
+                )));
+            }
+            for link in links.iter_mut() {
+                if let Some(child) = link.child.as_mut() {
+                    if !child.alive() {
+                        return Err(CoreError::Transport(format!(
+                            "server process for rank {} exited during the handshake",
+                            child.rank()
+                        )));
+                    }
+                }
+            }
+            match listener.accept() {
+                Ok(Some(conn)) => pending.push(conn),
+                Ok(None) => {}
+                Err(e) => return Err(CoreError::Transport(format!("accept on {actual}: {e}"))),
+            }
+            let mut still_pending = Vec::new();
+            for mut conn in pending.drain(..) {
+                let mut frames = Vec::new();
+                match conn.pump_read(&mut frames) {
+                    Ok(()) => {}
+                    Err(NetError::PeerClosed { .. }) => continue, // gave up; drop it
+                    Err(e) => return Err(CoreError::Transport(e.to_string())),
+                }
+                let Some(hello) = frames.into_iter().find(|f| f.tag == TAG_HELLO) else {
+                    still_pending.push(conn);
+                    continue;
+                };
+                let wanted = decode_hello(hello.data.as_slice())?;
+                let idx = if wanted == RANK_ANY {
+                    match links.iter().position(|l| l.conn.is_none()) {
+                        Some(i) => i,
+                        None => {
+                            return Err(CoreError::Transport(
+                                "a server asked for a rank but all are taken".into(),
+                            ))
+                        }
+                    }
+                } else {
+                    let rank = wanted as usize;
+                    if rank < clients || rank >= clients + servers {
+                        return Err(CoreError::Transport(format!(
+                            "HELLO requested rank {rank}, valid servers are {}..{}",
+                            clients,
+                            clients + servers
+                        )));
+                    }
+                    if links[rank - clients].conn.is_some() {
+                        return Err(CoreError::Transport(format!(
+                            "two servers claimed rank {rank}"
+                        )));
+                    }
+                    rank - clients
+                };
+                let rank = (clients + idx) as u32;
+                let welcome = Welcome {
+                    clients: clients as u32,
+                    servers: servers as u32,
+                    rank,
+                    opt: opt_level,
+                    reliable,
+                    rto: rel_cfg.rto,
+                    rto_max: rel_cfg.rto_max,
+                    triple: server_triple,
+                };
+                conn.queue(Frame::new(
+                    DRIVER_PORT,
+                    rank,
+                    TAG_WELCOME,
+                    encode_welcome(&welcome),
+                ));
+                while conn.pending_writes() > 0 {
+                    conn.pump_write()
+                        .map_err(|e| CoreError::Transport(e.to_string()))?;
+                    if conn.pending_writes() > 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                links[idx].conn = Some(conn);
+                connected += 1;
+            }
+            pending = still_pending;
+            if connected < servers {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        Ok(SocketTransport {
+            clients: (0..clients)
+                .map(|c| {
+                    NodeRuntime::with_opt_level(
+                        tc_ucx::WorkerAddr(c as u32),
+                        total,
+                        client_triple,
+                        opt_level,
+                    )
+                })
+                .collect(),
+            links,
+            listener: Some(listener),
+            servers,
+            errors: Vec::new(),
+            pending_errors: VecDeque::new(),
+            next_token: 1,
+            tuning,
+            chaos,
+            epoch,
+            stalled_since: None,
+            delivered: 0,
+            dropped: 0,
+            shut_down: false,
+            inbox: VecDeque::new(),
+        })
+    }
+
+    /// The endpoint the driver is listening on.
+    pub fn local_spec(&self) -> Option<SocketSpec> {
+        self.listener.as_ref().and_then(|l| l.local_spec().ok())
+    }
+
+    /// Errors reported by server processes (or transport-level decode
+    /// failures) that were not fatal to a link.
+    pub fn errors(&self) -> &[CoreError] {
+        &self.errors
+    }
+
+    /// Number of spawned server processes still running.
+    pub fn live_children(&mut self) -> usize {
+        self.links
+            .iter_mut()
+            .filter_map(|l| l.child.as_mut())
+            .map(|c| c.alive() as usize)
+            .sum()
+    }
+
+    /// Kill the spawned process behind server index `idx` (rank
+    /// `clients + idx`) — the fault-injection hook for peer-death tests.
+    pub fn kill_server(&mut self, idx: usize) {
+        if let Some(child) = self.links.get_mut(idx).and_then(|l| l.child.as_mut()) {
+            child.kill();
+        }
+    }
+
+    /// Snapshot of the injected-fault counters (chaos mode only).
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.session.stats())
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Classify a socket-plane failure on the link of server `idx` into the
+    /// typed core error space and remember it.
+    fn fail_link(&mut self, idx: usize, e: NetError) {
+        let rank = self.clients.len() + idx;
+        let link = &mut self.links[idx];
+        if matches!(link.state, LinkState::Dead(_)) {
+            return;
+        }
+        let expected = self.shut_down || matches!(link.state, LinkState::Closing);
+        let err = match e {
+            NetError::PeerClosed {
+                mid_frame: false, ..
+            } if expected => {
+                // A clean close we asked for: not an error at all.
+                link.conn = None;
+                link.state = LinkState::Closing;
+                return;
+            }
+            NetError::PeerClosed {
+                mid_frame: false, ..
+            } => CoreError::PeerDisconnected {
+                rank,
+                detail: "connection closed".into(),
+            },
+            NetError::PeerClosed {
+                mid_frame: true,
+                wanted,
+                got,
+            } => CoreError::ShortRead {
+                rank,
+                addr: 0,
+                wanted,
+                got,
+            },
+            other => CoreError::PeerDisconnected {
+                rank,
+                detail: other.to_string(),
+            },
+        };
+        link.conn = None;
+        link.state = LinkState::Dead(err.clone());
+        self.pending_errors.push_back(err);
+    }
+
+    /// Queue a frame toward server rank `rank`.  Dead links replay their
+    /// typed error.
+    fn queue_to_server(&mut self, rank: usize, frame: Frame) -> Result<()> {
+        let clients = self.clients.len();
+        let idx = rank - clients;
+        match &mut self.links[idx] {
+            ServerLink {
+                state: LinkState::Dead(err),
+                ..
+            } => Err(err.clone()),
+            ServerLink {
+                conn: Some(conn), ..
+            } => {
+                strace!(
+                    "[driver] send tag={} from={} to={} data={}B payload={}B",
+                    frame.tag,
+                    frame.from,
+                    frame.to,
+                    frame.data.len(),
+                    frame.payload.len()
+                );
+                conn.queue(frame);
+                self.delivered += 1;
+                Ok(())
+            }
+            _ => Err(CoreError::PeerDisconnected {
+                rank,
+                detail: "connection closed".into(),
+            }),
+        }
+    }
+
+    /// Pump every link's write queue; socket failures mark the link dead.
+    fn pump_writes(&mut self) {
+        for idx in 0..self.links.len() {
+            let Some(conn) = self.links[idx].conn.as_mut() else {
+                continue;
+            };
+            if conn.pending_writes() == 0 {
+                continue;
+            }
+            if let Err(e) = conn.pump_write() {
+                self.fail_link(idx, e);
+            }
+        }
+    }
+
+    /// Pump every link's read side into the inbox; failures mark links dead.
+    fn pump_reads(&mut self) {
+        let mut frames = Vec::new();
+        for idx in 0..self.links.len() {
+            let Some(conn) = self.links[idx].conn.as_mut() else {
+                continue;
+            };
+            frames.clear();
+            let res = conn.pump_read(&mut frames);
+            self.inbox.extend(frames.drain(..));
+            if let Err(e) = res {
+                self.fail_link(idx, e);
+            }
+        }
+    }
+
+    fn pending_writes_total(&self) -> usize {
+        self.links
+            .iter()
+            .filter_map(|l| l.conn.as_ref())
+            .map(|c| c.pending_writes())
+            .sum()
+    }
+
+    /// Route one frame that arrived from a server connection.
+    fn route_frame(&mut self, frame: Frame) {
+        strace!(
+            "[driver] recv tag={} from={} to={} data={}B payload={}B",
+            frame.tag,
+            frame.from,
+            frame.to,
+            frame.data.len(),
+            frame.payload.len()
+        );
+        let clients = self.clients.len() as u32;
+        match frame.tag {
+            wire::TAG_OP => {
+                if frame.to < clients {
+                    match wire::decode_op_vectored(&frame.data, &frame.payload) {
+                        Ok(msg) => self.deliver_to_client(msg),
+                        Err(e) => self.errors.push(e),
+                    }
+                } else if (frame.to as usize) < self.clients.len() + self.servers {
+                    // Server-to-server relay.
+                    if let Err(e) = self.queue_to_server(frame.to as usize, frame) {
+                        self.errors.push(e);
+                    }
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            wire::TAG_ROP | wire::TAG_ACK => self.chaos_route(frame),
+            wire::TAG_ERROR => self.errors.push(CoreError::Transport(
+                String::from_utf8_lossy(frame.data.as_slice()).into_owned(),
+            )),
+            TAG_REL_INFO => {
+                let idx = (frame.from as usize).wrapping_sub(self.clients.len());
+                match decode_rel_info(frame.data.as_slice()) {
+                    Ok(info) if idx < self.links.len() => {
+                        let link = &mut self.links[idx];
+                        link.rel_unacked = info.unacked;
+                        link.rel_deadline_abs = if info.remaining_ns == u64::MAX {
+                            u64::MAX
+                        } else {
+                            self.epoch.elapsed().as_nanos() as u64 + info.remaining_ns
+                        };
+                        link.rel_metrics = info.metrics;
+                    }
+                    Ok(_) => {}
+                    Err(e) => self.errors.push(e),
+                }
+            }
+            TAG_BYE => {
+                let idx = (frame.from as usize).wrapping_sub(self.clients.len());
+                if let Some(link) = self.links.get_mut(idx) {
+                    if matches!(link.state, LinkState::Active) {
+                        link.state = LinkState::Closing;
+                    }
+                }
+            }
+            // Stale control replies (from a timed-out request) are dropped;
+            // live ones are intercepted by `control_roundtrip` before this.
+            _ => {}
+        }
+    }
+
+    /// Apply the chaos engine to one reliable-plane traversal and move the
+    /// surviving frames.  Without a fault plan, reliable frames are a
+    /// protocol error (mirroring the threaded backend).
+    fn chaos_route(&mut self, frame: Frame) {
+        let Some(chaos) = &mut self.chaos else {
+            self.errors.push(CoreError::Transport(
+                "reliable frame without a fault plan".into(),
+            ));
+            return;
+        };
+        let src = frame.from as usize;
+        let dst = frame.to as usize;
+        let decision = chaos.session.decide(src, dst);
+        if !decision.deliver {
+            return;
+        }
+        let mut release = Vec::new();
+        if decision.reorder || decision.delay_units > 0 {
+            if decision.duplicate {
+                release.push(frame.clone());
+            }
+            // Park this frame; release whatever the link previously parked
+            // (it has now been overtaken at least once).
+            if let Some(prev) = chaos.held.insert((src, dst), frame) {
+                release.push(prev);
+            }
+        } else {
+            if decision.duplicate {
+                release.push(frame.clone());
+            }
+            release.push(frame);
+            if let Some(prev) = chaos.held.remove(&(src, dst)) {
+                release.push(prev);
+            }
+        }
+        for f in release {
+            self.route_reliable(f);
+        }
+    }
+
+    /// Physically move one reliable frame that survived the chaos engine.
+    fn route_reliable(&mut self, frame: Frame) {
+        let clients = self.clients.len();
+        let dst = frame.to as usize;
+        if dst < clients {
+            self.reliable_to_client(frame);
+        } else if dst < clients + self.servers {
+            if let Err(e) = self.queue_to_server(dst, frame) {
+                self.errors.push(e);
+            }
+        } else {
+            self.errors.push(CoreError::Transport(format!(
+                "reliable frame addressed to invalid rank {dst}"
+            )));
+        }
+    }
+
+    /// Terminate a reliable frame at a driver-side client port.
+    fn reliable_to_client(&mut self, frame: Frame) {
+        let port = frame.to as usize;
+        let now = self.now();
+        let rels_len = match &self.chaos {
+            Some(c) => c.rels.len(),
+            None => return,
+        };
+        if port >= rels_len {
+            self.errors.push(CoreError::Transport(format!(
+                "reliable frame addressed to unknown client port {port}"
+            )));
+            return;
+        }
+        match frame.tag {
+            wire::TAG_ACK => {
+                if let Ok(ack) = wire::decode_ack(frame.data.as_slice()) {
+                    if let Some(chaos) = &mut self.chaos {
+                        chaos.rels[port].on_ack(frame.from, ack, now);
+                    }
+                }
+            }
+            _ => {
+                let (seq, ack, head) = match wire::decode_rel_head(&frame.data) {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        self.errors.push(e);
+                        return;
+                    }
+                };
+                let out = {
+                    let chaos = self.chaos.as_mut().expect("checked above");
+                    chaos.rels[port].on_data(frame.from, seq, ack, (head, frame.payload), now)
+                };
+                let ack_frame = Frame::new(
+                    port as u32,
+                    frame.from,
+                    wire::TAG_ACK,
+                    wire::encode_ack(out.ack),
+                );
+                // The ack's own traversal passes the chaos engine too.
+                self.chaos_route(ack_frame);
+                for (h, p) in out.deliver {
+                    match wire::decode_op_vectored(&h, &p) {
+                        Ok(msg) => self.deliver_to_client(msg),
+                        Err(e) => self.errors.push(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver one in-order fabric operation to its destination client
+    /// runtime and flush anything it posted in response.
+    fn deliver_to_client(&mut self, msg: tc_ucx::OutgoingMessage) {
+        let dst = msg.dst.index();
+        if dst >= self.clients.len() {
+            self.errors.push(CoreError::Transport(format!(
+                "driver received an operation for non-client rank {dst}"
+            )));
+            return;
+        }
+        self.clients[dst].deliver(msg);
+        self.drain_client(dst);
+        self.delivered += 1;
+    }
+
+    /// Poll everything delivered to client `c` and flush its responses.
+    fn drain_client(&mut self, c: usize) {
+        for outcome in self.clients[c].poll(usize::MAX) {
+            if let Err(e) = outcome {
+                self.errors.push(e);
+            }
+        }
+        let _ = self.dispatch_client_outgoing(c);
+    }
+
+    /// Run every client's retransmission timer if the tick cadence elapsed.
+    fn client_tick(&mut self) {
+        let now = self.now();
+        let mut frames = Vec::new();
+        {
+            let Some(chaos) = &mut self.chaos else {
+                return;
+            };
+            if chaos.last_tick.elapsed() < chaos.tick {
+                return;
+            }
+            chaos.last_tick = Instant::now();
+            for c in 0..chaos.rels.len() {
+                for f in chaos.rels[c].tick(now) {
+                    let data = wire::encode_rel_head(f.seq, f.ack, &f.m.0);
+                    frames.push(Frame::with_payload(
+                        c as u32,
+                        f.peer,
+                        wire::TAG_ROP,
+                        data,
+                        f.m.1.clone(),
+                    ));
+                }
+            }
+        }
+        for f in frames {
+            self.chaos_route(f);
+        }
+    }
+
+    /// Move everything client `origin` posted onto the sockets, looping
+    /// until the outgoing queues are quiescent.  Client-to-client traffic is
+    /// delivered directly on the driver (loopback-class, never faulted).
+    fn dispatch_client_outgoing(&mut self, origin: usize) -> Result<()> {
+        if self.shut_down {
+            return Err(CoreError::Transport("socket transport is shut down".into()));
+        }
+        let clients = self.clients.len();
+        let mut first_err = None;
+        let mut dirty = vec![origin];
+        while let Some(c) = dirty.pop() {
+            loop {
+                let outgoing = self.clients[c].take_outgoing();
+                if outgoing.is_empty() {
+                    break;
+                }
+                for msg in outgoing {
+                    let dst = msg.dst.index();
+                    if dst < clients {
+                        self.clients[dst].deliver(msg);
+                        for outcome in self.clients[dst].poll(usize::MAX) {
+                            if let Err(e) = outcome {
+                                self.errors.push(e);
+                            }
+                        }
+                        if dst != c && !dirty.contains(&dst) {
+                            dirty.push(dst);
+                        }
+                        continue;
+                    }
+                    if dst >= clients + self.servers {
+                        // Misaddressed: counted as a fabric drop, like the
+                        // other backends.
+                        self.dropped += 1;
+                        continue;
+                    }
+                    let (head, payload) = wire::encode_op_vectored(&msg);
+                    // The payload Bytes moves into exactly one frame; the
+                    // reliable path clones it once for the retransmit buffer
+                    // (a refcount bump, not a copy).
+                    enum Routed {
+                        Rel(Frame),
+                        Raw(Frame),
+                    }
+                    let routed = match &mut self.chaos {
+                        Some(chaos) => {
+                            let now = self.epoch.elapsed().as_nanos() as u64;
+                            let (seq, ack) = chaos.rels[c].send(
+                                dst as u32,
+                                (head.clone(), payload.clone()),
+                                now,
+                            );
+                            let data = wire::encode_rel_head(seq, ack, &head);
+                            Routed::Rel(Frame::with_payload(
+                                c as u32,
+                                dst as u32,
+                                wire::TAG_ROP,
+                                data,
+                                payload,
+                            ))
+                        }
+                        None => Routed::Raw(Frame::with_payload(
+                            c as u32,
+                            dst as u32,
+                            wire::TAG_OP,
+                            head,
+                            payload,
+                        )),
+                    };
+                    match routed {
+                        Routed::Rel(f) => self.chaos_route(f),
+                        Routed::Raw(f) => {
+                            if let Err(e) = self.queue_to_server(dst, f) {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.pump_writes();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// One I/O round: flush writes, read frames, route everything in the
+    /// inbox.  Returns how many frames were routed.
+    fn pump_round(&mut self) -> usize {
+        self.pump_writes();
+        self.pump_reads();
+        let mut routed = 0;
+        while let Some(frame) = self.inbox.pop_front() {
+            self.route_frame(frame);
+            routed += 1;
+        }
+        // Routing may have queued acks/relays; start them on their way.
+        self.pump_writes();
+        routed
+    }
+
+    /// Briefly yield, then back off to `poll_interval` sleeps once a quiet
+    /// poll loop has outlived the spin window.
+    fn poll_pause(&self, since: Instant) {
+        if since.elapsed() < self.tuning.spin_window {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(self.tuning.poll_interval);
+        }
+    }
+
+    /// Issue a control request to server `rank` and wait for its tokened
+    /// reply, routing data-plane traffic that arrives in between.
+    fn control_roundtrip(
+        &mut self,
+        rank: usize,
+        request_tag: u64,
+        reply_tag: u64,
+        body: &[u8],
+    ) -> Result<Vec<u8>> {
+        let clients = self.clients.len();
+        if rank < clients || rank >= clients + self.servers {
+            return Err(CoreError::Transport(format!(
+                "control request addressed to invalid rank {rank} ({}..={} expected)",
+                clients,
+                clients + self.servers - 1
+            )));
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.queue_to_server(
+            rank,
+            Frame::new(
+                DRIVER_PORT,
+                rank as u32,
+                request_tag,
+                wire::encode_control(token, body),
+            ),
+        )?;
+        let started = Instant::now();
+        let deadline = started + self.tuning.control_timeout;
+        loop {
+            self.client_tick();
+            self.pump_writes();
+            self.pump_reads();
+            let mut reply = None;
+            let mut rest = VecDeque::new();
+            while let Some(frame) = self.inbox.pop_front() {
+                if reply.is_none() && frame.tag == reply_tag && frame.from as usize == rank {
+                    if let Ok((reply_token, reply_body)) =
+                        wire::decode_control(frame.data.as_slice())
+                    {
+                        if reply_token == token {
+                            reply = Some(reply_body.to_vec());
+                            continue;
+                        }
+                        continue; // stale reply from an abandoned request
+                    }
+                }
+                rest.push_back(frame);
+            }
+            self.inbox = rest;
+            while let Some(frame) = self.inbox.pop_front() {
+                self.route_frame(frame);
+            }
+            if let Some(body) = reply {
+                return Ok(body);
+            }
+            if let LinkState::Dead(err) = &self.links[rank - clients].state {
+                return Err(err.clone());
+            }
+            if Instant::now() >= deadline {
+                return Err(CoreError::WaitTimeout {
+                    what: format!("control reply (tag {reply_tag}) from rank {rank}"),
+                });
+            }
+            self.poll_pause(started);
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn backend_name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn node_count(&self) -> usize {
+        self.servers + self.clients.len()
+    }
+
+    fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn client(&self, id: ClientId) -> &NodeRuntime {
+        assert!(id.0 < self.clients.len(), "no client with id {id}");
+        &self.clients[id.0]
+    }
+
+    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+        assert!(id.0 < self.clients.len(), "no client with id {id}");
+        &mut self.clients[id.0]
+    }
+
+    fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
+        // Clients deploy the closure directly; server processes deploy the
+        // same-named handler from their compiled-in catalog (closures cannot
+        // cross a process boundary).  Deploy order fixes the handler ids
+        // cluster-wide, exactly as on the other backends.
+        for client in &mut self.clients {
+            client.deploy_am_handler(name.to_string(), handler.clone());
+        }
+        let clients = self.clients.len();
+        for rank in clients..clients + self.servers {
+            let reply = self.control_roundtrip(rank, TAG_AM_DEPLOY, TAG_AM_ACK, name.as_bytes())?;
+            if reply != [1] {
+                return Err(CoreError::UnknownAmHandler {
+                    name: format!("{name} (not in the server-process AM catalog)"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_client(&mut self, id: ClientId) -> Result<()> {
+        if id.0 >= self.clients.len() {
+            return Err(CoreError::Transport(format!("no client with id {id}")));
+        }
+        self.dispatch_client_outgoing(id.0)
+    }
+
+    fn step(&mut self) -> Result<bool> {
+        if self.shut_down {
+            return Ok(false);
+        }
+        if let Some(e) = self.pending_errors.pop_front() {
+            return Err(e);
+        }
+        let started = Instant::now();
+        let step_deadline = started + self.tuning.step_timeout;
+        let busy_deadline = started + self.tuning.busy_step_timeout;
+        loop {
+            self.client_tick();
+            let routed = self.pump_round();
+            if let Some(e) = self.pending_errors.pop_front() {
+                return Err(e);
+            }
+            if routed > 0 {
+                self.stalled_since = None;
+                return Ok(true);
+            }
+            let now = Instant::now();
+            if now < step_deadline {
+                self.poll_pause(started);
+                continue;
+            }
+            // A full step window of silence.  Unacked reliability frames
+            // keep the transport "busy" (they will retransmit), but only up
+            // to a stall horizon — a frame that can never be acked (dead
+            // server process, unhealable partition) must eventually let
+            // waits time out.  The horizon out-waits several fully
+            // backed-off retransmission rounds, like the threaded backend.
+            if self.unacked_total() > 0 {
+                let since = *self.stalled_since.get_or_insert(now);
+                let rel_horizon = self
+                    .chaos
+                    .as_ref()
+                    .map(|c| Duration::from_nanos(c.rto_max) * 4)
+                    .unwrap_or(Duration::ZERO);
+                let horizon = (self.tuning.busy_step_timeout * 10).max(rel_horizon);
+                return Ok(now.duration_since(since) < horizon);
+            }
+            self.stalled_since = None;
+            if self.pending_writes_total() > 0 && now < busy_deadline {
+                self.poll_pause(started);
+                continue;
+            }
+            return Ok(false);
+        }
+    }
+
+    fn idle_grace(&self) -> u32 {
+        self.tuning.idle_grace
+    }
+
+    fn take_completions(&mut self, id: ClientId) -> Vec<Completion> {
+        assert!(id.0 < self.clients.len(), "no client with id {id}");
+        self.clients[id.0].take_completions()
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.now()
+    }
+
+    fn unacked_total(&self) -> u64 {
+        let client_side: u64 = self
+            .chaos
+            .as_ref()
+            .map(|c| c.rels.iter().map(|r| r.unacked_total()).sum())
+            .unwrap_or(0);
+        let server_side: u64 = self.links.iter().map(|l| l.rel_unacked).sum();
+        client_side + server_side
+    }
+
+    fn next_rel_deadline(&self) -> Option<u64> {
+        let client_side = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.rels.iter().filter_map(|r| r.next_deadline()).min());
+        let server_side = self
+            .links
+            .iter()
+            .map(|l| l.rel_deadline_abs)
+            .filter(|&d| d != u64::MAX)
+            .min();
+        match (client_side, server_side) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn read_memory(&mut self, rank: usize, addr: u64, len: usize) -> Result<Vec<u8>> {
+        if rank < self.clients.len() {
+            let mut buf = vec![0u8; len];
+            self.clients[rank]
+                .memory
+                .read(addr, &mut buf)
+                .map_err(|e| CoreError::Transport(e.to_string()))?;
+            return Ok(buf);
+        }
+        let mut body = Vec::with_capacity(16);
+        body.extend_from_slice(&addr.to_le_bytes());
+        body.extend_from_slice(&(len as u64).to_le_bytes());
+        let reply = self.control_roundtrip(rank, wire::TAG_PEEK, wire::TAG_PEEK_REPLY, &body)?;
+        if reply.len() != len {
+            return Err(CoreError::Transport(format!(
+                "peek of {len} bytes at {addr:#x} on rank {rank} failed"
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn write_memory(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
+        if rank < self.clients.len() {
+            return self.clients[rank]
+                .memory
+                .write(addr, data)
+                .map_err(|e| CoreError::Transport(e.to_string()));
+        }
+        let mut body = Vec::with_capacity(8 + data.len());
+        body.extend_from_slice(&addr.to_le_bytes());
+        body.extend_from_slice(data);
+        let reply = self.control_roundtrip(rank, wire::TAG_POKE, wire::TAG_POKE_ACK, &body)?;
+        if reply != [1] {
+            return Err(CoreError::Transport(format!(
+                "poke of {} bytes at {addr:#x} on rank {rank} failed",
+                data.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats> {
+        if rank < self.clients.len() {
+            return Ok(self.clients[rank].stats);
+        }
+        let reply = self.control_roundtrip(rank, wire::TAG_STATS, wire::TAG_STATS_REPLY, &[])?;
+        wire::decode_stats(&reply)
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        let (mut retransmits, mut dup_drops) = (0u64, 0u64);
+        if let Some(chaos) = &self.chaos {
+            for r in &chaos.rels {
+                retransmits += r.metrics.retransmits;
+                dup_drops += r.metrics.dup_drops;
+            }
+        }
+        for link in &self.links {
+            retransmits += link.rel_metrics.retransmits;
+            dup_drops += link.rel_metrics.dup_drops;
+        }
+        TransportMetrics {
+            messages_delivered: self.delivered,
+            messages_dropped: self.dropped,
+            bytes_sent: self.clients.iter().map(|c| c.stats.bytes_sent).sum(),
+            retransmits,
+            dup_drops,
+            faults_injected: self
+                .chaos
+                .as_ref()
+                .map(|c| c.session.stats().total_injected())
+                .unwrap_or(0),
+        }
+    }
+
+    fn node_reliability(&self, rank: usize) -> Option<RelMetrics> {
+        let clients = self.clients.len();
+        if rank < clients {
+            return self.chaos.as_ref().map(|c| RelMetrics {
+                retransmits: c.rels[rank].metrics.retransmits,
+                dup_drops: c.rels[rank].metrics.dup_drops,
+                out_of_order: c.rels[rank].metrics.out_of_order,
+                acks_sent: c.rels[rank].metrics.acks_sent,
+            });
+        }
+        if self.chaos.is_some() && rank < clients + self.servers {
+            return Some(self.links[rank - clients].rel_metrics);
+        }
+        None
+    }
+
+    fn chaos_stats(&self) -> Option<ChaosStats> {
+        SocketTransport::chaos_stats(self)
+    }
+
+    fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        // Ask every live server to flush and exit.
+        for idx in 0..self.links.len() {
+            let rank = (self.clients.len() + idx) as u32;
+            if let Some(conn) = self.links[idx].conn.as_mut() {
+                conn.queue(Frame::new(DRIVER_PORT, rank, TAG_SHUTDOWN, Vec::new()));
+            }
+        }
+        let deadline = Instant::now() + self.tuning.shutdown_timeout;
+        while self.pending_writes_total() > 0 && Instant::now() < deadline {
+            self.pump_writes();
+            if self.pending_writes_total() > 0 {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        // Reap the children; kill any that out-wait the budget.
+        for link in &mut self.links {
+            if let Some(child) = link.child.as_mut() {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                child.wait_timeout(remaining.max(Duration::from_millis(50)));
+            }
+            link.conn = None;
+        }
+        self.listener = None;
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_welcome_round_trip() {
+        assert_eq!(decode_hello(&encode_hello(7)).unwrap(), 7);
+        assert_eq!(decode_hello(&encode_hello(RANK_ANY)).unwrap(), RANK_ANY);
+        assert!(decode_hello(&[0u8; 11]).is_err());
+        let mut bad = encode_hello(1);
+        bad[0] ^= 0xFF;
+        assert!(decode_hello(&bad).is_err());
+
+        let w = Welcome {
+            clients: 2,
+            servers: 4,
+            rank: 3,
+            opt: OptLevel::O3,
+            reliable: true,
+            rto: 30_000_000,
+            rto_max: 480_000_000,
+            triple: TargetTriple::X86_64_GENERIC,
+        };
+        assert_eq!(decode_welcome(&encode_welcome(&w)).unwrap(), w);
+        assert!(decode_welcome(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn rel_info_round_trip() {
+        let info = RelInfo {
+            unacked: 3,
+            remaining_ns: 1_000_000,
+            metrics: RelMetrics {
+                retransmits: 5,
+                dup_drops: 2,
+                out_of_order: 1,
+                acks_sent: 9,
+            },
+        };
+        assert_eq!(decode_rel_info(&encode_rel_info(&info)).unwrap(), info);
+        assert!(decode_rel_info(&[0u8; 47]).is_err());
+    }
+}

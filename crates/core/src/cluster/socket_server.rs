@@ -1,0 +1,536 @@
+//! The server-process half of the socket backend: everything a
+//! `tc-socket-server`-style binary needs to join a cluster.
+//!
+//! A server process owns one full [`NodeRuntime`] and one connection to the
+//! driver.  It introduces itself with HELLO, builds its runtime from the
+//! WELCOME configuration (rank layout, target triple, opt level,
+//! reliability tunables), then loops: deliver data-plane frames to the
+//! runtime, flush whatever the runtime posts back onto the socket, answer
+//! control requests (peek/poke/stats/AM deploy), and exit cleanly on
+//! SHUTDOWN — or silently when the driver disappears, so a crashed driver
+//! never leaves orphan processes grinding the CPU.
+//!
+//! Native AM handlers are closures and cannot cross a process boundary, so
+//! a server binary compiles in a *catalog* of named handlers; the driver's
+//! `deploy_am` ships only the name, and the server deploys its catalog
+//! entry under it.
+
+use super::reliable::{RelConfig, ReliableSet};
+use super::socket::{
+    decode_welcome, encode_hello, encode_rel_info, RelInfo, Welcome, DRIVER_PORT, RANK_ANY,
+    TAG_AM_ACK, TAG_AM_DEPLOY, TAG_BYE, TAG_HELLO, TAG_REL_INFO, TAG_SHUTDOWN, TAG_WELCOME,
+};
+use super::wire;
+use crate::runtime::{NativeAmHandler, NodeRuntime};
+use std::time::{Duration, Instant};
+use tc_jit::Memory;
+use tc_net::{Connection, Frame, NetError, SocketSpec};
+use tc_ucx::Bytes;
+
+/// Command-line configuration of a server process.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Driver endpoint, in [`SocketSpec`] syntax (`unix:/path`,
+    /// `tcp:host:port`).
+    pub connect: String,
+    /// The rank to claim; `None` lets the driver assign one.
+    pub rank: Option<u32>,
+    /// How long to keep retrying the initial connect (the driver may still
+    /// be binding its listener).
+    pub connect_timeout: Duration,
+}
+
+impl ServerOptions {
+    /// Parse `--connect <spec> [--rank <n>]` style arguments (the exact
+    /// contract of [`tc_net::spawn_server`]).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<ServerOptions, String> {
+        let mut connect = None;
+        let mut rank = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--connect" => {
+                    connect = Some(it.next().ok_or("--connect needs a value")?);
+                }
+                "--rank" => {
+                    let v = it.next().ok_or("--rank needs a value")?;
+                    rank = Some(v.parse::<u32>().map_err(|_| format!("bad rank `{v}`"))?);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: --connect <unix:/path | tcp:host:port> [--rank <n>]".into())
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(ServerOptions {
+            connect: connect.ok_or("--connect is required")?,
+            rank,
+            connect_timeout: Duration::from_secs(10),
+        })
+    }
+}
+
+/// An encoded op head plus its detached payload, buffered for
+/// retransmission.
+type StoredEnv = (Bytes, Bytes);
+
+/// Everything the event loop tracks beyond the runtime itself.
+struct Server {
+    conn: Connection,
+    runtime: NodeRuntime,
+    rank: u32,
+    clients: usize,
+    total: usize,
+    rel: Option<ReliableSet<StoredEnv>>,
+    rel_tick: Duration,
+    last_tick: Instant,
+    last_info: RelInfo,
+    epoch: Instant,
+    catalog: Vec<(String, NativeAmHandler)>,
+}
+
+impl Server {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn send_error(&mut self, detail: String) {
+        self.conn.queue(Frame::new(
+            self.rank,
+            DRIVER_PORT,
+            wire::TAG_ERROR,
+            detail.into_bytes(),
+        ));
+    }
+
+    /// Poll every delivered operation and flush the runtime's outgoing
+    /// queue onto the socket, looping over self-sends until quiescent.
+    fn process_delivered(&mut self) {
+        loop {
+            for outcome in self.runtime.poll(usize::MAX) {
+                if let Err(e) = outcome {
+                    self.send_error(e.to_string());
+                }
+            }
+            let outgoing = self.runtime.take_outgoing();
+            if outgoing.is_empty() {
+                break;
+            }
+            for msg in outgoing {
+                let dst = msg.dst.index();
+                if dst == self.rank as usize {
+                    // Loopback: the fault model excludes self-sends on every
+                    // backend, so deliver directly and let the outer loop
+                    // re-poll.
+                    self.runtime.deliver(msg);
+                    continue;
+                }
+                let (head, payload) = wire::encode_op_vectored(&msg);
+                // Misaddressed sends bypass reliability (they would
+                // retransmit forever); the driver counts the drop.
+                let bypass_rel = dst >= self.total;
+                match &mut self.rel {
+                    Some(rel) if !bypass_rel => {
+                        let now = self.epoch.elapsed().as_nanos() as u64;
+                        let (seq, ack) = rel.send(dst as u32, (head.clone(), payload.clone()), now);
+                        let data = wire::encode_rel_head(seq, ack, &head);
+                        self.conn.queue(Frame::with_payload(
+                            self.rank,
+                            dst as u32,
+                            wire::TAG_ROP,
+                            data,
+                            payload,
+                        ));
+                    }
+                    _ => {
+                        super::socket::strace!(
+                            "[server {}] send tag={} to={} data={}B payload={}B",
+                            self.rank,
+                            wire::TAG_OP,
+                            dst,
+                            head.len(),
+                            payload.len()
+                        );
+                        self.conn.queue(Frame::with_payload(
+                            self.rank,
+                            dst as u32,
+                            wire::TAG_OP,
+                            head,
+                            payload,
+                        ));
+                    }
+                }
+            }
+        }
+        self.publish_rel_info();
+    }
+
+    /// Push the reliability digest to the driver when it meaningfully
+    /// changed (counters moved, unacked count moved, or the earliest
+    /// deadline shifted by more than a millisecond).
+    fn publish_rel_info(&mut self) {
+        let Some(rel) = &self.rel else {
+            return;
+        };
+        let now = self.now();
+        let remaining = match rel.next_deadline() {
+            Some(d) => d.saturating_sub(now),
+            None => u64::MAX,
+        };
+        let info = RelInfo {
+            unacked: rel.unacked_total(),
+            remaining_ns: remaining,
+            metrics: rel.metrics,
+        };
+        let deadline_moved = info.remaining_ns.abs_diff(self.last_info.remaining_ns) > 1_000_000;
+        if info.unacked != self.last_info.unacked
+            || info.metrics != self.last_info.metrics
+            || deadline_moved
+        {
+            self.last_info = info;
+            self.conn.queue(Frame::new(
+                self.rank,
+                DRIVER_PORT,
+                TAG_REL_INFO,
+                encode_rel_info(&info),
+            ));
+        }
+    }
+
+    /// Handle one reliable data-plane frame; returns true when operations
+    /// became deliverable.
+    fn on_reliable_op(&mut self, frame: Frame) -> bool {
+        let Some(rel) = &mut self.rel else {
+            self.send_error("reliable frame on a server without a fault plan".into());
+            return false;
+        };
+        let (seq, ack, head) = match wire::decode_rel_head(&frame.data) {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.send_error(e.to_string());
+                return false;
+            }
+        };
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let out = rel.on_data(frame.from, seq, ack, (head, frame.payload), now);
+        self.conn.queue(Frame::new(
+            self.rank,
+            frame.from,
+            wire::TAG_ACK,
+            wire::encode_ack(out.ack),
+        ));
+        let mut delivered = false;
+        for (h, p) in out.deliver {
+            match wire::decode_op_vectored(&h, &p) {
+                Ok(op) => {
+                    self.runtime.deliver(op);
+                    delivered = true;
+                }
+                Err(e) => self.send_error(e.to_string()),
+            }
+        }
+        self.publish_rel_info();
+        delivered
+    }
+
+    /// Handle one control-plane frame (strictly after pending data has been
+    /// processed — the control plane doubles as a barrier).
+    fn on_control(&mut self, frame: Frame) {
+        match frame.tag {
+            wire::TAG_PEEK => {
+                let Ok((token, body)) = wire::decode_control(frame.data.as_slice()) else {
+                    return;
+                };
+                if body.len() != 16 {
+                    return;
+                }
+                let addr = u64::from_le_bytes(body[0..8].try_into().unwrap());
+                let len = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+                let mut buf = vec![0u8; len];
+                let reply = match self.runtime.memory.read(addr, &mut buf) {
+                    Ok(()) => wire::encode_control(token, &buf),
+                    Err(_) => wire::encode_control(token, &[]),
+                };
+                self.conn.queue(Frame::new(
+                    self.rank,
+                    DRIVER_PORT,
+                    wire::TAG_PEEK_REPLY,
+                    reply,
+                ));
+            }
+            wire::TAG_POKE => {
+                let Ok((token, body)) = wire::decode_control(frame.data.as_slice()) else {
+                    return;
+                };
+                if body.len() < 8 {
+                    return;
+                }
+                let addr = u64::from_le_bytes(body[0..8].try_into().unwrap());
+                let ok = self.runtime.memory.write(addr, &body[8..]).is_ok();
+                self.conn.queue(Frame::new(
+                    self.rank,
+                    DRIVER_PORT,
+                    wire::TAG_POKE_ACK,
+                    wire::encode_control(token, &[ok as u8]),
+                ));
+            }
+            wire::TAG_STATS => {
+                let Ok((token, _)) = wire::decode_control(frame.data.as_slice()) else {
+                    return;
+                };
+                let reply = wire::encode_control(token, &wire::encode_stats(&self.runtime.stats));
+                self.conn.queue(Frame::new(
+                    self.rank,
+                    DRIVER_PORT,
+                    wire::TAG_STATS_REPLY,
+                    reply,
+                ));
+            }
+            TAG_AM_DEPLOY => {
+                let Ok((token, body)) = wire::decode_control(frame.data.as_slice()) else {
+                    return;
+                };
+                let name = String::from_utf8_lossy(body).into_owned();
+                let found = self
+                    .catalog
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, h)| h.clone());
+                let ok = match found {
+                    Some(handler) => {
+                        self.runtime.deploy_am_handler(name, handler);
+                        true
+                    }
+                    None => false,
+                };
+                self.conn.queue(Frame::new(
+                    self.rank,
+                    DRIVER_PORT,
+                    TAG_AM_ACK,
+                    wire::encode_control(token, &[ok as u8]),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    /// Run the retransmission timer if its cadence elapsed.
+    fn tick(&mut self) {
+        if self.rel.is_none() || self.last_tick.elapsed() < self.rel_tick {
+            return;
+        }
+        self.last_tick = Instant::now();
+        let now = self.now();
+        let frames: Vec<Frame> = {
+            let rel = self.rel.as_mut().expect("checked above");
+            rel.tick(now)
+                .into_iter()
+                .map(|f| {
+                    let data = wire::encode_rel_head(f.seq, f.ack, &f.m.0);
+                    Frame::with_payload(self.rank, f.peer, wire::TAG_ROP, data, f.m.1.clone())
+                })
+                .collect()
+        };
+        for f in frames {
+            self.conn.queue(f);
+        }
+        self.publish_rel_info();
+    }
+
+    /// Flush everything, announce the close, and drain the socket.
+    fn graceful_exit(&mut self) {
+        self.process_delivered();
+        self.publish_rel_info();
+        self.conn
+            .queue(Frame::new(self.rank, DRIVER_PORT, TAG_BYE, Vec::new()));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.conn.pending_writes() > 0 && Instant::now() < deadline {
+            match self.conn.pump_write() {
+                Ok(_) => {}
+                Err(_) => return,
+            }
+            if self.conn.pending_writes() > 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// Connect to the driver, handshake, and serve until SHUTDOWN (or until the
+/// driver disappears).  `catalog` is the binary's set of deployable AM
+/// handlers, looked up by name when the driver calls `deploy_am`.
+pub fn serve(opts: ServerOptions, catalog: Vec<(String, NativeAmHandler)>) -> Result<(), String> {
+    let spec = SocketSpec::parse(&opts.connect).map_err(|e| e.to_string())?;
+    let mut conn =
+        Connection::connect_with_retry(&spec, opts.connect_timeout).map_err(|e| e.to_string())?;
+
+    let hello_rank = opts.rank.unwrap_or(RANK_ANY);
+    conn.queue(Frame::new(
+        hello_rank,
+        DRIVER_PORT,
+        TAG_HELLO,
+        encode_hello(hello_rank),
+    ));
+
+    // Await the WELCOME (pumping writes so the HELLO actually leaves).  A
+    // fast driver may already have data-plane frames on the wire right
+    // behind the WELCOME; anything else in the batch is carried over to the
+    // main loop, never dropped.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut carry: Vec<Frame> = Vec::new();
+    let welcome: Welcome = 'hs: loop {
+        if Instant::now() >= deadline {
+            return Err("timed out waiting for the driver's WELCOME".into());
+        }
+        conn.pump_write().map_err(|e| e.to_string())?;
+        let mut frames = Vec::new();
+        conn.pump_read(&mut frames).map_err(|e| e.to_string())?;
+        let mut welcome = None;
+        for f in frames {
+            if welcome.is_none() && f.tag == TAG_WELCOME {
+                welcome = Some(decode_welcome(f.data.as_slice()).map_err(|e| e.to_string())?);
+            } else {
+                carry.push(f);
+            }
+        }
+        if let Some(w) = welcome {
+            break 'hs w;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    };
+
+    let total = (welcome.clients + welcome.servers) as usize;
+    let rel_cfg = RelConfig {
+        rto: welcome.rto,
+        rto_max: welcome.rto_max,
+    };
+    let mut server = Server {
+        conn,
+        runtime: NodeRuntime::with_opt_level(
+            tc_ucx::WorkerAddr(welcome.rank),
+            total as u32,
+            welcome.triple,
+            welcome.opt,
+        ),
+        rank: welcome.rank,
+        clients: welcome.clients as usize,
+        total,
+        rel: welcome.reliable.then(|| ReliableSet::new(rel_cfg)),
+        rel_tick: Duration::from_nanos(rel_cfg.rto / 2),
+        last_tick: Instant::now(),
+        last_info: RelInfo::default(),
+        epoch: Instant::now(),
+        catalog,
+    };
+    let _ = server.clients; // rank layout is driver-routed; kept for clarity
+
+    let mut frames = Vec::new();
+    let mut last_activity = Instant::now();
+    loop {
+        frames.clear();
+        // First pass: whatever rode in behind the WELCOME.
+        frames.append(&mut carry);
+        match server.conn.pump_read(&mut frames) {
+            Ok(()) => {}
+            // The driver is gone.  A clean or mid-frame close both mean
+            // "stop serving": exit quietly so no orphan survives the driver.
+            Err(NetError::PeerClosed { .. }) => return Ok(()),
+            Err(e) => return Err(e.to_string()),
+        }
+        if !frames.is_empty() {
+            last_activity = Instant::now();
+        }
+        let mut pending_ops = false;
+        let mut shutdown = false;
+        for frame in frames.drain(..) {
+            super::socket::strace!(
+                "[server {}] recv tag={} from={} to={} data={}B payload={}B",
+                server.rank,
+                frame.tag,
+                frame.from,
+                frame.to,
+                frame.data.len(),
+                frame.payload.len()
+            );
+            match frame.tag {
+                wire::TAG_OP => match wire::decode_op_vectored(&frame.data, &frame.payload) {
+                    Ok(op) => {
+                        server.runtime.deliver(op);
+                        pending_ops = true;
+                    }
+                    Err(e) => server.send_error(e.to_string()),
+                },
+                wire::TAG_ROP => pending_ops |= server.on_reliable_op(frame),
+                wire::TAG_ACK => {
+                    let now = server.epoch.elapsed().as_nanos() as u64;
+                    if let Some(rel) = &mut server.rel {
+                        if let Ok(ack) = wire::decode_ack(frame.data.as_slice()) {
+                            rel.on_ack(frame.from, ack, now);
+                        }
+                    }
+                    server.publish_rel_info();
+                }
+                TAG_SHUTDOWN => shutdown = true,
+                _ => {
+                    // Control frames act as a barrier behind the data plane.
+                    if pending_ops {
+                        server.process_delivered();
+                        pending_ops = false;
+                    }
+                    server.on_control(frame);
+                }
+            }
+        }
+        if pending_ops {
+            server.process_delivered();
+        }
+        if shutdown {
+            server.graceful_exit();
+            return Ok(());
+        }
+        server.tick();
+        if let Err(e) = server.conn.pump_write() {
+            return match e {
+                NetError::PeerClosed { .. } => Ok(()),
+                other => Err(other.to_string()),
+            };
+        }
+        if server.conn.pending_writes() == 0 && server.runtime.completions_pending() == 0 {
+            // Spin briefly after traffic (a driver round trip is tens of
+            // microseconds away), then back off to sleeping when idle.
+            if last_activity.elapsed() < Duration::from_millis(1) {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse() {
+        let opts = ServerOptions::from_args(
+            ["--connect", "unix:/tmp/x.sock", "--rank", "5"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.connect, "unix:/tmp/x.sock");
+        assert_eq!(opts.rank, Some(5));
+
+        let opts = ServerOptions::from_args(
+            ["--connect", "tcp:127.0.0.1:9000"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.rank, None);
+
+        assert!(ServerOptions::from_args(["--rank", "1"].into_iter().map(String::from)).is_err());
+        assert!(ServerOptions::from_args(["--bogus"].into_iter().map(String::from)).is_err());
+    }
+}

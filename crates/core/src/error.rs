@@ -41,6 +41,14 @@ pub enum CoreError {
         /// Description of what was being waited for.
         what: String,
     },
+    /// A peer process closed its connection (or was killed) outside a
+    /// graceful shutdown — the cross-process analogue of a node death.
+    PeerDisconnected {
+        /// Rank of the vanished peer.
+        rank: usize,
+        /// What the socket layer observed.
+        detail: String,
+    },
     /// A memory read through a transport yielded fewer bytes than requested
     /// (e.g. [`crate::cluster::Cluster::read_u64`] against a transport that
     /// could not serve the full width).
@@ -78,6 +86,9 @@ impl fmt::Display for CoreError {
             CoreError::Transport(msg) => write!(f, "cluster transport error: {msg}"),
             CoreError::WaitTimeout { what } => {
                 write!(f, "timed out waiting for completion: {what}")
+            }
+            CoreError::PeerDisconnected { rank, detail } => {
+                write!(f, "peer rank {rank} disconnected: {detail}")
             }
             CoreError::ShortRead {
                 rank,

@@ -222,6 +222,213 @@ fn control_plane_codecs_reject_garbage() {
     assert!(wire::decode_rel_head(&Bytes::from(vec![0u8; 15])).is_err());
 }
 
+/// The socket backend adds one more decode layer beneath everything above:
+/// length-prefixed stream framing.  The same rules apply — truncation,
+/// bit-flips and hostile length headers must come back as typed errors (or
+/// silent resynchronization-is-impossible `Err`s), never a panic and never
+/// an attacker-sized allocation.
+mod stream_framing {
+    use super::*;
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+    use tc_net::{Frame, FrameDecoder, Listener, NetError, SocketSpec, MAX_FRAME_BYTES};
+
+    fn sample_stream() -> Vec<u8> {
+        let frames = [
+            Frame::new(0, 1, 9, vec![0x11; 32]),
+            Frame::with_payload(1, 0, 10, vec![0x22; 40], vec![0x33; 700]),
+            Frame::new(2, 3, 104, Vec::new()),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        stream
+    }
+
+    #[test]
+    fn stream_truncated_at_every_byte_never_panics() {
+        let stream = sample_stream();
+        for cut in 0..stream.len() {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&stream[..cut]);
+            // Drain everything decodable; the final state is either "waiting
+            // for more bytes" (Ok(None)) or a typed error — never a panic.
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => {
+                        // A truncation that is not on a frame boundary must
+                        // be visible as a mid-frame condition with a byte
+                        // count, so a peer close here can be classified.
+                        if dec.pending() > 0 {
+                            assert!(dec.mid_frame(), "cut at {cut}");
+                        }
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_survives_seeded_bit_flips() {
+        let stream = sample_stream();
+        let mut rng = SplitMix64::new(0x57EA);
+        for _ in 0..500 {
+            let mut bad = stream.clone();
+            let byte = rng.below(bad.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            bad[byte] ^= 1 << bit;
+            let mut dec = FrameDecoder::new();
+            dec.extend(&bad);
+            // Flips in the length prefix shift framing; flips in the body
+            // change content.  Either way: frames, Ok(None), or a typed
+            // error.  Decoded garbage frames must still hold their invariant
+            // (data + payload fit the advertised length).
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => {
+                        assert!(f.data.len() + f.payload.len() <= MAX_FRAME_BYTES);
+                    }
+                    Ok(None) => break,
+                    Err(NetError::FrameTooLarge { len, max }) => {
+                        assert!(len > max);
+                        break;
+                    }
+                    Err(NetError::Malformed(_)) => break,
+                    Err(other) => panic!("unexpected stream error {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_header_is_rejected_without_allocation() {
+        // A 4 GiB length claim must cost the decoder nothing beyond the four
+        // bytes already buffered: the bound check happens before any
+        // frame-sized allocation.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        assert_eq!(dec.pending(), 4, "only the prefix is buffered");
+        match dec.next_frame() {
+            Err(NetError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Just over the limit is equally dead; just under parses the prefix.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_BYTES as u32).to_le_bytes());
+        assert!(
+            dec.next_frame().unwrap().is_none(),
+            "at the limit: wait for bytes"
+        );
+    }
+
+    #[test]
+    fn inconsistent_inner_lengths_are_malformed() {
+        // data_len claiming more than the body holds.
+        let f = Frame::new(1, 2, 3, vec![0u8; 16]);
+        let mut wire = f.encode();
+        wire[20..24].copy_from_slice(&(10_000u32).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(dec.next_frame(), Err(NetError::Malformed(_))));
+
+        // Length prefix smaller than the fixed header.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&7u32.to_le_bytes());
+        dec.extend(&[0u8; 7]);
+        assert!(matches!(dec.next_frame(), Err(NetError::Malformed(_))));
+    }
+
+    /// The failure mode the socket backend maps to `CoreError::ShortRead`:
+    /// a peer writes part of a frame onto a real socket and dies.  The
+    /// reader must classify the close as mid-frame with exact byte counts.
+    #[test]
+    fn peer_death_mid_frame_on_a_live_socket_is_classified() {
+        let path = std::env::temp_dir().join(format!("tc-corrupt-{}.sock", std::process::id()));
+        let listener = Listener::bind(&SocketSpec::Unix(path.clone())).unwrap();
+        let writer = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        let mut reader = loop {
+            if let Some(c) = listener.accept().unwrap() {
+                break c;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
+        let frame = Frame::with_payload(0, 1, 9, vec![4u8; 24], vec![0x5Au8; 512]);
+        let wire = frame.encode();
+        let cut = wire.len() - 100;
+        let mut writer = writer;
+        writer.write_all(&wire[..cut]).unwrap();
+        drop(writer); // SIGKILL's socket-level signature: EOF mid-frame.
+
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            match reader.pump_read(&mut got) {
+                Ok(()) => {
+                    assert!(Instant::now() < deadline, "EOF never surfaced");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => break e,
+            }
+        };
+        match err {
+            NetError::PeerClosed {
+                mid_frame: true,
+                wanted,
+                got: have,
+            } => {
+                assert_eq!(wanted, 100, "bytes the unfinished frame still needs");
+                assert_eq!(have, cut, "bytes that did arrive");
+            }
+            other => panic!("expected mid-frame PeerClosed, got {other:?}"),
+        }
+        assert!(got.is_empty(), "no partial frame may be delivered");
+
+        // A clean close on a frame boundary, by contrast, is not mid-frame.
+        let writer2 = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        let mut reader2 = loop {
+            if let Some(c) = listener.accept().unwrap() {
+                break c;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let mut writer2 = writer2;
+        writer2.write_all(&wire).unwrap();
+        drop(writer2);
+        let mut got2 = Vec::new();
+        let err2 = loop {
+            match reader2.pump_read(&mut got2) {
+                Ok(()) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(got2.len(), 1, "the whole frame arrived before the close");
+        assert!(
+            matches!(
+                err2,
+                NetError::PeerClosed {
+                    mid_frame: false,
+                    ..
+                }
+            ),
+            "boundary close must be clean, got {err2:?}"
+        );
+    }
+}
+
 #[test]
 fn reliable_envelope_corruption_is_contained() {
     // Corrupting the reliability prefix yields garbage seq/ack values (the

@@ -1,0 +1,155 @@
+//! Server-process lifecycle: spawn ranks as child processes and guarantee
+//! they never outlive the driver.
+
+use crate::{NetError, Result, SocketSpec};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A spawned server process that is killed (and reaped) on drop, so a
+/// panicking driver or failed test never leaves orphans behind.
+#[derive(Debug)]
+pub struct ChildGuard {
+    child: Option<Child>,
+    rank: u32,
+}
+
+impl ChildGuard {
+    /// The cluster rank this process serves.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// OS process id, if the child is still owned.
+    pub fn id(&self) -> Option<u32> {
+        self.child.as_ref().map(Child::id)
+    }
+
+    /// Kill the process immediately (idempotent) and reap it.
+    pub fn kill(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Wait for a voluntary exit up to `timeout`; kill on expiry.  Returns
+    /// true when the child exited on its own.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> bool {
+        let Some(child) = self.child.as_mut() else {
+            return true;
+        };
+        let deadline = Instant::now() + timeout;
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => {
+                    self.child = None;
+                    return true;
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        self.kill();
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => {
+                    self.kill();
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// True while the process has neither exited nor been reaped.
+    pub fn alive(&mut self) -> bool {
+        match self.child.as_mut() {
+            None => false,
+            Some(child) => match child.try_wait() {
+                Ok(Some(_)) => {
+                    self.child = None;
+                    false
+                }
+                Ok(None) => true,
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Launch one server rank: `bin --connect <spec> --rank <rank>`.
+///
+/// stdout/stderr stay inherited so a crashing server's panic message lands
+/// in the driver's output; stdin is closed.
+pub fn spawn_server(bin: &Path, connect: &SocketSpec, rank: u32) -> Result<ChildGuard> {
+    let child = Command::new(bin)
+        .arg("--connect")
+        .arg(connect.to_string())
+        .arg("--rank")
+        .arg(rank.to_string())
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(|e| NetError::Io(format!("spawning server {}: {e}", bin.display())))?;
+    Ok(ChildGuard {
+        child: Some(child),
+        rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn child_guard_kills_on_drop() {
+        let child = Command::new("sleep")
+            .arg("30")
+            .stdin(Stdio::null())
+            .spawn()
+            .unwrap();
+        let pid = child.id();
+        let mut guard = ChildGuard {
+            child: Some(child),
+            rank: 1,
+        };
+        assert!(guard.alive());
+        drop(guard);
+        // The pid must be gone (kill(pid, 0) via /proc avoids libc deps).
+        assert!(
+            !PathBuf::from(format!("/proc/{pid}/cmdline")).exists()
+                || std::fs::read(format!("/proc/{pid}/stat"))
+                    .map(|s| String::from_utf8_lossy(&s).contains(") Z "))
+                    .unwrap_or(true),
+            "child {pid} survived its guard"
+        );
+    }
+
+    #[test]
+    fn wait_timeout_reaps_voluntary_exit() {
+        let child = Command::new("true").stdin(Stdio::null()).spawn().unwrap();
+        let mut guard = ChildGuard {
+            child: Some(child),
+            rank: 0,
+        };
+        assert!(guard.wait_timeout(Duration::from_secs(5)));
+        assert!(!guard.alive());
+    }
+
+    #[test]
+    fn spawning_a_missing_binary_is_a_typed_error() {
+        let err = spawn_server(
+            Path::new("/nonexistent/tc-server"),
+            &SocketSpec::Tcp("127.0.0.1:1".into()),
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Io(_)));
+    }
+}

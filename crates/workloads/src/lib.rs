@@ -38,7 +38,8 @@ pub use chaos_sweep::{
     chaos_sweep, run_chaos_point, sweep_plan, ChaosSweepConfig, ChaosSweepRow, NodeFaultStats,
 };
 pub use dapc::{
-    depth_sweep, scaling_sweep, ChaseConfig, ChaseMode, ChaseResult, DapcExperiment, SweepPoint,
+    dapc_am_handler, depth_sweep, scaling_sweep, ChaseConfig, ChaseMode, ChaseResult,
+    DapcExperiment, SweepPoint,
 };
 pub use kernels::{
     chaser_module, chaser_module_chainlang, chaser_payload, reporting_tsi_payload, tsi_module,
@@ -57,3 +58,17 @@ pub use report::{
     render_overhead_table, render_rate_table,
 };
 pub use tsi::{platform_toolchain, run_tsi, tsi_am_handler, TsiBreakdown, TsiRate, TsiResults};
+
+/// The named Active-Message catalog a socket-backend server binary compiles
+/// in.  AM handlers are native closures and cannot cross a process boundary,
+/// so the driver's `deploy_am` ships only the *name*; a server process
+/// deploys the same-named entry from this catalog.  Names cover every
+/// handler the workloads and the repo's test suite deploy.
+pub fn am_catalog() -> Vec<(String, tc_core::NativeAmHandler)> {
+    vec![
+        ("tsi_am".to_string(), tsi_am_handler()),
+        ("parity_tsi_am".to_string(), tsi_am_handler()),
+        ("chaos_tsi_am".to_string(), tsi_am_handler()),
+        ("dapc_chase".to_string(), dapc_am_handler()),
+    ]
+}

@@ -1,0 +1,33 @@
+//! One server rank of a socket-backend cluster, as an OS process.
+//!
+//! Launched by the driver (`ClusterBuilder::build_socket`) or by hand:
+//!
+//! ```text
+//! tc-socket-server --connect unix:/tmp/cluster.sock [--rank 3]
+//! tc-socket-server --connect tcp:10.0.0.1:7000
+//! ```
+//!
+//! The process dials the driver, handshakes (HELLO/WELCOME), builds its
+//! `NodeRuntime` from the negotiated configuration, and serves until the
+//! driver sends SHUTDOWN or disappears.  The compiled-in Active-Message
+//! catalog is `tc_workloads::am_catalog()`.
+
+use std::process::ExitCode;
+use tc_core::cluster::{serve_socket, ServerOptions};
+
+fn main() -> ExitCode {
+    let opts = match ServerOptions::from_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("tc-socket-server: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve_socket(opts, tc_workloads::am_catalog()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tc-socket-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

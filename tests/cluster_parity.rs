@@ -1,8 +1,9 @@
 //! Backend parity: the same TSI and X-RDMA scenarios run through one
-//! `ClusterBuilder` on both first-class transports — the calibrated
-//! discrete-event simulation and real OS threads — and must produce identical
-//! functional results (counter values, execution counts, result values).
-//! Timing is backend-specific by design; function is not.
+//! `ClusterBuilder` on all three first-class transports — the calibrated
+//! discrete-event simulation, real OS threads, and separate OS processes
+//! over Unix-domain sockets — and must produce identical functional results
+//! (counter values, execution counts, result values).  Timing is
+//! backend-specific by design; function is not.
 
 use std::sync::Arc;
 use tc_bitir::{BinOp, Module, ModuleBuilder, ScalarType};
@@ -131,8 +132,18 @@ fn same_scenario_identical_results_on_both_backends() {
     let threaded_outcome = run_scenario(&mut threaded);
     threaded.shutdown();
 
+    let mut socket = builder()
+        .server_bin(env!("CARGO_BIN_EXE_tc-socket-server"))
+        .build(Backend::Socket);
+    let socket_outcome = run_scenario(&mut socket);
+    socket.shutdown();
+
     // Functional parity: every observable agrees across backends.
     assert_eq!(sim_outcome, threaded_outcome);
+    assert_eq!(
+        sim_outcome, socket_outcome,
+        "cross-process backend must match the in-process ones"
+    );
 
     // Sanity: and both match the analytic expectation.
     assert_eq!(sim_outcome.doubled, 42);
@@ -149,6 +160,45 @@ fn same_scenario_identical_results_on_both_backends() {
         let expected = 1 + if rank0 == 1 { 1 } else { 0 }; // tsi (+doubler on 2)
         assert_eq!(n, expected, "server {} JITs", rank0 + 1);
     }
+}
+
+/// The same scenario over a *lossy* socket: 25% of reliable frames on every
+/// link are dropped by the chaos engine, yet the outcome must be identical
+/// to the lossless run — exactly-once, in-order delivery across real
+/// process boundaries, with the reliability counters proving the recovery
+/// came from retransmission rather than luck.
+#[test]
+fn lossy_socket_run_matches_lossless_results_via_retransmission() {
+    let builder = || {
+        ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_bf2())
+            .servers(SERVERS)
+    };
+    let mut sim = builder().build(Backend::Simnet);
+    let lossless = run_scenario(&mut sim);
+
+    let mut socket = builder()
+        .fault_plan(tc_core::FaultPlan::seeded(0x50CC).drop_rate(0.25))
+        .server_bin(env!("CARGO_BIN_EXE_tc-socket-server"))
+        .build(Backend::Socket);
+    let lossy = run_scenario(&mut socket);
+    let metrics = socket.metrics();
+    let chaos = socket.transport().chaos_stats().expect("chaos installed");
+    socket.shutdown();
+
+    assert_eq!(
+        lossless, lossy,
+        "a 25%-drop socket run must be functionally indistinguishable from lossless"
+    );
+    assert_eq!(lossy.dropped, 0, "chaos drops are not fabric drops");
+    assert!(
+        chaos.total_injected() > 0,
+        "the plan must actually inject faults"
+    );
+    assert!(
+        metrics.retransmits > 0,
+        "recovery must come from retransmission"
+    );
 }
 
 #[test]

@@ -30,6 +30,12 @@ fn builder(clients: usize, servers: usize) -> ClusterBuilder {
         .servers(servers)
 }
 
+/// Same layout on the cross-process backend: servers are spawned OS
+/// processes (`tc-socket-server`) over a Unix-domain socket.
+fn socket_builder(clients: usize, servers: usize) -> ClusterBuilder {
+    builder(clients, servers).server_bin(env!("CARGO_BIN_EXE_tc-socket-server"))
+}
+
 /// The shared scenario: every client gathers the table and chases pointers.
 fn run_streams(
     cluster: &mut Cluster<Box<dyn Transport>>,
@@ -80,9 +86,17 @@ fn parity_for_clients(clients: usize) {
     let threaded_report = run_streams(&mut threaded, &table);
     threaded.shutdown();
 
+    let mut socket = socket_builder(clients, 2).build(Backend::Socket);
+    let socket_report = run_streams(&mut socket, &table);
+    socket.shutdown();
+
     assert_eq!(
         sim_report, threaded_report,
         "{clients}-client run must be byte-identical across backends"
+    );
+    assert_eq!(
+        sim_report, socket_report,
+        "{clients}-client run must be byte-identical on the cross-process backend"
     );
     assert_report_matches_ground_truth(&sim_report, &table, clients);
 }

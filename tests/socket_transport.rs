@@ -1,0 +1,229 @@
+//! Cross-process socket backend: lifecycle, pipelined data plane, TCP,
+//! externally launched servers, and peer-death error mapping.
+//!
+//! Every test spawns real OS processes (the `tc-socket-server` binary this
+//! package builds) and talks to them over Unix-domain or TCP sockets, so
+//! this suite is the proof that the deployment model in README.md actually
+//! works end to end — including the part where things die.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use tc_core::cluster::{CompletionSet, SocketSpec};
+use tc_core::layout::DATA_REGION_BASE;
+use tc_core::{ClusterBuilder, CoreError, Ready};
+
+fn server_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tc-socket-server")
+}
+
+fn builder(servers: usize) -> ClusterBuilder {
+    ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_xeon())
+        .servers(servers)
+        .server_bin(server_bin())
+}
+
+/// The acceptance workload: a driver plus four server processes over
+/// Unix-domain sockets complete a 256-operation pipelined GET stream
+/// (window 16) and shut down without leaving a single orphan process.
+#[test]
+fn four_server_processes_complete_a_pipelined_get_workload() {
+    const OPS: usize = 256;
+    const SIZE: usize = 1024;
+    const SERVERS: usize = 4;
+    const WINDOW: usize = 16;
+
+    let mut cluster = builder(SERVERS).build_socket().expect("cluster starts");
+    let addr = DATA_REGION_BASE;
+    for s in 0..SERVERS {
+        let rank = cluster.server_rank(s);
+        let pattern = vec![0xA0 + s as u8; SIZE];
+        cluster.write_memory(rank, addr, &pattern).unwrap();
+    }
+
+    let mut set = CompletionSet::new();
+    let mut issued = 0usize;
+    let mut done = 0usize;
+    while done < OPS {
+        let mut posted = false;
+        while issued < OPS && set.len() < WINDOW {
+            let rank = cluster.server_rank(issued % SERVERS);
+            set.add_get(cluster.post_get(rank, addr, SIZE as u64));
+            issued += 1;
+            posted = true;
+        }
+        if posted {
+            cluster.flush().unwrap();
+        }
+        let (_, ready) = cluster.wait_any(&mut set).unwrap();
+        match ready {
+            Ready::Get(data) => {
+                assert_eq!(data.len(), SIZE);
+                assert!(
+                    data.iter()
+                        .all(|&b| (0xA0..0xA0 + SERVERS as u8).contains(&b)),
+                    "payload bytes must come from a server's pattern"
+                );
+            }
+            other => panic!("unexpected readiness {other:?}"),
+        }
+        done += 1;
+    }
+
+    // Clean teardown: every spawned process must be gone.
+    let mut transport = cluster.shutdown();
+    assert_eq!(transport.live_children(), 0, "no orphaned server processes");
+}
+
+/// Byte-level round trips over real TCP (loopback, ephemeral port), both
+/// directions, both sizes of the wire codec (inline and scatter-gather).
+#[test]
+fn tcp_transport_round_trips_puts_and_gets() {
+    let mut cluster = builder(1)
+        .socket_addr(SocketSpec::Tcp("127.0.0.1:0".into()))
+        .build_socket()
+        .expect("TCP cluster starts");
+    let rank = cluster.server_rank(0);
+    let addr = DATA_REGION_BASE;
+
+    // Small (inline) and large (vectored scatter-gather ≥ 512 B) payloads.
+    for size in [64usize, 64 * 1024] {
+        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        cluster.put(rank, addr, payload.clone()).unwrap();
+        let handle = cluster.get(rank, addr, size as u64).unwrap();
+        let data = cluster.wait(&handle).unwrap();
+        assert_eq!(&data[..], &payload[..], "TCP round trip of {size} bytes");
+    }
+    cluster.shutdown();
+}
+
+/// The external-deployment path: the driver binds a known endpoint and does
+/// NOT spawn anything; server processes launched by "the operator" (this
+/// test, standing in for a scheduler or a shell on another host) dial in
+/// and the cluster works identically.
+#[test]
+fn externally_launched_servers_join_a_waiting_driver() {
+    let sock = std::env::temp_dir().join(format!("tc-ext-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let spec = format!("unix:{}", sock.display());
+
+    // Launch the servers first: connect_with_retry lets them out-wait the
+    // driver's bind.
+    let mut children: Vec<_> = (1..=2)
+        .map(|rank| {
+            Command::new(server_bin())
+                .args(["--connect", &spec, "--rank", &rank.to_string()])
+                .stdin(Stdio::null())
+                .spawn()
+                .expect("spawn external server")
+        })
+        .collect();
+
+    let mut cluster = ClusterBuilder::new()
+        .platform(tc_simnet::Platform::thor_xeon())
+        .servers(2)
+        .socket_addr(SocketSpec::parse(&spec).unwrap())
+        .socket_external()
+        .build_socket()
+        .expect("driver accepts external servers");
+
+    let addr = DATA_REGION_BASE;
+    for s in 0..2 {
+        let rank = cluster.server_rank(s);
+        cluster.write_u64(rank, addr, 777 + s as u64).unwrap();
+        assert_eq!(cluster.read_u64(rank, addr).unwrap(), 777 + s as u64);
+    }
+    cluster.shutdown();
+
+    // SHUTDOWN (or driver close) must reach the external processes too.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for child in &mut children {
+        loop {
+            match child.try_wait().unwrap() {
+                Some(status) => {
+                    assert!(status.success(), "external server exits cleanly");
+                    break;
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("external server did not exit after driver shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// Satellite: a server process dying mid-run must surface as a *typed*
+/// error on the driver — never a panic, never a hang.  A GET against the
+/// dead rank fails with `PeerDisconnected`/`ShortRead` (the socket saw the
+/// death) or `WaitTimeout` (the transport went quiescent without the
+/// reply); healthy ranks keep serving afterwards.
+#[test]
+fn killed_server_surfaces_typed_error_and_peers_keep_serving() {
+    let mut cluster = builder(2).build_socket().expect("cluster starts");
+    let addr = DATA_REGION_BASE;
+    for s in 0..2 {
+        let rank = cluster.server_rank(s);
+        cluster.write_u64(rank, addr, 41 + s as u64).unwrap();
+    }
+
+    // Kill server index 0 (rank 1) dead, SIGKILL, no goodbye.
+    cluster.transport_mut().kill_server(0);
+    // Give the OS a moment to tear the socket down.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let started = Instant::now();
+    let dead_rank = cluster.server_rank(0);
+    let err = match cluster.get(dead_rank, addr, 8) {
+        Err(e) => e,
+        Ok(handle) => cluster
+            .wait(&handle)
+            .expect_err("a GET against a killed server process must fail"),
+    };
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "the failure must be detected, not waited out forever"
+    );
+    match &err {
+        CoreError::PeerDisconnected { rank, .. } => assert_eq!(*rank, dead_rank),
+        CoreError::ShortRead { rank, .. } => assert_eq!(*rank, dead_rank),
+        CoreError::WaitTimeout { .. } => {}
+        other => panic!("expected a typed peer-death error, got {other:?}"),
+    }
+
+    // The surviving rank still answers on both planes.
+    let live_rank = cluster.server_rank(1);
+    assert_eq!(cluster.read_u64(live_rank, addr).unwrap(), 42);
+    let handle = cluster.get(live_rank, addr, 8).unwrap();
+    assert_eq!(cluster.wait(&handle).unwrap().len(), 8);
+
+    let mut transport = cluster.shutdown();
+    assert_eq!(transport.live_children(), 0, "shutdown reaps everything");
+}
+
+/// Control-plane reads against a rank whose process died also come back as
+/// typed errors (the link error is sticky and replayed, not panicked on).
+#[test]
+fn dead_link_errors_are_sticky_and_typed_on_the_control_plane() {
+    let mut cluster = builder(1).build_socket().expect("cluster starts");
+    let rank = cluster.server_rank(0);
+    cluster.write_u64(rank, DATA_REGION_BASE, 7).unwrap();
+
+    cluster.transport_mut().kill_server(0);
+    std::thread::sleep(Duration::from_millis(50));
+
+    let first = cluster.read_u64(rank, DATA_REGION_BASE);
+    let second = cluster.read_u64(rank, DATA_REGION_BASE);
+    for (which, res) in [("first", first), ("second", second)] {
+        match res {
+            Err(CoreError::PeerDisconnected { .. })
+            | Err(CoreError::ShortRead { .. })
+            | Err(CoreError::WaitTimeout { .. })
+            | Err(CoreError::Transport(_)) => {}
+            other => panic!("{which} read after peer death: expected a typed error, got {other:?}"),
+        }
+    }
+    cluster.shutdown();
+}
