@@ -4,11 +4,11 @@
 //! time (not virtual time) and guard against performance regressions in the
 //! framework itself.
 
-use tc_bench::crit::{BenchmarkId, Criterion, Throughput};
+use tc_bench::crit::{BatchSize, BenchmarkId, Criterion, Throughput};
 use tc_bench::{criterion_group, criterion_main};
 use tc_binfmt::{load_object, LoadOptions, MapResolver};
 use tc_bitir::{decode_module, encode_module, lower_for_target, FatBitcode, TargetTriple};
-use tc_core::{ClusterBuilder, CodeRepr, MessageFrame};
+use tc_core::{ClusterBuilder, CodeRepr, FaultPlan, MessageFrame, RelConfig};
 use tc_jit::{build_object, CompileOptions, Engine, MemoryExt, NoExternals, VecMemory};
 use tc_workloads::{chaser_module, tsi_module};
 
@@ -352,6 +352,192 @@ fn bench_data_plane_transport(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reliability cost under loss: the same pipelined GET workload (256 GETs,
+/// window 16, 4 servers, threaded backend) under a seeded fault plan
+/// dropping {0, 1, 5, 10}% of reliable-plane frames.  The `drop/0` row
+/// against `transport/threaded` prices the sequencing-and-ack tax of the
+/// reliability layer itself (no fault ever fires, but every frame carries a
+/// header and every delivery is acked); the higher rows add the
+/// retransmission stalls loss actually costs.  Two arms per rate:
+///
+/// * `drop/{pct}` — adaptive RTO riding a floor matched to loopback RTTs
+///   (2 ms), so a drop stalls one window slot for ~milliseconds;
+/// * `drop_fixed/{pct}` — the deployable fixed configuration
+///   (`threads_default().fixed()`, 30 ms flat).  A fixed timeout must be
+///   provisioned for worst-case scheduling delay precisely because nothing
+///   adapts it, so every drop stalls 30 ms.
+fn bench_data_plane_drop(c: &mut Criterion) {
+    use tc_core::cluster::CompletionSet;
+    const OPS: usize = 256;
+    const SIZE: usize = 1024;
+    const SERVERS: usize = 4;
+    const WINDOW: usize = 16;
+    let mut group = c.benchmark_group("data_plane");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    // A loopback-scale adaptive window: 2 ms floor, 64 ms cap.  The
+    // backend default (30 ms floor) is sized for loaded CI machines; under
+    // a wall-clock bench it would price a drop at 30 ms flat and swamp the
+    // curve.
+    let adaptive = RelConfig {
+        rto: 2_000_000,
+        rto_max: 64_000_000,
+        adaptive: true,
+    };
+    let fixed = RelConfig::threads_default().fixed();
+    for (axis, rel) in [("drop", adaptive), ("drop_fixed", fixed)] {
+        for drop_pct in [0u32, 1, 5, 10] {
+            let mut cluster = ClusterBuilder::new()
+                .platform(tc_simnet::Platform::thor_xeon())
+                .servers(SERVERS)
+                .fault_plan(
+                    FaultPlan::seeded(0xD809 + u64::from(drop_pct))
+                        .drop_rate(f64::from(drop_pct) / 100.0),
+                )
+                .rel_config(rel)
+                .build_threaded();
+            let addr = tc_core::layout::DATA_REGION_BASE;
+            for s in 0..SERVERS {
+                let rank = cluster.server_rank(s);
+                cluster
+                    .write_memory(rank, addr, &vec![0x5Au8; SIZE])
+                    .unwrap();
+                // Warm the path and feed the estimator its first samples.
+                let warm = cluster.get(rank, addr, SIZE as u64).unwrap();
+                cluster.wait(&warm).unwrap();
+            }
+
+            group.bench_with_input(BenchmarkId::new(axis, drop_pct), &drop_pct, |b, _| {
+                b.iter(|| {
+                    let mut set = CompletionSet::new();
+                    let mut issued = 0usize;
+                    let mut done = 0usize;
+                    while done < OPS {
+                        let mut posted = false;
+                        while issued < OPS && set.len() < WINDOW {
+                            let rank = cluster.server_rank(issued % SERVERS);
+                            set.add_get(cluster.post_get(rank, addr, SIZE as u64));
+                            issued += 1;
+                            posted = true;
+                        }
+                        if posted {
+                            cluster.flush().unwrap();
+                        }
+                        let (_, ready) = cluster.wait_any(&mut set).unwrap();
+                        match ready {
+                            tc_core::Ready::Get(data) => assert_eq!(data.len(), SIZE),
+                            other => panic!("unexpected readiness {other:?}"),
+                        }
+                        done += 1;
+                    }
+                });
+            });
+            cluster.shutdown();
+        }
+    }
+    group.finish();
+}
+
+/// Crash-recovery latency of the socket backend: SIGKILL one of two server
+/// processes with a pipelined GET stream running under a 1% drop plan, and
+/// time kill → workload drained through the healed link (detection, respawn,
+/// re-handshake, state re-deploy, reliable-frame replay, plus every
+/// loss-induced retransmission stall along the way).  Two arms:
+///
+/// * `adaptive` — the estimator licenses a 1 ms floor: it keeps the RTO at
+///   `srtt + 4·rttvar` above the observed loopback RTT, so a dropped replay
+///   or data frame re-probes in ~a millisecond.
+/// * `fixed` — the backend's fixed default (30 ms).  A fixed timeout must be
+///   provisioned for the worst plausible scheduling delay precisely because
+///   nothing adapts it, so every drop on the critical path stalls 30 ms.
+///
+/// The `recovery/adaptive` vs `recovery/fixed` rows in BENCH.json are the
+/// recovery-latency comparison recorded in EXPERIMENTS.md.
+fn bench_recovery(c: &mut Criterion) {
+    use tc_core::cluster::CompletionSet;
+    const OPS: usize = 96;
+    const SIZE: usize = 512;
+    const SERVERS: usize = 2;
+    const WINDOW: usize = 8;
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(5);
+
+    let adaptive = RelConfig {
+        rto: 1_000_000,
+        rto_max: 480_000_000,
+        adaptive: true,
+    };
+    let fixed = RelConfig::threads_default().fixed();
+    for (name, rel) in [("adaptive", adaptive), ("fixed", fixed)] {
+        // Healed clusters park here so their teardown is not timed.
+        let mut graveyard = Vec::new();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cluster = ClusterBuilder::new()
+                        .platform(tc_simnet::Platform::thor_xeon())
+                        .servers(SERVERS)
+                        .server_bin(env!("CARGO_BIN_EXE_tc-socket-server-bench"))
+                        .fault_plan(FaultPlan::seeded(0x1EC0).drop_rate(0.01))
+                        .rel_config(rel)
+                        .socket_recovery()
+                        .build_socket()
+                        .expect("socket cluster starts");
+                    let addr = tc_core::layout::DATA_REGION_BASE;
+                    for s in 0..SERVERS {
+                        let rank = cluster.server_rank(s);
+                        cluster
+                            .write_memory(rank, addr, &vec![0xE0 + s as u8; SIZE])
+                            .unwrap();
+                        // Warm the path; in the adaptive arm this also feeds
+                        // the estimator its first RTT samples.
+                        let warm = cluster.get(rank, addr, SIZE as u64).unwrap();
+                        cluster.wait(&warm).unwrap();
+                    }
+                    cluster
+                },
+                |mut cluster| {
+                    // SIGKILL server index 0, no goodbye, then drive the
+                    // stream to completion across both ranks — the killed
+                    // rank's operations queue behind the heal and replay.
+                    cluster.transport_mut().kill_server(0);
+                    let addr = tc_core::layout::DATA_REGION_BASE;
+                    let mut set = CompletionSet::new();
+                    let mut issued = 0usize;
+                    let mut done = 0usize;
+                    while done < OPS {
+                        let mut posted = false;
+                        while issued < OPS && set.len() < WINDOW {
+                            let rank = cluster.server_rank(issued % SERVERS);
+                            set.add_get(cluster.post_get(rank, addr, SIZE as u64));
+                            issued += 1;
+                            posted = true;
+                        }
+                        if posted {
+                            cluster.flush().unwrap();
+                        }
+                        let (_, ready) = cluster.wait_any(&mut set).unwrap();
+                        match ready {
+                            tc_core::Ready::Get(data) => assert_eq!(data.len(), SIZE),
+                            other => panic!("unexpected readiness {other:?}"),
+                        }
+                        done += 1;
+                    }
+                    graveyard.push(cluster);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        for cluster in graveyard {
+            let mut transport = cluster.shutdown();
+            assert!(transport.heals() >= 1, "every sample must include a heal");
+            assert_eq!(transport.live_children(), 0, "shutdown reaps everything");
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frame_codec,
@@ -361,6 +547,8 @@ criterion_group!(
     bench_data_plane,
     bench_data_plane_inflight,
     bench_data_plane_clients,
-    bench_data_plane_transport
+    bench_data_plane_transport,
+    bench_data_plane_drop,
+    bench_recovery
 );
 criterion_main!(benches);

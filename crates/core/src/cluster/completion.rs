@@ -309,6 +309,10 @@ impl ClaimTable {
 pub struct PutHandle {
     pub(super) client: ClientId,
     pub(super) request: RequestId,
+    /// The server rank the PUT targets — the ack can only ever come from
+    /// there, so a crashed target resolves the handle as
+    /// [`Ready::PeerLost`].
+    pub(super) target: usize,
 }
 
 impl PutHandle {
@@ -320,6 +324,11 @@ impl PutHandle {
     /// The client the confirmed PUT was posted from.
     pub fn client(&self) -> ClientId {
         self.client
+    }
+
+    /// The server rank the confirmed PUT targets.
+    pub fn target(&self) -> usize {
+        self.target
     }
 }
 
@@ -362,6 +371,12 @@ pub enum Ready {
     /// is removed; the completion, should it still arrive, stays claimable
     /// through the claim table.
     Deadline,
+    /// The server rank the operation was pinned to failed terminally (dead
+    /// with no recovery pending), so the completion can never arrive.  The
+    /// registration is removed; carries the lost rank.  Only GETs and
+    /// confirmed PUTs are pinned to a rank — result mailboxes can be filled
+    /// from anywhere and resolve through deadlines instead.
+    PeerLost(u32),
 }
 
 /// Deadline state of one registration.  Relative deadlines are resolved to
@@ -613,6 +628,28 @@ impl CompletionSet {
         Some((CompletionToken(token), ready))
     }
 
+    /// Remove and return the earliest-registered entry pinned to one of the
+    /// `failed` ranks, together with that rank.  Pinned registrations (GETs
+    /// and confirmed PUTs) can only complete from their target server, so a
+    /// terminally failed target means the wait can never succeed; result
+    /// registrations are not pinned and never resolve this way.
+    pub(super) fn take_peer_lost(&mut self, failed: &[usize]) -> Option<(CompletionToken, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (&token, e) in &self.entries {
+            let target = match &e.target {
+                Registered::Get(h) => h.target,
+                Registered::Put(h) => h.target,
+                Registered::Result(_) => continue,
+            };
+            if failed.contains(&target) && best.map(|(b, _)| token < b).unwrap_or(true) {
+                best = Some((token, target));
+            }
+        }
+        let (token, rank) = best?;
+        self.take_entry(token);
+        Some((CompletionToken(token), rank))
+    }
+
     /// Remove and return the entry with the earliest expired deadline, if
     /// any is at or past `now`.
     pub(super) fn take_expired(&mut self, now: u64) -> Option<CompletionToken> {
@@ -823,6 +860,7 @@ mod tests {
         let g = GetHandle {
             client: C0,
             request: RequestId(4),
+            target: 1,
         };
         let t1 = set.add_get(g);
         let t2 = set.add_get(g); // duplicate registration of the same handle
@@ -847,6 +885,30 @@ mod tests {
         assert!(set.claim_earliest(&mut claims).is_none());
         assert_eq!(set.len(), 1);
         assert!(set.remove(t2));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn peer_lost_takes_pinned_registrations_only() {
+        let mut set = CompletionSet::new();
+        let t_get = set.add_get(GetHandle {
+            client: C0,
+            request: RequestId(1),
+            target: 2,
+        });
+        let t_put = set.add_put(PutHandle {
+            client: C0,
+            request: RequestId(2),
+            target: 3,
+        });
+        let t_res = set.add_result(ResultHandle::for_slot(7));
+        // Rank 1 lost nothing registered; result registrations are never
+        // pinned, so losing every rank still leaves the result waiting.
+        assert_eq!(set.take_peer_lost(&[1]), None);
+        assert_eq!(set.take_peer_lost(&[3]), Some((t_put, 3)));
+        assert_eq!(set.take_peer_lost(&[2, 3]), Some((t_get, 2)));
+        assert_eq!(set.take_peer_lost(&[1, 2, 3]), None);
+        assert!(set.remove(t_res));
         assert!(set.is_empty());
     }
 

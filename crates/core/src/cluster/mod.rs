@@ -55,7 +55,7 @@ pub mod thread_transport;
 pub mod wire;
 
 pub use completion::{ClaimTable, CompletionSet, CompletionToken, PutHandle, Ready};
-pub use reliable::{RelConfig, RelMetrics};
+pub use reliable::{LinkHealth, RelConfig, RelMetrics};
 pub use sim_transport::SimTransport;
 pub use socket::{SocketConfig, SocketTransport, SocketTuning};
 pub use socket_server::{serve as serve_socket, ServerOptions};
@@ -250,6 +250,24 @@ pub trait Transport {
         None
     }
 
+    /// Ranks whose links have failed *terminally* — the peer is dead and no
+    /// recovery is pending (either self-healing is off, or its respawn
+    /// budget is exhausted).  Ops pinned to such a rank can never complete;
+    /// `wait_any` surfaces them as [`Ready::PeerLost`] instead of riding to
+    /// the quiescence timeout.  Empty for in-process backends, which cannot
+    /// lose a peer.
+    fn failed_ranks(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Per-link reliability health rows as `(owning rank, health)` pairs:
+    /// SRTT/RTTVAR estimate, current RTO, unacked frames, consecutive silent
+    /// backoff rounds.  Empty without a fault plan (the reliable layer is
+    /// what keeps the estimators).
+    fn link_health(&self) -> Vec<(u32, LinkHealth)> {
+        Vec::new()
+    }
+
     /// Tear the backend down (join threads).  Idempotent; the default is a
     /// no-op for in-process backends.
     fn shutdown(&mut self) {}
@@ -313,6 +331,12 @@ impl Transport for Box<dyn Transport> {
     fn chaos_stats(&self) -> Option<tc_chaos::ChaosStats> {
         (**self).chaos_stats()
     }
+    fn failed_ranks(&self) -> Vec<usize> {
+        (**self).failed_ranks()
+    }
+    fn link_health(&self) -> Vec<(u32, LinkHealth)> {
+        (**self).link_health()
+    }
     fn shutdown(&mut self) {
         (**self).shutdown()
     }
@@ -341,6 +365,9 @@ pub trait CompletionHandle {
 pub struct GetHandle {
     client: ClientId,
     request: RequestId,
+    /// The server rank the GET targets — pins the handle to a peer so
+    /// `wait_any` can fail it fast when that peer is lost.
+    target: usize,
 }
 
 impl GetHandle {
@@ -353,6 +380,11 @@ impl GetHandle {
     /// reply arrives on).  Request ids are per-client, so routing needs both.
     pub fn client(&self) -> ClientId {
         self.client
+    }
+
+    /// The server rank this GET targets.
+    pub fn target(&self) -> usize {
+        self.target
     }
 }
 
@@ -780,7 +812,11 @@ impl<T: Transport> Cluster<T> {
             data,
         );
         self.transport.flush_client(client)?;
-        Ok(PutHandle { client, request })
+        Ok(PutHandle {
+            client,
+            request,
+            target: dst,
+        })
     }
 
     /// Post a one-sided GET against `dst` from the primary client, returning
@@ -822,7 +858,11 @@ impl<T: Transport> Cluster<T> {
             .transport
             .client_mut(client)
             .post_get(WorkerAddr(dst as u32), addr, len);
-        GetHandle { client, request }
+        GetHandle {
+            client,
+            request,
+            target: dst,
+        }
     }
 
     /// Post a confirmed PUT *without* flushing (see [`Cluster::post_get`]).
@@ -848,7 +888,11 @@ impl<T: Transport> Cluster<T> {
             addr,
             data,
         );
-        PutHandle { client, request }
+        PutHandle {
+            client,
+            request,
+            target: dst,
+        }
     }
 
     /// Move everything the primary client posted-but-unflushed into the
@@ -972,6 +1016,15 @@ impl<T: Transport> Cluster<T> {
             self.absorb_completions();
             if let Some(ready) = set.claim_earliest(&mut self.claims) {
                 return Ok(ready);
+            }
+            // A handle pinned to a terminally failed rank can never
+            // complete; fail it fast instead of riding to the quiescence
+            // timeout.  (A rank mid-recovery is not in `failed_ranks`.)
+            let failed = self.transport.failed_ranks();
+            if !failed.is_empty() {
+                if let Some((token, rank)) = set.take_peer_lost(&failed) {
+                    return Ok((token, Ready::PeerLost(rank as u32)));
+                }
             }
             if set.has_deadlines() {
                 let now = self.transport.now_nanos();
@@ -1106,6 +1159,21 @@ impl<T: Transport> Cluster<T> {
         self.transport.metrics()
     }
 
+    /// Per-link reliability health as `(owning rank, health)` rows: the
+    /// SRTT/RTTVAR estimate, current RTO, unacked frames, and consecutive
+    /// silent backoff rounds of every link that has carried reliable
+    /// traffic.  Empty without a fault plan.  Render with
+    /// `report::render_link_health` for the operator's table view.
+    pub fn link_health(&self) -> Vec<(u32, LinkHealth)> {
+        self.transport.link_health()
+    }
+
+    /// Ranks whose links have terminally failed (dead peer, no recovery
+    /// pending).  Empty on healthy clusters and on in-process backends.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.transport.failed_ranks()
+    }
+
     /// Tear the cluster down, returning the transport for post-mortem
     /// inspection.
     pub fn shutdown(mut self) -> T {
@@ -1134,6 +1202,7 @@ pub struct ClusterBuilder {
     server_triple: Option<TargetTriple>,
     opt_level: OptLevel,
     fault_plan: Option<tc_chaos::FaultPlan>,
+    rel_config: Option<RelConfig>,
     tuning: thread_transport::ThreadTuning,
     socket: socket::SocketConfig,
 }
@@ -1155,6 +1224,7 @@ impl ClusterBuilder {
             server_triple: None,
             opt_level: OptLevel::O2,
             fault_plan: None,
+            rel_config: None,
             tuning: thread_transport::ThreadTuning::default(),
             socket: socket::SocketConfig::default(),
         }
@@ -1207,6 +1277,30 @@ impl ClusterBuilder {
     /// transports keep their original zero-overhead lossless path.
     pub fn fault_plan(mut self, plan: tc_chaos::FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the reliable layer's retransmission tunables (initial RTO,
+    /// backoff cap, adaptive estimation on/off) on every backend.  The
+    /// defaults are [`RelConfig::sim_default`] on the simulated backend and
+    /// [`RelConfig::threads_default`] on the wall-clock ones, all with
+    /// adaptive estimation enabled; `RelConfig::threads_default().fixed()`
+    /// recovers the pre-adaptive behaviour.  Only meaningful together with
+    /// [`ClusterBuilder::fault_plan`].
+    pub fn rel_config(mut self, config: RelConfig) -> Self {
+        self.rel_config = Some(config);
+        self
+    }
+
+    /// Enable self-healing on the socket backend: dead server ranks are
+    /// detected (socket failure or PING silence), respawned (or awaited, in
+    /// external mode) with bounded exponential backoff, re-handshaken,
+    /// brought back to control-plane parity (AM catalog, recorded memory
+    /// writes), and their reliable links replayed.  Requires a fault plan —
+    /// only the reliable plane can replay in-flight frames.  Ignored by the
+    /// other backends.
+    pub fn socket_recovery(mut self) -> Self {
+        self.socket.recover = true;
         self
     }
 
@@ -1271,6 +1365,7 @@ impl ClusterBuilder {
             self.server_triple,
             self.opt_level,
             self.fault_plan,
+            self.rel_config,
         );
         Cluster::new(transport)
     }
@@ -1286,6 +1381,7 @@ impl ClusterBuilder {
             self.opt_level,
             self.tuning,
             self.fault_plan,
+            self.rel_config,
         ))
     }
 
@@ -1295,6 +1391,8 @@ impl ClusterBuilder {
     /// a server process may fail to dial in.
     pub fn build_socket(self) -> Result<Cluster<SocketTransport>> {
         let (client, server) = self.resolved_triples();
+        let mut socket = self.socket;
+        socket.rel_config = self.rel_config.or(socket.rel_config);
         Ok(Cluster::new(SocketTransport::connect_config(
             self.clients,
             self.servers,
@@ -1302,7 +1400,7 @@ impl ClusterBuilder {
             server,
             self.opt_level,
             self.fault_plan,
-            self.socket,
+            socket,
         )?))
     }
 

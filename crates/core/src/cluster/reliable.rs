@@ -14,6 +14,11 @@
 //!   messages are re-sent after an RTO that doubles per silent round up to
 //!   a cap (the retries themselves are unbounded: a partition heals
 //!   *because* retransmissions keep probing it);
+//! * **adaptive per-link RTO** — the base timeout is estimated per link
+//!   from ack round-trip samples (Jacobson's SRTT/RTTVAR with Karn's rule:
+//!   retransmitted frames never feed the estimator), clamped to
+//!   `[cfg.rto, cfg.rto_max]`; fixed-RTO operation remains available as
+//!   the comparison arm ([`RelConfig::adaptive`] = false);
 //! * **receiver-side dedup and reordering** — duplicates are dropped,
 //!   out-of-order arrivals are buffered until the gap fills.
 //!
@@ -30,11 +35,15 @@ use std::collections::BTreeMap;
 /// Reliability tunables.  Times are in nanoseconds of the caller's clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelConfig {
-    /// Initial retransmission timeout.
+    /// Initial retransmission timeout; when [`RelConfig::adaptive`] is set
+    /// it is also the floor the estimated RTO never drops below.
     pub rto: u64,
     /// Backoff cap: the RTO doubles each silent round but never exceeds
-    /// this.
+    /// this.  Also the ceiling of the adaptive estimate.
     pub rto_max: u64,
+    /// Estimate the per-link RTO from ack RTT samples (Jacobson SRTT/RTTVAR
+    /// with Karn's rule).  When false the RTO stays pinned at `rto`.
+    pub adaptive: bool,
 }
 
 impl RelConfig {
@@ -43,6 +52,7 @@ impl RelConfig {
         RelConfig {
             rto: 100_000,       // 100 µs
             rto_max: 2_000_000, // 2 ms
+            adaptive: true,
         }
     }
 
@@ -51,6 +61,16 @@ impl RelConfig {
         RelConfig {
             rto: 30_000_000,      // 30 ms
             rto_max: 480_000_000, // 480 ms
+            adaptive: true,
+        }
+    }
+
+    /// The same tunables with the estimator disabled (the fixed-RTO
+    /// comparison arm of the reliability-cost benches).
+    pub fn fixed(self) -> Self {
+        RelConfig {
+            adaptive: false,
+            ..self
         }
     }
 }
@@ -66,6 +86,38 @@ pub struct RelMetrics {
     pub out_of_order: u64,
     /// Pure acks emitted.
     pub acks_sent: u64,
+}
+
+/// Operator-facing snapshot of one link's reliability state
+/// ([`ReliableSet::link_health`]); `srtt`/`rttvar` are zero until the first
+/// RTT sample arrives, at which point `rto` starts tracking the estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkHealth {
+    /// Peer rank of the link.
+    pub peer: u32,
+    /// Smoothed round-trip time (ns); 0 before the first sample.
+    pub srtt: u64,
+    /// Round-trip time variance (ns); 0 before the first sample.
+    pub rttvar: u64,
+    /// Current base retransmission timeout of the link (ns).
+    pub rto: u64,
+    /// Messages awaiting acknowledgement on the link.
+    pub unacked: u64,
+    /// Consecutive silent RTO rounds (the backoff exponent; resets on ack
+    /// progress).
+    pub silent_rounds: u32,
+}
+
+/// One buffered-for-retransmission message with the state the RTT estimator
+/// needs: when its *first* transmission left, and whether it has been
+/// retransmitted since (Karn's rule disqualifies it from sampling then —
+/// an ack for a retransmitted frame is ambiguous about which copy it
+/// acknowledges).
+#[derive(Debug, Clone)]
+struct SentEntry<M> {
+    m: M,
+    sent_at: u64,
+    retransmitted: bool,
 }
 
 /// A frame the caller must (re)transmit: message `m` to `peer` with
@@ -101,7 +153,7 @@ struct PeerLink<M> {
     /// Next sequence number to assign (first message is 1).
     next_seq: u64,
     /// Sent but not yet cumulatively acked, keyed by seq.
-    unacked: BTreeMap<u64, M>,
+    unacked: BTreeMap<u64, SentEntry<M>>,
     /// Consecutive silent RTO rounds (resets on ack progress).
     backoff: u32,
     /// Caller-clock deadline of the next retransmission round.
@@ -110,10 +162,19 @@ struct PeerLink<M> {
     recv_cum: u64,
     /// Out-of-order arrivals parked until the gap fills.
     parked: BTreeMap<u64, M>,
+    /// Smoothed RTT estimate (ns); meaningless until `has_sample`.
+    srtt: u64,
+    /// RTT variance estimate (ns); meaningless until `has_sample`.
+    rttvar: u64,
+    /// Current base RTO: `cfg.rto` until the estimator has a sample, then
+    /// `clamp(srtt + 4·rttvar, cfg.rto, cfg.rto_max)`.
+    cur_rto: u64,
+    /// True once the estimator has consumed its first RTT sample.
+    has_sample: bool,
 }
 
-impl<M> Default for PeerLink<M> {
-    fn default() -> Self {
+impl<M> PeerLink<M> {
+    fn new(initial_rto: u64) -> Self {
         PeerLink {
             next_seq: 1,
             unacked: BTreeMap::new(),
@@ -121,7 +182,30 @@ impl<M> Default for PeerLink<M> {
             next_retx_at: u64::MAX,
             recv_cum: 0,
             parked: BTreeMap::new(),
+            srtt: 0,
+            rttvar: 0,
+            cur_rto: initial_rto,
+            has_sample: false,
         }
+    }
+
+    /// Feed one RTT sample through Jacobson's estimator and refresh the
+    /// link RTO.  Integer arithmetic, RFC 6298 gains: first sample sets
+    /// `srtt = R`, `rttvar = R/2`; afterwards
+    /// `rttvar = 3/4·rttvar + 1/4·|srtt − R|`, `srtt = 7/8·srtt + 1/8·R`.
+    fn sample_rtt(&mut self, r: u64, cfg: &RelConfig) {
+        if self.has_sample {
+            self.rttvar = (3 * self.rttvar) / 4 + self.srtt.abs_diff(r) / 4;
+            self.srtt = (7 * self.srtt) / 8 + r / 8;
+        } else {
+            self.srtt = r;
+            self.rttvar = r / 2;
+            self.has_sample = true;
+        }
+        self.cur_rto = self
+            .srtt
+            .saturating_add(4u64.saturating_mul(self.rttvar))
+            .clamp(cfg.rto, cfg.rto_max);
     }
 }
 
@@ -149,20 +233,29 @@ impl<M: Clone> ReliableSet<M> {
     }
 
     fn link(&mut self, peer: u32) -> &mut PeerLink<M> {
-        self.peers.entry(peer).or_default()
+        let initial_rto = self.cfg.rto;
+        self.peers
+            .entry(peer)
+            .or_insert_with(|| PeerLink::new(initial_rto))
     }
 
     /// Register an outgoing message on the `(local, peer)` link: assigns its
     /// sequence number, buffers it for retransmission and arms the RTO.
     /// Returns the reliability header `(seq, ack)` to attach.
     pub fn send(&mut self, peer: u32, m: M, now: u64) -> (u64, u64) {
-        let rto = self.cfg.rto;
         let link = self.link(peer);
         let seq = link.next_seq;
         link.next_seq += 1;
-        link.unacked.insert(seq, m);
+        link.unacked.insert(
+            seq,
+            SentEntry {
+                m,
+                sent_at: now,
+                retransmitted: false,
+            },
+        );
         if link.next_retx_at == u64::MAX {
-            link.next_retx_at = now.saturating_add(rto);
+            link.next_retx_at = now.saturating_add(link.cur_rto);
         }
         (seq, link.recv_cum)
     }
@@ -211,48 +304,99 @@ impl<M: Clone> ReliableSet<M> {
     /// re-arms the RTO from `now` — the link is demonstrably live, so any
     /// surviving gap should be probed at the base timeout instead of
     /// waiting out a stale backed-off deadline.
+    ///
+    /// When [`RelConfig::adaptive`] is set, the newest newly-acked frame
+    /// that was never retransmitted (Karn's rule) contributes one RTT
+    /// sample to the link's Jacobson estimator.
     pub fn on_ack(&mut self, peer: u32, ack: u64, now: u64) {
-        let rto = self.cfg.rto;
+        let cfg = self.cfg;
         let link = self.link(peer);
         let before = link.unacked.len();
+        if cfg.adaptive {
+            // Sample from the most recently sent eligible frame this ack
+            // covers: the freshest measurement of the link as it is now.
+            let sample = link
+                .unacked
+                .range(..=ack)
+                .rev()
+                .find(|(_, e)| !e.retransmitted)
+                .map(|(_, e)| now.saturating_sub(e.sent_at));
+            if let Some(r) = sample {
+                link.sample_rtt(r, &cfg);
+            }
+        }
         link.unacked.retain(|&seq, _| seq > ack);
         if link.unacked.is_empty() {
             link.next_retx_at = u64::MAX;
             link.backoff = 0;
         } else if link.unacked.len() < before {
             link.backoff = 0;
-            link.next_retx_at = now.saturating_add(rto);
+            link.next_retx_at = now.saturating_add(link.cur_rto);
         }
     }
 
     /// Retransmission timer: returns every frame whose link's RTO expired
     /// (all unacked messages of that link, oldest first, with a fresh
-    /// cumulative ack), doubling that link's RTO up to the cap.
+    /// cumulative ack), doubling that link's RTO up to the cap.  Every
+    /// re-emitted frame is marked retransmitted so Karn's rule keeps it out
+    /// of the RTT estimator for good.
     pub fn tick(&mut self, now: u64) -> Vec<RelFrame<M>> {
         let mut out = Vec::new();
-        let RelConfig { rto, rto_max } = self.cfg;
+        let rto_max = self.cfg.rto_max;
         let mut retx = 0u64;
         for (&peer, link) in self.peers.iter_mut() {
             if link.unacked.is_empty() || now < link.next_retx_at {
                 continue;
             }
-            for (&seq, m) in link.unacked.iter() {
+            for (&seq, entry) in link.unacked.iter_mut() {
+                entry.retransmitted = true;
                 out.push(RelFrame {
                     peer,
                     seq,
                     ack: link.recv_cum,
-                    m: m.clone(),
+                    m: entry.m.clone(),
                 });
                 retx += 1;
             }
             link.backoff = link.backoff.saturating_add(1);
-            let delay = rto
+            let delay = link
+                .cur_rto
                 .saturating_mul(1u64 << link.backoff.min(24))
                 .min(rto_max);
             link.next_retx_at = now.saturating_add(delay);
         }
         self.metrics.retransmits += retx;
         out
+    }
+
+    /// Force every link's RTO to expire at the next [`ReliableSet::tick`],
+    /// regardless of its backed-off deadline.  Crash recovery uses this to
+    /// replay the retained unacked frames immediately after a peer rejoins
+    /// instead of waiting out a (possibly capped) silent-round delay.
+    pub fn expire_now(&mut self) {
+        for link in self.peers.values_mut() {
+            if !link.unacked.is_empty() {
+                link.next_retx_at = 0;
+                link.backoff = 0;
+            }
+        }
+    }
+
+    /// Tear down the link to `peer` as if it had never carried traffic,
+    /// returning the unacked messages oldest-first so the caller can
+    /// re-register them with [`ReliableSet::send`].
+    ///
+    /// This is the crash-recovery primitive: a respawned peer starts a
+    /// *fresh* sequence space (its receiver expects seq 1, its sender emits
+    /// seq 1), so the surviving side must renumber its retained frames and
+    /// reset its receive cursor — replaying seq 5..9 at a newborn peer
+    /// would park forever behind a gap that no longer exists.  The RTT
+    /// estimator resets too: the new process is a new RTT regime.
+    pub fn reset_peer(&mut self, peer: u32) -> Vec<M> {
+        match self.peers.remove(&peer) {
+            Some(link) => link.unacked.into_values().map(|e| e.m).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Caller-clock instant of the earliest armed RTO (`None` when nothing
@@ -274,6 +418,32 @@ impl<M: Clone> ReliableSet<M> {
     pub fn recv_cum(&mut self, peer: u32) -> u64 {
         self.link(peer).recv_cum
     }
+
+    /// Per-link reliability health, in peer-rank order.  Links exist once
+    /// traffic has touched them; a never-used peer has no row.
+    pub fn link_health(&self) -> Vec<LinkHealth> {
+        self.peers
+            .iter()
+            .map(|(&peer, l)| LinkHealth {
+                peer,
+                srtt: if l.has_sample { l.srtt } else { 0 },
+                rttvar: if l.has_sample { l.rttvar } else { 0 },
+                rto: l.cur_rto,
+                unacked: l.unacked.len() as u64,
+                silent_rounds: l.backoff,
+            })
+            .collect()
+    }
+
+    /// Health of one link, if traffic has touched it.
+    pub fn peer_health(&self, peer: u32) -> Option<LinkHealth> {
+        self.link_health().into_iter().find(|h| h.peer == peer)
+    }
+
+    /// The tunables this set was built with.
+    pub fn config(&self) -> RelConfig {
+        self.cfg
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +453,15 @@ mod tests {
     const CFG: RelConfig = RelConfig {
         rto: 100,
         rto_max: 1_000,
+        adaptive: true,
+    };
+
+    /// A wide adaptive window so estimator trajectories are visible: the
+    /// floor is 10 ns, the cap 1 s.
+    const ADAPTIVE: RelConfig = RelConfig {
+        rto: 10,
+        rto_max: 1_000_000_000,
+        adaptive: true,
     };
 
     #[test]
@@ -415,5 +594,178 @@ mod tests {
         assert_eq!(a.unacked_total(), 0);
         assert!(a.metrics.retransmits > 0);
         assert!(b.metrics.dup_drops > 0, "retransmit races must be deduped");
+    }
+
+    /// Drive one send/ack round trip with the given RTT and return the
+    /// link's health afterwards.
+    fn round_trip(a: &mut ReliableSet<u64>, now: &mut u64, rtt: u64) -> LinkHealth {
+        let (seq, _) = a.send(1, *now, *now);
+        *now += rtt;
+        a.on_ack(1, seq, *now);
+        a.peer_health(1).unwrap()
+    }
+
+    #[test]
+    fn srtt_converges_within_16_acks_on_a_stable_link() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(ADAPTIVE);
+        let mut now = 0u64;
+        let mut h = LinkHealth::default();
+        for _ in 0..16 {
+            h = round_trip(&mut a, &mut now, 5_000);
+        }
+        assert_eq!(h.srtt, 5_000, "constant RTT converges exactly");
+        assert!(
+            h.rttvar <= 5_000 / 64,
+            "variance must decay below 2% of the initial R/2 within 16 acks \
+             (got {})",
+            h.rttvar
+        );
+        assert_eq!(h.rto, 5_000 + 4 * h.rttvar, "RTO tracks srtt + 4·rttvar");
+        assert_eq!(h.unacked, 0);
+        assert_eq!(h.silent_rounds, 0);
+        // The integer 3/4 decay reaches exactly zero a few dozen rounds in.
+        for _ in 0..48 {
+            h = round_trip(&mut a, &mut now, 5_000);
+        }
+        assert_eq!(h.rttvar, 0, "variance fully decays on a stable link");
+        assert_eq!(h.rto, 5_000);
+    }
+
+    #[test]
+    fn karn_rule_retransmitted_frames_never_feed_the_estimator() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(ADAPTIVE);
+        // Establish a baseline estimate from one clean sample.
+        let mut now = 0u64;
+        let h0 = round_trip(&mut a, &mut now, 1_000);
+        assert_eq!(h0.srtt, 1_000);
+        // Next frame goes silent long enough to be retransmitted; the ack
+        // then arrives absurdly late.  Karn's rule must ignore that sample —
+        // the ack is ambiguous about which transmission it answers.
+        let (seq, _) = a.send(1, 7, now);
+        let deadline = a.next_deadline().unwrap();
+        assert_eq!(a.tick(deadline).len(), 1);
+        now = deadline + 1_000_000;
+        a.on_ack(1, seq, now);
+        let h1 = a.peer_health(1).unwrap();
+        assert_eq!(h1.srtt, h0.srtt, "retransmitted frame sampled the RTT");
+        assert_eq!(h1.rttvar, h0.rttvar);
+        assert_eq!(h1.rto, h0.rto);
+        // A clean round trip afterwards samples again.
+        let h2 = round_trip(&mut a, &mut now, 1_000);
+        assert_eq!(h2.srtt, 1_000);
+    }
+
+    #[test]
+    fn cumulative_ack_samples_newest_unretransmitted_frame() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(ADAPTIVE);
+        let _ = a.send(1, 1, 0); // seq 1, sent at 0
+        let _ = a.send(1, 2, 400); // seq 2, sent at 400
+        a.on_ack(1, 2, 500);
+        let h = a.peer_health(1).unwrap();
+        assert_eq!(
+            h.srtt, 100,
+            "the freshest covered frame (seq 2, RTT 100) is the sample, \
+             not the older seq 1 (RTT 500)"
+        );
+    }
+
+    #[test]
+    fn delay_spike_widens_then_retightens_the_rto() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(ADAPTIVE);
+        let mut now = 0u64;
+        for _ in 0..16 {
+            round_trip(&mut a, &mut now, 1_000);
+        }
+        let calm = a.peer_health(1).unwrap().rto;
+        assert!(
+            calm < 1_100,
+            "16 constant rounds settle the RTO near srtt (got {calm})"
+        );
+        // A burst of 10× RTTs: the variance term must push the RTO well
+        // above the old estimate.
+        let mut spiked = 0;
+        for _ in 0..4 {
+            spiked = round_trip(&mut a, &mut now, 10_000).rto;
+        }
+        assert!(
+            spiked > 4 * calm,
+            "spike must widen the RTO (calm {calm}, spiked {spiked})"
+        );
+        // Back to calm RTTs: the estimator re-tightens toward the base.
+        let mut settled = spiked;
+        for _ in 0..64 {
+            settled = round_trip(&mut a, &mut now, 1_000).rto;
+        }
+        assert!(
+            settled < spiked / 2,
+            "RTO must re-tighten after the spike (spiked {spiked}, settled {settled})"
+        );
+    }
+
+    #[test]
+    fn fixed_mode_never_moves_the_rto() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(ADAPTIVE.fixed());
+        let mut now = 0u64;
+        for rtt in [5_000u64, 50_000, 500] {
+            let h = round_trip(&mut a, &mut now, rtt);
+            assert_eq!(h.rto, ADAPTIVE.rto, "fixed mode pins the RTO");
+            assert_eq!(h.srtt, 0, "fixed mode takes no samples");
+        }
+    }
+
+    #[test]
+    fn adaptive_rto_arms_retransmission_from_the_estimate() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(ADAPTIVE);
+        let mut now = 0u64;
+        round_trip(&mut a, &mut now, 2_000);
+        // srtt = 2000, rttvar = 1000 → rto = 6000.
+        let (_, _) = a.send(1, 9, now);
+        assert_eq!(a.next_deadline().unwrap(), now + 6_000);
+    }
+
+    #[test]
+    fn expire_now_forces_immediate_replay() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(CFG);
+        let _ = a.send(1, 1, 0);
+        let _ = a.send(1, 2, 0);
+        // Back off twice so the deadline is far out.
+        let _ = a.tick(100);
+        let _ = a.tick(300);
+        assert!(a.tick(301).is_empty());
+        a.expire_now();
+        assert_eq!(a.next_deadline(), Some(0));
+        let replayed = a.tick(301);
+        assert_eq!(replayed.len(), 2, "all unacked frames replay at once");
+        assert_eq!(
+            a.peer_health(1).unwrap().silent_rounds,
+            1,
+            "expire_now resets the backoff before the replay round"
+        );
+    }
+
+    #[test]
+    fn reset_peer_renumbers_retained_frames_for_a_reborn_peer() {
+        let mut a: ReliableSet<u64> = ReliableSet::new(CFG);
+        let mut b: ReliableSet<u64> = ReliableSet::new(CFG);
+        // Deliver 1..=3, then leave 4 and 5 unacked when the peer "dies".
+        for i in 1..=5u64 {
+            let (seq, _) = a.send(1, i * 10, 0);
+            if i <= 3 {
+                let out = b.on_data(0, seq, 0, i * 10, 0);
+                a.on_ack(1, out.ack, 0);
+            }
+        }
+        assert_eq!(a.unacked_total(), 2);
+        // The peer restarts with fresh state; replay through a reset link.
+        let mut b2: ReliableSet<u64> = ReliableSet::new(CFG);
+        let retained = a.reset_peer(1);
+        assert_eq!(retained, vec![40, 50], "unacked survive oldest-first");
+        let mut delivered = Vec::new();
+        for m in retained {
+            let (seq, _) = a.send(1, m, 0);
+            delivered.extend(b2.on_data(0, seq, 0, m, 0).deliver);
+        }
+        assert_eq!(delivered, vec![40, 50], "renumbered from seq 1");
+        assert_eq!(b2.link_health()[0].unacked, 0);
     }
 }

@@ -17,7 +17,7 @@
 //! reconstruct the paper's overhead breakdown (transmission / lookup / JIT /
 //! execution) without re-instrumenting the runtime.
 
-use super::reliable::{RelConfig, RelMetrics, ReliableSet};
+use super::reliable::{LinkHealth, RelConfig, RelMetrics, ReliableSet};
 use super::{ClientId, Transport, TransportMetrics};
 use crate::error::{CoreError, Result};
 use crate::metrics::{OutcomeKind, ProcessOutcome, RuntimeStats};
@@ -122,6 +122,7 @@ impl SimTransport {
             server_triple,
             opt_level,
             None,
+            None,
         )
     }
 
@@ -134,6 +135,7 @@ impl SimTransport {
     /// deterministically: each client owns its own injection port
     /// (per-rank `link_ready_at`) and flushed sends meet in the one virtual
     /// time event queue.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_config(
         platform: Platform,
         clients: usize,
@@ -142,6 +144,7 @@ impl SimTransport {
         server_triple: Option<TargetTriple>,
         opt_level: OptLevel,
         fault_plan: Option<FaultPlan>,
+        rel_config: Option<RelConfig>,
     ) -> Self {
         let clients = clients.max(1);
         let total = servers + clients;
@@ -179,12 +182,13 @@ impl SimTransport {
             errors: Vec::new(),
             delivered: 0,
             dropped_misaddressed: 0,
-            chaos: fault_plan.map(|plan| SimChaos {
-                session: ChaosSession::new(plan),
-                rel: (0..total)
-                    .map(|_| ReliableSet::new(RelConfig::sim_default()))
-                    .collect(),
-                tick_scheduled: false,
+            chaos: fault_plan.map(|plan| {
+                let rel_cfg = rel_config.unwrap_or_else(RelConfig::sim_default);
+                SimChaos {
+                    session: ChaosSession::new(plan),
+                    rel: (0..total).map(|_| ReliableSet::new(rel_cfg)).collect(),
+                    tick_scheduled: false,
+                }
             }),
         }
     }
@@ -564,6 +568,19 @@ impl SimTransport {
 impl Transport for SimTransport {
     fn backend_name(&self) -> &'static str {
         "simnet"
+    }
+
+    fn link_health(&self) -> Vec<(u32, LinkHealth)> {
+        let Some(chaos) = &self.chaos else {
+            return Vec::new();
+        };
+        let mut rows = Vec::new();
+        for (rank, rel) in chaos.rel.iter().enumerate() {
+            for h in rel.link_health() {
+                rows.push((rank as u32, h));
+            }
+        }
+        rows
     }
 
     fn node_count(&self) -> usize {

@@ -23,7 +23,7 @@
 //! runs a [`ReliableSet`], so delivery stays exactly-once and in-order over
 //! a lossy socket.
 
-use super::reliable::{RelConfig, RelMetrics, ReliableSet};
+use super::reliable::{LinkHealth, RelConfig, RelMetrics, ReliableSet};
 use super::{wire, ClientId, Transport, TransportMetrics};
 use crate::error::{CoreError, Result};
 use crate::metrics::RuntimeStats;
@@ -73,6 +73,17 @@ pub const TAG_BYE: u64 = 105;
 /// deadline, counters) so the driver's quiescence detection sees the whole
 /// cluster.
 pub const TAG_REL_INFO: u64 = 106;
+/// Session tag: driver-side liveness probe (body: 8-byte nonce).  A healthy
+/// server echoes it back as [`TAG_PONG`]; silence past the ping timeout
+/// declares the rank dead even when the socket stays open.
+pub const TAG_PING: u64 = 107;
+/// Session tag: server's echo of a [`TAG_PING`] nonce.
+pub const TAG_PONG: u64 = 108;
+/// Session tag: driver tells a server that peer rank `r` (body: 4-byte LE
+/// rank) was respawned with a fresh sequence space — the server must reset
+/// its reliable link to `r` and re-send its retained unacked frames
+/// renumbered from seq 1.
+pub const TAG_LINK_RESET: u64 = 109;
 
 /// HELLO magic ("TCN1").
 pub const HELLO_MAGIC: u32 = 0x5443_4E31;
@@ -129,6 +140,9 @@ pub struct Welcome {
     pub opt: OptLevel,
     /// Whether a fault plan is installed (reliable delivery on).
     pub reliable: bool,
+    /// Whether the reliable layer estimates its RTO adaptively (Jacobson
+    /// SRTT/RTTVAR) or pins it at `rto`.
+    pub adaptive: bool,
     /// Reliability: initial retransmission timeout, nanoseconds.
     pub rto: u64,
     /// Reliability: backoff cap, nanoseconds.
@@ -137,10 +151,21 @@ pub struct Welcome {
     pub triple: TargetTriple,
 }
 
+impl Welcome {
+    /// The reliability tunables this WELCOME configures.
+    pub fn rel_config(&self) -> RelConfig {
+        RelConfig {
+            rto: self.rto,
+            rto_max: self.rto_max,
+            adaptive: self.adaptive,
+        }
+    }
+}
+
 /// Encode a WELCOME body.
 pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
     let triple = w.triple.to_string();
-    let mut out = Vec::with_capacity(32 + triple.len());
+    let mut out = Vec::with_capacity(33 + triple.len());
     out.extend_from_slice(&w.clients.to_le_bytes());
     out.extend_from_slice(&w.servers.to_le_bytes());
     out.extend_from_slice(&w.rank.to_le_bytes());
@@ -151,6 +176,7 @@ pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
         OptLevel::O3 => 3,
     });
     out.push(w.reliable as u8);
+    out.push(w.adaptive as u8);
     out.extend_from_slice(&w.rto.to_le_bytes());
     out.extend_from_slice(&w.rto_max.to_le_bytes());
     out.extend_from_slice(&(triple.len() as u16).to_le_bytes());
@@ -161,7 +187,7 @@ pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
 /// Decode a WELCOME body.
 pub fn decode_welcome(body: &[u8]) -> Result<Welcome> {
     let err = |m: &str| CoreError::Transport(format!("bad WELCOME: {m}"));
-    if body.len() < 32 {
+    if body.len() < 33 {
         return Err(err("shorter than the fixed header"));
     }
     let clients = u32::from_le_bytes(body[0..4].try_into().unwrap());
@@ -175,13 +201,14 @@ pub fn decode_welcome(body: &[u8]) -> Result<Welcome> {
         other => return Err(err(&format!("unknown opt level {other}"))),
     };
     let reliable = body[13] != 0;
-    let rto = u64::from_le_bytes(body[14..22].try_into().unwrap());
-    let rto_max = u64::from_le_bytes(body[22..30].try_into().unwrap());
-    let triple_len = u16::from_le_bytes(body[30..32].try_into().unwrap()) as usize;
-    if body.len() != 32 + triple_len {
+    let adaptive = body[14] != 0;
+    let rto = u64::from_le_bytes(body[15..23].try_into().unwrap());
+    let rto_max = u64::from_le_bytes(body[23..31].try_into().unwrap());
+    let triple_len = u16::from_le_bytes(body[31..33].try_into().unwrap()) as usize;
+    if body.len() != 33 + triple_len {
         return Err(err("triple length disagrees with the body"));
     }
-    let triple_str = std::str::from_utf8(&body[32..]).map_err(|_| err("triple is not UTF-8"))?;
+    let triple_str = std::str::from_utf8(&body[33..]).map_err(|_| err("triple is not UTF-8"))?;
     let triple = TargetTriple::parse(triple_str)
         .ok_or_else(|| err(&format!("unknown triple `{triple_str}`")))?;
     Ok(Welcome {
@@ -190,6 +217,7 @@ pub fn decode_welcome(body: &[u8]) -> Result<Welcome> {
         rank,
         opt,
         reliable,
+        adaptive,
         rto,
         rto_max,
         triple,
@@ -206,10 +234,26 @@ pub struct RelInfo {
     pub remaining_ns: u64,
     /// Cumulative reliability counters.
     pub metrics: RelMetrics,
+    /// Health of the endpoint's most-stressed link (highest unacked count,
+    /// RTO breaking ties): the fixed-size stand-in for the full per-link
+    /// table, which only the owning process holds.  `None` when no link has
+    /// carried traffic yet.
+    pub health: Option<LinkHealth>,
 }
 
-/// Encode a [`TAG_REL_INFO`] body (48 bytes).
+/// Pick the most-stressed link of a health table: most unacked frames,
+/// widest RTO as the tie-break.  The fixed-size [`RelInfo`] digest carries
+/// this one row.
+pub fn most_stressed(health: &[LinkHealth]) -> Option<LinkHealth> {
+    health
+        .iter()
+        .max_by_key(|h| (h.unacked, h.rto, h.peer))
+        .copied()
+}
+
+/// Encode a [`TAG_REL_INFO`] body (104 bytes: 13 little-endian u64 fields).
 pub fn encode_rel_info(info: &RelInfo) -> Vec<u8> {
+    let h = info.health.unwrap_or_default();
     let fields = [
         info.unacked,
         info.remaining_ns,
@@ -217,8 +261,15 @@ pub fn encode_rel_info(info: &RelInfo) -> Vec<u8> {
         info.metrics.dup_drops,
         info.metrics.out_of_order,
         info.metrics.acks_sent,
+        info.health.is_some() as u64,
+        h.peer as u64,
+        h.srtt,
+        h.rttvar,
+        h.rto,
+        h.unacked,
+        h.silent_rounds as u64,
     ];
-    let mut out = Vec::with_capacity(48);
+    let mut out = Vec::with_capacity(104);
     for f in fields {
         out.extend_from_slice(&f.to_le_bytes());
     }
@@ -227,13 +278,21 @@ pub fn encode_rel_info(info: &RelInfo) -> Vec<u8> {
 
 /// Decode a [`TAG_REL_INFO`] body.
 pub fn decode_rel_info(body: &[u8]) -> Result<RelInfo> {
-    if body.len() != 48 {
+    if body.len() != 104 {
         return Err(CoreError::Transport(format!(
-            "REL_INFO must be 48 bytes, got {}",
+            "REL_INFO must be 104 bytes, got {}",
             body.len()
         )));
     }
     let f = |i: usize| u64::from_le_bytes(body[i * 8..i * 8 + 8].try_into().unwrap());
+    let health = (f(6) != 0).then(|| LinkHealth {
+        peer: f(7) as u32,
+        srtt: f(8),
+        rttvar: f(9),
+        rto: f(10),
+        unacked: f(11),
+        silent_rounds: f(12) as u32,
+    });
     Ok(RelInfo {
         unacked: f(0),
         remaining_ns: f(1),
@@ -243,6 +302,7 @@ pub fn decode_rel_info(body: &[u8]) -> Result<RelInfo> {
             out_of_order: f(4),
             acks_sent: f(5),
         },
+        health,
     })
 }
 
@@ -273,6 +333,20 @@ pub struct SocketTuning {
     /// How long `shutdown` waits for a server process to exit voluntarily
     /// after the SHUTDOWN frame before killing it.
     pub shutdown_timeout: Duration,
+    /// Recovery mode: how long a link may be silent before the driver sends
+    /// a liveness PING.
+    pub ping_interval: Duration,
+    /// Recovery mode: how long an unanswered PING may ride before the rank
+    /// is declared dead.
+    pub ping_timeout: Duration,
+    /// Recovery mode: delay before the first respawn/rejoin attempt; doubles
+    /// per failed attempt.
+    pub recovery_backoff: Duration,
+    /// Recovery mode: ceiling of the respawn backoff.
+    pub recovery_backoff_max: Duration,
+    /// Recovery mode: give up on a rank after this many consecutive failed
+    /// respawn attempts (the link then stays dead with its typed error).
+    pub max_respawns: u32,
 }
 
 impl Default for SocketTuning {
@@ -286,6 +360,11 @@ impl Default for SocketTuning {
             control_timeout: Duration::from_secs(10),
             handshake_timeout: Duration::from_secs(10),
             shutdown_timeout: Duration::from_secs(5),
+            ping_interval: Duration::from_millis(250),
+            ping_timeout: Duration::from_secs(1),
+            recovery_backoff: Duration::from_millis(30),
+            recovery_backoff_max: Duration::from_secs(2),
+            max_respawns: 8,
         }
     }
 }
@@ -303,6 +382,16 @@ pub struct SocketConfig {
     /// Spawn the server processes (default).  `false` waits for externally
     /// launched servers to dial in instead.
     pub spawn_servers: bool,
+    /// Self-heal dead server ranks: detect death (socket failure or ping
+    /// silence), respawn the process (or await an external rejoin) with
+    /// bounded exponential backoff, re-run the handshake, re-deploy AMs,
+    /// replay recorded server-memory writes, and replay unacked reliable
+    /// frames.  Off by default: without it a dead rank stays dead and
+    /// replays its typed error, the PR 6 semantics.
+    pub recover: bool,
+    /// Override the reliability tunables (defaults to
+    /// [`RelConfig::threads_default`]; only meaningful with a fault plan).
+    pub rel_config: Option<RelConfig>,
     /// Scheduling tunables.
     pub tuning: SocketTuning,
 }
@@ -313,6 +402,8 @@ impl Default for SocketConfig {
             addr: None,
             server_bin: None,
             spawn_servers: true,
+            recover: false,
+            rel_config: None,
             tuning: SocketTuning::default(),
         }
     }
@@ -388,6 +479,16 @@ struct ServerLink {
     rel_unacked: u64,
     rel_deadline_abs: u64,
     rel_metrics: RelMetrics,
+    /// Most-stressed-link health digest published by the server.
+    rel_health: Option<LinkHealth>,
+    /// Last instant any frame arrived from this link (liveness baseline).
+    last_activity: Instant,
+    /// When an outstanding liveness PING was sent, if any.
+    ping_sent_at: Option<Instant>,
+    /// Consecutive failed respawn attempts since the last heal.
+    respawn_attempts: u32,
+    /// When the next respawn/rejoin attempt is due (recovery mode).
+    next_attempt_at: Option<Instant>,
 }
 
 impl ServerLink {
@@ -399,6 +500,11 @@ impl ServerLink {
             rel_unacked: 0,
             rel_deadline_abs: u64::MAX,
             rel_metrics: RelMetrics::default(),
+            rel_health: None,
+            last_activity: Instant::now(),
+            ping_sent_at: None,
+            respawn_attempts: 0,
+            next_attempt_at: None,
         }
     }
 }
@@ -438,6 +544,30 @@ pub struct SocketTransport {
     /// Frames read but not yet routed (control round trips intercept their
     /// replies here).
     inbox: VecDeque<Frame>,
+    /// Self-healing enabled ([`SocketConfig::recover`]).
+    recover: bool,
+    /// Re-entrancy guard: a heal in progress drives the pump machinery,
+    /// which must not start a second heal underneath it.
+    healing: bool,
+    /// Respawn ingredients, retained for recovery mode.
+    spawn_servers: bool,
+    server_bin: Option<PathBuf>,
+    connect_spec: Option<SocketSpec>,
+    /// AM names in deploy order, replayed to a healed rank so its handler
+    /// ids line up with the cluster's.
+    deployed_ams: Vec<String>,
+    /// Latest server-memory write per (rank, addr), replayed to a healed
+    /// rank to rebuild its data region (e.g. a `PointerTable` shard image).
+    /// Only recorded in recovery mode.
+    poke_log: std::collections::BTreeMap<(usize, u64), Vec<u8>>,
+    /// Connections accepted but not yet through their HELLO (recovery mode).
+    rejoining: Vec<Connection>,
+    /// Successful heals, for tests and the recovery bench.
+    heals: u64,
+    /// WELCOME ingredients, retained for recovery-mode re-handshakes.
+    opt_level: OptLevel,
+    server_triple: TargetTriple,
+    rel_cfg: RelConfig,
 }
 
 impl std::fmt::Debug for SocketTransport {
@@ -475,7 +605,7 @@ impl SocketTransport {
             .map_err(|e| CoreError::Transport(e.to_string()))?;
 
         let epoch = Instant::now();
-        let rel_cfg = RelConfig::threads_default();
+        let rel_cfg = config.rel_config.unwrap_or_else(RelConfig::threads_default);
         let chaos = fault_plan.map(|plan| SocketChaos {
             session: ChaosSession::new(plan),
             rels: (0..clients).map(|_| ReliableSet::new(rel_cfg)).collect(),
@@ -487,6 +617,7 @@ impl SocketTransport {
         let reliable = chaos.is_some();
 
         let mut links: Vec<ServerLink> = (0..servers).map(|_| ServerLink::empty()).collect();
+        let mut server_bin = None;
         if config.spawn_servers {
             let bin = resolve_server_bin(&config)?;
             for (idx, link) in links.iter_mut().enumerate() {
@@ -496,6 +627,7 @@ impl SocketTransport {
                         .map_err(|e| CoreError::Transport(e.to_string()))?,
                 );
             }
+            server_bin = Some(bin);
         }
 
         // Handshake: accept connections, read HELLOs, assign ranks, send
@@ -570,6 +702,7 @@ impl SocketTransport {
                     rank,
                     opt: opt_level,
                     reliable,
+                    adaptive: rel_cfg.adaptive,
                     rto: rel_cfg.rto,
                     rto_max: rel_cfg.rto_max,
                     triple: server_triple,
@@ -588,6 +721,7 @@ impl SocketTransport {
                     }
                 }
                 links[idx].conn = Some(conn);
+                links[idx].last_activity = Instant::now();
                 connected += 1;
             }
             pending = still_pending;
@@ -621,6 +755,18 @@ impl SocketTransport {
             dropped: 0,
             shut_down: false,
             inbox: VecDeque::new(),
+            recover: config.recover,
+            healing: false,
+            spawn_servers: config.spawn_servers,
+            server_bin,
+            connect_spec: Some(actual),
+            deployed_ams: Vec::new(),
+            poke_log: std::collections::BTreeMap::new(),
+            rejoining: Vec::new(),
+            heals: 0,
+            opt_level,
+            server_triple,
+            rel_cfg,
         })
     }
 
@@ -700,9 +846,364 @@ impl SocketTransport {
                 detail: other.to_string(),
             },
         };
+        self.fail_link_with(idx, err);
+    }
+
+    /// Mark server `idx`'s link dead with a ready-made typed error.  Without
+    /// recovery the error also surfaces from the next `step`; with recovery
+    /// it stays sticky on the link (control-plane ops targeting the rank
+    /// fail fast) while the health monitor schedules a respawn.
+    fn fail_link_with(&mut self, idx: usize, err: CoreError) {
+        let link = &mut self.links[idx];
+        if matches!(link.state, LinkState::Dead(_)) {
+            return;
+        }
+        strace!("[driver] link {} dead: {err}", self.clients.len() + idx);
         link.conn = None;
         link.state = LinkState::Dead(err.clone());
-        self.pending_errors.push_back(err);
+        link.ping_sent_at = None;
+        link.next_attempt_at = None;
+        // The old incarnation's published digest is stale; a dead rank has
+        // no server-side reliability state anymore.
+        link.rel_unacked = 0;
+        link.rel_deadline_abs = u64::MAX;
+        link.rel_health = None;
+        if !self.recover {
+            self.pending_errors.push_back(err);
+        }
+    }
+
+    /// Liveness monitor (recovery mode): ping links that have been silent
+    /// past the ping interval, and declare ranks whose PING went unanswered
+    /// past the ping timeout dead.
+    fn health_check(&mut self) {
+        if !self.recover || self.shut_down {
+            return;
+        }
+        let mut timed_out = Vec::new();
+        for (idx, link) in self.links.iter_mut().enumerate() {
+            if link.conn.is_none() || !matches!(link.state, LinkState::Active) {
+                continue;
+            }
+            match link.ping_sent_at {
+                Some(at) => {
+                    if at.elapsed() >= self.tuning.ping_timeout {
+                        timed_out.push(idx);
+                    }
+                }
+                None => {
+                    if link.last_activity.elapsed() >= self.tuning.ping_interval {
+                        let nonce = self.next_token;
+                        self.next_token += 1;
+                        let rank = (self.clients.len() + idx) as u32;
+                        if let Some(conn) = link.conn.as_mut() {
+                            conn.queue(Frame::new(
+                                DRIVER_PORT,
+                                rank,
+                                TAG_PING,
+                                nonce.to_le_bytes().to_vec(),
+                            ));
+                            link.ping_sent_at = Some(Instant::now());
+                        }
+                    }
+                }
+            }
+        }
+        for idx in timed_out {
+            let rank = self.clients.len() + idx;
+            self.fail_link_with(
+                idx,
+                CoreError::PeerDisconnected {
+                    rank,
+                    detail: format!(
+                        "no PONG within {:?} (liveness probe)",
+                        self.tuning.ping_timeout
+                    ),
+                },
+            );
+        }
+    }
+
+    /// WELCOME for (re)admitting server rank `rank`.
+    fn make_welcome(&self, rank: u32) -> Welcome {
+        Welcome {
+            clients: self.clients.len() as u32,
+            servers: self.servers as u32,
+            rank,
+            opt: self.opt_level,
+            reliable: self.chaos.is_some(),
+            adaptive: self.rel_cfg.adaptive,
+            rto: self.rel_cfg.rto,
+            rto_max: self.rel_cfg.rto_max,
+            triple: self.server_triple,
+        }
+    }
+
+    /// Exponential respawn backoff: `recovery_backoff · 2^attempt`, capped.
+    fn recovery_delay(&self, attempt: u32) -> Duration {
+        let mult = 1u32 << attempt.min(10);
+        self.tuning
+            .recovery_backoff
+            .saturating_mul(mult)
+            .min(self.tuning.recovery_backoff_max)
+    }
+
+    /// The recovery driver (recovery mode): schedule respawns of dead ranks
+    /// with bounded exponential backoff, admit rejoining connections through
+    /// a fresh HELLO/WELCOME handshake, and heal admitted links.  Called
+    /// from the step and control-wait loops; a no-op while a heal is
+    /// already in progress underneath us.
+    fn poll_recovery(&mut self) {
+        if !self.recover || self.shut_down || self.healing {
+            return;
+        }
+        self.healing = true;
+        self.poll_recovery_inner();
+        self.healing = false;
+    }
+
+    fn poll_recovery_inner(&mut self) {
+        let clients = self.clients.len();
+        // Respawn scheduling (spawn mode only; external servers rejoin on
+        // their own schedule).
+        if self.spawn_servers {
+            for idx in 0..self.links.len() {
+                if !matches!(self.links[idx].state, LinkState::Dead(_)) {
+                    continue;
+                }
+                let attempts = self.links[idx].respawn_attempts;
+                match self.links[idx].next_attempt_at {
+                    None => {
+                        if attempts >= self.tuning.max_respawns {
+                            continue; // gave up; the rank stays dead
+                        }
+                        let delay = self.recovery_delay(attempts);
+                        self.links[idx].next_attempt_at = Some(Instant::now() + delay);
+                    }
+                    Some(at) if Instant::now() >= at => {
+                        if attempts >= self.tuning.max_respawns {
+                            // Respawn budget exhausted — the rank becomes
+                            // terminally failed (surfaced by failed_ranks).
+                            self.links[idx].next_attempt_at = None;
+                            continue;
+                        }
+                        // Allow the spawned child a generous window to dial
+                        // back in before the next (backed-off) attempt
+                        // replaces it.
+                        let next = self
+                            .recovery_delay(attempts + 1)
+                            .max(Duration::from_millis(500));
+                        let link = &mut self.links[idx];
+                        link.respawn_attempts += 1;
+                        link.next_attempt_at = Some(Instant::now() + next);
+                        if let Some(child) = link.child.as_mut() {
+                            child.kill();
+                            child.wait_timeout(Duration::from_millis(50));
+                        }
+                        link.child = None;
+                        let rank = (clients + idx) as u32;
+                        let (Some(bin), Some(spec)) =
+                            (self.server_bin.as_ref(), self.connect_spec.as_ref())
+                        else {
+                            continue;
+                        };
+                        strace!("[driver] respawning rank {rank} (attempt {})", attempts + 1);
+                        match tc_net::spawn_server(bin, spec, rank) {
+                            Ok(child) => self.links[idx].child = Some(child),
+                            Err(e) => self.errors.push(CoreError::Transport(format!(
+                                "respawning server rank {rank}: {e}"
+                            ))),
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Admission: accept dialing connections while any rank is dead,
+        // walk their HELLOs, and heal the links they claim.
+        let any_dead = self
+            .links
+            .iter()
+            .any(|l| matches!(l.state, LinkState::Dead(_)));
+        if !any_dead && self.rejoining.is_empty() {
+            return;
+        }
+        if let Some(listener) = self.listener.as_ref() {
+            loop {
+                match listener.accept() {
+                    Ok(Some(conn)) => self.rejoining.push(conn),
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.errors
+                            .push(CoreError::Transport(format!("recovery accept: {e}")));
+                        break;
+                    }
+                }
+            }
+        }
+        let mut still = Vec::new();
+        let mut admitted = Vec::new();
+        for mut conn in std::mem::take(&mut self.rejoining) {
+            let mut frames = Vec::new();
+            match conn.pump_read(&mut frames) {
+                Ok(()) => {}
+                Err(NetError::PeerClosed { .. }) => continue, // gave up; drop it
+                Err(e) => {
+                    self.errors.push(CoreError::Transport(e.to_string()));
+                    continue;
+                }
+            }
+            let Some(hello) = frames.into_iter().find(|f| f.tag == TAG_HELLO) else {
+                still.push(conn);
+                continue;
+            };
+            let wanted = match decode_hello(hello.data.as_slice()) {
+                Ok(w) => w,
+                Err(e) => {
+                    self.errors.push(e);
+                    continue;
+                }
+            };
+            let dead_and_free =
+                |l: &ServerLink| matches!(l.state, LinkState::Dead(_)) && l.conn.is_none();
+            let idx = if wanted == RANK_ANY {
+                self.links.iter().position(dead_and_free)
+            } else {
+                let rank = wanted as usize;
+                (rank >= clients
+                    && rank < clients + self.servers
+                    && dead_and_free(&self.links[rank - clients]))
+                .then(|| rank - clients)
+            };
+            let Some(idx) = idx else {
+                // No dead rank wants this connection; drop it.
+                continue;
+            };
+            let rank = (clients + idx) as u32;
+            conn.queue(Frame::new(
+                DRIVER_PORT,
+                rank,
+                TAG_WELCOME,
+                encode_welcome(&self.make_welcome(rank)),
+            ));
+            let drain_deadline = Instant::now() + Duration::from_secs(2);
+            let mut failed = false;
+            while conn.pending_writes() > 0 {
+                if conn.pump_write().is_err() || Instant::now() >= drain_deadline {
+                    failed = true;
+                    break;
+                }
+                if conn.pending_writes() > 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            if failed {
+                continue;
+            }
+            self.links[idx].conn = Some(conn);
+            admitted.push(idx);
+        }
+        self.rejoining = still;
+        for idx in admitted {
+            if let Err(e) = self.heal_link(idx) {
+                // The rank died again mid-heal; fail_link already re-marked
+                // it and the next poll reschedules.
+                self.errors.push(e);
+            }
+        }
+    }
+
+    /// Bring a freshly re-handshaken link back into service: rebuild the
+    /// reborn process's control-plane state (AM catalog in deploy order,
+    /// recorded memory writes), renumber and replay the reliable frames the
+    /// driver retained for it, and tell surviving servers to do the same.
+    fn heal_link(&mut self, idx: usize) -> Result<()> {
+        let clients = self.clients.len();
+        let rank = clients + idx;
+        strace!("[driver] healing rank {rank}");
+        {
+            let link = &mut self.links[idx];
+            link.state = LinkState::Active;
+            link.last_activity = Instant::now();
+            link.ping_sent_at = None;
+            link.next_attempt_at = None;
+            link.rel_unacked = 0;
+            link.rel_deadline_abs = u64::MAX;
+            link.rel_health = None;
+        }
+        // Reset the reliable links *before* any traffic can flow: the
+        // reborn rank has a fresh sequence space in both directions.  The
+        // retained unacked frames are re-registered now (so ops posted
+        // during the heal order behind them) but only hit the wire after
+        // the control plane below is rebuilt — they may invoke AM handlers.
+        let mut replay = Vec::new();
+        if let Some(chaos) = &mut self.chaos {
+            let now = self.epoch.elapsed().as_nanos() as u64;
+            chaos
+                .held
+                .retain(|&(src, dst), _| src != rank && dst != rank);
+            for c in 0..chaos.rels.len() {
+                for (head, payload) in chaos.rels[c].reset_peer(rank as u32) {
+                    let (seq, ack) =
+                        chaos.rels[c].send(rank as u32, (head.clone(), payload.clone()), now);
+                    let data = wire::encode_rel_head(seq, ack, &head);
+                    replay.push(Frame::with_payload(
+                        c as u32,
+                        rank as u32,
+                        wire::TAG_ROP,
+                        data,
+                        payload,
+                    ));
+                }
+            }
+        }
+        // Re-deploy the AM catalog in original deploy order so the reborn
+        // process's handler ids line up with the cluster's.
+        for name in self.deployed_ams.clone() {
+            let reply = self.control_roundtrip(rank, TAG_AM_DEPLOY, TAG_AM_ACK, name.as_bytes())?;
+            if reply != [1] {
+                return Err(CoreError::UnknownAmHandler {
+                    name: format!("{name} (lost from the server AM catalog after respawn)"),
+                });
+            }
+        }
+        // Replay the recorded memory writes (latest value per address —
+        // e.g. this rank's PointerTable shard image).
+        let pokes: Vec<(u64, Vec<u8>)> = self
+            .poke_log
+            .range((rank, 0)..=(rank, u64::MAX))
+            .map(|(&(_, addr), data)| (addr, data.clone()))
+            .collect();
+        for (addr, data) in pokes {
+            self.poke_server(rank, addr, &data)?;
+        }
+        // Now the replay can flow, along with the surviving servers'
+        // renumbered re-sends.
+        for f in replay {
+            self.chaos_route(f);
+        }
+        if self.chaos.is_some() {
+            for other in 0..self.links.len() {
+                if other == idx || self.links[other].conn.is_none() {
+                    continue;
+                }
+                let other_rank = (clients + other) as u32;
+                let _ = self.queue_to_server(
+                    clients + other,
+                    Frame::new(
+                        DRIVER_PORT,
+                        other_rank,
+                        TAG_LINK_RESET,
+                        (rank as u32).to_le_bytes().to_vec(),
+                    ),
+                );
+            }
+        }
+        self.pump_writes();
+        self.links[idx].respawn_attempts = 0;
+        self.heals += 1;
+        strace!("[driver] rank {rank} healed");
+        Ok(())
     }
 
     /// Queue a frame toward server rank `rank`.  Dead links replay their
@@ -756,11 +1257,17 @@ impl SocketTransport {
     fn pump_reads(&mut self) {
         let mut frames = Vec::new();
         for idx in 0..self.links.len() {
-            let Some(conn) = self.links[idx].conn.as_mut() else {
-                continue;
-            };
             frames.clear();
-            let res = conn.pump_read(&mut frames);
+            let res = {
+                let Some(conn) = self.links[idx].conn.as_mut() else {
+                    continue;
+                };
+                conn.pump_read(&mut frames)
+            };
+            if !frames.is_empty() {
+                // Any traffic is proof of life.
+                self.links[idx].last_activity = Instant::now();
+            }
             self.inbox.extend(frames.drain(..));
             if let Err(e) = res {
                 self.fail_link(idx, e);
@@ -819,9 +1326,17 @@ impl SocketTransport {
                             self.epoch.elapsed().as_nanos() as u64 + info.remaining_ns
                         };
                         link.rel_metrics = info.metrics;
+                        link.rel_health = info.health;
                     }
                     Ok(_) => {}
                     Err(e) => self.errors.push(e),
+                }
+            }
+            TAG_PONG => {
+                let idx = (frame.from as usize).wrapping_sub(self.clients.len());
+                if let Some(link) = self.links.get_mut(idx) {
+                    link.ping_sent_at = None;
+                    link.last_activity = Instant::now();
                 }
             }
             TAG_BYE => {
@@ -885,6 +1400,13 @@ impl SocketTransport {
         if dst < clients {
             self.reliable_to_client(frame);
         } else if dst < clients + self.servers {
+            if self.recover && matches!(self.links[dst - clients].state, LinkState::Dead(_)) {
+                // The rank is being healed.  The frame stays buffered in its
+                // sender's ReliableSet and is replayed (renumbered) once the
+                // link is back; surfacing an error per retransmission would
+                // flood the error log for a transient outage.
+                return;
+            }
             if let Err(e) = self.queue_to_server(dst, frame) {
                 self.errors.push(e);
             }
@@ -1148,6 +1670,8 @@ impl SocketTransport {
         let deadline = started + self.tuning.control_timeout;
         loop {
             self.client_tick();
+            self.health_check();
+            self.poll_recovery();
             self.pump_writes();
             self.pump_reads();
             let mut reply = None;
@@ -1183,6 +1707,27 @@ impl SocketTransport {
             }
             self.poll_pause(started);
         }
+    }
+
+    /// Control-plane memory write to a server rank (TAG_POKE round trip).
+    fn poke_server(&mut self, rank: usize, addr: u64, data: &[u8]) -> Result<()> {
+        let mut body = Vec::with_capacity(8 + data.len());
+        body.extend_from_slice(&addr.to_le_bytes());
+        body.extend_from_slice(data);
+        let reply = self.control_roundtrip(rank, wire::TAG_POKE, wire::TAG_POKE_ACK, &body)?;
+        if reply != [1] {
+            return Err(CoreError::Transport(format!(
+                "poke of {} bytes at {addr:#x} on rank {rank} failed",
+                data.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of successful link heals so far (recovery mode) — the hook the
+    /// heal tests and the recovery bench key on.
+    pub fn heals(&self) -> u64 {
+        self.heals
     }
 }
 
@@ -1226,6 +1771,9 @@ impl Transport for SocketTransport {
                 });
             }
         }
+        // Remember the catalog (in deploy order — it fixes handler ids) so
+        // a healed rank can be brought back to parity.
+        self.deployed_ams.push(name.to_string());
         Ok(())
     }
 
@@ -1248,6 +1796,8 @@ impl Transport for SocketTransport {
         let busy_deadline = started + self.tuning.busy_step_timeout;
         loop {
             self.client_tick();
+            self.health_check();
+            self.poll_recovery();
             let routed = self.pump_round();
             if let Some(e) = self.pending_errors.pop_front() {
                 return Err(e);
@@ -1354,17 +1904,11 @@ impl Transport for SocketTransport {
                 .write(addr, data)
                 .map_err(|e| CoreError::Transport(e.to_string()));
         }
-        let mut body = Vec::with_capacity(8 + data.len());
-        body.extend_from_slice(&addr.to_le_bytes());
-        body.extend_from_slice(data);
-        let reply = self.control_roundtrip(rank, wire::TAG_POKE, wire::TAG_POKE_ACK, &body)?;
-        if reply != [1] {
-            return Err(CoreError::Transport(format!(
-                "poke of {} bytes at {addr:#x} on rank {rank} failed",
-                data.len()
-            )));
+        if self.recover {
+            // Latest value per (rank, addr) is enough: replays overwrite.
+            self.poke_log.insert((rank, addr), data.to_vec());
         }
-        Ok(())
+        self.poke_server(rank, addr, data)
     }
 
     fn node_stats(&mut self, rank: usize) -> Result<RuntimeStats> {
@@ -1419,6 +1963,46 @@ impl Transport for SocketTransport {
 
     fn chaos_stats(&self) -> Option<ChaosStats> {
         SocketTransport::chaos_stats(self)
+    }
+
+    fn failed_ranks(&self) -> Vec<usize> {
+        let clients = self.clients.len();
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                if !matches!(l.state, LinkState::Dead(_)) {
+                    return false;
+                }
+                // A dead rank is *terminally* failed only once no recovery
+                // can still bring it back: recovery off entirely, or the
+                // respawn budget spent with no attempt pending.  (External
+                // rejoin mode never gives up, so with recovery on and spawns
+                // off a dead rank is perpetually "recovering", not failed.)
+                !self.recover
+                    || (self.spawn_servers
+                        && l.respawn_attempts >= self.tuning.max_respawns
+                        && l.next_attempt_at.is_none())
+            })
+            .map(|(idx, _)| clients + idx)
+            .collect()
+    }
+
+    fn link_health(&self) -> Vec<(u32, LinkHealth)> {
+        let mut out = Vec::new();
+        if let Some(chaos) = &self.chaos {
+            for (c, rel) in chaos.rels.iter().enumerate() {
+                for h in rel.link_health() {
+                    out.push((c as u32, h));
+                }
+            }
+        }
+        for (idx, link) in self.links.iter().enumerate() {
+            if let Some(h) = link.rel_health {
+                out.push(((self.clients.len() + idx) as u32, h));
+            }
+        }
+        out
     }
 
     fn shutdown(&mut self) {
@@ -1477,17 +2061,26 @@ mod tests {
             rank: 3,
             opt: OptLevel::O3,
             reliable: true,
+            adaptive: true,
             rto: 30_000_000,
             rto_max: 480_000_000,
             triple: TargetTriple::X86_64_GENERIC,
         };
         assert_eq!(decode_welcome(&encode_welcome(&w)).unwrap(), w);
+        assert_eq!(
+            w.rel_config(),
+            RelConfig {
+                rto: 30_000_000,
+                rto_max: 480_000_000,
+                adaptive: true
+            }
+        );
         assert!(decode_welcome(&[0u8; 10]).is_err());
     }
 
     #[test]
     fn rel_info_round_trip() {
-        let info = RelInfo {
+        let mut info = RelInfo {
             unacked: 3,
             remaining_ns: 1_000_000,
             metrics: RelMetrics {
@@ -1496,8 +2089,42 @@ mod tests {
                 out_of_order: 1,
                 acks_sent: 9,
             },
+            health: None,
         };
         assert_eq!(decode_rel_info(&encode_rel_info(&info)).unwrap(), info);
+        info.health = Some(LinkHealth {
+            peer: 6,
+            srtt: 120_000,
+            rttvar: 40_000,
+            rto: 280_000,
+            unacked: 2,
+            silent_rounds: 1,
+        });
+        assert_eq!(decode_rel_info(&encode_rel_info(&info)).unwrap(), info);
         assert!(decode_rel_info(&[0u8; 47]).is_err());
+    }
+
+    #[test]
+    fn most_stressed_prefers_unacked_then_rto() {
+        assert_eq!(most_stressed(&[]), None);
+        let a = LinkHealth {
+            peer: 1,
+            unacked: 3,
+            rto: 100,
+            ..Default::default()
+        };
+        let b = LinkHealth {
+            peer: 2,
+            unacked: 1,
+            rto: 900,
+            ..Default::default()
+        };
+        let c = LinkHealth {
+            peer: 3,
+            unacked: 3,
+            rto: 400,
+            ..Default::default()
+        };
+        assert_eq!(most_stressed(&[a, b, c]), Some(c));
     }
 }

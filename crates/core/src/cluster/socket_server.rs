@@ -15,10 +15,11 @@
 //! `deploy_am` ships only the name, and the server deploys its catalog
 //! entry under it.
 
-use super::reliable::{RelConfig, ReliableSet};
+use super::reliable::ReliableSet;
 use super::socket::{
-    decode_welcome, encode_hello, encode_rel_info, RelInfo, Welcome, DRIVER_PORT, RANK_ANY,
-    TAG_AM_ACK, TAG_AM_DEPLOY, TAG_BYE, TAG_HELLO, TAG_REL_INFO, TAG_SHUTDOWN, TAG_WELCOME,
+    decode_welcome, encode_hello, encode_rel_info, most_stressed, RelInfo, Welcome, DRIVER_PORT,
+    RANK_ANY, TAG_AM_ACK, TAG_AM_DEPLOY, TAG_BYE, TAG_HELLO, TAG_LINK_RESET, TAG_PING, TAG_PONG,
+    TAG_REL_INFO, TAG_SHUTDOWN, TAG_WELCOME,
 };
 use super::wire;
 use crate::runtime::{NativeAmHandler, NodeRuntime};
@@ -181,10 +182,12 @@ impl Server {
             unacked: rel.unacked_total(),
             remaining_ns: remaining,
             metrics: rel.metrics,
+            health: most_stressed(&rel.link_health()),
         };
         let deadline_moved = info.remaining_ns.abs_diff(self.last_info.remaining_ns) > 1_000_000;
         if info.unacked != self.last_info.unacked
             || info.metrics != self.last_info.metrics
+            || info.health != self.last_info.health
             || deadline_moved
         {
             self.last_info = info;
@@ -197,28 +200,26 @@ impl Server {
         }
     }
 
-    /// Handle one reliable data-plane frame; returns true when operations
-    /// became deliverable.
-    fn on_reliable_op(&mut self, frame: Frame) -> bool {
+    /// Handle one reliable data-plane frame; returns whether operations
+    /// became deliverable, and the cumulative ack to send the peer.  The ack
+    /// is *not* queued here: the main loop queues it behind the replies the
+    /// delivered ops generate, so on the FIFO socket the driver can never
+    /// observe an op as acked without also holding its effects — which is
+    /// what makes a kill between two flushes recoverable by frame replay.
+    fn on_reliable_op(&mut self, frame: Frame) -> (bool, Option<u64>) {
         let Some(rel) = &mut self.rel else {
             self.send_error("reliable frame on a server without a fault plan".into());
-            return false;
+            return (false, None);
         };
         let (seq, ack, head) = match wire::decode_rel_head(&frame.data) {
             Ok(parts) => parts,
             Err(e) => {
                 self.send_error(e.to_string());
-                return false;
+                return (false, None);
             }
         };
         let now = self.epoch.elapsed().as_nanos() as u64;
         let out = rel.on_data(frame.from, seq, ack, (head, frame.payload), now);
-        self.conn.queue(Frame::new(
-            self.rank,
-            frame.from,
-            wire::TAG_ACK,
-            wire::encode_ack(out.ack),
-        ));
         let mut delivered = false;
         for (h, p) in out.deliver {
             match wire::decode_op_vectored(&h, &p) {
@@ -230,7 +231,47 @@ impl Server {
             }
         }
         self.publish_rel_info();
-        delivered
+        (delivered, Some(out.ack))
+    }
+
+    /// Flush deferred cumulative acks (one per peer, newest value wins).
+    fn queue_acks(&mut self, acks: &mut Vec<(u32, u64)>) {
+        for (peer, ack) in acks.drain(..) {
+            self.conn.queue(Frame::new(
+                self.rank,
+                peer,
+                wire::TAG_ACK,
+                wire::encode_ack(ack),
+            ));
+        }
+    }
+
+    /// The driver respawned peer rank `peer` with a fresh sequence space:
+    /// tear down the reliable link (send and receive state both) and re-send
+    /// the retained unacked frames renumbered from seq 1.
+    fn on_link_reset(&mut self, peer: u32) {
+        let Some(rel) = &mut self.rel else {
+            return;
+        };
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let retained = rel.reset_peer(peer);
+        super::socket::strace!(
+            "[server {}] link reset to peer {peer}: replaying {} frames",
+            self.rank,
+            retained.len()
+        );
+        for (head, payload) in retained {
+            let (seq, ack) = rel.send(peer, (head.clone(), payload.clone()), now);
+            let data = wire::encode_rel_head(seq, ack, &head);
+            self.conn.queue(Frame::with_payload(
+                self.rank,
+                peer,
+                wire::TAG_ROP,
+                data,
+                payload,
+            ));
+        }
+        self.publish_rel_info();
     }
 
     /// Handle one control-plane frame (strictly after pending data has been
@@ -400,10 +441,7 @@ pub fn serve(opts: ServerOptions, catalog: Vec<(String, NativeAmHandler)>) -> Re
     };
 
     let total = (welcome.clients + welcome.servers) as usize;
-    let rel_cfg = RelConfig {
-        rto: welcome.rto,
-        rto_max: welcome.rto_max,
-    };
+    let rel_cfg = welcome.rel_config();
     let mut server = Server {
         conn,
         runtime: NodeRuntime::with_opt_level(
@@ -441,6 +479,7 @@ pub fn serve(opts: ServerOptions, catalog: Vec<(String, NativeAmHandler)>) -> Re
             last_activity = Instant::now();
         }
         let mut pending_ops = false;
+        let mut pending_acks: Vec<(u32, u64)> = Vec::new();
         let mut shutdown = false;
         for frame in frames.drain(..) {
             super::socket::strace!(
@@ -460,7 +499,33 @@ pub fn serve(opts: ServerOptions, catalog: Vec<(String, NativeAmHandler)>) -> Re
                     }
                     Err(e) => server.send_error(e.to_string()),
                 },
-                wire::TAG_ROP => pending_ops |= server.on_reliable_op(frame),
+                wire::TAG_ROP => {
+                    let from = frame.from;
+                    let (delivered, ack) = server.on_reliable_op(frame);
+                    pending_ops |= delivered;
+                    if let Some(a) = ack {
+                        match pending_acks.iter_mut().find(|(p, _)| *p == from) {
+                            Some(entry) => entry.1 = a,
+                            None => pending_acks.push((from, a)),
+                        }
+                    }
+                }
+                TAG_PING => {
+                    // Liveness probe: echo the nonce straight back.
+                    server.conn.queue(Frame::new(
+                        server.rank,
+                        DRIVER_PORT,
+                        TAG_PONG,
+                        frame.data.as_slice().to_vec(),
+                    ));
+                }
+                TAG_LINK_RESET => {
+                    let body = frame.data.as_slice();
+                    if body.len() == 4 {
+                        let peer = u32::from_le_bytes(body.try_into().unwrap());
+                        server.on_link_reset(peer);
+                    }
+                }
                 wire::TAG_ACK => {
                     let now = server.epoch.elapsed().as_nanos() as u64;
                     if let Some(rel) = &mut server.rel {
@@ -477,6 +542,7 @@ pub fn serve(opts: ServerOptions, catalog: Vec<(String, NativeAmHandler)>) -> Re
                         server.process_delivered();
                         pending_ops = false;
                     }
+                    server.queue_acks(&mut pending_acks);
                     server.on_control(frame);
                 }
             }
@@ -484,6 +550,7 @@ pub fn serve(opts: ServerOptions, catalog: Vec<(String, NativeAmHandler)>) -> Re
         if pending_ops {
             server.process_delivered();
         }
+        server.queue_acks(&mut pending_acks);
         if shutdown {
             server.graceful_exit();
             return Ok(());

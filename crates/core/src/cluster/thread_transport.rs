@@ -14,7 +14,8 @@
 //! order) before handling each message, so `AmHandlerId`s agree cluster-wide
 //! without shipping closures through channels.
 
-use super::reliable::{RelConfig, RelMetrics, ReliableSet};
+use super::reliable::{LinkHealth, RelConfig, RelMetrics, ReliableSet};
+use super::socket::most_stressed;
 use super::{wire, Transport, TransportMetrics};
 use crate::error::{CoreError, Result};
 use crate::metrics::RuntimeStats;
@@ -110,6 +111,17 @@ struct RelSlot {
     /// Earliest armed retransmission deadline of this rank, on the shared
     /// epoch clock; `u64::MAX` when nothing is outstanding.
     next_deadline: AtomicU64,
+    /// Most-stressed-link health of this rank (RTT estimator state for the
+    /// link with the most unacked frames).  `health_peer == u64::MAX` means
+    /// no link has carried traffic yet.  Published field-by-field with
+    /// relaxed stores — the snapshot is diagnostic, tearing between fields
+    /// is acceptable.
+    health_peer: AtomicU64,
+    health_srtt: AtomicU64,
+    health_rttvar: AtomicU64,
+    health_rto: AtomicU64,
+    health_unacked: AtomicU64,
+    health_silent: AtomicU64,
 }
 
 impl Default for RelSlot {
@@ -121,6 +133,12 @@ impl Default for RelSlot {
             acks_sent: AtomicU64::new(0),
             unacked: AtomicU64::new(0),
             next_deadline: AtomicU64::new(u64::MAX),
+            health_peer: AtomicU64::new(u64::MAX),
+            health_srtt: AtomicU64::new(0),
+            health_rttvar: AtomicU64::new(0),
+            health_rto: AtomicU64::new(0),
+            health_unacked: AtomicU64::new(0),
+            health_silent: AtomicU64::new(0),
         }
     }
 }
@@ -147,6 +165,15 @@ impl RelTable {
         s.acks_sent.store(set.metrics.acks_sent, Ordering::Relaxed);
         s.next_deadline
             .store(set.next_deadline().unwrap_or(u64::MAX), Ordering::Relaxed);
+        if let Some(h) = most_stressed(&set.link_health()) {
+            s.health_srtt.store(h.srtt, Ordering::Relaxed);
+            s.health_rttvar.store(h.rttvar, Ordering::Relaxed);
+            s.health_rto.store(h.rto, Ordering::Relaxed);
+            s.health_unacked.store(h.unacked, Ordering::Relaxed);
+            s.health_silent
+                .store(u64::from(h.silent_rounds), Ordering::Relaxed);
+            s.health_peer.store(h.peer as u64, Ordering::Relaxed);
+        }
         // SeqCst: the driver's idleness check must not miss outstanding
         // frames behind a relaxed store.
         s.unacked.store(set.unacked_total(), Ordering::SeqCst);
@@ -159,6 +186,24 @@ impl RelTable {
             dup_drops: s.dup_drops.load(Ordering::Relaxed),
             out_of_order: s.out_of_order.load(Ordering::Relaxed),
             acks_sent: s.acks_sent.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Most-stressed-link health last published by `rank`, if any link has
+    /// carried reliable traffic there.
+    fn health_snapshot(&self, rank: usize) -> Option<LinkHealth> {
+        let s = self.slots.get(rank)?;
+        let peer = s.health_peer.load(Ordering::Relaxed);
+        if peer == u64::MAX {
+            return None;
+        }
+        Some(LinkHealth {
+            peer: peer as u32,
+            srtt: s.health_srtt.load(Ordering::Relaxed),
+            rttvar: s.health_rttvar.load(Ordering::Relaxed),
+            rto: s.health_rto.load(Ordering::Relaxed),
+            unacked: s.health_unacked.load(Ordering::Relaxed),
+            silent_rounds: s.health_silent.load(Ordering::Relaxed) as u32,
         })
     }
 
@@ -617,6 +662,7 @@ impl ThreadTransport {
             opt_level,
             ThreadTuning::default(),
             None,
+            None,
         )
     }
 
@@ -628,6 +674,7 @@ impl ThreadTransport {
     /// the reliable-delivery layer (sequence numbers, cumulative acks,
     /// retransmission, dedup) — with one independent sequence space per
     /// (client, server) link.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_config(
         clients: usize,
         servers: usize,
@@ -636,6 +683,7 @@ impl ThreadTransport {
         opt_level: OptLevel,
         tuning: ThreadTuning,
         fault_plan: Option<FaultPlan>,
+        rel_config: Option<RelConfig>,
     ) -> Self {
         let clients = clients.max(1);
         let total = (servers + clients) as u32;
@@ -643,17 +691,15 @@ impl ThreadTransport {
         let registry_for_nodes = Arc::clone(&am_registry);
 
         let epoch = Instant::now();
-        let chaos = fault_plan.map(|plan| {
-            let rel_cfg = RelConfig::threads_default();
-            DriverChaos {
-                session: ChaosSession::new(plan),
-                rels: (0..clients).map(|_| ReliableSet::new(rel_cfg)).collect(),
-                table: Arc::new(RelTable::new(servers + clients)),
-                epoch,
-                last_tick: Instant::now(),
-                tick: Duration::from_nanos(rel_cfg.rto / 2),
-                rto_max: rel_cfg.rto_max,
-            }
+        let rel_cfg = rel_config.unwrap_or_else(RelConfig::threads_default);
+        let chaos = fault_plan.map(|plan| DriverChaos {
+            session: ChaosSession::new(plan),
+            rels: (0..clients).map(|_| ReliableSet::new(rel_cfg)).collect(),
+            table: Arc::new(RelTable::new(servers + clients)),
+            epoch,
+            last_tick: Instant::now(),
+            tick: Duration::from_nanos(rel_cfg.rto / 2),
+            rto_max: rel_cfg.rto_max,
         });
 
         let mut config = ThreadConfig {
@@ -679,7 +725,7 @@ impl ThreadTransport {
                 am_registry: Arc::clone(&registry_for_nodes),
                 am_applied: 0,
                 rel: node_chaos.as_ref().map(|(table, epoch)| NodeRel {
-                    set: ReliableSet::new(RelConfig::threads_default()),
+                    set: ReliableSet::new(rel_cfg),
                     table: Arc::clone(table),
                     rank: rank as usize,
                     epoch: *epoch,
@@ -1005,6 +1051,29 @@ impl ThreadTransport {
 impl Transport for ThreadTransport {
     fn backend_name(&self) -> &'static str {
         "threads"
+    }
+
+    fn link_health(&self) -> Vec<(u32, LinkHealth)> {
+        let Some(chaos) = &self.chaos else {
+            return Vec::new();
+        };
+        let clients = self.clients.len();
+        let mut rows = Vec::new();
+        // Driver-side clients report every link from their own estimator;
+        // server nodes publish their most-stressed link through the shared
+        // table (one row per rank — full per-link detail would need a
+        // variable-size shared structure).
+        for (c, rel) in chaos.rels.iter().enumerate() {
+            for h in rel.link_health() {
+                rows.push((c as u32, h));
+            }
+        }
+        for rank in clients..clients + self.servers {
+            if let Some(h) = chaos.table.health_snapshot(rank) {
+                rows.push((rank as u32, h));
+            }
+        }
+        rows
     }
 
     fn node_count(&self) -> usize {

@@ -76,8 +76,8 @@ pub mod sim;
 pub use cache::{SendDecision, SenderCache};
 pub use cluster::{
     Backend, ChaosStats, ClaimTable, ClientId, Cluster, ClusterBuilder, CompletionHandle,
-    CompletionSet, CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready, RelConfig,
-    RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport,
+    CompletionSet, CompletionToken, FaultPlan, GetHandle, LinkFaults, LinkHealth, PutHandle, Ready,
+    RelConfig, RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning, Transport,
     TransportMetrics,
 };
 pub use error::{CoreError, Result};
@@ -94,8 +94,8 @@ pub mod prelude {
     pub use crate::cache::{SendDecision, SenderCache};
     pub use crate::cluster::{
         Backend, ChaosStats, ClaimTable, ClientId, Cluster, ClusterBuilder, CompletionHandle,
-        CompletionSet, CompletionToken, FaultPlan, GetHandle, LinkFaults, PutHandle, Ready,
-        RelConfig, RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning,
+        CompletionSet, CompletionToken, FaultPlan, GetHandle, LinkFaults, LinkHealth, PutHandle,
+        Ready, RelConfig, RelMetrics, ResultHandle, SimTransport, ThreadTransport, ThreadTuning,
         Transport, TransportMetrics,
     };
     pub use crate::error::{CoreError, Result};

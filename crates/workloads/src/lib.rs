@@ -54,7 +54,7 @@ pub use pipeline::{
 };
 pub use pointer_table::PointerTable;
 pub use report::{
-    render_chaos_nodes, render_chaos_table, render_figure, render_figure_csv,
+    render_chaos_nodes, render_chaos_table, render_figure, render_figure_csv, render_link_health,
     render_overhead_table, render_rate_table,
 };
 pub use tsi::{platform_toolchain, run_tsi, tsi_am_handler, TsiBreakdown, TsiRate, TsiResults};

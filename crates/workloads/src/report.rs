@@ -173,6 +173,42 @@ pub fn render_chaos_table(title: &str, rows: &[ChaosSweepRow]) -> String {
     out
 }
 
+/// Render per-link reliability health rows ([`tc_core::Transport::
+/// link_health`]) as an aligned table: one row per `(reporting rank, peer)`
+/// link with the RTT-estimator state and outstanding-frame count.  Times
+/// print in microseconds (the estimator works in nanoseconds); `srtt` shows
+/// `-` before the link's first RTT sample.
+pub fn render_link_health(title: &str, rows: &[(u32, tc_core::LinkHealth)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<6} {:>6} {:>12} {:>12} {:>12} {:>9} {:>8}\n",
+        "Rank", "Peer", "SRTT", "RTTVAR", "RTO", "Unacked", "Silent"
+    ));
+    for (rank, h) in rows {
+        let us = |v: u64| format!("{:.1}µs", v as f64 / 1_000.0);
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>12} {:>12} {:>12} {:>9} {:>8}\n",
+            rank,
+            h.peer,
+            if h.srtt == 0 {
+                "-".to_string()
+            } else {
+                us(h.srtt)
+            },
+            if h.srtt == 0 {
+                "-".to_string()
+            } else {
+                us(h.rttvar)
+            },
+            us(h.rto),
+            h.unacked,
+            h.silent_rounds,
+        ));
+    }
+    out
+}
+
 /// Render the per-node fault statistics of one sweep point: drop-recovery
 /// and dedup counters per rank next to its execution count.
 pub fn render_chaos_nodes(row: &ChaosSweepRow) -> String {
@@ -261,6 +297,42 @@ mod tests {
     fn pct_diff_matches_definition() {
         let p = fake_point(1, 1000.0, 1300.0);
         assert!((p.get_vs_bitcode_pct().unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_health_table_renders_estimator_state() {
+        let rows = vec![
+            (
+                0u32,
+                tc_core::LinkHealth {
+                    peer: 2,
+                    srtt: 1_500,
+                    rttvar: 250,
+                    rto: 2_500,
+                    unacked: 3,
+                    silent_rounds: 1,
+                },
+            ),
+            (
+                2u32,
+                tc_core::LinkHealth {
+                    peer: 0,
+                    srtt: 0, // no sample yet
+                    rttvar: 0,
+                    rto: 100_000,
+                    unacked: 0,
+                    silent_rounds: 0,
+                },
+            ),
+        ];
+        let table = render_link_health("link health", &rows);
+        assert!(table.contains("link health"));
+        assert!(table.contains("SRTT"));
+        assert!(table.contains("1.5µs"));
+        assert!(table.contains("2.5µs"));
+        assert!(table.contains("100.0µs"));
+        assert!(table.contains('-'), "unsampled links print a dash");
+        assert_eq!(table.lines().count(), 4);
     }
 
     #[test]

@@ -502,6 +502,131 @@ fn two_client_reporting_tsi_under_chaos_is_exactly_once_in_order() {
     assert!(m.faults_injected > 0);
 }
 
+/// The adaptive RTO estimator on the simulated backend: same seed → the
+/// *same estimator trajectory*, sampled batch by batch through
+/// `link_health`; delay faults must push the measured SRTT above the
+/// fault-free baseline (the cluster-level half of the widen-then-retighten
+/// unit tests in `reliable.rs`); and exactly-once delivery holds throughout.
+#[test]
+fn adaptive_estimator_trajectory_is_deterministic_on_sim() {
+    use tc_core::LinkHealth;
+
+    let run = |delay: f64| -> (Vec<Vec<(u32, LinkHealth)>>, Vec<u64>) {
+        let mut plan = FaultPlan::seeded(0xADA7).drop_rate(0.02);
+        if delay > 0.0 {
+            plan = plan.delay_rate(delay);
+        }
+        let platform = tc_simnet::Platform::thor_bf2();
+        let mut cluster = ClusterBuilder::new()
+            .platform(platform)
+            .servers(2)
+            .fault_plan(plan)
+            .build_sim();
+        let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+        let handle = cluster.register_ifunc(tsi);
+        let msg = cluster.bitcode_message(handle, vec![1]).unwrap();
+        let mut trajectory = Vec::new();
+        for _ in 0..6 {
+            for server in 1..=2 {
+                for _ in 0..4 {
+                    cluster.send_ifunc(&msg, server).unwrap();
+                }
+            }
+            cluster.run_until_idle(10_000_000).unwrap();
+            trajectory.push(cluster.link_health());
+        }
+        let counters = (1..=2)
+            .map(|s| cluster.read_u64(s, TARGET_REGION_BASE).unwrap())
+            .collect();
+        (trajectory, counters)
+    };
+
+    let (t1, c1) = run(0.0);
+    let (t2, c2) = run(0.0);
+    assert_eq!(c1, vec![24, 24], "exactly-once under the estimator");
+    assert_eq!(c2, c1);
+    assert_eq!(
+        t1, t2,
+        "same seed on virtual time must reproduce the estimator trajectory \
+         snapshot for snapshot"
+    );
+    let final_srtt = |t: &Vec<Vec<(u32, LinkHealth)>>, peer: u32| -> u64 {
+        t.last()
+            .unwrap()
+            .iter()
+            .find(|(rank, h)| *rank == 0 && h.peer == peer)
+            .map(|(_, h)| h.srtt)
+            .unwrap_or(0)
+    };
+    assert!(
+        final_srtt(&t1, 1) > 0,
+        "the client link must have RTT samples"
+    );
+
+    // Heavy delay faults: the client's smoothed RTT must sit above the
+    // fault-free baseline on at least one server link.
+    let (t3, c3) = run(0.9);
+    assert_eq!(c3, c1, "delays never break exactly-once");
+    assert!(
+        (1..=2).any(|peer| final_srtt(&t3, peer) > final_srtt(&t1, peer)),
+        "delay faults must widen the measured SRTT (baseline {:?}, delayed {:?})",
+        (final_srtt(&t1, 1), final_srtt(&t1, 2)),
+        (final_srtt(&t3, 1), final_srtt(&t3, 2)),
+    );
+}
+
+/// Adaptive vs fixed RTO on the threaded backend: with the default adaptive
+/// config the estimator takes real wall-clock samples; with
+/// `RelConfig::fixed()` it must take none and pin the RTO at the floor.
+/// Both arms stay exactly-once.
+#[test]
+fn threaded_backend_samples_rtt_only_in_adaptive_mode() {
+    use tc_core::RelConfig;
+
+    let run = |cfg: RelConfig| {
+        let platform = tc_simnet::Platform::thor_bf2();
+        let mut cluster = ClusterBuilder::new()
+            .platform(platform)
+            .servers(2)
+            .fault_plan(FaultPlan::seeded(0xF1))
+            .rel_config(cfg)
+            .build_threaded();
+        let tsi = build_ifunc_library(&tsi_module(), &platform_toolchain(&platform)).unwrap();
+        let handle = cluster.register_ifunc(tsi);
+        let msg = cluster.bitcode_message(handle, vec![1]).unwrap();
+        for server in 1..=2 {
+            for _ in 0..8 {
+                cluster.send_ifunc(&msg, server).unwrap();
+            }
+        }
+        cluster.run_until_idle(10_000_000).unwrap();
+        for server in 1..=2 {
+            assert_eq!(cluster.read_u64(server, TARGET_REGION_BASE).unwrap(), 8);
+        }
+        let health = cluster.link_health();
+        cluster.shutdown();
+        health
+    };
+
+    let base = RelConfig::threads_default();
+    let adaptive = run(base);
+    let client_links: Vec<_> = adaptive.iter().filter(|(rank, _)| *rank == 0).collect();
+    assert!(!client_links.is_empty(), "client links must report health");
+    assert!(
+        client_links.iter().any(|(_, h)| h.srtt > 0),
+        "adaptive mode must sample the real RTT: {adaptive:?}"
+    );
+    for (_, h) in &adaptive {
+        assert!(h.rto >= base.rto && h.rto <= base.rto_max, "{h:?}");
+    }
+
+    let fixed = run(base.fixed());
+    for (_, h) in &fixed {
+        assert_eq!(h.srtt, 0, "fixed mode takes no samples: {h:?}");
+        assert_eq!(h.rto, base.rto, "fixed mode pins the RTO: {h:?}");
+    }
+}
+
 #[test]
 fn crash_window_heals_and_delivery_resumes() {
     // Crash server 1 for its first 6 traversals: the very first sends are

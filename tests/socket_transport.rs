@@ -6,11 +6,12 @@
 //! this suite is the proof that the deployment model in README.md actually
 //! works end to end — including the part where things die.
 
+use std::collections::HashMap;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
-use tc_core::cluster::{CompletionSet, SocketSpec};
+use tc_core::cluster::{CompletionSet, SocketSpec, SocketTuning};
 use tc_core::layout::DATA_REGION_BASE;
-use tc_core::{ClusterBuilder, CoreError, Ready};
+use tc_core::{ClusterBuilder, CoreError, FaultPlan, Ready};
 
 fn server_bin() -> &'static str {
     env!("CARGO_BIN_EXE_tc-socket-server")
@@ -201,6 +202,137 @@ fn killed_server_surfaces_typed_error_and_peers_keep_serving() {
 
     let mut transport = cluster.shutdown();
     assert_eq!(transport.live_children(), 0, "shutdown reaps everything");
+}
+
+/// The self-healing acceptance test: SIGKILL one server rank mid-workload
+/// with recovery enabled.  The driver must detect the death, respawn the
+/// process, re-handshake, restore control-plane state (recorded memory
+/// writes), replay the in-flight reliable frames — and the workload must
+/// complete byte-identical with no other rank's operations failing.
+#[test]
+fn sigkill_mid_workload_heals_and_completes_byte_identical() {
+    const OPS: usize = 96;
+    const SIZE: usize = 512;
+    const SERVERS: usize = 3;
+    const WINDOW: usize = 8;
+
+    // A zero-rate seeded plan: the reliable layer (which recovery replays
+    // through) is active, but no probabilistic fault can eat the replayed
+    // frames — the heal itself is the only disturbance.
+    let mut cluster = builder(SERVERS)
+        .fault_plan(FaultPlan::seeded(0xB007))
+        .socket_recovery()
+        .build_socket()
+        .expect("cluster starts");
+    let addr = DATA_REGION_BASE;
+    for s in 0..SERVERS {
+        let rank = cluster.server_rank(s);
+        let pattern = vec![0xC0 + s as u8; SIZE];
+        // write_memory is recorded by the recovery log: the respawned
+        // process must serve the same bytes.
+        cluster.write_memory(rank, addr, &pattern).unwrap();
+    }
+
+    let mut set = CompletionSet::new();
+    let mut owner: HashMap<_, usize> = HashMap::new();
+    let mut issued = 0usize;
+    let mut done = 0usize;
+    let mut killed = false;
+    while done < OPS {
+        let mut posted = false;
+        while issued < OPS && set.len() < WINDOW {
+            let s = issued % SERVERS;
+            let rank = cluster.server_rank(s);
+            owner.insert(set.add_get(cluster.post_get(rank, addr, SIZE as u64)), s);
+            issued += 1;
+            posted = true;
+        }
+        if posted {
+            cluster.flush().unwrap();
+        }
+        if !killed && done >= OPS / 3 {
+            // SIGKILL, no goodbye, with a full window in flight.
+            cluster.transport_mut().kill_server(0);
+            killed = true;
+        }
+        let (token, ready) = cluster.wait_any(&mut set).unwrap();
+        let s = owner.remove(&token).unwrap();
+        match ready {
+            Ready::Get(data) => {
+                assert_eq!(data.len(), SIZE);
+                assert!(
+                    data.iter().all(|&b| b == 0xC0 + s as u8),
+                    "server {s}: payload must be byte-identical across the heal"
+                );
+            }
+            other => panic!("operation on server {s} resolved as {other:?}"),
+        }
+        done += 1;
+    }
+
+    assert!(
+        cluster.failed_ranks().is_empty(),
+        "the killed rank must be healed, not terminally failed"
+    );
+    let healed_rank = cluster.server_rank(0) as u32;
+    let health = cluster.link_health();
+    let table = tc_workloads::render_link_health("post-heal link health", &health);
+    assert!(
+        health
+            .iter()
+            .any(|(rank, h)| *rank == 0 && h.peer == healed_rank && h.unacked == 0),
+        "client link to the healed rank must have drained:\n{table}"
+    );
+
+    let mut transport = cluster.shutdown();
+    assert_eq!(transport.heals(), 1, "exactly one heal cycle");
+    assert_eq!(transport.live_children(), 0, "shutdown reaps everything");
+}
+
+/// With recovery on but a zero respawn budget, a killed rank becomes
+/// *terminally* failed — and `wait_any` must resolve handles pinned to it
+/// as `Ready::PeerLost` eagerly instead of riding out the quiescence
+/// timeout.  Other ranks keep serving.
+#[test]
+fn wait_any_resolves_peer_lost_when_the_respawn_budget_is_exhausted() {
+    let mut cluster = builder(2)
+        .fault_plan(FaultPlan::seeded(7))
+        .socket_recovery()
+        .socket_tuning(SocketTuning {
+            max_respawns: 0,
+            ..SocketTuning::default()
+        })
+        .build_socket()
+        .expect("cluster starts");
+    let addr = DATA_REGION_BASE;
+    for s in 0..2 {
+        let rank = cluster.server_rank(s);
+        cluster.write_u64(rank, addr, 9 + s as u64).unwrap();
+    }
+
+    cluster.transport_mut().kill_server(0);
+    std::thread::sleep(Duration::from_millis(50));
+
+    let dead = cluster.server_rank(0);
+    let mut set = CompletionSet::new();
+    let token = set.add_get(cluster.post_get(dead, addr, 8));
+    let _ = cluster.flush();
+    let started = Instant::now();
+    let (got, ready) = cluster.wait_any(&mut set).unwrap();
+    assert_eq!(got, token);
+    assert_eq!(ready, Ready::PeerLost(dead as u32));
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "PeerLost must surface eagerly, not as a quiescence timeout"
+    );
+    assert_eq!(cluster.failed_ranks(), vec![dead]);
+
+    // The surviving rank still answers on both planes.
+    let live = cluster.server_rank(1);
+    assert_eq!(cluster.read_u64(live, addr).unwrap(), 10);
+    let handle = cluster.get(live, addr, 8).unwrap();
+    assert_eq!(cluster.wait(&handle).unwrap().len(), 8);
+    cluster.shutdown();
 }
 
 /// Control-plane reads against a rank whose process died also come back as
