@@ -265,6 +265,7 @@ fn bench_data_plane_clients(c: &mut Criterion) {
         // Warm every client's path (pool slots, pages) before timing.
         multi_client_get_burst(&mut cluster, 4, addr, SIZE as u64, Window::new(4)).unwrap();
 
+        group.threads(clients);
         group.bench_with_input(
             BenchmarkId::new("clients", clients),
             &clients,
@@ -282,6 +283,66 @@ fn bench_data_plane_clients(c: &mut Criterion) {
                 });
             },
         );
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+/// Multi-core execution plane: the same aggregate workload (256 GETs against
+/// 4 servers, window 32 per client stream) with `C ∈ {1, 2, 4}` client
+/// runtimes, each owned and pumped by its *own dedicated OS thread* inside
+/// the threaded transport (`tc-client-{c}`).  This differs from
+/// `data_plane/clients/{C}` above only in intent, not mechanism — the axis
+/// here is the number of independently scheduled client threads the
+/// execution plane runs, and every row records that count as `threads`
+/// alongside the host's `cores` in BENCH.json.  On a multi-core host the
+/// curve measures genuine parallel drain; on a 1-CPU container (CI) it
+/// measures the scheduling overhead of the per-client-thread design, which
+/// must stay within noise of the single-thread row.
+fn bench_data_plane_cores(c: &mut Criterion) {
+    use tc_workloads::{multi_client_get_burst, Window};
+    const OPS: usize = 256;
+    const SIZE: usize = 1024;
+    const SERVERS: usize = 4;
+    let mut group = c.benchmark_group("data_plane");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    for cores in [1usize, 2, 4] {
+        let tuning = tc_core::ThreadTuning {
+            step_batch: 512,
+            node_batch: 512,
+            ..tc_core::ThreadTuning::default()
+        };
+        let mut cluster = ClusterBuilder::new()
+            .platform(tc_simnet::Platform::thor_xeon())
+            .clients(cores)
+            .servers(SERVERS)
+            .thread_tuning(tuning)
+            .build_threaded();
+        let addr = tc_core::layout::DATA_REGION_BASE;
+        for s in 0..SERVERS {
+            cluster
+                .write_memory(cluster.server_rank(s), addr, &vec![0x5Au8; SIZE])
+                .unwrap();
+        }
+        // Warm every client thread's path (pool slots, pages) before timing.
+        multi_client_get_burst(&mut cluster, 4, addr, SIZE as u64, Window::new(4)).unwrap();
+
+        group.threads(cores);
+        group.bench_with_input(BenchmarkId::new("cores", cores), &cores, |b, &cores| {
+            b.iter(|| {
+                let done = multi_client_get_burst(
+                    &mut cluster,
+                    OPS / cores,
+                    addr,
+                    SIZE as u64,
+                    Window::new(32),
+                )
+                .unwrap();
+                assert_eq!(done, OPS);
+            });
+        });
         cluster.shutdown();
     }
     group.finish();
@@ -547,6 +608,7 @@ criterion_group!(
     bench_data_plane,
     bench_data_plane_inflight,
     bench_data_plane_clients,
+    bench_data_plane_cores,
     bench_data_plane_transport,
     bench_data_plane_drop,
     bench_recovery

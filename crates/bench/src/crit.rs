@@ -39,6 +39,14 @@ pub struct BenchRecord {
     pub max_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
+    /// Logical CPUs visible to the bench process — records the hardware
+    /// context a row was measured under, so scaling rows from a 1-CPU CI
+    /// container are never mistaken for real multi-core speedups.
+    pub cores: usize,
+    /// Driving OS threads the benchmark deliberately ran (client runtimes,
+    /// worker threads), when the group annotated it.  Distinct from `cores`:
+    /// `threads` is workload shape, `cores` is hardware budget.
+    pub threads: Option<usize>,
     /// Work-per-iteration annotation, if the group declared one.
     pub throughput: Option<Throughput>,
 }
@@ -71,14 +79,18 @@ impl BenchRecord {
             }
             None => {}
         }
+        if let Some(threads) = self.threads {
+            extra.push_str(&format!(",\"threads\":{threads}"));
+        }
         format!(
-            "{{\"bin\":{},\"name\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}{extra}}}",
+            "{{\"bin\":{},\"name\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{},\"cores\":{}{extra}}}",
             json_string(&self.bin),
             json_string(&self.name),
             self.mean_ns,
             self.min_ns,
             self.max_ns,
             self.samples,
+            self.cores,
         )
     }
 }
@@ -122,6 +134,13 @@ pub fn bench_json_path() -> PathBuf {
             None => return PathBuf::from("BENCH.json"),
         }
     }
+}
+
+/// Logical CPUs visible to this process (what the OS would schedule onto).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Name of the running bench binary with cargo's trailing `-<hash>` stripped.
@@ -215,6 +234,7 @@ impl Criterion {
             name,
             sample_size: default_sample_size(),
             throughput: None,
+            threads: None,
             results: Rc::clone(&self.results),
         }
     }
@@ -274,6 +294,7 @@ pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
     results: Results,
 }
 
@@ -289,6 +310,14 @@ impl BenchmarkGroup {
     /// Annotate the work performed by one iteration.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.throughput = Some(throughput);
+        self
+    }
+
+    /// Annotate how many driving OS threads the following benchmarks run
+    /// (shim extension, not part of the Criterion API).  Recorded as the
+    /// `threads` field of each row until changed or reset with `None`.
+    pub fn threads(&mut self, threads: impl Into<Option<usize>>) -> &mut Self {
+        self.threads = threads.into();
         self
     }
 
@@ -342,6 +371,8 @@ impl BenchmarkGroup {
             min_ns: min.as_nanos(),
             max_ns: max.as_nanos(),
             samples: samples.len(),
+            cores: host_cores(),
+            threads: self.threads,
             throughput: self.throughput,
         });
         let rate = self.throughput.map(|t| match t {

@@ -27,6 +27,8 @@
 use super::{ClientId, CompletionHandle, GetHandle, ResultHandle};
 use crate::runtime::Completion;
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use tc_ucx::{Bytes, RequestId};
 
 /// What a pending completion is keyed by — the join point between the claim
@@ -75,10 +77,48 @@ pub struct ClaimTable {
     /// Unclaimed completions not yet handed out by `run_until_completions`
     /// (maintained incrementally so the wait loops check it in O(1)).
     fresh: usize,
-    next_seq: u64,
+    seq: SeqSource,
+}
+
+/// Where a table draws its arrival-order numbers from.  A standalone table
+/// numbers arrivals locally; a shard of a [`ClaimShards`] draws from the
+/// counter shared by every shard, so arrival order stays globally comparable
+/// even when different client threads absorb concurrently.
+#[derive(Debug)]
+enum SeqSource {
+    Local(u64),
+    Shared(Arc<AtomicU64>),
+}
+
+impl Default for SeqSource {
+    fn default() -> Self {
+        SeqSource::Local(0)
+    }
+}
+
+impl SeqSource {
+    fn next(&mut self) -> u64 {
+        match self {
+            SeqSource::Local(n) => {
+                let seq = *n;
+                *n += 1;
+                seq
+            }
+            SeqSource::Shared(counter) => counter.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl ClaimTable {
+    /// A table that numbers arrivals from a counter shared with other
+    /// tables — the shard constructor used by [`ClaimShards`].
+    fn sharing_seq(counter: &Arc<AtomicU64>) -> Self {
+        ClaimTable {
+            seq: SeqSource::Shared(Arc::clone(counter)),
+            ..ClaimTable::default()
+        }
+    }
+
     /// Fold a batch of one client's transport completions into the table.
     ///
     /// A result slot holds at most one unclaimed value per client (the
@@ -90,8 +130,7 @@ impl ClaimTable {
     pub fn absorb(&mut self, client: ClientId, completions: Vec<Completion>) {
         self.compact_arrivals();
         for c in completions {
-            let seq = self.next_seq;
-            self.next_seq += 1;
+            let seq = self.seq.next();
             match c {
                 Completion::Get { request, data } => {
                     if let std::collections::hash_map::Entry::Vacant(v) =
@@ -199,6 +238,26 @@ impl ClaimTable {
         None
     }
 
+    /// Arrival-order number of a pending key, if present.
+    fn seq_of(&self, key: ClaimKey) -> Option<u64> {
+        match key {
+            ClaimKey::Get(c, r) => self.gets.get(&(c, r)).map(|a| a.seq),
+            ClaimKey::Put(c, r) => self.puts.get(&(c, r)).map(|a| a.seq),
+            ClaimKey::Result(c, s) => self.results.get(&(c, s)).map(|a| a.seq),
+        }
+    }
+
+    /// Like [`ClaimTable::earliest_pending`] but paired with the key's
+    /// arrival-order number, so shards can compare candidates globally.
+    pub(super) fn earliest_pending_seq(
+        &mut self,
+        wanted: impl FnMut(ClaimKey) -> bool,
+    ) -> Option<(u64, ClaimKey)> {
+        let key = self.earliest_pending(wanted)?;
+        let seq = self.seq_of(key).expect("earliest_pending keys are pending");
+        Some((seq, key))
+    }
+
     fn note_claimed(fresh: &mut usize, observed: bool) {
         if !observed {
             *fresh -= 1;
@@ -265,6 +324,14 @@ impl ClaimTable {
     /// returned [`Completion`] values carry the per-client numeric ids; on a
     /// multi-client cluster use typed handles to keep the client attribution.)
     pub fn take_fresh(&mut self) -> Vec<Completion> {
+        let mut out = self.take_fresh_seq();
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// [`ClaimTable::take_fresh`] with arrival-order numbers attached and no
+    /// sorting — shards merge-sort across tables instead.
+    fn take_fresh_seq(&mut self) -> Vec<(u64, Completion)> {
         let mut out: Vec<(u64, Completion)> = Vec::new();
         for (&(_, request), a) in self.gets.iter_mut().filter(|(_, a)| !a.observed) {
             a.observed = true;
@@ -295,8 +362,94 @@ impl ClaimTable {
                 },
             ));
         }
-        out.sort_by_key(|(seq, _)| *seq);
         self.fresh = 0;
+        out
+    }
+}
+
+/// The sharded claim table: one [`ClaimTable`] per client behind its own
+/// mutex, numbering arrivals from one shared counter.
+///
+/// Sharding by [`ClientId`] is exact, not probabilistic — every claim key is
+/// qualified by its owning client, so a completion's shard is a direct index
+/// and cross-shard claims cannot exist.  The per-shard mutexes mean a client
+/// worker thread depositing completions contends only with waiters touching
+/// *that* client, never with another client's hot claim path; the shared
+/// arrival counter keeps `wait_any` first-arrived fairness globally
+/// meaningful even though different shards absorb concurrently.
+///
+/// Locking discipline: at most one shard lock is held at a time, always
+/// acquired and released within a single method — so there is no lock-order
+/// hazard between shards, and producers (transport worker threads) can never
+/// deadlock against consumers (the user thread driving the wait loops).
+#[derive(Debug)]
+pub struct ClaimShards {
+    shards: Vec<Mutex<ClaimTable>>,
+}
+
+impl ClaimShards {
+    /// A sharded table with one shard per client (at least one).
+    pub fn new(clients: usize) -> Self {
+        let counter = Arc::new(AtomicU64::new(0));
+        ClaimShards {
+            shards: (0..clients.max(1))
+                .map(|_| Mutex::new(ClaimTable::sharing_seq(&counter)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards (clients the table was sized for).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, ClaimTable> {
+        // A shard is only poisoned if a thread panicked mid-`absorb`; the
+        // table's invariants are per-entry, so recover rather than cascade.
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Lock and return one client's shard.
+    pub fn shard(&self, client: ClientId) -> MutexGuard<'_, ClaimTable> {
+        self.lock(client.0)
+    }
+
+    /// Fold a batch of one client's transport completions into its shard.
+    /// Callable from any thread; blocks only on that client's shard lock.
+    pub fn absorb(&self, client: ClientId, completions: Vec<Completion>) {
+        if completions.is_empty() {
+            return;
+        }
+        self.shard(client).absorb(client, completions);
+    }
+
+    /// Total unclaimed completions across all shards (observed or not).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+    }
+
+    /// True when no completion is pending in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total not-yet-observed completions across all shards.
+    pub fn fresh_len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).fresh_len())
+            .sum()
+    }
+
+    /// Snapshot the not-yet-observed completions of every shard in global
+    /// arrival order, marking them observed (they stay claimable).
+    pub fn take_fresh(&self) -> Vec<Completion> {
+        let mut out: Vec<(u64, Completion)> = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(self.lock(i).take_fresh_seq());
+        }
+        out.sort_by_key(|(seq, _)| *seq);
         out.into_iter().map(|(_, c)| c).collect()
     }
 }
@@ -335,12 +488,16 @@ impl PutHandle {
 impl CompletionHandle for PutHandle {
     type Output = ();
 
-    fn try_claim(&self, claims: &mut ClaimTable) -> Option<()> {
-        claims.claim_put(self.client, self.request)
+    fn try_claim(&self, claims: &ClaimShards) -> Option<()> {
+        claims
+            .shard(self.client)
+            .claim_put(self.client, self.request)
     }
 
-    fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
-        claims.put_arrival(self.client, self.request)
+    fn ready_at(&self, claims: &ClaimShards) -> Option<u64> {
+        claims
+            .shard(self.client)
+            .put_arrival(self.client, self.request)
     }
 
     fn describe(&self) -> String {
@@ -607,12 +764,29 @@ impl CompletionSet {
     }
 
     /// Claim the ready entry whose completion arrived earliest, if any.
+    ///
+    /// Scans every shard for its earliest wanted pending key (one shard
+    /// lock at a time) and picks the global minimum by the shared arrival
+    /// counter — so first-arrived fairness is preserved across shards
+    /// exactly as it was on the unsharded table.  The set itself is owned
+    /// by the waiting thread; only the shard locks are contended.
     pub(super) fn claim_earliest(
         &mut self,
-        claims: &mut ClaimTable,
+        claims: &ClaimShards,
     ) -> Option<(CompletionToken, Ready)> {
         let index = &self.index;
-        let key = claims.earliest_pending(|k| index.contains_key(&k))?;
+        let mut best: Option<(u64, ClaimKey)> = None;
+        for shard in 0..claims.shard_count() {
+            let candidate = claims
+                .lock(shard)
+                .earliest_pending_seq(|k| index.contains_key(&k));
+            if let Some((seq, key)) = candidate {
+                if best.map(|(b, _)| seq < b).unwrap_or(true) {
+                    best = Some((seq, key));
+                }
+            }
+        }
+        let (_, key) = best?;
         let token = self.index[&key].first();
         let entry = self.take_entry(token);
         let ready = match entry.target {
@@ -855,7 +1029,7 @@ mod tests {
 
     #[test]
     fn set_claims_in_arrival_order_and_duplicates_wait() {
-        let mut claims = ClaimTable::default();
+        let claims = ClaimShards::new(1);
         let mut set = CompletionSet::new();
         let g = GetHandle {
             client: C0,
@@ -874,18 +1048,109 @@ mod tests {
         );
         // The result arrived first, so it wins even though the GET is also
         // ready and registered earlier.
-        let (tok, ready) = set.claim_earliest(&mut claims).unwrap();
+        let (tok, ready) = set.claim_earliest(&claims).unwrap();
         assert_eq!(tok, t3);
         assert_eq!(ready, Ready::Result(11));
         // The first GET registration claims the data…
-        let (tok, ready) = set.claim_earliest(&mut claims).unwrap();
+        let (tok, ready) = set.claim_earliest(&claims).unwrap();
         assert_eq!(tok, t1);
         assert!(matches!(ready, Ready::Get(d) if d[0] == 5));
         // …and the duplicate stays unresolved.
-        assert!(set.claim_earliest(&mut claims).is_none());
+        assert!(set.claim_earliest(&claims).is_none());
         assert_eq!(set.len(), 1);
         assert!(set.remove(t2));
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn wait_any_fairness_survives_sharding() {
+        // Registration order and shard index both disagree with arrival
+        // order; the shared arrival counter must be the only tiebreak, so
+        // the sharded table resolves exactly like the unsharded one did.
+        let claims = ClaimShards::new(3);
+        let mut set = CompletionSet::new();
+        let handle = |c: usize| GetHandle {
+            client: ClientId(c),
+            request: RequestId(1),
+            target: 1,
+        };
+        let t2 = set.add_get(handle(2));
+        let t0 = set.add_get(handle(0));
+        let t1 = set.add_get(handle(1));
+        claims.absorb(ClientId(1), vec![get_completion(1, 0)]);
+        claims.absorb(ClientId(2), vec![get_completion(1, 0)]);
+        claims.absorb(ClientId(0), vec![get_completion(1, 0)]);
+        let order: Vec<CompletionToken> =
+            std::iter::from_fn(|| set.claim_earliest(&claims).map(|(tok, _)| tok)).collect();
+        assert_eq!(
+            order,
+            vec![t1, t2, t0],
+            "global arrival order wins, not shard index or token order"
+        );
+        assert!(claims.is_empty());
+    }
+
+    #[test]
+    fn sharded_claims_survive_concurrent_producers_and_racing_waiters() {
+        // N producer threads absorb colliding per-client id spaces while
+        // 2×N waiter threads race to claim them: every completion must be
+        // observed exactly once (the claim count reaching the absorb count
+        // with empty shards proves no loss; a double-observe would overshoot
+        // the target and trip the final assertions).
+        const CLIENTS: usize = 4;
+        const PER_CLIENT: u64 = 500;
+        const TARGET: u64 = (CLIENTS as u64) * PER_CLIENT;
+        let shards = Arc::new(ClaimShards::new(CLIENTS));
+        let claimed = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for c in 0..CLIENTS {
+            let shards = Arc::clone(&shards);
+            threads.push(std::thread::spawn(move || {
+                // Ids 0..PER_CLIENT collide numerically across every client.
+                for id in 0..PER_CLIENT {
+                    shards.absorb(
+                        ClientId(c),
+                        vec![Completion::Get {
+                            request: RequestId(id),
+                            data: vec![c as u8; 2].into(),
+                        }],
+                    );
+                }
+            }));
+        }
+        for c in 0..CLIENTS {
+            for _ in 0..2 {
+                // Two waiters per client race for the same id space.
+                let shards = Arc::clone(&shards);
+                let claimed = Arc::clone(&claimed);
+                threads.push(std::thread::spawn(move || {
+                    let mut passes = 0u64;
+                    while claimed.load(Ordering::Relaxed) < TARGET {
+                        for id in 0..PER_CLIENT {
+                            let got = shards
+                                .shard(ClientId(c))
+                                .claim_get(ClientId(c), RequestId(id));
+                            if let Some(data) = got {
+                                assert_eq!(data[0], c as u8, "cross-client claim leak");
+                                claimed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        passes += 1;
+                        assert!(passes < 1_000_000, "lost completion: waiters spinning dry");
+                        std::thread::yield_now();
+                    }
+                }));
+            }
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            claimed.load(Ordering::Relaxed),
+            TARGET,
+            "every completion observed exactly once"
+        );
+        assert!(shards.is_empty(), "no completion left behind");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod socket_server;
 pub mod thread_transport;
 pub mod wire;
 
-pub use completion::{ClaimTable, CompletionSet, CompletionToken, PutHandle, Ready};
+pub use completion::{ClaimShards, ClaimTable, CompletionSet, CompletionToken, PutHandle, Ready};
 pub use reliable::{LinkHealth, RelConfig, RelMetrics};
 pub use sim_transport::SimTransport;
 pub use socket::{SocketConfig, SocketTransport, SocketTuning};
@@ -68,6 +68,7 @@ use crate::ifunc::{IfuncHandle, IfuncLibrary, IfuncMessage};
 use crate::layout::result_slot_addr;
 use crate::metrics::RuntimeStats;
 use crate::runtime::{Completion, NativeAmHandler, NodeRuntime};
+use std::sync::Arc;
 use tc_bitir::TargetTriple;
 use tc_jit::OptLevel;
 use tc_simnet::Platform;
@@ -151,6 +152,61 @@ pub struct TransportMetrics {
     pub faults_injected: u64,
 }
 
+/// Borrowed view of a client runtime handed out by [`Transport::client`].
+///
+/// Backends whose runtimes live on the driving thread (sim, socket) hand out
+/// plain references; the threaded backend's runtimes are owned by per-client
+/// worker threads behind mutexes, so its guard holds the client's lock for
+/// the duration of the borrow.  Dereferences to [`NodeRuntime`], so call
+/// sites read through it unchanged — but holding a guard across a blocking
+/// wait would stall that client's worker thread; drop it promptly.
+pub enum ClientRef<'a> {
+    /// Runtime directly owned by the transport on the driving thread.
+    Direct(&'a NodeRuntime),
+    /// Runtime shared with a per-client worker thread; holds its lock.
+    Locked(std::sync::MutexGuard<'a, NodeRuntime>),
+}
+
+impl std::ops::Deref for ClientRef<'_> {
+    type Target = NodeRuntime;
+
+    fn deref(&self) -> &NodeRuntime {
+        match self {
+            ClientRef::Direct(runtime) => runtime,
+            ClientRef::Locked(guard) => guard,
+        }
+    }
+}
+
+/// Mutable counterpart of [`ClientRef`], handed out by
+/// [`Transport::client_mut`].
+pub enum ClientRefMut<'a> {
+    /// Runtime directly owned by the transport on the driving thread.
+    Direct(&'a mut NodeRuntime),
+    /// Runtime shared with a per-client worker thread; holds its lock.
+    Locked(std::sync::MutexGuard<'a, NodeRuntime>),
+}
+
+impl std::ops::Deref for ClientRefMut<'_> {
+    type Target = NodeRuntime;
+
+    fn deref(&self) -> &NodeRuntime {
+        match self {
+            ClientRefMut::Direct(runtime) => runtime,
+            ClientRefMut::Locked(guard) => guard,
+        }
+    }
+}
+
+impl std::ops::DerefMut for ClientRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut NodeRuntime {
+        match self {
+            ClientRefMut::Direct(runtime) => runtime,
+            ClientRefMut::Locked(guard) => guard,
+        }
+    }
+}
+
 /// A pluggable cluster backend: hosts the node runtimes and moves fabric
 /// operations between them.
 ///
@@ -170,11 +226,21 @@ pub trait Transport {
         1
     }
 
-    /// A client runtime (always driver-side and directly accessible).
-    fn client(&self, id: ClientId) -> &NodeRuntime;
+    /// A client runtime.  On backends whose runtimes are owned by worker
+    /// threads the returned guard holds that client's lock — see
+    /// [`ClientRef`].
+    fn client(&self, id: ClientId) -> ClientRef<'_>;
 
-    /// Mutable client runtime.
-    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime;
+    /// Mutable client runtime (same locking semantics as
+    /// [`Transport::client`]).
+    fn client_mut(&mut self, id: ClientId) -> ClientRefMut<'_>;
+
+    /// Hand the transport the cluster's sharded claim table.  Backends whose
+    /// worker threads deliver completions off the driving thread deposit
+    /// straight into the shards (their [`Transport::take_completions`] then
+    /// returns nothing); the default is a no-op and completions keep flowing
+    /// through `take_completions`.
+    fn attach_claims(&mut self, _claims: &Arc<ClaimShards>) {}
 
     /// Predeploy a native Active-Message handler on every node, assigning
     /// consistent handler ids cluster-wide.
@@ -283,11 +349,14 @@ impl Transport for Box<dyn Transport> {
     fn client_count(&self) -> usize {
         (**self).client_count()
     }
-    fn client(&self, id: ClientId) -> &NodeRuntime {
+    fn client(&self, id: ClientId) -> ClientRef<'_> {
         (**self).client(id)
     }
-    fn client_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+    fn client_mut(&mut self, id: ClientId) -> ClientRefMut<'_> {
         (**self).client_mut(id)
+    }
+    fn attach_claims(&mut self, claims: &Arc<ClaimShards>) {
+        (**self).attach_claims(claims)
     }
     fn deploy_am(&mut self, name: &str, handler: NativeAmHandler) -> Result<()> {
         (**self).deploy_am(name, handler)
@@ -343,18 +412,20 @@ impl Transport for Box<dyn Transport> {
 }
 
 /// A handle that can be waited on through [`Cluster::wait`], claiming a typed
-/// value from the indexed [`ClaimTable`] of client completions.
+/// value from the sharded [`ClaimShards`] table of client completions.  A
+/// handle locks only its own client's shard, so claims on one client never
+/// contend with another client's completion traffic.
 pub trait CompletionHandle {
     /// What the completed operation yields.
     type Output;
 
-    /// Remove and return this handle's completion from the claim table, if
-    /// present.
-    fn try_claim(&self, claims: &mut ClaimTable) -> Option<Self::Output>;
+    /// Remove and return this handle's completion from its client's shard,
+    /// if present.
+    fn try_claim(&self, claims: &ClaimShards) -> Option<Self::Output>;
 
     /// Arrival order of this handle's completion, if it is pending — used
     /// by [`CompletionSet`] for first-arrived fairness.
-    fn ready_at(&self, claims: &ClaimTable) -> Option<u64>;
+    fn ready_at(&self, claims: &ClaimShards) -> Option<u64>;
 
     /// Human-readable description for timeout errors.
     fn describe(&self) -> String;
@@ -391,12 +462,16 @@ impl GetHandle {
 impl CompletionHandle for GetHandle {
     type Output = Bytes;
 
-    fn try_claim(&self, claims: &mut ClaimTable) -> Option<Bytes> {
-        claims.claim_get(self.client, self.request)
+    fn try_claim(&self, claims: &ClaimShards) -> Option<Bytes> {
+        claims
+            .shard(self.client)
+            .claim_get(self.client, self.request)
     }
 
-    fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
-        claims.get_arrival(self.client, self.request)
+    fn ready_at(&self, claims: &ClaimShards) -> Option<u64> {
+        claims
+            .shard(self.client)
+            .get_arrival(self.client, self.request)
     }
 
     fn describe(&self) -> String {
@@ -459,12 +534,16 @@ impl ResultHandle {
 impl CompletionHandle for ResultHandle {
     type Output = u64;
 
-    fn try_claim(&self, claims: &mut ClaimTable) -> Option<u64> {
-        claims.claim_result(self.client, self.slot)
+    fn try_claim(&self, claims: &ClaimShards) -> Option<u64> {
+        claims
+            .shard(self.client)
+            .claim_result(self.client, self.slot)
     }
 
-    fn ready_at(&self, claims: &ClaimTable) -> Option<u64> {
-        claims.result_arrival(self.client, self.slot)
+    fn ready_at(&self, claims: &ClaimShards) -> Option<u64> {
+        claims
+            .shard(self.client)
+            .result_arrival(self.client, self.slot)
     }
 
     fn describe(&self) -> String {
@@ -486,7 +565,9 @@ impl CompletionHandle for ResultHandle {
 /// at rank 0, servers at ranks `1..=server_count()`.
 pub struct Cluster<T: Transport> {
     transport: T,
-    claims: ClaimTable,
+    /// The sharded completion table, shared with the transport (worker
+    /// threads of the threaded backend deposit into it directly).
+    claims: Arc<ClaimShards>,
     /// Per-client result-slot allocator state (indexed by client id).
     next_result_slot: Vec<u64>,
     reserved_slots: Vec<std::collections::HashSet<u64>>,
@@ -554,11 +635,13 @@ impl Idleness {
 
 impl<T: Transport> Cluster<T> {
     /// Wrap an already-constructed transport.  Prefer [`ClusterBuilder`].
-    pub fn new(transport: T) -> Self {
+    pub fn new(mut transport: T) -> Self {
         let clients = transport.client_count().max(1);
+        let claims = Arc::new(ClaimShards::new(clients));
+        transport.attach_claims(&claims);
         Cluster {
             transport,
-            claims: ClaimTable::default(),
+            claims,
             next_result_slot: vec![0; clients],
             reserved_slots: vec![std::collections::HashSet::new(); clients],
         }
@@ -612,24 +695,26 @@ impl<T: Transport> Cluster<T> {
         self.transport.client_count() + idx
     }
 
-    /// The primary client's runtime.
-    pub fn client(&self) -> &NodeRuntime {
+    /// The primary client's runtime.  On the threaded backend the returned
+    /// guard holds that client's lock — drop it before driving the cluster.
+    pub fn client(&self) -> ClientRef<'_> {
         self.transport.client(ClientId::PRIMARY)
     }
 
     /// Mutable primary-client runtime (escape hatch for source-side
     /// operations the high-level API does not cover).
-    pub fn client_mut(&mut self) -> &mut NodeRuntime {
+    pub fn client_mut(&mut self) -> ClientRefMut<'_> {
         self.transport.client_mut(ClientId::PRIMARY)
     }
 
-    /// The runtime of client `id`.
-    pub fn client_runtime(&self, id: ClientId) -> &NodeRuntime {
+    /// The runtime of client `id` (locking semantics of
+    /// [`Cluster::client`]).
+    pub fn client_runtime(&self, id: ClientId) -> ClientRef<'_> {
         self.transport.client(id)
     }
 
     /// Mutable runtime of client `id`.
-    pub fn client_runtime_mut(&mut self, id: ClientId) -> &mut NodeRuntime {
+    pub fn client_runtime_mut(&mut self, id: ClientId) -> ClientRefMut<'_> {
         self.transport.client_mut(id)
     }
 
@@ -958,6 +1043,9 @@ impl<T: Transport> Cluster<T> {
     // --- completion and progress --------------------------------------------
 
     fn absorb_completions(&mut self) {
+        // On transports whose worker threads deposit into the shards
+        // directly (post-`attach_claims`), `take_completions` returns
+        // nothing and this is a no-op sweep.
         for c in 0..self.transport.client_count() {
             let client = ClientId(c);
             let completions = self.transport.take_completions(client);
@@ -977,7 +1065,7 @@ impl<T: Transport> Cluster<T> {
         let mut idleness = Idleness::new(self.transport.idle_grace());
         loop {
             self.absorb_completions();
-            if let Some(out) = handle.try_claim(&mut self.claims) {
+            if let Some(out) = handle.try_claim(&self.claims) {
                 return Ok(out);
             }
             let progressed = self.transport.step()?;
@@ -992,7 +1080,7 @@ impl<T: Transport> Cluster<T> {
     /// Check for `handle`'s completion without driving the transport.
     pub fn try_claim<H: CompletionHandle>(&mut self, handle: &H) -> Option<H::Output> {
         self.absorb_completions();
-        handle.try_claim(&mut self.claims)
+        handle.try_claim(&self.claims)
     }
 
     /// Drive the transport until any handle registered in `set` resolves:
@@ -1014,7 +1102,7 @@ impl<T: Transport> Cluster<T> {
         let mut idleness = Idleness::new(self.transport.idle_grace());
         loop {
             self.absorb_completions();
-            if let Some(ready) = set.claim_earliest(&mut self.claims) {
+            if let Some(ready) = set.claim_earliest(&self.claims) {
                 return Ok(ready);
             }
             // A handle pinned to a terminally failed rank can never
@@ -1060,7 +1148,7 @@ impl<T: Transport> Cluster<T> {
     /// deadline) without driving the transport.
     pub fn poll_any(&mut self, set: &mut CompletionSet) -> Option<(CompletionToken, Ready)> {
         self.absorb_completions();
-        if let Some(ready) = set.claim_earliest(&mut self.claims) {
+        if let Some(ready) = set.claim_earliest(&self.claims) {
             return Some(ready);
         }
         if !set.has_deadlines() {

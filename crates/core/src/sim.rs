@@ -161,14 +161,15 @@ impl ClusterSim {
         self.inner.transport_mut().node_mut(rank)
     }
 
-    /// The client runtime.
+    /// The client runtime.  (The simulated backend owns its runtimes on the
+    /// driving thread, so this is a plain borrow, not a cross-thread guard.)
     pub fn client(&self) -> &NodeRuntime {
-        self.inner.client()
+        self.inner.transport().node(0)
     }
 
     /// Mutable client runtime.
     pub fn client_mut(&mut self) -> &mut NodeRuntime {
-        self.inner.client_mut()
+        self.inner.transport_mut().node_mut(0)
     }
 
     /// Register an ifunc library on the client, returning its handle.

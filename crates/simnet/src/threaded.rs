@@ -86,6 +86,15 @@ pub struct ThreadConfig {
     pub tick: Option<Duration>,
     /// Interposed envelope filter (fault injection).
     pub filter: Option<EnvelopeFilter>,
+    /// External ports `0..n` each get a *dedicated* receive queue (taken
+    /// with [`ThreadCluster::take_external_queue`]) instead of sharing the
+    /// cluster's one external channel — so a driver can park one worker
+    /// thread per port and deliveries to different ports never serialize on
+    /// a single receiver.  Messages to dedicated ports carry in-flight
+    /// accounting like node-bound ones (the consumer acknowledges with
+    /// [`ExternalQueue::done`]).  Ports `>= n` keep the shared queue.
+    /// Default 0: every port shares the classic single external queue.
+    pub dedicated_external_ports: usize,
 }
 
 impl std::fmt::Debug for ThreadConfig {
@@ -94,6 +103,7 @@ impl std::fmt::Debug for ThreadConfig {
             .field("max_batch", &self.max_batch)
             .field("tick", &self.tick)
             .field("filter", &self.filter.is_some())
+            .field("dedicated_external_ports", &self.dedicated_external_ports)
             .finish()
     }
 }
@@ -235,59 +245,75 @@ fn send_control(peers: &[Sender<Control>], counters: &Counters, env: Envelope) -
     }
 }
 
-/// Route one envelope to its destination queue: a node channel, or the
-/// external observer when `env.to` addresses an external port (see
-/// [`external_id`]; every port shares the driver's one receive queue, and
-/// the envelope's `to` field tells the driver which port it was for).
-fn route_env(
-    peers: &[Sender<Control>],
-    external: &Sender<Envelope>,
-    counters: &Counters,
-    env: Envelope,
-) -> SendStatus {
-    if external_port(env.to).is_some() {
-        match external.send(env) {
-            Ok(()) => counters.record(SendStatus::Delivered),
-            Err(_) => counters.record(SendStatus::Disconnected),
-        }
-    } else {
-        send_control(peers, counters, env)
-    }
+/// The shared routing fabric: node channels, the external queues, counters,
+/// and the interposed filter.  Every path that can inject an envelope — node
+/// contexts, the cluster handle, cloned [`Injector`]s on driver worker
+/// threads — goes through one `Router`, so fault filtering and delivery
+/// accounting stay uniform no matter which thread sends.
+#[derive(Clone)]
+struct Router {
+    peers: Vec<Sender<Control>>,
+    external: Sender<Envelope>,
+    /// Dedicated queues of external ports `0..dedicated.len()` (see
+    /// [`ThreadConfig::dedicated_external_ports`]); higher ports share the
+    /// classic external channel.
+    dedicated: Vec<Sender<Envelope>>,
+    counters: Arc<Counters>,
+    filter: Option<EnvelopeFilter>,
 }
 
-/// Pass an envelope through the interposed filter (if any) and route
-/// whatever survives.  The returned status describes the *original*
-/// envelope: [`SendStatus::Filtered`] when the filter absorbed it, the
-/// first routed envelope's status otherwise.
-fn dispatch_env(
-    peers: &[Sender<Control>],
-    external: &Sender<Envelope>,
-    counters: &Counters,
-    filter: Option<&EnvelopeFilter>,
-    env: Envelope,
-) -> SendStatus {
-    let Some(filter) = filter else {
-        return route_env(peers, external, counters, env);
-    };
-    let survivors = filter(env);
-    if survivors.is_empty() {
-        return counters.record(SendStatus::Filtered);
+impl Router {
+    /// Route one envelope to its destination queue: a node channel, a
+    /// dedicated external-port queue, or the shared external observer (the
+    /// envelope's `to` field tells the driver which port it was for).
+    fn route(&self, env: Envelope) -> SendStatus {
+        let Some(port) = external_port(env.to) else {
+            return send_control(&self.peers, &self.counters, env);
+        };
+        if let Some(tx) = self.dedicated.get(port) {
+            // Dedicated queues carry in-flight accounting like node
+            // channels: counted before enqueue, acknowledged by the
+            // consumer through `ExternalQueue::done`.
+            self.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            return match tx.send(env) {
+                Ok(()) => self.counters.record(SendStatus::Delivered),
+                Err(_) => {
+                    self.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    self.counters.record(SendStatus::Disconnected)
+                }
+            };
+        }
+        match self.external.send(env) {
+            Ok(()) => self.counters.record(SendStatus::Delivered),
+            Err(_) => self.counters.record(SendStatus::Disconnected),
+        }
     }
-    let mut first = None;
-    for e in survivors {
-        let status = route_env(peers, external, counters, e);
-        first.get_or_insert(status);
+
+    /// Pass an envelope through the interposed filter (if any) and route
+    /// whatever survives.  The returned status describes the *original*
+    /// envelope: [`SendStatus::Filtered`] when the filter absorbed it, the
+    /// first routed envelope's status otherwise.
+    fn dispatch(&self, env: Envelope) -> SendStatus {
+        let Some(filter) = self.filter.as_ref() else {
+            return self.route(env);
+        };
+        let survivors = filter(env);
+        if survivors.is_empty() {
+            return self.counters.record(SendStatus::Filtered);
+        }
+        let mut first = None;
+        for e in survivors {
+            let status = self.route(e);
+            first.get_or_insert(status);
+        }
+        first.unwrap_or(SendStatus::Filtered)
     }
-    first.unwrap_or(SendStatus::Filtered)
 }
 
 /// Handle through which a node sends messages and inspects the cluster.
 pub struct NodeCtx {
     node_id: usize,
-    peers: Vec<Sender<Control>>,
-    external: Sender<Envelope>,
-    counters: Arc<Counters>,
-    filter: Option<EnvelopeFilter>,
+    router: Router,
 }
 
 impl NodeCtx {
@@ -298,7 +324,7 @@ impl NodeCtx {
 
     /// Number of nodes in the cluster.
     pub fn node_count(&self) -> usize {
-        self.peers.len()
+        self.router.peers.len()
     }
 
     /// Send bytes to another node.  Sends to an unknown or stopped node are
@@ -311,19 +337,13 @@ impl NodeCtx {
     /// Send a two-segment message (`data ‖ payload`) to another node without
     /// copying the payload: the bulk segment is moved as a shared view.
     pub fn send_vectored(&self, to: usize, tag: u64, data: Bytes, payload: Bytes) -> SendStatus {
-        dispatch_env(
-            &self.peers,
-            &self.external,
-            &self.counters,
-            self.filter.as_ref(),
-            Envelope {
-                from: self.node_id,
-                to,
-                tag,
-                data,
-                payload,
-            },
-        )
+        self.router.dispatch(Envelope {
+            from: self.node_id,
+            to,
+            tag,
+            data,
+            payload,
+        })
     }
 
     /// Send bytes to the external observer (the driving thread), port 0.
@@ -350,24 +370,18 @@ impl NodeCtx {
         data: Bytes,
         payload: Bytes,
     ) -> SendStatus {
-        dispatch_env(
-            &self.peers,
-            &self.external,
-            &self.counters,
-            self.filter.as_ref(),
-            Envelope {
-                from: self.node_id,
-                to: external_id(port),
-                tag,
-                data,
-                payload,
-            },
-        )
+        self.router.dispatch(Envelope {
+            from: self.node_id,
+            to: external_id(port),
+            tag,
+            data,
+            payload,
+        })
     }
 
     /// Snapshot of the cluster-wide delivery counters.
     pub fn metrics(&self) -> ThreadMetrics {
-        self.counters.snapshot()
+        self.router.counters.snapshot()
     }
 }
 
@@ -395,14 +409,111 @@ pub trait ThreadedNode: Send {
     fn on_tick(&mut self, _ctx: &NodeCtx) {}
 }
 
+/// A dedicated external-port receive queue, taken from a cluster started
+/// with [`ThreadConfig::dedicated_external_ports`] `> 0`.  The owning
+/// (driver worker) thread parks on it directly — no polling, no contention
+/// with other ports — and acknowledges processed messages with
+/// [`ExternalQueue::done`] so [`ThreadCluster::pending_messages`] keeps
+/// counting port-bound work as in flight until it is actually handled.
+pub struct ExternalQueue {
+    port: usize,
+    rx: Receiver<Envelope>,
+    counters: Arc<Counters>,
+}
+
+impl ExternalQueue {
+    /// The external port this queue receives for.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// Park for the next envelope, up to `timeout`.  `None` on timeout or a
+    /// shut-down cluster.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Take an already-queued envelope without blocking.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Acknowledge `n` received envelopes as fully processed (decrements the
+    /// cluster's in-flight count).  Call after handling, not after receiving
+    /// — in-flight means enqueued *or processing*.
+    pub fn done(&self, n: u64) {
+        if n > 0 {
+            self.counters.in_flight.fetch_sub(n, Ordering::SeqCst);
+        }
+    }
+
+    /// Drain and discard everything still queued, acknowledging it (used on
+    /// worker shutdown so abandoned messages don't pin the in-flight count).
+    pub fn drain(&self) -> u64 {
+        let mut n = 0;
+        while self.rx.try_recv().is_ok() {
+            n += 1;
+        }
+        self.done(n);
+        n
+    }
+}
+
+/// A cloneable injection handle for driver-side worker threads: envelopes
+/// sent through it carry the chosen external port's identity and pass the
+/// same interposed filter and delivery accounting as every other send.
+/// This is what lets per-client worker threads inject into the fabric
+/// without funnelling through the [`ThreadCluster`] handle (which the
+/// driving thread owns mutably).
+#[derive(Clone)]
+pub struct Injector {
+    router: Router,
+}
+
+impl Injector {
+    /// Inject a message carrying external port `port`'s identity.
+    pub fn send_from_port(
+        &self,
+        port: usize,
+        to: usize,
+        tag: u64,
+        data: impl Into<Bytes>,
+    ) -> SendStatus {
+        self.send_vectored_from_port(port, to, tag, data.into(), Bytes::new())
+    }
+
+    /// Two-segment injection from external port `port` (zero-copy payload).
+    pub fn send_vectored_from_port(
+        &self,
+        port: usize,
+        to: usize,
+        tag: u64,
+        data: Bytes,
+        payload: Bytes,
+    ) -> SendStatus {
+        self.router.dispatch(Envelope {
+            from: external_id(port),
+            to,
+            tag,
+            data,
+            payload,
+        })
+    }
+
+    /// Node-bound and dedicated-port messages currently enqueued or being
+    /// processed (the cluster-wide counter).
+    pub fn pending_messages(&self) -> u64 {
+        self.router.counters.in_flight.load(Ordering::SeqCst)
+    }
+}
+
 /// A running cluster of threaded nodes.
 pub struct ThreadCluster {
-    senders: Vec<Sender<Control>>,
-    external_tx: Sender<Envelope>,
+    router: Router,
     external_rx: Receiver<Envelope>,
+    /// Dedicated-port receivers not yet taken by a worker thread.
+    dedicated_rxs: Vec<Option<Receiver<Envelope>>>,
     handles: Vec<JoinHandle<()>>,
-    counters: Arc<Counters>,
-    filter: Option<EnvelopeFilter>,
 }
 
 impl ThreadCluster {
@@ -430,15 +541,26 @@ impl ThreadCluster {
         let counters = Arc::new(Counters::default());
         let max_batch = config.effective_batch();
         let tick = config.tick;
+        let mut dedicated_txs = Vec::with_capacity(config.dedicated_external_ports);
+        let mut dedicated_rxs = Vec::with_capacity(config.dedicated_external_ports);
+        for _ in 0..config.dedicated_external_ports.min(MAX_EXTERNAL_PORTS) {
+            let (tx, rx) = channel();
+            dedicated_txs.push(tx);
+            dedicated_rxs.push(Some(rx));
+        }
+        let router = Router {
+            peers: senders,
+            external: ext_tx,
+            dedicated: dedicated_txs,
+            counters: Arc::clone(&counters),
+            filter: config.filter.clone(),
+        };
 
         let mut handles = Vec::with_capacity(n);
         for (node_id, (_, rx)) in channels.into_iter().enumerate() {
             let ctx = NodeCtx {
                 node_id,
-                peers: senders.clone(),
-                external: ext_tx.clone(),
-                counters: Arc::clone(&counters),
-                filter: config.filter.clone(),
+                router: router.clone(),
             };
             let mut node = factory(node_id);
             let handle = std::thread::Builder::new()
@@ -486,7 +608,10 @@ impl ThreadCluster {
                         }
                         let count = batch.len() as u64;
                         node.on_batch(std::mem::take(&mut batch), &ctx);
-                        ctx.counters.in_flight.fetch_sub(count, Ordering::SeqCst);
+                        ctx.router
+                            .counters
+                            .in_flight
+                            .fetch_sub(count, Ordering::SeqCst);
                         // A saturated node never hits the park timeout, so
                         // honour the tick cadence between batches too.
                         if let Some(period) = tick {
@@ -506,7 +631,10 @@ impl ThreadCluster {
                             .filter(|c| matches!(c, Control::Deliver(_)))
                             .count() as u64;
                     if leftover > 0 {
-                        ctx.counters.in_flight.fetch_sub(leftover, Ordering::SeqCst);
+                        ctx.router
+                            .counters
+                            .in_flight
+                            .fetch_sub(leftover, Ordering::SeqCst);
                     }
                 })
                 .expect("failed to spawn node thread");
@@ -514,35 +642,54 @@ impl ThreadCluster {
         }
 
         ThreadCluster {
-            senders,
-            external_tx: ext_tx,
+            router,
             external_rx: ext_rx,
+            dedicated_rxs,
             handles,
-            counters,
-            filter: config.filter,
         }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.senders.len()
+        self.router.peers.len()
     }
 
     /// Snapshot of the cluster-wide delivery counters.
     pub fn metrics(&self) -> ThreadMetrics {
-        self.counters.snapshot()
+        self.router.counters.snapshot()
     }
 
     /// Total messages dropped so far (unknown destination + stopped nodes).
     pub fn dropped_messages(&self) -> u64 {
-        self.counters.snapshot().dropped()
+        self.router.counters.snapshot().dropped()
     }
 
-    /// Node-bound messages currently enqueued or being processed.  Zero means
-    /// every node thread is parked with an empty queue — combined with an
-    /// empty external queue, the cluster is quiescent.
+    /// Node-bound and dedicated-port messages currently enqueued or being
+    /// processed.  Zero means every node thread is parked with an empty
+    /// queue and every dedicated port is drained — combined with an empty
+    /// shared external queue, the cluster is quiescent.
     pub fn pending_messages(&self) -> u64 {
-        self.counters.in_flight.load(Ordering::SeqCst)
+        self.router.counters.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// A cloneable [`Injector`] for driver-side worker threads.
+    pub fn injector(&self) -> Injector {
+        Injector {
+            router: self.router.clone(),
+        }
+    }
+
+    /// Take ownership of dedicated external port `port`'s receive queue
+    /// (configured via [`ThreadConfig::dedicated_external_ports`]).  Each
+    /// queue can be taken exactly once; `None` if the port has no dedicated
+    /// queue or it was already taken.
+    pub fn take_external_queue(&mut self, port: usize) -> Option<ExternalQueue> {
+        let rx = self.dedicated_rxs.get_mut(port)?.take()?;
+        Some(ExternalQueue {
+            port,
+            rx,
+            counters: Arc::clone(&self.router.counters),
+        })
     }
 
     /// Inject a message into the cluster from the driver thread (external
@@ -579,19 +726,13 @@ impl ThreadCluster {
         data: Bytes,
         payload: Bytes,
     ) -> SendStatus {
-        dispatch_env(
-            &self.senders,
-            &self.external_tx,
-            &self.counters,
-            self.filter.as_ref(),
-            Envelope {
-                from: external_id(port),
-                to,
-                tag,
-                data,
-                payload,
-            },
-        )
+        self.router.dispatch(Envelope {
+            from: external_id(port),
+            to,
+            tag,
+            data,
+            payload,
+        })
     }
 
     /// Wait for a message sent to the external observer.  Parks on the
@@ -628,7 +769,7 @@ impl ThreadCluster {
 
     /// Stop all nodes and join their threads.
     pub fn shutdown(self) {
-        for tx in &self.senders {
+        for tx in &self.router.peers {
             let _ = tx.send(Control::Stop);
         }
         for h in self.handles {
@@ -953,6 +1094,83 @@ mod tests {
             .expect("echo reply");
         assert!(env.data.shares_storage(&payload));
         assert_eq!(env.data, payload);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dedicated_ports_receive_independently_and_count_in_flight() {
+        // Port 0 and 1 get dedicated queues; port 2 falls through to the
+        // shared external queue.  Replies route by destination port, and
+        // dedicated-port messages stay "in flight" until acknowledged.
+        struct PortEcho;
+        impl ThreadedNode for PortEcho {
+            fn on_message(&mut self, msg: Envelope, ctx: &NodeCtx) {
+                let port = external_port(msg.from).unwrap();
+                let _ = ctx.send_external_port(port, msg.tag, msg.data);
+            }
+        }
+        let mut cluster = ThreadCluster::start_with_config(
+            1,
+            ThreadConfig {
+                dedicated_external_ports: 2,
+                ..ThreadConfig::default()
+            },
+            |_| PortEcho,
+        );
+        let q0 = cluster.take_external_queue(0).expect("port 0 queue");
+        let q1 = cluster.take_external_queue(1).expect("port 1 queue");
+        assert!(
+            cluster.take_external_queue(0).is_none(),
+            "a queue can be taken once"
+        );
+        assert!(cluster.take_external_queue(2).is_none(), "port 2 is shared");
+        let injector = cluster.injector();
+        let _ = injector.send_from_port(0, 0, 10, vec![0u8]);
+        let _ = injector.send_from_port(1, 0, 11, vec![1u8]);
+        let _ = cluster.send_from_port(2, 0, 12, vec![2u8]);
+        let e0 = q0.recv_timeout(Duration::from_secs(5)).expect("port 0");
+        let e1 = q1.recv_timeout(Duration::from_secs(5)).expect("port 1");
+        let e2 = cluster
+            .recv_external(Duration::from_secs(5))
+            .expect("shared queue still works for high ports");
+        assert_eq!((e0.tag, e1.tag, e2.tag), (10, 11, 12));
+        // Both dedicated deliveries are still in flight until acknowledged.
+        // The node's own inbound accounting drains asynchronously (its
+        // in-flight decrement lands after `on_message` returns, racing the
+        // echo receive above), so wait for it to settle first.
+        let settle = |cluster: &ThreadCluster, want: u64| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while cluster.pending_messages() != want && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            cluster.pending_messages()
+        };
+        assert_eq!(settle(&cluster, 2), 2);
+        q0.done(1);
+        q1.done(1);
+        assert_eq!(settle(&cluster, 0), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn injector_passes_the_interposed_filter() {
+        // Worker-thread injections must see the same fault filter as driver
+        // sends — absorb everything and check the status + counter.
+        let filter: EnvelopeFilter = Arc::new(|_| vec![]);
+        let cluster = ThreadCluster::start_with_config(
+            1,
+            ThreadConfig {
+                filter: Some(filter),
+                ..ThreadConfig::default()
+            },
+            |_| RelayNode,
+        );
+        let injector = cluster.injector();
+        assert_eq!(
+            injector.send_from_port(3, 0, 0, vec![]),
+            SendStatus::Filtered
+        );
+        assert_eq!(cluster.metrics().filtered, 1);
         cluster.shutdown();
     }
 
